@@ -1,0 +1,24 @@
+//! Shared helpers for the figure benches: scaled-down single-run cells so
+//! `cargo bench` finishes in minutes while still exercising the exact code
+//! paths of the full experiments.
+
+use wsn_sim::config::{AlgorithmKind, SimulationConfig};
+use wsn_sim::runner::run_once;
+
+/// Runs one scaled-down simulation run of `cfg` and returns the hotspot
+/// energy (so the optimizer cannot elide the run).
+#[allow(dead_code)] // each bench target uses a subset of these helpers
+pub fn run_cell(cfg: &SimulationConfig, alg: AlgorithmKind) -> f64 {
+    run_once(cfg, alg, 0).max_node_energy_per_round
+}
+
+/// A small but structurally faithful base configuration for benches.
+#[allow(dead_code)]
+pub fn bench_base() -> SimulationConfig {
+    SimulationConfig {
+        sensor_count: 150,
+        rounds: 40,
+        runs: 1,
+        ..SimulationConfig::default()
+    }
+}

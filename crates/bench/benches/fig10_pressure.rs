@@ -1,0 +1,46 @@
+//! Figure 10 bench: pressure dataset, sweeping the sampling stride in the
+//! optimistic and pessimistic range settings.
+
+mod common;
+
+use common::{bench_base, run_cell};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_data::pressure::{PressureConfig, RangeSetting};
+use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10_pressure");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(range, tag) in &[
+        (RangeSetting::Optimistic, "opt"),
+        (RangeSetting::Pessimistic, "pess"),
+    ] {
+        for &skip in &[1u32, 8] {
+            let base = bench_base();
+            let cfg = SimulationConfig {
+                dataset: DatasetSpec::Pressure(PressureConfig {
+                    sensor_count: 150,
+                    steps: base.rounds as usize * skip as usize + 1,
+                    skip,
+                    range,
+                    ..PressureConfig::default()
+                }),
+                ..base
+            };
+            for alg in [AlgorithmKind::Iq, AlgorithmKind::LcllS, AlgorithmKind::LcllH] {
+                group.bench_with_input(
+                    BenchmarkId::new(alg.name(), format!("{tag}/skip{skip}")),
+                    &cfg,
+                    |b, cfg| b.iter(|| black_box(run_cell(cfg, alg))),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

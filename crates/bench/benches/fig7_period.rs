@@ -1,0 +1,36 @@
+//! Figure 7 bench: simulation cost while sweeping the sinusoid period τ.
+
+mod common;
+
+use common::{bench_base, run_cell};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_period");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &period in &[250u32, 32, 8] {
+        let cfg = SimulationConfig {
+            dataset: DatasetSpec::Synthetic(SyntheticConfig {
+                period,
+                ..SyntheticConfig::default()
+            }),
+            ..bench_base()
+        };
+        for alg in [AlgorithmKind::Pos, AlgorithmKind::Hbc, AlgorithmKind::Iq] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), period),
+                &cfg,
+                |b, cfg| b.iter(|| black_box(run_cell(cfg, alg))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 8 bench: simulation cost while sweeping measurement noise ψ.
+
+mod common;
+
+use common::{bench_base, run_cell};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_noise");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &psi in &[0.0f64, 10.0, 50.0] {
+        let cfg = SimulationConfig {
+            dataset: DatasetSpec::Synthetic(SyntheticConfig {
+                noise_percent: psi,
+                ..SyntheticConfig::default()
+            }),
+            ..bench_base()
+        };
+        for alg in [AlgorithmKind::Hbc, AlgorithmKind::Iq, AlgorithmKind::LcllH] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), format!("{psi}")),
+                &cfg,
+                |b, cfg| b.iter(|| black_box(run_cell(cfg, alg))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

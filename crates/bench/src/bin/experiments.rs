@@ -1,0 +1,136 @@
+//! Regenerates every table and figure of the paper's evaluation (§5) plus
+//! the future-work extensions.
+//!
+//! ```text
+//! cargo run -p wsn-bench --release --bin experiments            # everything, full scale
+//! cargo run -p wsn-bench --release --bin experiments -- --quick # scaled-down
+//! cargo run -p wsn-bench --release --bin experiments -- --figure fig7
+//! cargo run -p wsn-bench --release --bin experiments -- --figure fig4
+//! ```
+
+use std::time::Instant;
+
+use wsn_sim::experiments::{self, run_sweep};
+use wsn_sim::report::{render_ablation, render_ablation_with_error, render_table, render_xi_trace, Indicator};
+
+fn print_usage() {
+    eprintln!(
+        "usage: experiments [--quick] \
+                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|adaptive|phi|lcllcmp|exactcmp|sampling|ablation]"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut figure: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--figure" => {
+                i += 1;
+                match args.get(i) {
+                    Some(f) => figure = Some(f.clone()),
+                    None => {
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let wanted: Vec<String> = match &figure {
+        Some(f) => vec![f.clone()],
+        None => vec![
+            "fig4".into(),
+            "fig6".into(),
+            "fig7".into(),
+            "fig8".into(),
+            "fig9".into(),
+            "fig10".into(),
+            "loss".into(),
+            "adaptive".into(),
+            "phi".into(),
+            "lcllcmp".into(),
+            "exactcmp".into(),
+            "sampling".into(),
+            "ablation".into(),
+        ],
+    };
+
+    for id in wanted {
+        let start = Instant::now();
+        if id == "sampling" {
+            eprintln!("running sampling trade-off …");
+            println!(
+                "{}",
+                render_ablation_with_error(
+                    "Ext. — Probabilistic quantiles by node sampling (§3.1)",
+                    &experiments::sampling_tradeoff(quick)
+                )
+            );
+        } else if id == "ablation" {
+            eprintln!("running ablations …");
+            println!(
+                "{}",
+                render_ablation(
+                    "Ablation A — HBC bucket count (cost model vs. fixed b)",
+                    &experiments::ablation_buckets(quick)
+                )
+            );
+            println!(
+                "{}",
+                render_ablation("Ablation B — IQ parameters", &experiments::ablation_iq(quick))
+            );
+            println!(
+                "{}",
+                render_ablation(
+                    "Ablation C — direct value retrieval [21]",
+                    &experiments::ablation_retrieval(quick)
+                )
+            );
+            println!(
+                "{}",
+                render_ablation(
+                    "Ablation D — initialization strategy (init round only)",
+                    &experiments::ablation_init(quick)
+                )
+            );
+        } else if id == "fig4" {
+            let trace = experiments::fig4_trace(125);
+            println!("{}", render_xi_trace(&trace));
+            let refined = trace.iter().filter(|r| r.refined).count();
+            println!(
+                "({} of {} rounds needed a refinement)\n",
+                refined,
+                trace.len()
+            );
+        } else {
+            let Some(sweep) = experiments::by_id(&id, quick) else {
+                eprintln!("unknown figure id: {id}");
+                std::process::exit(2);
+            };
+            eprintln!("running {} …", sweep.id);
+            let results = run_sweep(&sweep);
+            println!("{}", render_table(&results, Indicator::MaxEnergy));
+            println!("{}", render_table(&results, Indicator::Lifetime));
+            if id == "loss" {
+                println!("{}", render_table(&results, Indicator::RankError));
+                println!("{}", render_table(&results, Indicator::Exactness));
+            }
+        }
+        eprintln!("[{id} done in {:.1?}]\n", start.elapsed());
+    }
+}

@@ -1,0 +1,362 @@
+//! Ad-hoc simulation CLI: run any protocol on any workload configuration
+//! and print the §5.1 metrics — or a per-round CSV trace for plotting.
+//!
+//! ```text
+//! simulate --algorithm IQ --nodes 500 --rounds 250 --runs 5
+//! simulate --algorithm HBC --dataset pressure --skip 8 --range pessimistic
+//! simulate --algorithm POS --loss 0.05
+//! simulate --algorithm IQ --csv trace.csv       # one traced run as CSV
+//! simulate --all --nodes 300                    # compare every protocol
+//! ```
+
+use std::io::Write;
+
+use wsn_data::pressure::{PressureConfig, RangeSetting};
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+use wsn_sim::runner::run_experiment;
+
+#[derive(Debug)]
+struct Args {
+    algorithm: Option<AlgorithmKind>,
+    all: bool,
+    nodes: usize,
+    rounds: u32,
+    runs: u32,
+    phi: f64,
+    rho: f64,
+    period: u32,
+    noise: f64,
+    dataset: String,
+    skip: u32,
+    range: String,
+    loss: Option<f64>,
+    seed: u64,
+    csv: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            algorithm: None,
+            all: false,
+            nodes: 1000,
+            rounds: 250,
+            runs: 5,
+            phi: 0.5,
+            rho: 35.0,
+            period: 125,
+            noise: 10.0,
+            dataset: "synthetic".into(),
+            skip: 1,
+            range: "optimistic".into(),
+            loss: None,
+            seed: 0xC0FFEE,
+            csv: None,
+        }
+    }
+}
+
+fn algorithm_by_name(name: &str) -> Option<AlgorithmKind> {
+    let all = [
+        AlgorithmKind::Tag,
+        AlgorithmKind::Pos,
+        AlgorithmKind::LcllH,
+        AlgorithmKind::LcllS,
+        AlgorithmKind::LcllR,
+        AlgorithmKind::Hbc,
+        AlgorithmKind::HbcNb,
+        AlgorithmKind::Iq,
+        AlgorithmKind::Adaptive,
+        AlgorithmKind::Gk,
+    ];
+    all.into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--algorithm" | "-a" => {
+                let name = value(&argv, &mut i, "--algorithm")?;
+                args.algorithm =
+                    Some(algorithm_by_name(&name).ok_or(format!("unknown algorithm {name}"))?);
+            }
+            "--all" => args.all = true,
+            "--nodes" | "-n" => {
+                args.nodes = value(&argv, &mut i, "--nodes")?
+                    .parse()
+                    .map_err(|e| format!("--nodes: {e}"))?
+            }
+            "--rounds" => {
+                args.rounds = value(&argv, &mut i, "--rounds")?
+                    .parse()
+                    .map_err(|e| format!("--rounds: {e}"))?
+            }
+            "--runs" => {
+                args.runs = value(&argv, &mut i, "--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?
+            }
+            "--phi" => {
+                args.phi = value(&argv, &mut i, "--phi")?
+                    .parse()
+                    .map_err(|e| format!("--phi: {e}"))?
+            }
+            "--rho" => {
+                args.rho = value(&argv, &mut i, "--rho")?
+                    .parse()
+                    .map_err(|e| format!("--rho: {e}"))?
+            }
+            "--period" => {
+                args.period = value(&argv, &mut i, "--period")?
+                    .parse()
+                    .map_err(|e| format!("--period: {e}"))?
+            }
+            "--noise" => {
+                args.noise = value(&argv, &mut i, "--noise")?
+                    .parse()
+                    .map_err(|e| format!("--noise: {e}"))?
+            }
+            "--dataset" => args.dataset = value(&argv, &mut i, "--dataset")?,
+            "--skip" => {
+                args.skip = value(&argv, &mut i, "--skip")?
+                    .parse()
+                    .map_err(|e| format!("--skip: {e}"))?
+            }
+            "--range" => args.range = value(&argv, &mut i, "--range")?,
+            "--loss" => {
+                args.loss = Some(
+                    value(&argv, &mut i, "--loss")?
+                        .parse()
+                        .map_err(|e| format!("--loss: {e}"))?,
+                )
+            }
+            "--seed" => {
+                args.seed = value(&argv, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--csv" => args.csv = Some(value(&argv, &mut i, "--csv")?),
+            "--help" | "-h" => {
+                print_usage();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if args.algorithm.is_none() && !args.all {
+        return Err("pass --algorithm <name> or --all".into());
+    }
+    Ok(args)
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: simulate (--algorithm TAG|POS|LCLL-H|LCLL-S|LCLL-R|HBC|HBC-nb|IQ|Adaptive|GK | --all)
+                [--nodes N] [--rounds R] [--runs K] [--phi F] [--rho M]
+                [--dataset synthetic|pressure|walk|regime] [--period T] [--noise PSI]
+                [--skip S] [--range optimistic|pessimistic]
+                [--loss P] [--seed S] [--csv FILE]"
+    );
+}
+
+fn build_config(args: &Args) -> Result<SimulationConfig, String> {
+    let dataset = match args.dataset.as_str() {
+        "synthetic" => DatasetSpec::Synthetic(SyntheticConfig {
+            period: args.period,
+            noise_percent: args.noise,
+            ..SyntheticConfig::default()
+        }),
+        "walk" => DatasetSpec::RandomWalk {
+            range_size: 1024,
+            step: 5,
+        },
+        "regime" => DatasetSpec::Regime {
+            range_size: 1024,
+            phase_len: 50,
+            drift: 3,
+        },
+        "pressure" => {
+            let range = match args.range.as_str() {
+                "optimistic" => RangeSetting::Optimistic,
+                "pessimistic" => RangeSetting::Pessimistic,
+                other => return Err(format!("unknown range setting {other}")),
+            };
+            DatasetSpec::Pressure(PressureConfig {
+                sensor_count: args.nodes,
+                steps: args.rounds as usize * args.skip as usize + 1,
+                skip: args.skip,
+                range,
+                ..PressureConfig::default()
+            })
+        }
+        other => return Err(format!("unknown dataset {other}")),
+    };
+    Ok(SimulationConfig {
+        sensor_count: args.nodes,
+        radio_range: args.rho,
+        rounds: args.rounds,
+        runs: args.runs,
+        phi: args.phi,
+        seed: args.seed,
+        loss: args.loss,
+        dataset,
+        ..SimulationConfig::default()
+    })
+}
+
+fn write_csv_trace(args: &Args, cfg: &SimulationConfig, path: &str) -> Result<(), String> {
+    use wsn_data::{Dataset, PressureDataset, Rng, SyntheticDataset};
+    use wsn_net::{Network, Point, RoutingTree, Topology};
+
+    let kind = args.algorithm.ok_or("--csv needs --algorithm")?;
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    // Build one world the same way the runner does (simplified: retry
+    // placement until connected).
+    for _ in 0..200 {
+        let (mut dataset, positions): (Box<dyn Dataset>, Vec<Point>) = match &cfg.dataset {
+            DatasetSpec::Synthetic(s) => {
+                let raw = wsn_data::placement::uniform(cfg.sensor_count, 200.0, 200.0, &mut rng);
+                let pos: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                let ds = SyntheticDataset::generate(s.clone(), &raw[1..], &mut rng);
+                (Box::new(ds), pos)
+            }
+            DatasetSpec::Pressure(p) => {
+                let ds = PressureDataset::generate(p.clone(), &mut rng);
+                let firsts = ds.first_measurements();
+                let sensor_pos = wsn_data::som::som_placement(&firsts, 200.0, 200.0, &mut rng);
+                let mut pos = vec![Point::new(100.0, 100.0)];
+                pos.extend(sensor_pos.iter().map(|&(x, y)| Point::new(x, y)));
+                (Box::new(ds), pos)
+            }
+            DatasetSpec::RandomWalk { range_size, step } => {
+                let raw = wsn_data::placement::uniform(cfg.sensor_count, 200.0, 200.0, &mut rng);
+                let pos: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                let ds = wsn_data::walks::RandomWalkDataset::new(
+                    cfg.sensor_count,
+                    0,
+                    *range_size as i64 - 1,
+                    *step,
+                    &mut rng,
+                );
+                (Box::new(ds), pos)
+            }
+            DatasetSpec::Regime {
+                range_size,
+                phase_len,
+                drift,
+            } => {
+                let raw = wsn_data::placement::uniform(cfg.sensor_count, 200.0, 200.0, &mut rng);
+                let pos: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                let ds = wsn_data::walks::RegimeDataset::new(
+                    cfg.sensor_count,
+                    0,
+                    *range_size as i64 - 1,
+                    *phase_len,
+                    *drift,
+                    &mut rng,
+                );
+                (Box::new(ds), pos)
+            }
+        };
+        let topo = Topology::build(positions, cfg.radio_range);
+        let Ok(tree) = RoutingTree::shortest_path_tree(&topo) else {
+            continue;
+        };
+        let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
+        let query = cqp_core::QueryConfig::phi(
+            cfg.phi,
+            dataset.sensor_count(),
+            dataset.range_min(),
+            dataset.range_max(),
+        );
+        let mut alg = kind.build(query, &cfg.sizes);
+        let trace =
+            wsn_sim::trace::trace_run(&mut net, alg.as_mut(), dataset.as_mut(), cfg.rounds, query.k);
+        let csv = wsn_sim::trace::to_csv(&trace);
+        std::fs::File::create(path)
+            .and_then(|mut f| f.write_all(csv.as_bytes()))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {} rounds to {path}", trace.len());
+        return Ok(());
+    }
+    Err("could not find a connected placement".into())
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    let cfg = match build_config(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &args.csv {
+        if let Err(e) = write_csv_trace(&args, &cfg, path) {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let kinds: Vec<AlgorithmKind> = if args.all {
+        vec![
+            AlgorithmKind::Tag,
+            AlgorithmKind::Pos,
+            AlgorithmKind::LcllH,
+            AlgorithmKind::LcllS,
+            AlgorithmKind::LcllR,
+            AlgorithmKind::Hbc,
+            AlgorithmKind::HbcNb,
+            AlgorithmKind::Iq,
+            AlgorithmKind::Adaptive,
+            AlgorithmKind::Gk,
+        ]
+    } else {
+        vec![args.algorithm.expect("validated")]
+    };
+
+    println!(
+        "{:>9}  {:>15}  {:>14}  {:>11}  {:>12}  {:>9}  {:>10}",
+        "algorithm",
+        "energy[mJ/rnd]",
+        "lifetime[rnd]",
+        "msgs/round",
+        "values/round",
+        "exact[%]",
+        "rank error"
+    );
+    for kind in kinds {
+        let m = run_experiment(&cfg, kind);
+        println!(
+            "{:>9}  {:>15.4}  {:>14.1}  {:>11.1}  {:>12.1}  {:>9.1}  {:>10.2}",
+            kind.name(),
+            m.max_node_energy_per_round * 1e3,
+            m.lifetime_rounds,
+            m.messages_per_round,
+            m.values_per_round,
+            m.exactness * 100.0,
+            m.mean_rank_error
+        );
+    }
+}

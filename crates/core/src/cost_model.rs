@@ -1,0 +1,182 @@
+//! The cost model from the authors' snapshot paper [21] (§4.1).
+//!
+//! A `b`-ary histogram search over a universe of `τ` values needs
+//! `⌈log_b τ⌉` refinement iterations; each iteration costs (at the hotspot
+//! node) a refinement request of `s_h + s_r` bits plus a histogram reply of
+//! `s_h + b·s_b` bits. Minimizing
+//!
+//! ```text
+//! cost(b) = log_b(τ) · (c + b·s_b),   c = 2·s_h + s_r
+//! ```
+//!
+//! over continuous `b` yields `b_exact = exp(W(c / (e·s_b)) + 1)` where `W`
+//! is the (principal branch of the) Lambert W function — the lower-bound
+//! estimate the paper quotes. [`optimal_buckets`] refines the estimate by
+//! scanning integer `b`, the "exact" solution of [21].
+
+use wsn_net::MessageSizes;
+
+/// Principal branch `W₀` of the Lambert W function for `x ≥ 0`, i.e. the
+/// unique `w ≥ 0` with `w·e^w = x`. Computed by Halley iteration; accurate
+/// to ~1e-12 over the range used here.
+///
+/// ```
+/// let w = cqp_core::cost_model::lambert_w0(std::f64::consts::E);
+/// assert!((w - 1.0).abs() < 1e-10); // W(e) = 1
+/// ```
+///
+/// # Panics
+/// Panics on negative input (`W₀` is real for `x ≥ −1/e`, but the cost
+/// model only ever evaluates it on non-negative arguments).
+pub fn lambert_w0(x: f64) -> f64 {
+    assert!(x >= 0.0, "lambert_w0 requires x >= 0");
+    if x == 0.0 {
+        return 0.0;
+    }
+    // Initial guess: ln(1+x) is within ~20% everywhere on x >= 0.
+    let mut w = if x < std::f64::consts::E {
+        x / (1.0 + x) * (1.0 + (1.0 + x).ln()).max(1.0)
+    } else {
+        let l = x.ln();
+        l - l.ln().max(0.0)
+    };
+    for _ in 0..50 {
+        let ew = w.exp();
+        let f = w * ew - x;
+        let denom = ew * (w + 1.0) - (w + 2.0) * f / (2.0 * w + 2.0);
+        let step = f / denom;
+        w -= step;
+        if step.abs() < 1e-14 * (1.0 + w.abs()) {
+            break;
+        }
+    }
+    w
+}
+
+/// The fixed per-iteration overhead `c = 2·s_h + s_r` in bits: one
+/// refinement-request broadcast plus one histogram-reply header.
+fn per_iteration_overhead(sizes: &MessageSizes) -> f64 {
+    (2 * sizes.header_bits + sizes.refinement_request_bits()) as f64
+}
+
+/// The closed-form continuous estimate `b_exact = exp(W(c/(e·s_b)) + 1)`
+/// (the paper's lower-bound approximation of `b_opt`).
+pub fn optimal_buckets_estimate(sizes: &MessageSizes) -> f64 {
+    let c = per_iteration_overhead(sizes);
+    let z = c / (std::f64::consts::E * sizes.bucket_bits as f64);
+    (lambert_w0(z) + 1.0).exp()
+}
+
+/// Expected hotspot cost in bits of a full `b`-ary search over `range_size`
+/// values: `⌈log_b τ⌉ · (c + b·s_b)`.
+pub fn bary_search_cost(sizes: &MessageSizes, b: usize, range_size: u64) -> f64 {
+    assert!(b >= 2, "need at least two buckets");
+    let iterations = iterations_for(b, range_size);
+    iterations as f64 * (per_iteration_overhead(sizes) + b as f64 * sizes.bucket_bits as f64)
+}
+
+/// Number of `b`-ary refinement iterations to pin down one value out of
+/// `range_size`: `⌈log_b τ⌉`.
+pub fn iterations_for(b: usize, range_size: u64) -> u32 {
+    assert!(b >= 2);
+    if range_size <= 1 {
+        return 0;
+    }
+    let mut iterations = 0u32;
+    let mut remaining = range_size;
+    while remaining > 1 {
+        remaining = remaining.div_ceil(b as u64);
+        iterations += 1;
+    }
+    iterations
+}
+
+/// The integer-optimal bucket count for a universe of `range_size` values:
+/// scans `b ∈ [2, values_per_message]` and returns the argmin of
+/// [`bary_search_cost`] (the "exact" solution of [21]; capped at one
+/// payload's worth of buckets).
+pub fn optimal_buckets(sizes: &MessageSizes, range_size: u64) -> usize {
+    let max_b = (sizes.max_payload_bits / sizes.bucket_bits).max(2) as usize;
+    let mut best_b = 2;
+    let mut best_cost = f64::INFINITY;
+    for b in 2..=max_b {
+        let cost = bary_search_cost(sizes, b, range_size.max(2));
+        if cost < best_cost {
+            best_cost = cost;
+            best_b = b;
+        }
+    }
+    best_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambert_w_fixed_points() {
+        // W(0) = 0, W(e) = 1, W(2e^2) = 2.
+        assert_eq!(lambert_w0(0.0), 0.0);
+        assert!((lambert_w0(std::f64::consts::E) - 1.0).abs() < 1e-10);
+        assert!((lambert_w0(2.0 * (2.0f64).exp()) - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lambert_w_inverts_w_exp_w() {
+        for i in 0..200 {
+            let x = i as f64 * 0.37;
+            let w = lambert_w0(x);
+            assert!((w * w.exp() - x).abs() < 1e-8 * (1.0 + x), "x={x} w={w}");
+        }
+    }
+
+    #[test]
+    fn estimate_matches_default_sizes() {
+        let sizes = MessageSizes::default();
+        // c = 2*128 + 32 = 288 bits, z = 288/(e*16) ≈ 6.62,
+        // W(6.62) ≈ 1.414 -> b ≈ e^2.414 ≈ 11.2.
+        let b = optimal_buckets_estimate(&sizes);
+        assert!((10.0..13.0).contains(&b), "b_exact = {b}");
+    }
+
+    #[test]
+    fn integer_optimum_is_near_estimate() {
+        let sizes = MessageSizes::default();
+        let est = optimal_buckets_estimate(&sizes);
+        let b = optimal_buckets(&sizes, 1024);
+        assert!((b as f64 - est).abs() <= 6.0, "b={b} est={est}");
+        assert!(b >= 2);
+    }
+
+    #[test]
+    fn iterations_count_is_logarithmic() {
+        assert_eq!(iterations_for(2, 1024), 10);
+        assert_eq!(iterations_for(2, 1), 0);
+        assert_eq!(iterations_for(10, 1000), 3);
+        assert_eq!(iterations_for(10, 1001), 4);
+    }
+
+    #[test]
+    fn optimal_beats_binary_search() {
+        // The whole point of [21]: a binary search (b = 2) is not optimal.
+        let sizes = MessageSizes::default();
+        let b = optimal_buckets(&sizes, 1 << 20);
+        let cost_opt = bary_search_cost(&sizes, b, 1 << 20);
+        let cost_bin = bary_search_cost(&sizes, 2, 1 << 20);
+        assert!(
+            cost_opt < cost_bin,
+            "optimal {cost_opt} should beat binary {cost_bin}"
+        );
+    }
+
+    #[test]
+    fn bigger_headers_push_b_up() {
+        // With more per-message overhead, fewer/larger histograms win.
+        let small = MessageSizes::default();
+        let big = MessageSizes {
+            header_bits: 1024,
+            ..small
+        };
+        assert!(optimal_buckets(&big, 1024) > optimal_buckets(&small, 1024));
+    }
+}

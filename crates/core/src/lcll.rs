@@ -1,0 +1,565 @@
+//! LCLL — the message-size-driven histogram baseline (Liu et al. [16], as
+//! configured in §5.1.6 of the paper).
+//!
+//! LCLL chooses its bucket count from the message size — with the default
+//! 128-byte payload and 2-byte counts, `b = 64` — and comes in two
+//! refinement flavors:
+//!
+//! * **Hierarchical refining (LCLL-H)**: zoom *out* of the last quantile
+//!   position through geometrically growing probe windows until the new
+//!   k-th value is covered, then zoom back *in* with `b`-ary histogram
+//!   descents — `O(log_b d)` refinement convergecasts for a quantile
+//!   displacement `d`, independent of `|N|` and of measurement noise.
+//! * **Slip refining (LCLL-S)**: slide a width-`b` window of *unit*
+//!   buckets step by step from the old quantile toward the new one —
+//!   `O(d / b)` highly selective refinements (only nodes inside the small
+//!   window respond).
+//!
+//! Validation uses the improved scheme of §5.1.6: a node whose measurement
+//! slipped between the three partitions (`below` / `at` / `above` the last
+//! quantile) transmits two signed bucket deltas; boundary-partition nodes
+//! stay silent. LCLL sends no hints, which is exactly why LCLL-H needs the
+//! geometric zoom-out stage.
+
+use wsn_net::Network;
+
+use crate::buckets::BucketPartition;
+use crate::descent::{descend, histogram_request, DescentConfig};
+use crate::init::{run_init, InitStrategy};
+use crate::payloads::DeltaHistogram;
+use crate::protocol::{ContinuousQuantile, QueryConfig};
+use crate::rank::{side, Counts, Direction, Side};
+use crate::Value;
+
+/// Refinement strategy of LCLL (§5.1.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefiningStrategy {
+    /// Geometric zoom-out + `b`-ary zoom-in: `O(log d)` refinements.
+    Hierarchical,
+    /// Stepwise window sliding with unit buckets: `O(d / b)` refinements.
+    Slip,
+}
+
+/// Safety cap on refinement convergecasts per round.
+const MAX_REFINEMENTS: u32 = 10_000;
+
+/// The LCLL continuous quantile protocol.
+#[derive(Debug, Clone)]
+pub struct Lcll {
+    query: QueryConfig,
+    strategy: RefiningStrategy,
+    b: usize,
+    /// Whether direct value retrieval ([21]) may shortcut H-descents.
+    direct_retrieval: bool,
+    counts: Counts,
+    root_filter: Value,
+    node_filter: Vec<Value>,
+    prev: Vec<Value>,
+    initialized: bool,
+    last_refinements: u32,
+    init: InitStrategy,
+}
+
+impl Lcll {
+    /// Creates an LCLL query; `b` is derived from the message size as [16]
+    /// suggests (`payload / bucket size`).
+    pub fn new(
+        query: QueryConfig,
+        strategy: RefiningStrategy,
+        sizes: &wsn_net::MessageSizes,
+    ) -> Self {
+        let b = (sizes.max_payload_bits / sizes.bucket_bits).max(2) as usize;
+        Lcll {
+            query,
+            strategy,
+            b,
+            direct_retrieval: true,
+            counts: Counts::default(),
+            root_filter: 0,
+            node_filter: Vec::new(),
+            prev: Vec::new(),
+            initialized: false,
+            last_refinements: 0,
+            init: InitStrategy::default(),
+        }
+    }
+
+    /// Selects the initialization strategy.
+    pub fn with_init(mut self, init: InitStrategy) -> Self {
+        self.init = init;
+        self
+    }
+
+    /// Disables the direct-retrieval improvement (ablation).
+    pub fn without_direct_retrieval(mut self) -> Self {
+        self.direct_retrieval = false;
+        self
+    }
+
+    /// The bucket count in use (64 with default message sizes).
+    pub fn buckets(&self) -> usize {
+        self.b
+    }
+
+    /// Refinement convergecasts in the most recent round.
+    pub fn last_refinements(&self) -> u32 {
+        self.last_refinements
+    }
+
+    fn init_round(&mut self, net: &mut Network, values: &[Value]) -> Value {
+        let out = run_init(net, values, self.query, self.init);
+        let q = out.quantile;
+        self.counts = out.counts;
+        self.root_filter = q;
+        self.node_filter = vec![q; net.len()];
+        self.prev = values.to_vec();
+        let received = net.broadcast(net.sizes().value_bits);
+        for (i, ok) in received.iter().enumerate() {
+            if *ok {
+                self.node_filter[i] = q;
+            }
+        }
+        self.initialized = true;
+        net.end_round();
+        q
+    }
+
+    /// Hierarchical refining: geometric zoom-out then `b`-ary descent.
+    fn refine_hierarchical(
+        &mut self,
+        net: &mut Network,
+        values: &[Value],
+        dir: Direction,
+    ) -> Value {
+        let k = self.query.k;
+        let n_total = self.counts.n();
+        let capacity = net.sizes().values_per_message() as u64;
+        let cfg = DescentConfig {
+            b: self.b,
+            k,
+            n_total,
+            direct_capacity: self.direct_retrieval.then_some(capacity),
+            max_refinements: MAX_REFINEMENTS,
+        };
+
+        // Zoom out: probe adjacent windows of width b, b², b³, … away from
+        // the old quantile until the probed window covers the k-th value.
+        let mut width = self.b as u64;
+        match dir {
+            Direction::Down => {
+                let mut below = self.counts.l; // #< current window start
+                let mut hi = self.root_filter - 1;
+                loop {
+                    if hi < self.query.range_min || self.last_refinements >= MAX_REFINEMENTS {
+                        return self.root_filter;
+                    }
+                    let w = width.min(self.query.range_size()) as Value;
+                    let lo = (hi - w + 1).max(self.query.range_min);
+                    self.last_refinements += 1;
+                    let part = BucketPartition::new(lo, hi, self.b);
+                    let hist = histogram_request(net, values, part, |_, _, _| {});
+                    let c = hist.total();
+                    if k > below - c.min(below) {
+                        // Covered: descend inside the probed window using
+                        // the histogram we already have.
+                        let below_window = below - c.min(below);
+                        let rank_in = k - below_window;
+                        let mut cum = 0u64;
+                        let mut chosen = part.buckets - 1;
+                        for i in 0..part.buckets {
+                            if cum + hist.counts[i] >= rank_in {
+                                chosen = i;
+                                break;
+                            }
+                            cum += hist.counts[i];
+                        }
+                        let (s, e) = part.bounds(chosen);
+                        let anchor =
+                            crate::retrieval::RankAnchor::BelowLo(below_window + cum);
+                        let outcome = descend(
+                            net,
+                            values,
+                            cfg,
+                            s,
+                            e,
+                            anchor,
+                            Some(hist.counts[chosen]),
+                            &mut self.last_refinements,
+                            |_, _, _| {},
+                        );
+                        return match outcome {
+                            Some(o) => {
+                                self.counts = o.counts;
+                                o.quantile
+                            }
+                            None => self.root_filter,
+                        };
+                    }
+                    below -= c;
+                    hi = lo - 1;
+                    width = width.saturating_mul(self.b as u64);
+                }
+            }
+            Direction::Up => {
+                let mut at_most = self.counts.l + self.counts.e; // #< window start
+                let mut lo = self.root_filter + 1;
+                loop {
+                    if lo > self.query.range_max || self.last_refinements >= MAX_REFINEMENTS {
+                        return self.root_filter;
+                    }
+                    let w = width.min(self.query.range_size()) as Value;
+                    let hi = (lo + w - 1).min(self.query.range_max);
+                    self.last_refinements += 1;
+                    let part = BucketPartition::new(lo, hi, self.b);
+                    let hist = histogram_request(net, values, part, |_, _, _| {});
+                    let c = hist.total();
+                    if k <= at_most + c {
+                        let rank_in = k - at_most;
+                        let mut cum = 0u64;
+                        let mut chosen = part.buckets - 1;
+                        for i in 0..part.buckets {
+                            if cum + hist.counts[i] >= rank_in {
+                                chosen = i;
+                                break;
+                            }
+                            cum += hist.counts[i];
+                        }
+                        let (s, e) = part.bounds(chosen);
+                        let anchor = crate::retrieval::RankAnchor::BelowLo(at_most + cum);
+                        let outcome = descend(
+                            net,
+                            values,
+                            cfg,
+                            s,
+                            e,
+                            anchor,
+                            Some(hist.counts[chosen]),
+                            &mut self.last_refinements,
+                            |_, _, _| {},
+                        );
+                        return match outcome {
+                            Some(o) => {
+                                self.counts = o.counts;
+                                o.quantile
+                            }
+                            None => self.root_filter,
+                        };
+                    }
+                    at_most += c;
+                    lo = hi + 1;
+                    width = width.saturating_mul(self.b as u64);
+                }
+            }
+        }
+    }
+
+    /// Slip refining: slide a width-`b` unit-bucket window stepwise.
+    fn refine_slip(&mut self, net: &mut Network, values: &[Value], dir: Direction) -> Value {
+        let k = self.query.k;
+        let n_total = self.counts.n();
+        let step = self.b as Value;
+        match dir {
+            Direction::Down => {
+                let mut below = self.counts.l;
+                let mut hi = self.root_filter - 1;
+                loop {
+                    if hi < self.query.range_min || self.last_refinements >= MAX_REFINEMENTS {
+                        return self.root_filter;
+                    }
+                    let lo = (hi - step + 1).max(self.query.range_min);
+                    self.last_refinements += 1;
+                    // Unit buckets: one bucket per value in the window.
+                    let part = BucketPartition::new(lo, hi, (hi - lo + 1) as usize);
+                    let hist = histogram_request(net, values, part, |_, _, _| {});
+                    let c = hist.total();
+                    let below_window = below - c.min(below);
+                    if k > below_window {
+                        let rank_in = k - below_window;
+                        let mut cum = 0u64;
+                        for i in 0..part.buckets {
+                            if cum + hist.counts[i] >= rank_in {
+                                let q = lo + i as Value;
+                                let l = below_window + cum;
+                                let e = hist.counts[i];
+                                self.counts = Counts {
+                                    l,
+                                    e,
+                                    g: n_total.saturating_sub(l + e),
+                                };
+                                return q;
+                            }
+                            cum += hist.counts[i];
+                        }
+                        return self.root_filter; // loss inconsistency
+                    }
+                    below = below_window;
+                    hi = lo - 1;
+                }
+            }
+            Direction::Up => {
+                let mut at_most = self.counts.l + self.counts.e;
+                let mut lo = self.root_filter + 1;
+                loop {
+                    if lo > self.query.range_max || self.last_refinements >= MAX_REFINEMENTS {
+                        return self.root_filter;
+                    }
+                    let hi = (lo + step - 1).min(self.query.range_max);
+                    self.last_refinements += 1;
+                    let part = BucketPartition::new(lo, hi, (hi - lo + 1) as usize);
+                    let hist = histogram_request(net, values, part, |_, _, _| {});
+                    let c = hist.total();
+                    if k <= at_most + c {
+                        let rank_in = k - at_most;
+                        let mut cum = 0u64;
+                        for i in 0..part.buckets {
+                            if cum + hist.counts[i] >= rank_in {
+                                let q = lo + i as Value;
+                                let l = at_most + cum;
+                                let e = hist.counts[i];
+                                self.counts = Counts {
+                                    l,
+                                    e,
+                                    g: n_total.saturating_sub(l + e),
+                                };
+                                return q;
+                            }
+                            cum += hist.counts[i];
+                        }
+                        return self.root_filter;
+                    }
+                    at_most += c;
+                    lo = hi + 1;
+                }
+            }
+        }
+    }
+}
+
+impl ContinuousQuantile for Lcll {
+    fn name(&self) -> &'static str {
+        match self.strategy {
+            RefiningStrategy::Hierarchical => "LCLL-H",
+            RefiningStrategy::Slip => "LCLL-S",
+        }
+    }
+
+    fn round(&mut self, net: &mut Network, values: &[Value]) -> Value {
+        if !self.initialized {
+            return self.init_round(net, values);
+        }
+        self.last_refinements = 0;
+        let n = net.len();
+
+        // --- Validation: delta pairs over {below, at, above} ---
+        let mut contributions: Vec<Option<DeltaHistogram>> = Vec::with_capacity(n);
+        contributions.push(None);
+        for idx in 1..n {
+            let f = self.node_filter[idx];
+            let old = side(self.prev[idx - 1], f);
+            let new = side(values[idx - 1], f);
+            contributions.push((old != new).then(|| {
+                DeltaHistogram::movement(3, bucket_code(old), bucket_code(new))
+            }));
+        }
+        self.prev.copy_from_slice(values);
+        if let Some(deltas) = net.convergecast(|id| contributions[id.index()].take()) {
+            let apply = |base: u64, d: i64| -> u64 {
+                if d >= 0 {
+                    base + d as u64
+                } else {
+                    base.saturating_sub((-d) as u64)
+                }
+            };
+            self.counts = Counts {
+                l: apply(self.counts.l, deltas.deltas[0]),
+                e: apply(self.counts.e, deltas.deltas[1]),
+                g: apply(self.counts.g, deltas.deltas[2]),
+            };
+        }
+
+        let k = self.query.k;
+        let result = if self.counts.is_valid_quantile(k) {
+            self.root_filter
+        } else {
+            let dir = self.counts.quantile_moved(k).expect("invalid counts");
+            match self.strategy {
+                RefiningStrategy::Hierarchical => self.refine_hierarchical(net, values, dir),
+                RefiningStrategy::Slip => self.refine_slip(net, values, dir),
+            }
+        };
+
+        if result != self.root_filter {
+            self.root_filter = result;
+            let received = net.broadcast(net.sizes().value_bits);
+            for (i, ok) in received.iter().enumerate() {
+                if *ok {
+                    self.node_filter[i] = result;
+                }
+            }
+        }
+        net.end_round();
+        result
+    }
+}
+
+/// Wire code of a partition side: 0 = below, 1 = at, 2 = above.
+fn bucket_code(s: Side) -> usize {
+    match s {
+        Side::Lt => 0,
+        Side::Eq => 1,
+        Side::Gt => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank;
+    use wsn_net::{MessageSizes, Point, RadioModel, RoutingTree, Topology};
+
+    fn line_net(n_sensors: usize) -> Network {
+        let positions = (0..=n_sensors)
+            .map(|i| Point::new(i as f64 * 10.0, 0.0))
+            .collect();
+        let topo = Topology::build(positions, 12.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        Network::new(topo, tree, RadioModel::default(), MessageSizes::default())
+    }
+
+    fn new_lcll(query: QueryConfig, strategy: RefiningStrategy) -> Lcll {
+        Lcll::new(query, strategy, &MessageSizes::default())
+    }
+
+    fn drifting_values(n: usize, t: u32) -> Vec<Value> {
+        (0..n)
+            .map(|i| 200 + (i as Value * 13) % 90 + ((t as Value * 9) % 150))
+            .collect()
+    }
+
+    #[test]
+    fn bucket_count_from_message_size() {
+        let lcll = new_lcll(
+            QueryConfig::median(10, 0, 1023),
+            RefiningStrategy::Hierarchical,
+        );
+        assert_eq!(lcll.buckets(), 64);
+    }
+
+    #[test]
+    fn both_strategies_are_exact() {
+        for strategy in [RefiningStrategy::Hierarchical, RefiningStrategy::Slip] {
+            let n = 30;
+            let mut net = line_net(n);
+            let query = QueryConfig::median(n, 0, 1023);
+            let mut lcll = new_lcll(query, strategy);
+            for t in 0..40 {
+                let values = drifting_values(n, t);
+                let got = lcll.round(&mut net, &values);
+                assert_eq!(
+                    got,
+                    rank::kth_smallest(&values, query.k),
+                    "{strategy:?} round {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slip_refinements_grow_linearly_with_distance() {
+        let n = 20;
+        let query = QueryConfig::median(n, 0, 100_000);
+        let jump = |d: Value| {
+            let mut net = line_net(n);
+            let mut lcll = new_lcll(query, RefiningStrategy::Slip);
+            let v0: Vec<Value> = (0..n).map(|i| 50_000 + i as Value).collect();
+            lcll.round(&mut net, &v0);
+            let v1: Vec<Value> = v0.iter().map(|v| v + d).collect();
+            assert_eq!(lcll.round(&mut net, &v1), rank::kth_smallest(&v1, query.k));
+            lcll.last_refinements()
+        };
+        let small = jump(100);
+        let large = jump(6_400);
+        assert!(
+            large >= small * 8,
+            "slip should be ~linear: d=100 -> {small}, d=6400 -> {large}"
+        );
+    }
+
+    #[test]
+    fn hierarchical_refinements_grow_logarithmically() {
+        let n = 20;
+        let query = QueryConfig::median(n, 0, 10_000_000);
+        let jump = |d: Value| {
+            let mut net = line_net(n);
+            let mut lcll = new_lcll(query, RefiningStrategy::Hierarchical)
+                .without_direct_retrieval();
+            let v0: Vec<Value> = (0..n).map(|i| 5_000_000 + i as Value).collect();
+            lcll.round(&mut net, &v0);
+            let v1: Vec<Value> = v0.iter().map(|v| v + d).collect();
+            assert_eq!(lcll.round(&mut net, &v1), rank::kth_smallest(&v1, query.k));
+            lcll.last_refinements()
+        };
+        let small = jump(1_000);
+        let large = jump(4_000_000);
+        assert!(
+            large <= small + 6,
+            "hierarchical should be ~log: d=1e3 -> {small}, d=4e6 -> {large}"
+        );
+    }
+
+    #[test]
+    fn quiet_rounds_are_free() {
+        let n = 15;
+        let mut net = line_net(n);
+        let query = QueryConfig::median(n, 0, 1023);
+        let mut lcll = new_lcll(query, RefiningStrategy::Slip);
+        let values = drifting_values(n, 2);
+        lcll.round(&mut net, &values);
+        let before = net.stats().messages;
+        lcll.round(&mut net, &values);
+        assert_eq!(net.stats().messages, before);
+    }
+
+    #[test]
+    fn exact_with_heavy_duplicates_and_small_range() {
+        for strategy in [RefiningStrategy::Hierarchical, RefiningStrategy::Slip] {
+            let n = 16;
+            let mut net = line_net(n);
+            let query = QueryConfig::median(n, 0, 7);
+            let mut lcll = new_lcll(query, strategy);
+            for t in 0..12 {
+                let values: Vec<Value> =
+                    (0..n).map(|i| ((i as u32 + t) % 5) as Value).collect();
+                assert_eq!(
+                    lcll.round(&mut net, &values),
+                    rank::kth_smallest(&values, query.k),
+                    "{strategy:?} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_for_extreme_ranks() {
+        for strategy in [RefiningStrategy::Hierarchical, RefiningStrategy::Slip] {
+            let n = 20;
+            let mut net = line_net(n);
+            for &k in &[1u64, 20] {
+                let query = QueryConfig {
+                    k,
+                    range_min: 0,
+                    range_max: 1023,
+                };
+                let mut lcll = new_lcll(query, strategy);
+                for t in 0..10 {
+                    let values = drifting_values(n, t * 4);
+                    assert_eq!(
+                        lcll.round(&mut net, &values),
+                        rank::kth_smallest(&values, k),
+                        "{strategy:?} k={k} t={t}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Convergecast payload types shared by the protocols.
+//!
+//! Each type implements [`wsn_net::Aggregate`]: the merge operation an
+//! intermediate node applies, and the wire size the energy model charges.
+
+use wsn_net::{Aggregate, MessageSizes};
+
+use crate::Value;
+
+/// A plain multiset of measurements (TAG collections, direct value
+/// retrieval, IQ validation sets and refinement responses).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ValueList {
+    /// The transported measurements, unordered.
+    pub vals: Vec<Value>,
+}
+
+impl ValueList {
+    /// A payload holding a single measurement.
+    pub fn single(v: Value) -> Self {
+        ValueList { vals: vec![v] }
+    }
+
+    /// Keeps only the `f` smallest values, plus all values tied with the
+    /// `f`-th smallest (IQ refinement pruning, §4.2.2: intermediate nodes
+    /// forward only the `f₂` smallest values; ties of the cut-off value
+    /// must survive so the root can count `e`).
+    pub fn keep_smallest_with_ties(&mut self, f: usize) {
+        if f == 0 {
+            self.vals.clear();
+            return;
+        }
+        if self.vals.len() <= f {
+            return;
+        }
+        self.vals.sort_unstable();
+        let cutoff = self.vals[f - 1];
+        let end = self.vals.partition_point(|&v| v <= cutoff);
+        self.vals.truncate(end);
+    }
+
+    /// Keeps only the `f` largest values plus ties of the `f`-th largest
+    /// (IQ refinement pruning for downward movement, §4.2.2).
+    pub fn keep_largest_with_ties(&mut self, f: usize) {
+        if f == 0 {
+            self.vals.clear();
+            return;
+        }
+        if self.vals.len() <= f {
+            return;
+        }
+        self.vals.sort_unstable_by(|a, b| b.cmp(a));
+        let cutoff = self.vals[f - 1];
+        let end = self.vals.partition_point(|&v| v >= cutoff);
+        self.vals.truncate(end);
+    }
+
+    /// Keeps only the `f` smallest values, dropping ties beyond `f`
+    /// (TAG's k-smallest forwarding, §5.1.6). O(len) via quickselect —
+    /// this runs at every hop of every TAG round, so it must not sort.
+    pub fn keep_smallest(&mut self, f: usize) {
+        if f == 0 {
+            self.vals.clear();
+        } else if self.vals.len() > f {
+            self.vals.select_nth_unstable(f - 1);
+            self.vals.truncate(f);
+        }
+    }
+}
+
+impl Aggregate for ValueList {
+    fn merge(&mut self, other: Self) {
+        self.vals.extend(other.vals);
+    }
+    fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
+        self.vals.len() as u64 * sizes.value_bits
+    }
+    fn value_count(&self) -> usize {
+        self.vals.len()
+    }
+}
+
+/// The four POS movement counters (§3.2): values that left / entered the
+/// `lt` and `gt` intervals between consecutive rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MovementCounters {
+    /// Values that left `lt` (were `< q`, are no longer).
+    pub outof_lt: u64,
+    /// Values that entered `lt`.
+    pub into_lt: u64,
+    /// Values that left `gt`.
+    pub outof_gt: u64,
+    /// Values that entered `gt`.
+    pub into_gt: u64,
+}
+
+impl MovementCounters {
+    /// Component-wise sum (TAG-style aggregation of counters).
+    pub fn merge(&mut self, other: &MovementCounters) {
+        self.outof_lt += other.outof_lt;
+        self.into_lt += other.into_lt;
+        self.outof_gt += other.outof_gt;
+        self.into_gt += other.into_gt;
+    }
+
+    /// True iff all counters are zero (nothing moved).
+    pub fn is_zero(&self) -> bool {
+        self.outof_lt == 0 && self.into_lt == 0 && self.outof_gt == 0 && self.into_gt == 0
+    }
+}
+
+impl Aggregate for MovementCounters {
+    fn merge(&mut self, other: Self) {
+        MovementCounters::merge(self, &other);
+    }
+    fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
+        4 * sizes.counter_bits
+    }
+}
+
+/// A histogram over `b` buckets, aggregated by per-bucket summation and
+/// transmitted in compressed form (empty buckets dropped, [21]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Count per bucket.
+    pub counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// An all-zero histogram with `b` buckets.
+    pub fn zeros(b: usize) -> Self {
+        Histogram {
+            counts: vec![0; b],
+        }
+    }
+
+    /// A histogram with a single unit entry in bucket `i`.
+    pub fn unit(b: usize, i: usize) -> Self {
+        let mut h = Histogram::zeros(b);
+        h.counts[i] = 1;
+        h
+    }
+
+    /// Number of non-empty buckets (what actually goes on the wire).
+    pub fn nonempty(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total count across buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl Aggregate for Histogram {
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+            *a += b;
+        }
+    }
+    fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
+        self.nonempty() as u64 * (sizes.bucket_bits + sizes.bucket_index_bits)
+    }
+}
+
+/// Signed per-bucket deltas — LCLL's improved validation (§5.1.6: a node
+/// whose value slipped to another bucket transmits the old bucket −1 and
+/// the new bucket +1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaHistogram {
+    /// Delta per bucket (positions beyond the real buckets may encode the
+    /// below-/above-window virtual buckets).
+    pub deltas: Vec<i64>,
+}
+
+impl DeltaHistogram {
+    /// An all-zero delta vector of length `b`.
+    pub fn zeros(b: usize) -> Self {
+        DeltaHistogram {
+            deltas: vec![0; b],
+        }
+    }
+
+    /// The move of one node from bucket `from` to bucket `to`.
+    pub fn movement(b: usize, from: usize, to: usize) -> Self {
+        let mut d = DeltaHistogram::zeros(b);
+        d.deltas[from] -= 1;
+        d.deltas[to] += 1;
+        d
+    }
+
+    /// Number of non-zero entries (wire size).
+    pub fn nonzero(&self) -> usize {
+        self.deltas.iter().filter(|&&d| d != 0).count()
+    }
+}
+
+impl Aggregate for DeltaHistogram {
+    fn merge(&mut self, other: Self) {
+        debug_assert_eq!(self.deltas.len(), other.deltas.len());
+        for (a, b) in self.deltas.iter_mut().zip(other.deltas) {
+            *a += b;
+        }
+    }
+    fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
+        self.nonzero() as u64 * (sizes.bucket_bits + sizes.bucket_index_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_list_merge_and_size() {
+        let sizes = MessageSizes::default();
+        let mut a = ValueList {
+            vals: vec![1, 2],
+        };
+        a.merge(ValueList::single(3));
+        assert_eq!(a.vals.len(), 3);
+        assert_eq!(a.payload_bits(&sizes), 48);
+        assert_eq!(a.value_count(), 3);
+    }
+
+    #[test]
+    fn keep_smallest_with_ties_keeps_cutoff_ties() {
+        let mut l = ValueList {
+            vals: vec![5, 1, 3, 3, 3, 9],
+        };
+        l.keep_smallest_with_ties(3);
+        assert_eq!(l.vals, vec![1, 3, 3, 3]);
+    }
+
+    #[test]
+    fn keep_largest_with_ties_keeps_cutoff_ties() {
+        let mut l = ValueList {
+            vals: vec![5, 1, 3, 5, 5, 9],
+        };
+        l.keep_largest_with_ties(2);
+        assert_eq!(l.vals, vec![9, 5, 5, 5]);
+    }
+
+    #[test]
+    fn keep_smallest_drops_ties() {
+        let mut l = ValueList {
+            vals: vec![5, 1, 3, 3, 3, 9],
+        };
+        l.keep_smallest(3);
+        assert_eq!(l.vals, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn keep_zero_clears() {
+        let mut l = ValueList {
+            vals: vec![1, 2],
+        };
+        l.keep_largest_with_ties(0);
+        assert!(l.vals.is_empty());
+        let mut l = ValueList {
+            vals: vec![1, 2],
+        };
+        l.keep_smallest_with_ties(0);
+        assert!(l.vals.is_empty());
+    }
+
+    #[test]
+    fn counters_merge_componentwise() {
+        let sizes = MessageSizes::default();
+        let mut a = MovementCounters {
+            outof_lt: 1,
+            into_lt: 0,
+            outof_gt: 2,
+            into_gt: 0,
+        };
+        Aggregate::merge(
+            &mut a,
+            MovementCounters {
+                outof_lt: 1,
+                into_lt: 5,
+                outof_gt: 0,
+                into_gt: 1,
+            },
+        );
+        assert_eq!(a.outof_lt, 2);
+        assert_eq!(a.into_lt, 5);
+        assert_eq!(a.into_gt, 1);
+        assert!(!a.is_zero());
+        assert_eq!(a.payload_bits(&sizes), 64);
+    }
+
+    #[test]
+    fn histogram_compressed_size_counts_nonempty() {
+        let sizes = MessageSizes::default();
+        let mut h = Histogram::zeros(8);
+        h.counts[2] = 3;
+        h.counts[5] = 1;
+        assert_eq!(h.nonempty(), 2);
+        assert_eq!(h.payload_bits(&sizes), 2 * (16 + 8));
+        h.merge(Histogram::unit(8, 2));
+        assert_eq!(h.counts[2], 4);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn delta_histogram_cancels_opposite_moves() {
+        let sizes = MessageSizes::default();
+        let mut d = DeltaHistogram::movement(4, 0, 1);
+        d.merge(DeltaHistogram::movement(4, 1, 0));
+        assert_eq!(d.nonzero(), 0);
+        assert_eq!(d.payload_bits(&sizes), 0);
+    }
+}

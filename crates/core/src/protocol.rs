@@ -1,0 +1,96 @@
+//! The common protocol interface all algorithms implement.
+
+use wsn_net::{Network, NodeId};
+
+use crate::rank;
+use crate::Value;
+
+/// Static parameters of a continuous quantile query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryConfig {
+    /// The requested rank `k` (1-based): the k-th smallest value is the
+    /// answer. `k = ⌊φ·|N|⌋` per Definition 2.1.
+    pub k: u64,
+    /// Smallest possible measurement `r_min`.
+    pub range_min: Value,
+    /// Largest possible measurement `r_max`.
+    pub range_max: Value,
+}
+
+impl QueryConfig {
+    /// A query for the `φ`-quantile over `n` sensors.
+    pub fn phi(phi: f64, n: usize, range_min: Value, range_max: Value) -> Self {
+        assert!(range_min <= range_max, "empty value range");
+        QueryConfig {
+            k: rank::rank_of_phi(phi, n),
+            range_min,
+            range_max,
+        }
+    }
+
+    /// The median query (`φ = 0.5`), the paper's focus.
+    pub fn median(n: usize, range_min: Value, range_max: Value) -> Self {
+        Self::phi(0.5, n, range_min, range_max)
+    }
+
+    /// Number of values in the integer universe, `τ = r_max − r_min + 1`.
+    pub fn range_size(&self) -> u64 {
+        (self.range_max - self.range_min + 1) as u64
+    }
+}
+
+/// A continuous quantile query protocol.
+///
+/// The first [`ContinuousQuantile::round`] call is the initialization round
+/// `t = 0`; subsequent calls are update rounds. `values[i]` is the current
+/// measurement of sensor `NodeId(i+1)` (the root measures nothing).
+///
+/// Every implementation in this crate is **exact**: absent message loss,
+/// the returned value equals `kth_smallest(values, k)` each round.
+pub trait ContinuousQuantile {
+    /// Short identifier used in reports ("TAG", "POS", "HBC", …).
+    fn name(&self) -> &'static str;
+
+    /// Executes one query round over the given measurements and returns the
+    /// quantile as determined at the root node.
+    fn round(&mut self, net: &mut Network, values: &[Value]) -> Value;
+}
+
+/// The measurement of sensor `id` in a round's value slice.
+#[inline]
+pub fn measurement(values: &[Value], id: NodeId) -> Value {
+    debug_assert!(!id.is_root(), "the root takes no measurements");
+    values[id.index() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_rank() {
+        let q = QueryConfig::median(1000, 0, 1023);
+        assert_eq!(q.k, 500);
+        assert_eq!(q.range_size(), 1024);
+    }
+
+    #[test]
+    fn phi_rank_extremes() {
+        assert_eq!(QueryConfig::phi(0.0, 10, 0, 9).k, 1);
+        assert_eq!(QueryConfig::phi(1.0, 10, 0, 9).k, 10);
+        assert_eq!(QueryConfig::phi(0.25, 100, 0, 9).k, 25);
+    }
+
+    #[test]
+    fn measurement_maps_node_ids() {
+        let values = vec![10, 20, 30];
+        assert_eq!(measurement(&values, NodeId(1)), 10);
+        assert_eq!(measurement(&values, NodeId(3)), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value range")]
+    fn rejects_inverted_range() {
+        let _ = QueryConfig::median(10, 5, 4);
+    }
+}

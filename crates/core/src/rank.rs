@@ -1,0 +1,206 @@
+//! Rank/order-statistic helpers shared by all protocols, plus the oracle
+//! used to verify exactness.
+
+use crate::Value;
+
+/// Which side of a threshold a value falls on. The three intervals
+/// `lt = (−∞, q)`, `eq = [q, q]`, `gt = (q, ∞)` of POS §3.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Strictly below the threshold.
+    Lt,
+    /// Equal to the threshold.
+    Eq,
+    /// Strictly above the threshold.
+    Gt,
+}
+
+/// Classifies `v` against threshold `q`.
+#[inline]
+pub fn side(v: Value, q: Value) -> Side {
+    match v.cmp(&q) {
+        std::cmp::Ordering::Less => Side::Lt,
+        std::cmp::Ordering::Equal => Side::Eq,
+        std::cmp::Ordering::Greater => Side::Gt,
+    }
+}
+
+/// Classifies `v` against the closed interval `[lb, ub]` — the three-way
+/// partition used by the §4.1.2 broadcast-elimination variant of HBC
+/// (`side(v, q)` is the special case `lb == ub == q`).
+#[inline]
+pub fn side_interval(v: Value, lb: Value, ub: Value) -> Side {
+    debug_assert!(lb <= ub);
+    if v < lb {
+        Side::Lt
+    } else if v > ub {
+        Side::Gt
+    } else {
+        Side::Eq
+    }
+}
+
+/// The rank `k` of a φ-quantile over `n` values (Definition 2.1:
+/// `k = ⌊φ·|N|⌋`, clamped to `[1, n]` so it is a valid 1-based rank).
+pub fn rank_of_phi(phi: f64, n: usize) -> u64 {
+    assert!((0.0..=1.0).contains(&phi), "φ must be in [0,1]");
+    assert!(n > 0, "need at least one value");
+    ((phi * n as f64).floor() as u64).clamp(1, n as u64)
+}
+
+/// The k-th smallest value (1-based), computed centrally — the ground
+/// truth every protocol must reproduce.
+///
+/// # Panics
+/// Panics if `k` is not in `[1, values.len()]`.
+pub fn kth_smallest(values: &[Value], k: u64) -> Value {
+    assert!(
+        k >= 1 && k as usize <= values.len(),
+        "rank {k} out of range for {} values",
+        values.len()
+    );
+    let mut sorted = values.to_vec();
+    let idx = k as usize - 1;
+    // select_nth_unstable is O(n) expected.
+    let (_, v, _) = sorted.select_nth_unstable(idx);
+    *v
+}
+
+/// Counts of values below / equal to / above a threshold — the POS state
+/// variables `l`, `e`, `g` (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counts {
+    /// Number of values strictly below the threshold.
+    pub l: u64,
+    /// Number of values equal to the threshold.
+    pub e: u64,
+    /// Number of values strictly above the threshold.
+    pub g: u64,
+}
+
+impl Counts {
+    /// Computes the counts of `values` against `q` directly (used during
+    /// initialization, when all measurements are at the root anyway).
+    pub fn of(values: &[Value], q: Value) -> Self {
+        let mut c = Counts::default();
+        for &v in values {
+            match side(v, q) {
+                Side::Lt => c.l += 1,
+                Side::Eq => c.e += 1,
+                Side::Gt => c.g += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of values.
+    pub fn n(&self) -> u64 {
+        self.l + self.e + self.g
+    }
+
+    /// True iff the threshold these counts refer to *is* the k-th value:
+    /// `l < k ∧ l + e ≥ k` (§3.2; for the median, `g ≤ |N|/2 ∧ l ≤ |N|/2`).
+    pub fn is_valid_quantile(&self, k: u64) -> bool {
+        self.l < k && self.l + self.e >= k
+    }
+
+    /// Direction the quantile moved if the counts are invalid.
+    pub fn quantile_moved(&self, k: u64) -> Option<Direction> {
+        if self.l >= k {
+            Some(Direction::Down)
+        } else if self.l + self.e < k {
+            Some(Direction::Up)
+        } else {
+            None
+        }
+    }
+}
+
+/// Which way the quantile moved relative to the previous round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// New quantile is smaller (`l ≥ k`).
+    Down,
+    /// New quantile is larger (`l + e < k`).
+    Up,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_classification() {
+        assert_eq!(side(1, 5), Side::Lt);
+        assert_eq!(side(5, 5), Side::Eq);
+        assert_eq!(side(9, 5), Side::Gt);
+    }
+
+    #[test]
+    fn rank_of_phi_median() {
+        assert_eq!(rank_of_phi(0.5, 1000), 500);
+        assert_eq!(rank_of_phi(0.5, 5), 2);
+        assert_eq!(rank_of_phi(0.0, 10), 1); // clamped up
+        assert_eq!(rank_of_phi(1.0, 10), 10);
+    }
+
+    #[test]
+    fn kth_smallest_matches_sorting() {
+        let values = vec![5, 1, 9, 3, 3, 7];
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for k in 1..=6u64 {
+            assert_eq!(kth_smallest(&values, k), sorted[k as usize - 1]);
+        }
+    }
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        // The paper's §1 example: {3,3,3,3,103} -> median 3, average 23.
+        let values = vec![3, 3, 3, 3, 103];
+        assert_eq!(kth_smallest(&values, rank_of_phi(0.5, 5)), 3);
+    }
+
+    #[test]
+    fn counts_partition_the_values() {
+        let values = vec![1, 2, 2, 3, 4, 4, 4];
+        let c = Counts::of(&values, 3);
+        assert_eq!(c, Counts { l: 3, e: 1, g: 3 });
+        assert_eq!(c.n(), 7);
+    }
+
+    #[test]
+    fn validity_condition() {
+        // values: 1 2 2 3 4 4 4, median k = 3 -> value 2.
+        let values = vec![1, 2, 2, 3, 4, 4, 4];
+        assert!(Counts::of(&values, 2).is_valid_quantile(3));
+        assert!(!Counts::of(&values, 3).is_valid_quantile(3));
+        assert!(!Counts::of(&values, 1).is_valid_quantile(3));
+    }
+
+    #[test]
+    fn movement_direction() {
+        let values = vec![1, 2, 2, 3, 4, 4, 4];
+        // Threshold 4: l = 4 >= k=3 -> down.
+        assert_eq!(Counts::of(&values, 4).quantile_moved(3), Some(Direction::Down));
+        // Threshold 1: l+e = 1 < 3 -> up.
+        assert_eq!(Counts::of(&values, 1).quantile_moved(3), Some(Direction::Up));
+        assert_eq!(Counts::of(&values, 2).quantile_moved(3), None);
+    }
+
+    #[test]
+    fn validity_iff_threshold_is_kth() {
+        // Exhaustive cross-check on a small universe.
+        let values = vec![2, 2, 5, 7, 7, 7, 9];
+        for k in 1..=7u64 {
+            let truth = kth_smallest(&values, k);
+            for q in 0..=10 {
+                assert_eq!(
+                    Counts::of(&values, q).is_valid_quantile(k),
+                    q == truth,
+                    "k={k} q={q}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Mergeable rank-bound summaries — the substrate for the
+//! Greenwald–Khanna-style exact method of §3.1 ([10]: "they solve the
+//! given problem by transmitting O(log³ |N|) values").
+//!
+//! A [`RankSummary`] stores a subset of the values seen so far, each with
+//! conservative bounds `[rmin, rmax]` on its global rank (1-based). The
+//! two operations a TAG-style aggregation tree needs are:
+//!
+//! * **merge** — combine two summaries over disjoint value multisets; the
+//!   classic combine rule adds the neighbor bounds of the other summary,
+//!   and provably preserves rank-bound validity;
+//! * **prune** — shrink to at most `capacity` entries by keeping evenly
+//!   spaced entries (always including the extremes); pruning widens no
+//!   bound, it only loses resolution *between* kept entries.
+//!
+//! The invariant (`rmin(v) ≤ true rank of v ≤ rmax(v)`, property-tested)
+//! is exactly what the exact-quantile extension needs: an interval
+//! guaranteed to contain the k-th value, shrinking geometrically per
+//! iteration.
+
+use wsn_net::{Aggregate, MessageSizes};
+
+use crate::Value;
+
+/// One summary entry: a value with conservative global-rank bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The value itself.
+    pub value: Value,
+    /// Smallest possible rank of this occurrence (1-based).
+    pub rmin: u64,
+    /// Largest possible rank of this occurrence.
+    pub rmax: u64,
+}
+
+/// A mergeable quantile summary with conservative rank bounds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RankSummary {
+    /// Entries sorted by value (ties allowed, kept in merge order).
+    pub entries: Vec<Entry>,
+    /// Total number of values summarized.
+    pub count: u64,
+}
+
+impl RankSummary {
+    /// A summary of one measurement.
+    pub fn singleton(value: Value) -> Self {
+        RankSummary {
+            entries: vec![Entry {
+                value,
+                rmin: 1,
+                rmax: 1,
+            }],
+            count: 1,
+        }
+    }
+
+    /// An empty summary.
+    pub fn empty() -> Self {
+        RankSummary::default()
+    }
+
+    /// Merges `other` into `self` (disjoint underlying multisets).
+    ///
+    /// For each entry `e` of one side, the other side contributes between
+    /// `rmin(pred)` and `rmax(succ) − 1` values below-or-at `e` — the
+    /// standard mergeable-summary combine rule.
+    pub fn merge_summary(&mut self, other: &RankSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let a = &self.entries;
+        let b = &other.entries;
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+
+        // Standard mergeable-summary combine rule: for an entry `e` of one
+        // side, the other side (`peers`, total `peer_count` values)
+        // contributes at least `rmin(largest peer ≤ e)` values below it,
+        // and at most `rmax(smallest peer > e) − 1` (or all of them when
+        // no peer is larger).
+        let combine = |e: &Entry, peers: &[Entry], peer_count: u64| -> Entry {
+            let below_min = peers
+                .iter()
+                .rev()
+                .find(|p| p.value <= e.value)
+                .map(|p| p.rmin)
+                .unwrap_or(0);
+            let below_max = match peers.iter().find(|p| p.value > e.value) {
+                Some(succ) => succ.rmax - 1,
+                None => peer_count,
+            };
+            Entry {
+                value: e.value,
+                rmin: e.rmin + below_min,
+                rmax: e.rmax + below_max,
+            }
+        };
+
+        let mut i = 0;
+        let mut j = 0;
+        while i < a.len() || j < b.len() {
+            let take_a = match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => x.value <= y.value,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_a {
+                merged.push(combine(&a[i], b, other.count));
+                i += 1;
+            } else {
+                merged.push(combine(&b[j], a, self.count));
+                j += 1;
+            }
+        }
+        self.entries = merged;
+        self.count += other.count;
+    }
+
+    /// Prunes to at most `capacity` entries, keeping both extremes and
+    /// evenly spaced interior entries. Bounds are untouched (pruning only
+    /// loses resolution).
+    pub fn prune(&mut self, capacity: usize) {
+        let capacity = capacity.max(2);
+        if self.entries.len() <= capacity {
+            return;
+        }
+        let n = self.entries.len();
+        let mut kept = Vec::with_capacity(capacity);
+        for s in 0..capacity {
+            let idx = s * (n - 1) / (capacity - 1);
+            kept.push(self.entries[idx]);
+        }
+        kept.dedup_by(|a, b| a.value == b.value && a.rmin == b.rmin && a.rmax == b.rmax);
+        self.entries = kept;
+    }
+
+    /// A value interval `[lo, hi]` guaranteed to contain the k-th smallest
+    /// element, derived from the rank bounds. `None` on an empty summary
+    /// or out-of-range `k`.
+    pub fn enclosing_interval(&self, k: u64) -> Option<(Value, Value)> {
+        if self.entries.is_empty() || k == 0 || k > self.count {
+            return None;
+        }
+        // lo: the largest entry whose rmax < k cannot be the k-th, but the
+        // k-th cannot be below the largest entry with rmax <= k... use:
+        // lo = max value with rmax <= k (the k-th is >= it), falling back
+        // to the minimum entry (whose rank bound covers 1).
+        let lo = self
+            .entries
+            .iter()
+            .rev()
+            .find(|e| e.rmax <= k)
+            .map(|e| e.value)
+            .unwrap_or(self.entries[0].value);
+        // hi: the smallest entry with rmin >= k (the k-th is <= it).
+        let hi = self
+            .entries
+            .iter()
+            .find(|e| e.rmin >= k)
+            .map(|e| e.value)
+            .unwrap_or(self.entries[self.entries.len() - 1].value);
+        Some((lo.min(hi), hi.max(lo)))
+    }
+}
+
+impl Aggregate for RankSummary {
+    fn merge(&mut self, other: Self) {
+        self.merge_summary(&other);
+    }
+    /// Wire size: per entry one value and two counters (rmin, rmax), plus
+    /// one counter for the total count.
+    fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
+        sizes.counter_bits
+            + self.entries.len() as u64 * (sizes.value_bits + 2 * sizes.counter_bits)
+    }
+    fn value_count(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Checks the core invariant against the ground-truth multiset.
+    fn assert_valid(summary: &RankSummary, values: &[Value]) {
+        let mut sorted = values.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(summary.count, values.len() as u64);
+        for e in &summary.entries {
+            // The true rank span of e.value among all values.
+            let lo = sorted.partition_point(|&v| v < e.value) as u64 + 1;
+            let hi = sorted.partition_point(|&v| v <= e.value) as u64;
+            assert!(
+                e.rmin <= hi && e.rmax >= lo,
+                "entry {e:?} incompatible with true rank span [{lo}, {hi}]"
+            );
+            assert!(e.rmin <= e.rmax, "crossed bounds {e:?}");
+            assert!(e.rmax <= values.len() as u64, "rmax beyond count {e:?}");
+        }
+    }
+
+    fn build_tree_merge(values: &[Value], capacity: usize) -> RankSummary {
+        // Merge pairwise like a balanced aggregation tree, pruning at each
+        // step — exactly what intermediate nodes do.
+        let mut layer: Vec<RankSummary> =
+            values.iter().map(|&v| RankSummary::singleton(v)).collect();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                let mut s = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    s.merge_summary(b);
+                }
+                s.prune(capacity);
+                next.push(s);
+            }
+            layer = next;
+        }
+        layer.pop().unwrap_or_else(RankSummary::empty)
+    }
+
+    #[test]
+    fn singleton_bounds() {
+        let s = RankSummary::singleton(42);
+        assert_valid(&s, &[42]);
+        assert_eq!(s.enclosing_interval(1), Some((42, 42)));
+    }
+
+    #[test]
+    fn merge_without_pruning_is_tight() {
+        let values = vec![5, 1, 9, 3, 7];
+        let mut s = RankSummary::empty();
+        for &v in &values {
+            s.merge_summary(&RankSummary::singleton(v));
+        }
+        assert_valid(&s, &values);
+        // Without pruning every value is present with usable bounds.
+        for k in 1..=5u64 {
+            let (lo, hi) = s.enclosing_interval(k).unwrap();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let truth = sorted[k as usize - 1];
+            assert!(lo <= truth && truth <= hi, "k={k}: [{lo},{hi}] vs {truth}");
+        }
+    }
+
+    #[test]
+    fn tree_merge_with_pruning_stays_valid() {
+        let values: Vec<Value> = (0..200).map(|i| (i * 37) % 500).collect();
+        for capacity in [4usize, 8, 16, 64] {
+            let s = build_tree_merge(&values, capacity);
+            assert_valid(&s, &values);
+            assert!(s.entries.len() <= capacity);
+            // Enclosing interval must contain the true median.
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let k = 100u64;
+            let truth = sorted[99];
+            let (lo, hi) = s.enclosing_interval(k).unwrap();
+            assert!(
+                lo <= truth && truth <= hi,
+                "cap={capacity}: [{lo},{hi}] vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_shrinks_with_capacity() {
+        let values: Vec<Value> = (0..512).map(|i| i as Value).collect();
+        let wide = build_tree_merge(&values, 4);
+        let tight = build_tree_merge(&values, 64);
+        let (wl, wh) = wide.enclosing_interval(256).unwrap();
+        let (tl, th) = tight.enclosing_interval(256).unwrap();
+        assert!(th - tl <= wh - wl, "more entries must not widen bounds");
+    }
+
+    #[test]
+    fn duplicates_are_handled() {
+        let values = vec![7; 50];
+        let s = build_tree_merge(&values, 8);
+        assert_valid(&s, &values);
+        assert_eq!(s.enclosing_interval(25), Some((7, 7)));
+    }
+
+    #[test]
+    fn payload_size_counts_entries() {
+        let sizes = MessageSizes::default();
+        let mut s = RankSummary::singleton(1);
+        s.merge_summary(&RankSummary::singleton(2));
+        // 1 count counter + 2 entries × (value + 2 counters).
+        assert_eq!(s.payload_bits(&sizes), 16 + 2 * (16 + 32));
+        assert_eq!(s.value_count(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests of the core data structures and rank math.
+
+use cqp_core::buckets::BucketPartition;
+use cqp_core::cost_model::{bary_search_cost, iterations_for, lambert_w0, optimal_buckets};
+use cqp_core::payloads::ValueList;
+use cqp_core::rank::{kth_smallest, rank_of_phi, side_interval, Counts, Side};
+use proptest::prelude::*;
+use wsn_net::MessageSizes;
+
+proptest! {
+    #[test]
+    fn kth_smallest_matches_full_sort(values in prop::collection::vec(-1000i64..1000, 1..200), kidx in 0usize..200) {
+        let k = (kidx % values.len()) as u64 + 1;
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(kth_smallest(&values, k), sorted[k as usize - 1]);
+    }
+
+    #[test]
+    fn counts_partition_and_validity(values in prop::collection::vec(-50i64..50, 1..100), q in -60i64..60) {
+        let c = Counts::of(&values, q);
+        prop_assert_eq!(c.n(), values.len() as u64);
+        for k in 1..=values.len() as u64 {
+            let truth = kth_smallest(&values, k);
+            prop_assert_eq!(c.is_valid_quantile(k), q == truth, "k={} q={}", k, q);
+        }
+    }
+
+    #[test]
+    fn movement_direction_is_consistent_with_truth(values in prop::collection::vec(0i64..100, 1..80), q in 0i64..100, kidx in 0usize..80) {
+        let k = (kidx % values.len()) as u64 + 1;
+        let truth = kth_smallest(&values, k);
+        let c = Counts::of(&values, q);
+        match c.quantile_moved(k) {
+            None => prop_assert_eq!(truth, q),
+            Some(cqp_core::rank::Direction::Down) => prop_assert!(truth < q),
+            Some(cqp_core::rank::Direction::Up) => prop_assert!(truth > q),
+        }
+    }
+
+    #[test]
+    fn rank_of_phi_is_a_valid_rank(phi in 0.0f64..=1.0, n in 1usize..10_000) {
+        let k = rank_of_phi(phi, n);
+        prop_assert!(k >= 1 && k <= n as u64);
+    }
+
+    #[test]
+    fn side_interval_partitions(v in -100i64..100, lb in -50i64..50, width in 0i64..40) {
+        let ub = lb + width;
+        let s = side_interval(v, lb, ub);
+        match s {
+            Side::Lt => prop_assert!(v < lb),
+            Side::Eq => prop_assert!(lb <= v && v <= ub),
+            Side::Gt => prop_assert!(v > ub),
+        }
+    }
+
+    #[test]
+    fn bucket_partition_covers_exactly(lo in -1000i64..1000, width in 1i64..5000, b in 1usize..128) {
+        let hi = lo + width - 1;
+        let p = BucketPartition::new(lo, hi, b);
+        // Bounds tile the interval.
+        let mut next = lo;
+        for i in 0..p.buckets {
+            let (s, e) = p.bounds(i);
+            prop_assert_eq!(s, next);
+            prop_assert!(s <= e);
+            next = e + 1;
+        }
+        prop_assert_eq!(next, hi + 1);
+    }
+
+    #[test]
+    fn bucket_index_agrees_with_bounds(lo in -300i64..300, width in 1i64..600, b in 1usize..80, off in 0i64..600) {
+        let hi = lo + width - 1;
+        let v = lo + (off % width);
+        let p = BucketPartition::new(lo, hi, b);
+        let i = p.index_of(v).expect("inside");
+        let (s, e) = p.bounds(i);
+        prop_assert!(s <= v && v <= e);
+    }
+
+    #[test]
+    fn keep_largest_with_ties_is_sound(vals in prop::collection::vec(-20i64..20, 0..100), f in 0usize..40) {
+        let mut l = ValueList { vals: vals.clone() };
+        l.keep_largest_with_ties(f);
+        if f == 0 {
+            prop_assert!(l.vals.is_empty());
+        } else if vals.len() <= f {
+            prop_assert_eq!(l.vals.len(), vals.len());
+        } else {
+            let mut sorted = vals.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let cutoff = sorted[f - 1];
+            // Everything >= cutoff survives, nothing below does.
+            let expect: Vec<i64> = sorted.iter().copied().filter(|&v| v >= cutoff).collect();
+            let mut got = l.vals.clone();
+            got.sort_unstable_by(|a, b| b.cmp(a));
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn keep_smallest_keeps_the_f_smallest(vals in prop::collection::vec(-50i64..50, 0..120), f in 0usize..60) {
+        let mut l = ValueList { vals: vals.clone() };
+        l.keep_smallest(f);
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        expect.truncate(f);
+        let mut got = l.vals.clone();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lambert_w_inverts(x in 0.0f64..1e6) {
+        let w = lambert_w0(x);
+        prop_assert!((w * w.exp() - x).abs() <= 1e-6 * (1.0 + x));
+    }
+
+    #[test]
+    fn optimal_buckets_is_the_argmin(range in 2u64..1_000_000) {
+        let sizes = MessageSizes::default();
+        let b = optimal_buckets(&sizes, range);
+        let cost = bary_search_cost(&sizes, b, range);
+        for candidate in [2usize, 3, 8, 16, 32, 64] {
+            prop_assert!(cost <= bary_search_cost(&sizes, candidate, range) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn iterations_are_enough_to_isolate_one_value(b in 2usize..64, range in 1u64..1_000_000) {
+        let it = iterations_for(b, range);
+        // b^it >= range.
+        let mut cover = 1u128;
+        for _ in 0..it {
+            cover = cover.saturating_mul(b as u128);
+        }
+        prop_assert!(cover >= range as u128);
+        // And it is minimal (one fewer is not enough) for range > 1.
+        if range > 1 && it > 0 {
+            let mut cover = 1u128;
+            for _ in 0..it - 1 {
+                cover = cover.saturating_mul(b as u128);
+            }
+            prop_assert!(cover < range as u128);
+        }
+    }
+}
+
+/// Wire-format certification: the encoded size of every payload matches the
+/// bits the energy model charges, and decoding restores the payload.
+mod wire_certification {
+    use cqp_core::payloads::{DeltaHistogram, Histogram, MovementCounters, ValueList};
+    use cqp_core::wire::WireContext;
+    use proptest::prelude::*;
+    use wsn_net::{Aggregate, MessageSizes};
+
+    fn ctx() -> WireContext {
+        WireContext::new(MessageSizes::default(), 0)
+    }
+
+    proptest! {
+        #[test]
+        fn value_lists_roundtrip(vals in prop::collection::vec(0i64..65536, 0..200)) {
+            let c = ctx();
+            let list = ValueList { vals };
+            let bytes = c.encode_values(&list);
+            prop_assert_eq!(c.decode_values(&bytes, list.vals.len()).unwrap(), list.clone());
+            prop_assert_eq!(bytes.len() as u64, list.payload_bits(&c.sizes).div_ceil(8));
+        }
+
+        #[test]
+        fn counters_roundtrip(a in 0u64..65536, b in 0u64..65536, g in 0u64..65536, d in 0u64..65536) {
+            let c = ctx();
+            let m = MovementCounters { outof_lt: a, into_lt: b, outof_gt: g, into_gt: d };
+            let bytes = c.encode_counters(&m);
+            prop_assert_eq!(c.decode_counters(&bytes).unwrap(), m);
+            prop_assert_eq!(bytes.len() as u64 * 8, m.payload_bits(&c.sizes));
+        }
+
+        #[test]
+        fn histograms_roundtrip(counts in prop::collection::vec(0u64..65536, 1..128)) {
+            let c = ctx();
+            let h = Histogram { counts };
+            let bytes = c.encode_histogram(&h);
+            let decoded = c.decode_histogram(&bytes, h.counts.len(), h.nonempty()).unwrap();
+            prop_assert_eq!(&decoded, &h);
+            prop_assert_eq!(bytes.len() as u64 * 8, h.payload_bits(&c.sizes));
+        }
+
+        #[test]
+        fn deltas_roundtrip(deltas in prop::collection::vec(-1000i64..1000, 1..128)) {
+            let c = ctx();
+            let d = DeltaHistogram { deltas };
+            let bytes = c.encode_deltas(&d);
+            let decoded = c.decode_deltas(&bytes, d.deltas.len(), d.nonzero()).unwrap();
+            prop_assert_eq!(&decoded, &d);
+            prop_assert_eq!(bytes.len() as u64 * 8, d.payload_bits(&c.sizes));
+        }
+    }
+}
+
+/// Rank-summary invariant: under arbitrary merge/prune trees, every
+/// entry's bounds contain the true rank and the enclosing interval
+/// contains the true k-th value.
+mod summary_invariants {
+    use cqp_core::rank::kth_smallest;
+    use cqp_core::summary::RankSummary;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn bounds_and_intervals_stay_valid(
+            values in prop::collection::vec(0i64..1000, 1..300),
+            capacity in 4usize..64,
+            chunk in 1usize..8,
+        ) {
+            // Merge in irregular chunks (mimics uneven subtree sizes).
+            let mut acc = RankSummary::empty();
+            for group in values.chunks(chunk) {
+                let mut s = RankSummary::empty();
+                for &v in group {
+                    s.merge_summary(&RankSummary::singleton(v));
+                }
+                s.prune(capacity);
+                acc.merge_summary(&s);
+                acc.prune(capacity);
+            }
+            prop_assert_eq!(acc.count, values.len() as u64);
+
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for e in &acc.entries {
+                let lo = sorted.partition_point(|&v| v < e.value) as u64 + 1;
+                let hi = sorted.partition_point(|&v| v <= e.value) as u64;
+                prop_assert!(e.rmin <= hi && e.rmax >= lo, "{:?} vs [{},{}]", e, lo, hi);
+            }
+            for k in [1u64, values.len() as u64 / 2 + 1, values.len() as u64] {
+                let truth = kth_smallest(&values, k);
+                let (lo, hi) = acc.enclosing_interval(k).expect("in range");
+                prop_assert!(lo <= truth && truth <= hi, "k={}: [{},{}] vs {}", k, lo, hi, truth);
+            }
+        }
+    }
+}

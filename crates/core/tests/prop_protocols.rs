@@ -1,0 +1,195 @@
+//! Property-based end-to-end fuzzing of the protocols: on random
+//! topologies, random value streams and random ranks, every protocol must
+//! return the exact k-th value every round — and IQ must keep its
+//! one-refinement guarantee.
+
+use cqp_core::hbc::{Hbc, HbcConfig};
+use cqp_core::iq::{Iq, IqConfig};
+use cqp_core::lcll::{Lcll, RefiningStrategy};
+use cqp_core::pos::Pos;
+use cqp_core::rank::kth_smallest;
+use cqp_core::tag::Tag;
+use cqp_core::{ContinuousQuantile, QueryConfig};
+use proptest::prelude::*;
+use wsn_net::{MessageSizes, Network, Point, RadioModel, RoutingTree, Topology};
+
+/// Builds a random connected topology from a proptest-generated seed list
+/// of cell offsets (grid + jitter keeps it connected by construction).
+fn jittered_grid(n: usize, jitter: &[(f64, f64)]) -> Network {
+    let cols = (n as f64).sqrt().ceil() as usize + 1;
+    let positions: Vec<Point> = (0..=n)
+        .map(|i| {
+            let (jx, jy) = jitter[i % jitter.len()];
+            Point::new(
+                (i % cols) as f64 * 8.0 + jx * 3.0,
+                (i / cols) as f64 * 8.0 + jy * 3.0,
+            )
+        })
+        .collect();
+    let topo = Topology::build(positions, 14.0);
+    let tree = RoutingTree::shortest_path_tree(&topo).expect("grid stays connected");
+    Network::new(topo, tree, RadioModel::default(), MessageSizes::default())
+}
+
+fn protocols_with_lcll_r(query: QueryConfig) -> Vec<Box<dyn ContinuousQuantile>> {
+    let sizes = MessageSizes::default();
+    let mut all = protocols(query);
+    all.push(Box::new(cqp_core::LcllRange::new(query, &sizes)));
+    all
+}
+
+fn protocols(query: QueryConfig) -> Vec<Box<dyn ContinuousQuantile>> {
+    let sizes = MessageSizes::default();
+    vec![
+        Box::new(Tag::new(query)),
+        Box::new(Pos::new(query)),
+        Box::new(Pos::new(query).without_direct_retrieval()),
+        Box::new(Hbc::new(query, HbcConfig::default(), &sizes)),
+        Box::new(Hbc::new(
+            query,
+            HbcConfig {
+                direct_retrieval: false,
+                eliminate_threshold_broadcast: true,
+                ..HbcConfig::default()
+            },
+            &sizes,
+        )),
+        Box::new(Iq::new(query, IqConfig::default())),
+        Box::new(Lcll::new(query, RefiningStrategy::Hierarchical, &sizes)),
+        Box::new(Lcll::new(query, RefiningStrategy::Slip, &sizes)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_protocol_is_exact_on_random_streams(
+        n in 8usize..40,
+        kseed in 0u64..1000,
+        jitter in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..32),
+        rounds in prop::collection::vec(prop::collection::vec(0i64..256, 40), 4..12),
+    ) {
+        let k = kseed % n as u64 + 1;
+        let query = QueryConfig { k, range_min: 0, range_max: 255 };
+        for mut alg in protocols(query) {
+            let mut net = jittered_grid(n, &jitter);
+            for (t, row) in rounds.iter().enumerate() {
+                let values = &row[..n];
+                let got = alg.round(&mut net, values);
+                let want = kth_smallest(values, k);
+                prop_assert_eq!(got, want, "{} wrong at round {} (k={})", alg.name(), t, k);
+            }
+        }
+    }
+
+    #[test]
+    fn iq_one_refinement_guarantee_holds_always(
+        n in 8usize..40,
+        jitter in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..16),
+        rounds in prop::collection::vec(prop::collection::vec(0i64..10_000, 40), 4..10),
+    ) {
+        let query = QueryConfig::median(n, 0, 9_999);
+        let mut iq = Iq::new(query, IqConfig::default());
+        let mut net = jittered_grid(n, &jitter);
+        for row in &rounds {
+            iq.round(&mut net, &row[..n]);
+            prop_assert!(iq.last_refinements() <= 1);
+        }
+    }
+
+    #[test]
+    fn smooth_streams_keep_iq_quiet(
+        n in 10usize..30,
+        jitter in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..16),
+        base in 100i64..5000,
+        step in 1i64..4,
+    ) {
+        // A linear drift: after warm-up, IQ must answer from validation
+        // alone (the Ξ adaptation property, §4.2.2).
+        let query = QueryConfig::median(n, 0, 100_000);
+        let mut iq = Iq::new(query, IqConfig::default());
+        let mut net = jittered_grid(n, &jitter);
+        for t in 0..25i64 {
+            let values: Vec<i64> = (0..n).map(|i| base + i as i64 * 7 + t * step).collect();
+            iq.round(&mut net, &values);
+            if t > 5 {
+                prop_assert_eq!(iq.last_refinements(), 0, "round {}", t);
+            }
+        }
+    }
+
+    #[test]
+    fn no_protocol_panics_under_message_loss(
+        n in 8usize..32,
+        jitter in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..16),
+        loss_milli in 1u64..400,
+        seed in 0u64..10_000,
+        rounds in prop::collection::vec(prop::collection::vec(0i64..512, 32), 4..10),
+    ) {
+        // Under loss, answers may be wrong — but every protocol must keep
+        // running, stay silent-safe, and return values within the range.
+        let query = QueryConfig::median(n, 0, 511);
+        for mut alg in protocols_with_lcll_r(query) {
+            let mut net = jittered_grid(n, &jitter);
+            net.set_loss(Some(wsn_net::loss::LossModel::new(
+                loss_milli as f64 / 1000.0,
+                seed,
+            )));
+            for row in &rounds {
+                let answer = alg.round(&mut net, &row[..n]);
+                prop_assert!(
+                    (0..=511).contains(&answer),
+                    "{} answered {} outside the universe",
+                    alg.name(),
+                    answer
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lcll_r_is_exact_on_random_streams(
+        n in 8usize..40,
+        kseed in 0u64..1000,
+        jitter in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..16),
+        rounds in prop::collection::vec(prop::collection::vec(0i64..256, 40), 4..10),
+    ) {
+        let k = kseed % n as u64 + 1;
+        let query = QueryConfig { k, range_min: 0, range_max: 255 };
+        let mut alg = cqp_core::LcllRange::new(query, &MessageSizes::default());
+        let mut net = jittered_grid(n, &jitter);
+        for (t, row) in rounds.iter().enumerate() {
+            let values = &row[..n];
+            prop_assert_eq!(
+                alg.round(&mut net, values),
+                kth_smallest(values, k),
+                "LCLL-R wrong at round {} (k={})", t, k
+            );
+        }
+    }
+
+    #[test]
+    fn protocol_state_survives_alternating_extremes(
+        n in 8usize..24,
+        jitter in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8..16),
+        reps in 2usize..5,
+    ) {
+        // Ping-pong between the range ends — worst case for filters.
+        let query = QueryConfig::median(n, 0, 4095);
+        for mut alg in protocols(query) {
+            let mut net = jittered_grid(n, &jitter);
+            for r in 0..reps {
+                let lowish: Vec<i64> = (0..n).map(|i| (i as i64 * 3) % 64).collect();
+                let highish: Vec<i64> = (0..n).map(|i| 4000 + (i as i64 * 5) % 64).collect();
+                for values in [&lowish, &highish] {
+                    let got = alg.round(&mut net, values);
+                    prop_assert_eq!(got, kth_smallest(values, query.k), "{} rep {}", alg.name(), r);
+                }
+            }
+        }
+    }
+}

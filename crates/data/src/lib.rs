@@ -1,0 +1,76 @@
+#![warn(missing_docs)]
+//! # wsn-data — dataset generators for WSN quantile simulations
+//!
+//! Provides everything §5.1 of the paper needs as input:
+//!
+//! * [`rng`] — a deterministic xoshiro256** PRNG (reproducible runs),
+//! * [`noise`] — the "interpolated noise image" used to spatially correlate
+//!   initial sensor values (§5.1.2, Fig. 5),
+//! * [`placement`] — uniform node placement in the deployment area,
+//! * [`synthetic`] — the sinusoidal synthetic workload with period `τ` and
+//!   noise `ψ` (§5.1.7, Table 2),
+//! * [`pressure`] — a synthetic stand-in for the "Live from Earth and Mars"
+//!   air-pressure traces (§5.1.3; see DESIGN.md §5 for the substitution
+//!   rationale),
+//! * [`som`] — a self-organizing map that assigns spatial positions to
+//!   trace nodes so neighbors measure similar values (§5.1.3).
+//!
+//! All generators implement [`Dataset`], the round-by-round measurement
+//! source consumed by `wsn-sim`.
+//!
+//! ```
+//! use wsn_data::{Dataset, Rng};
+//! use wsn_data::synthetic::{SyntheticConfig, SyntheticDataset};
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let positions = wsn_data::placement::uniform(100, 200.0, 200.0, &mut rng);
+//! let mut data = SyntheticDataset::generate(
+//!     SyntheticConfig::default(), &positions[1..], &mut rng);
+//!
+//! let mut round = vec![0; 100];
+//! data.sample_round(0, &mut round);
+//! assert!(round.iter().all(|&v| v >= data.range_min() && v <= data.range_max()));
+//! ```
+
+pub mod noise;
+pub mod placement;
+pub mod pressure;
+pub mod rng;
+pub mod som;
+pub mod synthetic;
+pub mod walks;
+
+pub use noise::NoiseField;
+pub use pressure::{PressureConfig, PressureDataset, RangeSetting};
+pub use rng::Rng;
+pub use som::SelfOrganizingMap;
+pub use synthetic::{SyntheticConfig, SyntheticDataset};
+pub use walks::{RandomWalkDataset, RegimeDataset};
+
+/// A sensor measurement (integer universe, see `wsn_net::Value`).
+pub type Value = i64;
+
+/// A round-by-round source of measurements for `n` sensor nodes.
+///
+/// Node indices are `0..n` and correspond to sensor nodes `n_1..n_|N|`
+/// (the root takes no measurements).
+pub trait Dataset {
+    /// Number of sensor nodes.
+    fn sensor_count(&self) -> usize;
+
+    /// Smallest value of the integer universe `r_min`.
+    fn range_min(&self) -> Value;
+
+    /// Largest value of the integer universe `r_max`.
+    fn range_max(&self) -> Value;
+
+    /// Writes the measurements of round `t` into `out` (length
+    /// `sensor_count()`). Values must lie within `[range_min, range_max]`.
+    fn sample_round(&mut self, t: u32, out: &mut [Value]);
+
+    /// Number of values in the integer range, `τ = r_max − r_min + 1`
+    /// (Table 1).
+    fn range_size(&self) -> u64 {
+        (self.range_max() - self.range_min() + 1) as u64
+    }
+}

@@ -1,0 +1,164 @@
+//! Interpolated noise fields ("noise images", §5.1.2).
+//!
+//! The paper seeds each synthetic simulation run with an image of
+//! interpolated noise: random greyscale values on a coarse lattice, smoothly
+//! interpolated between lattice points, producing the spatial correlation a
+//! physical phenomenon would show (Fig. 5). This module implements exactly
+//! that: *value noise* with smoothstep interpolation, optionally with
+//! several octaves for a more natural look.
+
+use crate::rng::Rng;
+
+/// A smooth random field over the unit square, returning values in
+/// `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct NoiseField {
+    /// Lattice values, `(cells+1) x (cells+1)`, row-major.
+    lattice: Vec<f64>,
+    cells: usize,
+}
+
+impl NoiseField {
+    /// Creates a field with `cells × cells` lattice cells. More cells mean
+    /// higher spatial frequency (less correlation between distant points).
+    ///
+    /// # Panics
+    /// Panics if `cells == 0`.
+    pub fn new(cells: usize, rng: &mut Rng) -> Self {
+        assert!(cells > 0, "need at least one lattice cell");
+        let side = cells + 1;
+        let lattice = (0..side * side).map(|_| rng.next_f64()).collect();
+        NoiseField { lattice, cells }
+    }
+
+    /// Samples the field at `(x, y)` ∈ `[0, 1]²` using smoothstep-weighted
+    /// bilinear interpolation. Coordinates outside the unit square are
+    /// clamped.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let fx = (x.clamp(0.0, 1.0)) * self.cells as f64;
+        let fy = (y.clamp(0.0, 1.0)) * self.cells as f64;
+        let x0 = (fx.floor() as usize).min(self.cells - 1);
+        let y0 = (fy.floor() as usize).min(self.cells - 1);
+        let tx = smoothstep(fx - x0 as f64);
+        let ty = smoothstep(fy - y0 as f64);
+        let side = self.cells + 1;
+        let v00 = self.lattice[y0 * side + x0];
+        let v10 = self.lattice[y0 * side + x0 + 1];
+        let v01 = self.lattice[(y0 + 1) * side + x0];
+        let v11 = self.lattice[(y0 + 1) * side + x0 + 1];
+        let top = v00 + (v10 - v00) * tx;
+        let bot = v01 + (v11 - v01) * tx;
+        top + (bot - top) * ty
+    }
+
+    /// Sum of `octaves` fields with doubling frequency and halving
+    /// amplitude (fractal noise), normalized back to `[0, 1]`.
+    pub fn fractal(cells: usize, octaves: usize, rng: &mut Rng) -> FractalNoise {
+        assert!(octaves > 0, "need at least one octave");
+        let mut fields = Vec::with_capacity(octaves);
+        let mut c = cells.max(1);
+        for _ in 0..octaves {
+            fields.push(NoiseField::new(c, rng));
+            c *= 2;
+        }
+        FractalNoise { fields }
+    }
+}
+
+/// Multi-octave value noise; see [`NoiseField::fractal`].
+#[derive(Debug, Clone)]
+pub struct FractalNoise {
+    fields: Vec<NoiseField>,
+}
+
+impl FractalNoise {
+    /// Samples the fractal field at `(x, y)` ∈ `[0,1]²`, result in `[0,1]`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let mut amp = 1.0;
+        let mut sum = 0.0;
+        let mut norm = 0.0;
+        for f in &self.fields {
+            sum += amp * f.sample(x, y);
+            norm += amp;
+            amp *= 0.5;
+        }
+        sum / norm
+    }
+}
+
+#[inline]
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_are_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(1);
+        let field = NoiseField::new(8, &mut rng);
+        for i in 0..50 {
+            for j in 0..50 {
+                let v = field.sample(i as f64 / 49.0, j as f64 / 49.0);
+                assert!((0.0..=1.0).contains(&v), "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_points_are_exact() {
+        let mut rng = Rng::seed_from_u64(2);
+        let field = NoiseField::new(4, &mut rng);
+        // At lattice coordinates the interpolation weights are 0/1.
+        let v = field.sample(0.0, 0.0);
+        assert!((v - field.lattice[0]).abs() < 1e-12);
+        let v = field.sample(1.0, 1.0);
+        assert!((v - field.lattice[24]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn field_is_spatially_correlated() {
+        let mut rng = Rng::seed_from_u64(3);
+        let field = NoiseField::new(4, &mut rng);
+        // Nearby samples differ much less than the field's global range.
+        let mut near = 0.0f64;
+        let mut far = 0.0f64;
+        let mut count = 0;
+        for i in 0..20 {
+            let x = i as f64 / 19.0 * 0.9;
+            near += (field.sample(x, 0.5) - field.sample(x + 0.01, 0.5)).abs();
+            far += (field.sample(x, 0.1) - field.sample(x, 0.9)).abs();
+            count += 1;
+        }
+        assert!(near / count as f64 * 5.0 < far / count as f64 + 0.2);
+    }
+
+    #[test]
+    fn clamps_out_of_range_coordinates() {
+        let mut rng = Rng::seed_from_u64(4);
+        let field = NoiseField::new(3, &mut rng);
+        assert_eq!(field.sample(-1.0, -5.0), field.sample(0.0, 0.0));
+        assert_eq!(field.sample(2.0, 7.0), field.sample(1.0, 1.0));
+    }
+
+    #[test]
+    fn fractal_combines_octaves() {
+        let mut rng = Rng::seed_from_u64(5);
+        let f = NoiseField::fractal(4, 3, &mut rng);
+        for i in 0..25 {
+            let v = f.sample(i as f64 / 24.0, 0.3);
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = Rng::seed_from_u64(9);
+        let mut r2 = Rng::seed_from_u64(9);
+        let f1 = NoiseField::new(6, &mut r1);
+        let f2 = NoiseField::new(6, &mut r2);
+        assert_eq!(f1.sample(0.37, 0.81), f2.sample(0.37, 0.81));
+    }
+}

@@ -1,0 +1,79 @@
+//! Node placement in the deployment area (§5.1.1).
+//!
+//! The synthetic experiments distribute nodes uniformly at random in a
+//! rectangular area (200 m × 200 m by default) and re-position them between
+//! simulation runs. Positions are plain `(x, y)` tuples in meters so this
+//! crate stays independent of `wsn-net`.
+
+use crate::rng::Rng;
+
+/// Uniformly random positions for `sensor_count` sensors plus a root.
+///
+/// The root (index 0 of the returned vector) is placed uniformly as well —
+/// the paper selects a random node as root between runs; placing the sink
+/// like any other node is equivalent in distribution.
+pub fn uniform(sensor_count: usize, width: f64, height: f64, rng: &mut Rng) -> Vec<(f64, f64)> {
+    (0..=sensor_count)
+        .map(|_| (rng.range_f64(0.0, width), rng.range_f64(0.0, height)))
+        .collect()
+}
+
+/// Places the root at the center of the area and sensors uniformly.
+/// Useful for examples and tests where a predictable sink helps.
+pub fn uniform_center_root(
+    sensor_count: usize,
+    width: f64,
+    height: f64,
+    rng: &mut Rng,
+) -> Vec<(f64, f64)> {
+    let mut positions = Vec::with_capacity(sensor_count + 1);
+    positions.push((width / 2.0, height / 2.0));
+    for _ in 0..sensor_count {
+        positions.push((rng.range_f64(0.0, width), rng.range_f64(0.0, height)));
+    }
+    positions
+}
+
+/// A regular `cols × rows` grid with `spacing` meters between neighbors,
+/// root in the corner. Deterministic; used by unit tests and examples.
+pub fn grid(cols: usize, rows: usize, spacing: f64) -> Vec<(f64, f64)> {
+    let mut positions = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            positions.push((c as f64 * spacing, r as f64 * spacing));
+        }
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds_and_count() {
+        let mut rng = Rng::seed_from_u64(1);
+        let pos = uniform(100, 200.0, 150.0, &mut rng);
+        assert_eq!(pos.len(), 101);
+        for &(x, y) in &pos {
+            assert!((0.0..200.0).contains(&x));
+            assert!((0.0..150.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn center_root_is_centered() {
+        let mut rng = Rng::seed_from_u64(2);
+        let pos = uniform_center_root(10, 100.0, 60.0, &mut rng);
+        assert_eq!(pos[0], (50.0, 30.0));
+        assert_eq!(pos.len(), 11);
+    }
+
+    #[test]
+    fn grid_has_expected_layout() {
+        let pos = grid(3, 2, 5.0);
+        assert_eq!(pos.len(), 6);
+        assert_eq!(pos[0], (0.0, 0.0));
+        assert_eq!(pos[4], (5.0, 5.0));
+    }
+}

@@ -1,0 +1,319 @@
+//! Synthetic barometric-pressure traces (§5.1.3 substitution).
+//!
+//! The paper's real dataset — 1022 air-pressure traces extracted from the
+//! "Live from Earth and Mars" project — is no longer obtainable. Following
+//! the substitution rule in DESIGN.md §5, we generate traces with the same
+//! properties the experiments exploit:
+//!
+//! * strong temporal correlation (pressure changes slowly),
+//! * occasional trend changes (weather systems),
+//! * spatial correlation between node offsets (used by the SOM placement),
+//! * a realistic absolute range, so that the *optimistic* (observed
+//!   min/max) and *pessimistic* (all-time earth record, 856–1086 hPa)
+//!   scalings of §5.2.5 differ meaningfully.
+//!
+//! Each trace is `regional(t) + offset_i + jitter`, where `regional` is a
+//! sum of two mean-reverting (Ornstein–Uhlenbeck-like) processes — a fast
+//! small one and a slow weather-system one — plus a diurnal harmonic.
+//! Values are in **tenths of hPa** to match the paper's integer universe.
+
+use crate::rng::Rng;
+use crate::{Dataset, Value};
+
+/// Earth's record-low sea-level pressure, tenths of hPa (paper: 856 hPa).
+pub const RECORD_MIN: Value = 8560;
+/// Earth's record-high sea-level pressure, tenths of hPa (paper: 1086 hPa).
+pub const RECORD_MAX: Value = 10860;
+
+/// How the integer universe `[r_min, r_max]` is chosen (§5.2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeSetting {
+    /// `r_min`/`r_max` = observed min/max of the whole dataset.
+    Optimistic,
+    /// `r_min`/`r_max` = 856/1086 hPa, the all-time records.
+    Pessimistic,
+}
+
+/// Parameters of the pressure dataset.
+#[derive(Debug, Clone)]
+pub struct PressureConfig {
+    /// Number of sensor nodes (paper: 1022).
+    pub sensor_count: usize,
+    /// Raw trace length in underlying time steps. Rounds consume
+    /// `skip` steps each, so `steps >= rounds * skip` is required.
+    pub steps: usize,
+    /// Sampling stride: round `t` reads raw step `t * skip` (§5.2.5 skips
+    /// an increasing number of samples between rounds).
+    pub skip: u32,
+    /// Range scaling mode.
+    pub range: RangeSetting,
+    /// Mean pressure, tenths of hPa.
+    pub base: f64,
+    /// Diurnal harmonic amplitude, tenths of hPa.
+    pub diurnal_amplitude: f64,
+    /// Underlying steps per day for the diurnal harmonic.
+    pub steps_per_day: usize,
+    /// Std-dev of per-node offsets, tenths of hPa.
+    pub offset_sigma: f64,
+}
+
+impl Default for PressureConfig {
+    fn default() -> Self {
+        PressureConfig {
+            sensor_count: 1022,
+            steps: 8192,
+            skip: 1,
+            range: RangeSetting::Optimistic,
+            base: 10130.0, // 1013 hPa
+            diurnal_amplitude: 15.0,
+            steps_per_day: 288,
+            offset_sigma: 20.0,
+        }
+    }
+}
+
+/// The generated pressure dataset.
+#[derive(Debug, Clone)]
+pub struct PressureDataset {
+    config: PressureConfig,
+    regional: Vec<f64>,
+    offsets: Vec<f64>,
+    r_min: Value,
+    r_max: Value,
+    rng: Rng,
+}
+
+impl PressureDataset {
+    /// Generates the dataset.
+    pub fn generate(config: PressureConfig, rng: &mut Rng) -> Self {
+        assert!(config.sensor_count > 0, "need sensors");
+        assert!(config.steps > 0, "need at least one step");
+        assert!(config.skip >= 1, "skip must be at least 1");
+
+        // Two mean-reverting processes: fast/small + slow weather system.
+        let mut fast = 0.0f64;
+        let mut slow = 0.0f64;
+        let mut regional = Vec::with_capacity(config.steps);
+        for s in 0..config.steps {
+            fast += -0.05 * fast + 1.5 * rng.next_gaussian();
+            slow += -0.004 * slow + 1.2 * rng.next_gaussian();
+            let diurnal = config.diurnal_amplitude
+                * (std::f64::consts::TAU * s as f64 / config.steps_per_day as f64).sin();
+            regional.push(config.base + fast + slow + diurnal);
+        }
+
+        let offsets: Vec<f64> = (0..config.sensor_count)
+            .map(|_| rng.next_gaussian() * config.offset_sigma)
+            .collect();
+
+        let (r_min, r_max) = match config.range {
+            RangeSetting::Pessimistic => (RECORD_MIN, RECORD_MAX),
+            RangeSetting::Optimistic => {
+                // Observed min/max over all nodes and steps, with the ±1
+                // jitter margin included.
+                let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &r in &regional {
+                    lo = lo.min(r);
+                    hi = hi.max(r);
+                }
+                let (mut o_lo, mut o_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+                for &o in &offsets {
+                    o_lo = o_lo.min(o);
+                    o_hi = o_hi.max(o);
+                }
+                (
+                    (lo + o_lo - 1.0).floor() as Value,
+                    (hi + o_hi + 1.0).ceil() as Value,
+                )
+            }
+        };
+
+        PressureDataset {
+            config,
+            regional,
+            offsets,
+            r_min,
+            r_max,
+            rng: rng.fork(),
+        }
+    }
+
+    /// The first measurement of every node — the SOM placement feature
+    /// (§5.1.3: "feature vectors of size one ... containing the first
+    /// measurement of each node").
+    pub fn first_measurements(&self) -> Vec<Value> {
+        let mut out = vec![0; self.config.sensor_count];
+        let r0 = self.regional[0];
+        for (o, &off) in out.iter_mut().zip(&self.offsets) {
+            *o = ((r0 + off).round() as Value).clamp(self.r_min, self.r_max);
+        }
+        out
+    }
+
+    /// Number of rounds available at the configured skip.
+    pub fn available_rounds(&self) -> u32 {
+        (self.config.steps as u32).div_ceil(self.config.skip.max(1)) // at least steps/skip
+    }
+}
+
+impl Dataset for PressureDataset {
+    fn sensor_count(&self) -> usize {
+        self.config.sensor_count
+    }
+
+    fn range_min(&self) -> Value {
+        self.r_min
+    }
+
+    fn range_max(&self) -> Value {
+        self.r_max
+    }
+
+    fn sample_round(&mut self, t: u32, out: &mut [Value]) {
+        assert_eq!(out.len(), self.config.sensor_count);
+        let step = (t as usize * self.config.skip as usize).min(self.regional.len() - 1);
+        let r = self.regional[step];
+        for (o, &off) in out.iter_mut().zip(&self.offsets) {
+            let jitter = self.rng.range_i64(-1, 1) as f64;
+            *o = ((r + off + jitter).round() as Value).clamp(self.r_min, self.r_max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn median(mut xs: Vec<Value>) -> Value {
+        xs.sort_unstable();
+        xs[xs.len() / 2]
+    }
+
+    #[test]
+    fn values_respect_range_in_both_settings() {
+        for range in [RangeSetting::Optimistic, RangeSetting::Pessimistic] {
+            let mut rng = Rng::seed_from_u64(1);
+            let cfg = PressureConfig {
+                sensor_count: 100,
+                steps: 600,
+                range,
+                ..PressureConfig::default()
+            };
+            let mut ds = PressureDataset::generate(cfg, &mut rng);
+            let mut out = vec![0; 100];
+            for t in 0..500 {
+                ds.sample_round(t, &mut out);
+                for &v in &out {
+                    assert!(v >= ds.range_min() && v <= ds.range_max());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pessimistic_range_is_wider() {
+        let mut rng = Rng::seed_from_u64(2);
+        let opt = PressureDataset::generate(
+            PressureConfig {
+                sensor_count: 50,
+                steps: 500,
+                ..PressureConfig::default()
+            },
+            &mut rng,
+        );
+        let mut rng = Rng::seed_from_u64(2);
+        let pes = PressureDataset::generate(
+            PressureConfig {
+                sensor_count: 50,
+                steps: 500,
+                range: RangeSetting::Pessimistic,
+                ..PressureConfig::default()
+            },
+            &mut rng,
+        );
+        assert!(pes.range_size() > opt.range_size());
+        assert_eq!(pes.range_min(), RECORD_MIN);
+        assert_eq!(pes.range_max(), RECORD_MAX);
+    }
+
+    #[test]
+    fn consecutive_medians_are_correlated() {
+        let mut rng = Rng::seed_from_u64(3);
+        let cfg = PressureConfig {
+            sensor_count: 200,
+            steps: 600,
+            ..PressureConfig::default()
+        };
+        let mut ds = PressureDataset::generate(cfg, &mut rng);
+        let mut out = vec![0; 200];
+        let mut prev: Option<Value> = None;
+        let mut total_jump = 0i64;
+        for t in 0..200 {
+            ds.sample_round(t, &mut out);
+            let m = median(out.clone());
+            if let Some(p) = prev {
+                total_jump += (m - p).abs();
+            }
+            prev = Some(m);
+        }
+        // Mean jump should be a handful of tenths of hPa per round.
+        assert!(total_jump / 199 < 20, "mean jump {}", total_jump / 199);
+    }
+
+    #[test]
+    fn larger_skip_means_larger_jumps() {
+        let measure = |skip: u32| {
+            let mut rng = Rng::seed_from_u64(4);
+            let cfg = PressureConfig {
+                sensor_count: 200,
+                steps: 4000,
+                skip,
+                ..PressureConfig::default()
+            };
+            let mut ds = PressureDataset::generate(cfg, &mut rng);
+            let mut out = vec![0; 200];
+            let mut prev: Option<Value> = None;
+            let mut total = 0i64;
+            for t in 0..200 {
+                ds.sample_round(t, &mut out);
+                let m = median(out.clone());
+                if let Some(p) = prev {
+                    total += (m - p as Value).abs();
+                }
+                prev = Some(m);
+            }
+            total
+        };
+        assert!(measure(16) > measure(1), "skip must amplify jumps");
+    }
+
+    #[test]
+    fn first_measurements_match_round_zero_up_to_jitter() {
+        let mut rng = Rng::seed_from_u64(5);
+        let cfg = PressureConfig {
+            sensor_count: 50,
+            steps: 100,
+            ..PressureConfig::default()
+        };
+        let mut ds = PressureDataset::generate(cfg, &mut rng);
+        let firsts = ds.first_measurements();
+        let mut out = vec![0; 50];
+        ds.sample_round(0, &mut out);
+        for (&f, &o) in firsts.iter().zip(&out) {
+            assert!((f - o).abs() <= 2, "first {f} vs round0 {o}");
+        }
+    }
+
+    #[test]
+    fn available_rounds_accounts_for_skip() {
+        let mut rng = Rng::seed_from_u64(6);
+        let cfg = PressureConfig {
+            sensor_count: 5,
+            steps: 1000,
+            skip: 4,
+            ..PressureConfig::default()
+        };
+        let ds = PressureDataset::generate(cfg, &mut rng);
+        assert_eq!(ds.available_rounds(), 250);
+    }
+}

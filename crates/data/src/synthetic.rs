@@ -1,0 +1,233 @@
+//! The synthetic sinusoidal workload (§5.1.2, §5.1.7).
+//!
+//! Initial values come from an interpolated-noise image sampled at each
+//! node's position (spatial correlation), plus a small dither so more than
+//! 256 distinct values occur, scaled to the integer range. Over time a
+//! global sinusoid with period `τ` shifts all measurements (temporal
+//! correlation) and per-node uniform noise of magnitude `ψ` percent of the
+//! sine amplitude is added (§5.2.3: noise changes individual measurements
+//! while barely moving the median).
+
+use crate::noise::NoiseField;
+use crate::rng::Rng;
+use crate::{Dataset, Value};
+
+/// Parameters of the synthetic dataset. Defaults follow Table 2 and
+/// DESIGN.md §3.4.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Width of the deployment area in meters (paper: 200 m).
+    pub area_width: f64,
+    /// Height of the deployment area in meters (paper: 200 m).
+    pub area_height: f64,
+    /// Number of values in the integer universe (`r = [0, range_size)`).
+    pub range_size: u64,
+    /// Lattice cells of the noise image (spatial frequency).
+    pub noise_cells: usize,
+    /// Sine amplitude as a fraction of the range (DESIGN.md: 0.25).
+    pub amplitude_fraction: f64,
+    /// Period `τ` of the sinusoid, in rounds (Table 2: 250…8).
+    pub period: u32,
+    /// Noise `ψ` in percent of the sine amplitude (Table 2: 0…50).
+    pub noise_percent: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            area_width: 200.0,
+            area_height: 200.0,
+            range_size: 1024,
+            noise_cells: 6,
+            amplitude_fraction: 0.25,
+            period: 125,
+            noise_percent: 10.0,
+        }
+    }
+}
+
+/// The generated dataset: per-node base values plus the temporal process.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    config: SyntheticConfig,
+    base: Vec<f64>,
+    amplitude: f64,
+    rng: Rng,
+}
+
+impl SyntheticDataset {
+    /// Builds the dataset for sensors at `positions` (meters; the root is
+    /// *not* included — it takes no measurements).
+    pub fn generate(config: SyntheticConfig, positions: &[(f64, f64)], rng: &mut Rng) -> Self {
+        assert!(config.range_size >= 2, "need a non-trivial value range");
+        assert!(config.period >= 1, "period must be at least one round");
+        assert!(
+            (0.0..=100.0).contains(&config.noise_percent),
+            "ψ is a percentage"
+        );
+        let field = NoiseField::new(config.noise_cells.max(1), rng);
+        let amplitude = config.amplitude_fraction * config.range_size as f64;
+        // Keep the base band inside [amplitude, range - amplitude] so the
+        // sinusoid rarely clamps and the median follows it cleanly.
+        let lo = amplitude;
+        let hi = (config.range_size as f64 - 1.0 - amplitude).max(lo + 1.0);
+        let base = positions
+            .iter()
+            .map(|&(x, y)| {
+                let u = field.sample(x / config.area_width, y / config.area_height);
+                // Quantize to 256 grey levels like the input image, then
+                // dither by < 1/255 of the image range (§5.1.2).
+                let grey = (u * 255.0).round() / 255.0;
+                let dithered = (grey + (rng.next_f64() - 0.5) / 255.0).clamp(0.0, 1.0);
+                lo + dithered * (hi - lo)
+            })
+            .collect();
+        SyntheticDataset {
+            config,
+            base,
+            amplitude,
+            rng: rng.fork(),
+        }
+    }
+
+    /// The sine amplitude in value units.
+    pub fn amplitude(&self) -> f64 {
+        self.amplitude
+    }
+}
+
+impl Dataset for SyntheticDataset {
+    fn sensor_count(&self) -> usize {
+        self.base.len()
+    }
+
+    fn range_min(&self) -> Value {
+        0
+    }
+
+    fn range_max(&self) -> Value {
+        self.config.range_size as Value - 1
+    }
+
+    fn sample_round(&mut self, t: u32, out: &mut [Value]) {
+        assert_eq!(out.len(), self.base.len());
+        let phase = std::f64::consts::TAU * t as f64 / self.config.period as f64;
+        let shift = self.amplitude * phase.sin();
+        let noise_mag = self.config.noise_percent / 100.0 * self.amplitude;
+        let max = self.range_max();
+        for (o, &b) in out.iter_mut().zip(&self.base) {
+            let eta = if noise_mag > 0.0 {
+                self.rng.range_f64(-noise_mag, noise_mag)
+            } else {
+                0.0
+            };
+            *o = ((b + shift + eta).round() as Value).clamp(0, max);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn positions(n: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = Rng::seed_from_u64(seed);
+        crate::placement::uniform(n, 200.0, 200.0, &mut rng)[1..].to_vec()
+    }
+
+    fn median(xs: &mut [Value]) -> Value {
+        xs.sort_unstable();
+        xs[xs.len() / 2]
+    }
+
+    #[test]
+    fn values_stay_in_range() {
+        let mut rng = Rng::seed_from_u64(1);
+        let pos = positions(300, 2);
+        let mut ds = SyntheticDataset::generate(SyntheticConfig::default(), &pos, &mut rng);
+        let mut out = vec![0; 300];
+        for t in 0..300 {
+            ds.sample_round(t, &mut out);
+            for &v in &out {
+                assert!(v >= ds.range_min() && v <= ds.range_max());
+            }
+        }
+    }
+
+    #[test]
+    fn median_follows_the_sinusoid() {
+        let mut rng = Rng::seed_from_u64(3);
+        let pos = positions(500, 4);
+        let cfg = SyntheticConfig {
+            period: 100,
+            noise_percent: 0.0,
+            ..SyntheticConfig::default()
+        };
+        let mut ds = SyntheticDataset::generate(cfg, &pos, &mut rng);
+        let mut out = vec![0; 500];
+        ds.sample_round(0, &mut out);
+        let m0 = median(&mut out.clone());
+        ds.sample_round(25, &mut out); // quarter period: +amplitude
+        let m25 = median(&mut out.clone());
+        ds.sample_round(75, &mut out); // three quarters: −amplitude
+        let m75 = median(&mut out.clone());
+        assert!(m25 > m0 + 100, "m0={m0} m25={m25}");
+        assert!(m75 < m0 - 100, "m0={m0} m75={m75}");
+    }
+
+    #[test]
+    fn zero_noise_makes_rounds_reproducible() {
+        let mut rng = Rng::seed_from_u64(5);
+        let pos = positions(50, 6);
+        let cfg = SyntheticConfig {
+            noise_percent: 0.0,
+            ..SyntheticConfig::default()
+        };
+        let mut ds = SyntheticDataset::generate(cfg, &pos, &mut rng);
+        let mut a = vec![0; 50];
+        let mut b = vec![0; 50];
+        ds.sample_round(7, &mut a);
+        ds.sample_round(7, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_perturbs_individual_measurements() {
+        let mut rng = Rng::seed_from_u64(7);
+        let pos = positions(200, 8);
+        let cfg = SyntheticConfig {
+            noise_percent: 50.0,
+            ..SyntheticConfig::default()
+        };
+        let mut ds = SyntheticDataset::generate(cfg, &pos, &mut rng);
+        let mut a = vec![0; 200];
+        let mut b = vec![0; 200];
+        ds.sample_round(7, &mut a);
+        ds.sample_round(7, &mut b);
+        assert_ne!(a, b, "noise should differ between samplings");
+        // ... but the median barely moves (robustness, §1).
+        let (ma, mb) = (median(&mut a), median(&mut b));
+        assert!((ma - mb).abs() < 40, "ma={ma} mb={mb}");
+    }
+
+    #[test]
+    fn spatially_close_nodes_get_similar_bases() {
+        let mut rng = Rng::seed_from_u64(11);
+        let pos = vec![(50.0, 50.0), (51.0, 50.0), (150.0, 150.0)];
+        let ds = SyntheticDataset::generate(SyntheticConfig::default(), &pos, &mut rng);
+        let d_near = (ds.base[0] - ds.base[1]).abs();
+        let d_far = (ds.base[0] - ds.base[2]).abs();
+        assert!(d_near < d_far + 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn rejects_bad_noise_percent() {
+        let mut rng = Rng::seed_from_u64(1);
+        let cfg = SyntheticConfig {
+            noise_percent: 120.0,
+            ..SyntheticConfig::default()
+        };
+        let _ = SyntheticDataset::generate(cfg, &[(0.0, 0.0)], &mut rng);
+    }
+}

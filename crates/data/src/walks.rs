@@ -1,0 +1,212 @@
+//! Additional temporal processes beyond the paper's sinusoid: per-node
+//! random walks (strong temporal, weak spatial correlation) and
+//! regime-switching workloads (calm drift alternating with turbulence).
+//!
+//! Neither appears in the paper's evaluation; they exist to probe the
+//! protocols outside the sinusoidal comfort zone — the random walk for
+//! filter-based validation (every node moves every round, but slowly), the
+//! regime switcher as the natural stress test for the adaptive HBC↔IQ
+//! meta-protocol.
+
+use crate::rng::Rng;
+use crate::{Dataset, Value};
+
+/// Per-node bounded random walks.
+#[derive(Debug, Clone)]
+pub struct RandomWalkDataset {
+    range_min: Value,
+    range_max: Value,
+    /// Maximum per-round step per node (uniform in `[-step, step]`).
+    step: Value,
+    state: Vec<Value>,
+    rng: Rng,
+    last_round: Option<u32>,
+}
+
+impl RandomWalkDataset {
+    /// Creates walks for `n` sensors over `[range_min, range_max]`,
+    /// starting at uniformly random positions.
+    ///
+    /// # Panics
+    /// Panics on an empty range, zero nodes or a non-positive step.
+    pub fn new(n: usize, range_min: Value, range_max: Value, step: Value, rng: &mut Rng) -> Self {
+        assert!(n > 0, "need at least one sensor");
+        assert!(range_min <= range_max, "empty range");
+        assert!(step >= 1, "step must be positive");
+        let state = (0..n).map(|_| rng.range_i64(range_min, range_max)).collect();
+        RandomWalkDataset {
+            range_min,
+            range_max,
+            step,
+            state,
+            rng: rng.fork(),
+            last_round: None,
+        }
+    }
+}
+
+impl Dataset for RandomWalkDataset {
+    fn sensor_count(&self) -> usize {
+        self.state.len()
+    }
+    fn range_min(&self) -> Value {
+        self.range_min
+    }
+    fn range_max(&self) -> Value {
+        self.range_max
+    }
+    fn sample_round(&mut self, t: u32, out: &mut [Value]) {
+        assert_eq!(out.len(), self.state.len());
+        // Walks are stateful: advance only when a new round is requested
+        // (re-sampling the same round must be idempotent).
+        if self.last_round != Some(t) {
+            if self.last_round.is_some() || t > 0 {
+                for v in &mut self.state {
+                    let delta = self.rng.range_i64(-self.step, self.step);
+                    *v = (*v + delta).clamp(self.range_min, self.range_max);
+                }
+            }
+            self.last_round = Some(t);
+        }
+        out.copy_from_slice(&self.state);
+    }
+}
+
+/// Alternating calm/turbulent regimes.
+#[derive(Debug, Clone)]
+pub struct RegimeDataset {
+    range_min: Value,
+    range_max: Value,
+    /// Rounds per regime phase.
+    phase_len: u32,
+    /// Per-round drift during calm phases.
+    drift: Value,
+    base: Vec<Value>,
+    rng: Rng,
+}
+
+impl RegimeDataset {
+    /// Creates the workload: calm phases drift all values by `drift` per
+    /// round; turbulent phases draw every measurement uniformly anew.
+    pub fn new(
+        n: usize,
+        range_min: Value,
+        range_max: Value,
+        phase_len: u32,
+        drift: Value,
+        rng: &mut Rng,
+    ) -> Self {
+        assert!(n > 0 && range_min <= range_max && phase_len >= 1);
+        let span = range_max - range_min;
+        let base = (0..n)
+            .map(|_| range_min + span / 4 + rng.range_i64(0, (span / 4).max(1)))
+            .collect();
+        RegimeDataset {
+            range_min,
+            range_max,
+            phase_len,
+            drift,
+            base,
+            rng: rng.fork(),
+        }
+    }
+
+    /// True iff round `t` falls into a turbulent phase.
+    pub fn is_turbulent(&self, t: u32) -> bool {
+        (t / self.phase_len) % 2 == 1
+    }
+}
+
+impl Dataset for RegimeDataset {
+    fn sensor_count(&self) -> usize {
+        self.base.len()
+    }
+    fn range_min(&self) -> Value {
+        self.range_min
+    }
+    fn range_max(&self) -> Value {
+        self.range_max
+    }
+    fn sample_round(&mut self, t: u32, out: &mut [Value]) {
+        assert_eq!(out.len(), self.base.len());
+        if self.is_turbulent(t) {
+            for o in out.iter_mut() {
+                *o = self.rng.range_i64(self.range_min, self.range_max);
+            }
+        } else {
+            let shift = (t % self.phase_len) as Value * self.drift;
+            for (o, &b) in out.iter_mut().zip(&self.base) {
+                *o = (b + shift).clamp(self.range_min, self.range_max);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_stays_in_range_and_moves_slowly() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut ds = RandomWalkDataset::new(50, 0, 1023, 5, &mut rng);
+        let mut prev = vec![0; 50];
+        ds.sample_round(0, &mut prev);
+        let mut cur = vec![0; 50];
+        for t in 1..100 {
+            ds.sample_round(t, &mut cur);
+            for (i, (&p, &c)) in prev.iter().zip(&cur).enumerate() {
+                assert!((0..=1023).contains(&c), "node {i} out of range");
+                assert!((p - c).abs() <= 5, "node {i} jumped {p} -> {c}");
+            }
+            prev.copy_from_slice(&cur);
+        }
+    }
+
+    #[test]
+    fn walk_resampling_same_round_is_idempotent() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut ds = RandomWalkDataset::new(10, 0, 100, 3, &mut rng);
+        let mut a = vec![0; 10];
+        let mut b = vec![0; 10];
+        ds.sample_round(4, &mut a);
+        ds.sample_round(4, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn regimes_alternate() {
+        let mut rng = Rng::seed_from_u64(3);
+        let ds = RegimeDataset::new(10, 0, 1000, 25, 3, &mut rng);
+        assert!(!ds.is_turbulent(0));
+        assert!(!ds.is_turbulent(24));
+        assert!(ds.is_turbulent(25));
+        assert!(ds.is_turbulent(49));
+        assert!(!ds.is_turbulent(50));
+    }
+
+    #[test]
+    fn calm_phase_is_a_clean_drift() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut ds = RegimeDataset::new(20, 0, 10_000, 50, 4, &mut rng);
+        let mut a = vec![0; 20];
+        let mut b = vec![0; 20];
+        ds.sample_round(3, &mut a);
+        ds.sample_round(4, &mut b);
+        for (&x, &y) in a.iter().zip(&b) {
+            assert_eq!(y - x, 4, "calm drift must be uniform");
+        }
+    }
+
+    #[test]
+    fn turbulent_phase_is_wild_but_in_range() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut ds = RegimeDataset::new(100, 0, 1000, 10, 2, &mut rng);
+        let mut out = vec![0; 100];
+        ds.sample_round(15, &mut out);
+        assert!(out.iter().all(|&v| (0..=1000).contains(&v)));
+        // With 100 uniform draws, values should spread widely.
+        let spread = out.iter().max().unwrap() - out.iter().min().unwrap();
+        assert!(spread > 500, "spread {spread}");
+    }
+}

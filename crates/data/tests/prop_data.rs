@@ -1,0 +1,123 @@
+//! Property-based tests of the dataset generators.
+
+use proptest::prelude::*;
+use wsn_data::pressure::{PressureConfig, RangeSetting};
+use wsn_data::som::som_placement;
+use wsn_data::synthetic::{SyntheticConfig, SyntheticDataset};
+use wsn_data::{Dataset, PressureDataset, Rng};
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn rng_below_respects_bound(seed in 0u64..1000, n in 1u64..1_000_000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn rng_range_respects_bounds(seed in 0u64..1000, lo in -1000i64..1000, width in 0i64..500) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let hi = lo + width;
+        for _ in 0..50 {
+            let v = rng.range_i64(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn synthetic_values_always_in_range(
+        seed in 0u64..500,
+        n in 1usize..80,
+        period in 1u32..300,
+        noise in 0.0f64..100.0,
+        range_size in 2u64..4096,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let pos: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.range_f64(0.0, 200.0), rng.range_f64(0.0, 200.0)))
+            .collect();
+        let cfg = SyntheticConfig {
+            period,
+            noise_percent: noise,
+            range_size,
+            ..SyntheticConfig::default()
+        };
+        let mut ds = SyntheticDataset::generate(cfg, &pos, &mut rng);
+        let mut out = vec![0; n];
+        for t in [0u32, 1, period / 2, period, period * 2 + 3] {
+            ds.sample_round(t, &mut out);
+            for &v in &out {
+                prop_assert!(v >= ds.range_min() && v <= ds.range_max());
+            }
+        }
+    }
+
+    #[test]
+    fn pressure_values_always_in_range(
+        seed in 0u64..200,
+        n in 1usize..60,
+        skip in 1u32..20,
+        pessimistic in proptest::bool::ANY,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let cfg = PressureConfig {
+            sensor_count: n,
+            steps: 200,
+            skip,
+            range: if pessimistic { RangeSetting::Pessimistic } else { RangeSetting::Optimistic },
+            ..PressureConfig::default()
+        };
+        let mut ds = PressureDataset::generate(cfg, &mut rng);
+        prop_assert!(ds.range_min() < ds.range_max());
+        let mut out = vec![0; n];
+        for t in [0u32, 1, 50, 500] {
+            ds.sample_round(t, &mut out);
+            for &v in &out {
+                prop_assert!(v >= ds.range_min() && v <= ds.range_max());
+            }
+        }
+    }
+
+    #[test]
+    fn som_placement_stays_in_area(
+        seed in 0u64..200,
+        features in prop::collection::vec(0i64..10_000, 2..150),
+        w in 10.0f64..400.0,
+        h in 10.0f64..400.0,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let pos = som_placement(&features, w, h, &mut rng);
+        prop_assert_eq!(pos.len(), features.len());
+        for &(x, y) in &pos {
+            prop_assert!((0.0..=w).contains(&x));
+            prop_assert!((0.0..=h).contains(&y));
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic_per_seed(seed in 0u64..500) {
+        let make = |seed: u64| {
+            let mut rng = Rng::seed_from_u64(seed);
+            let pos = vec![(10.0, 10.0), (50.0, 70.0), (150.0, 30.0)];
+            let mut ds = SyntheticDataset::generate(SyntheticConfig::default(), &pos, &mut rng);
+            let mut out = vec![0; 3];
+            ds.sample_round(5, &mut out);
+            out
+        };
+        prop_assert_eq!(make(seed), make(seed));
+    }
+
+    #[test]
+    fn range_size_is_consistent(lo_seed in 0u64..100) {
+        let mut rng = Rng::seed_from_u64(lo_seed);
+        let pos = vec![(1.0, 1.0); 5];
+        let ds = SyntheticDataset::generate(SyntheticConfig::default(), &pos, &mut rng);
+        prop_assert_eq!(ds.range_size(), (ds.range_max() - ds.range_min() + 1) as u64);
+    }
+}

@@ -1,0 +1,200 @@
+//! Bit-level message codec.
+//!
+//! The energy model charges payloads by the bit (§5.1.4), using the size
+//! formulas in each payload's [`crate::Aggregate::payload_bits`]. This
+//! module provides the bit-exact writer/reader those formulas describe, so
+//! the accounting can be *certified*: `cqp-core`'s wire tests encode every
+//! payload type and assert that the produced bit count equals the charged
+//! one, and that decoding restores the payload.
+//!
+//! Fields use fixed widths from [`crate::MessageSizes`] (16-bit values and
+//! counters, 16-bit bucket counts, 8-bit bucket indices by default);
+//! values are offset-encoded against the query range by the caller when
+//! the universe exceeds the field width.
+
+/// Writes integers of arbitrary bit width, MSB-first.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Number of valid bits in the buffer.
+    len_bits: u64,
+}
+
+impl BitWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Appends the `width` low bits of `value`, MSB-first.
+    ///
+    /// # Panics
+    /// Panics if `width > 64` or `value` does not fit in `width` bits.
+    pub fn put(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = (value >> i) & 1;
+            let byte_idx = (self.len_bits / 8) as usize;
+            if byte_idx == self.bytes.len() {
+                self.bytes.push(0);
+            }
+            if bit == 1 {
+                self.bytes[byte_idx] |= 1 << (7 - (self.len_bits % 8));
+            }
+            self.len_bits += 1;
+        }
+    }
+
+    /// Appends a signed integer as `width`-bit two's complement.
+    pub fn put_signed(&mut self, value: i64, width: u32) {
+        assert!((1..=64).contains(&width));
+        let min = if width == 64 { i64::MIN } else { -(1i64 << (width - 1)) };
+        let max = if width == 64 { i64::MAX } else { (1i64 << (width - 1)) - 1 };
+        assert!(
+            (min..=max).contains(&value),
+            "value {value} does not fit signed {width} bits"
+        );
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        self.put((value as u64) & mask, width);
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// The encoded bytes (last byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// Reads integers of arbitrary bit width, MSB-first.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos_bits: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over encoded bytes.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos_bits: 0 }
+    }
+
+    /// Reads `width` bits as an unsigned integer, or `None` past the end.
+    pub fn get(&mut self, width: u32) -> Option<u64> {
+        assert!(width <= 64);
+        if self.pos_bits + width as u64 > self.bytes.len() as u64 * 8 {
+            return None;
+        }
+        let mut out = 0u64;
+        for _ in 0..width {
+            let byte = self.bytes[(self.pos_bits / 8) as usize];
+            let bit = (byte >> (7 - (self.pos_bits % 8))) & 1;
+            out = (out << 1) | bit as u64;
+            self.pos_bits += 1;
+        }
+        Some(out)
+    }
+
+    /// Reads a `width`-bit two's-complement signed integer.
+    pub fn get_signed(&mut self, width: u32) -> Option<i64> {
+        assert!((1..=64).contains(&width));
+        let raw = self.get(width)?;
+        if width == 64 {
+            return Some(raw as i64);
+        }
+        let sign_bit = 1u64 << (width - 1);
+        Some(if raw & sign_bit != 0 {
+            (raw as i64) - (1i64 << width)
+        } else {
+            raw as i64
+        })
+    }
+
+    /// Bits consumed so far.
+    pub fn pos_bits(&self) -> u64 {
+        self.pos_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0xFFFF, 16);
+        w.put(0, 1);
+        w.put(42, 7);
+        assert_eq!(w.len_bits(), 27);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(3), Some(0b101));
+        assert_eq!(r.get(16), Some(0xFFFF));
+        assert_eq!(r.get(1), Some(0));
+        assert_eq!(r.get(7), Some(42));
+        assert_eq!(r.pos_bits(), 27);
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let mut w = BitWriter::new();
+        for v in [-32768i64, -1, 0, 1, 32767] {
+            w.put_signed(v, 16);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for v in [-32768i64, -1, 0, 1, 32767] {
+            assert_eq!(r.get_signed(16), Some(v));
+        }
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut w = BitWriter::new();
+        w.put(3, 2);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(2), Some(3));
+        // The padding bits of the final byte are readable as zeros...
+        assert_eq!(r.get(6), Some(0));
+        // ...but past the buffer it is None.
+        assert_eq!(r.get(1), None);
+    }
+
+    #[test]
+    fn sixty_four_bit_fields() {
+        let mut w = BitWriter::new();
+        w.put(u64::MAX, 64);
+        w.put_signed(i64::MIN, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get(64), Some(u64::MAX));
+        assert_eq!(r.get_signed(64), Some(i64::MIN));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn overflow_is_rejected() {
+        let mut w = BitWriter::new();
+        w.put(256, 8);
+    }
+
+    #[test]
+    fn bit_length_tracks_exactly() {
+        let mut w = BitWriter::new();
+        for i in 0..100u64 {
+            w.put(i % 2, 1);
+        }
+        assert_eq!(w.len_bits(), 100);
+        assert_eq!(w.into_bytes().len(), 13); // ceil(100/8)
+    }
+}

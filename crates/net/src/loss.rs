@@ -1,0 +1,94 @@
+//! Bernoulli message-loss model (paper §6, future work).
+//!
+//! The paper assumes reliable links but names message loss — and the rank
+//! error it induces in exact quantile protocols — as the main open problem.
+//! This module provides the loss process used by the `ext-loss` experiments:
+//! each logical message is lost independently with probability `p`.
+//!
+//! The generator is a self-contained splitmix64 so that `wsn-net` stays
+//! dependency-free and runs are reproducible.
+
+/// Independent-and-identically-distributed message loss.
+#[derive(Debug, Clone)]
+pub struct LossModel {
+    p: f64,
+    state: u64,
+}
+
+impl LossModel {
+    /// Creates a loss process dropping each message with probability `p`,
+    /// seeded deterministically.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        LossModel { p, state: seed }
+    }
+
+    /// The loss probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples the fate of one message: `true` means *lost*.
+    pub fn lose(&mut self) -> bool {
+        if self.p <= 0.0 {
+            return false;
+        }
+        if self.p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < self.p
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        // splitmix64 step.
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_loses() {
+        let mut l = LossModel::new(0.0, 1);
+        assert!((0..1000).all(|_| !l.lose()));
+    }
+
+    #[test]
+    fn unit_probability_always_loses() {
+        let mut l = LossModel::new(1.0, 1);
+        assert!((0..1000).all(|_| l.lose()));
+    }
+
+    #[test]
+    fn empirical_rate_matches_p() {
+        let mut l = LossModel::new(0.2, 42);
+        let losses = (0..100_000).filter(|_| l.lose()).count();
+        let rate = losses as f64 / 100_000.0;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = LossModel::new(0.5, 7);
+        let mut b = LossModel::new(0.5, 7);
+        for _ in 0..100 {
+            assert_eq!(a.lose(), b.lose());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_probability() {
+        let _ = LossModel::new(1.5, 0);
+    }
+}

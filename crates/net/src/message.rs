@@ -1,0 +1,167 @@
+//! Message sizing and fragmentation.
+//!
+//! The paper's cost accounting is entirely size-based: a message consists of
+//! a fixed header/footer of `s_h` bits plus a payload of at most `s_p` bits
+//! (§5.1.4 derives `s_h` = 16 bytes and `s_p` = 128 bytes from IEEE
+//! 802.15.4). Payloads larger than `s_p` are fragmented into multiple
+//! messages, each paying its own header.
+
+/// All protocol field sizes, in bits. Matches Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MessageSizes {
+    /// `s_h`: header + footer size of one message, bits.
+    pub header_bits: u64,
+    /// `s_p`: maximum payload of one message, bits.
+    pub max_payload_bits: u64,
+    /// `s_v`: size of one measurement, bits.
+    pub value_bits: u64,
+    /// Size of one state counter (`into`/`outof`, `f₁`, …), bits.
+    pub counter_bits: u64,
+    /// `s_b`: size of one histogram bucket count, bits.
+    pub bucket_bits: u64,
+    /// Size of a bucket index when histograms are compressed to
+    /// (index, count) pairs, bits.
+    pub bucket_index_bits: u64,
+}
+
+impl Default for MessageSizes {
+    /// The paper's defaults: 16-byte header, 128-byte payload, two-byte
+    /// measurements/counters/bucket counts (64 measurements fit one payload,
+    /// §5.1.6).
+    fn default() -> Self {
+        MessageSizes {
+            header_bits: 16 * 8,
+            max_payload_bits: 128 * 8,
+            value_bits: 16,
+            counter_bits: 16,
+            bucket_bits: 16,
+            bucket_index_bits: 8,
+        }
+    }
+}
+
+impl MessageSizes {
+    /// `s_r`: size of a basic refinement request payload — an interval
+    /// `[lb, ub]`, i.e. two values (paper Table 1).
+    pub fn refinement_request_bits(&self) -> u64 {
+        2 * self.value_bits
+    }
+
+    /// How many measurements fit into a single payload. 64 with the paper's
+    /// defaults (§5.1.6: POS sends values directly when they fit one
+    /// message).
+    pub fn values_per_message(&self) -> usize {
+        (self.max_payload_bits / self.value_bits) as usize
+    }
+
+    /// Splits a `payload_bits`-sized payload into messages and returns the
+    /// number of messages and the **total** bits on air (payload plus one
+    /// header per fragment). A zero-size payload still costs one message:
+    /// the header itself carries the "I have something to say" signal.
+    pub fn fragment(&self, payload_bits: u64) -> (u64, u64) {
+        let fragments = payload_bits.div_ceil(self.max_payload_bits).max(1);
+        (fragments, payload_bits + fragments * self.header_bits)
+    }
+}
+
+/// Convenience builder for payload sizes, so protocol code reads like the
+/// message format it describes (`PayloadSize::new(&sizes).counters(4)
+/// .values(3).bits()`).
+#[derive(Debug, Clone, Copy)]
+pub struct PayloadSize<'a> {
+    sizes: &'a MessageSizes,
+    bits: u64,
+}
+
+impl<'a> PayloadSize<'a> {
+    /// Starts an empty payload.
+    pub fn new(sizes: &'a MessageSizes) -> Self {
+        PayloadSize { sizes, bits: 0 }
+    }
+
+    /// Adds `n` measurements.
+    pub fn values(mut self, n: usize) -> Self {
+        self.bits += n as u64 * self.sizes.value_bits;
+        self
+    }
+
+    /// Adds `n` counters.
+    pub fn counters(mut self, n: usize) -> Self {
+        self.bits += n as u64 * self.sizes.counter_bits;
+        self
+    }
+
+    /// Adds `n` plain histogram bucket counts.
+    pub fn buckets(mut self, n: usize) -> Self {
+        self.bits += n as u64 * self.sizes.bucket_bits;
+        self
+    }
+
+    /// Adds `n` compressed histogram entries: (bucket index, count) pairs.
+    /// The paper compresses histograms by dropping empty buckets ([21],
+    /// used by HBC and LCLL).
+    pub fn sparse_buckets(mut self, n: usize) -> Self {
+        self.bits += n as u64 * (self.sizes.bucket_bits + self.sizes.bucket_index_bits);
+        self
+    }
+
+    /// Adds raw bits.
+    pub fn raw_bits(mut self, bits: u64) -> Self {
+        self.bits += bits;
+        self
+    }
+
+    /// The accumulated payload size in bits.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let s = MessageSizes::default();
+        assert_eq!(s.header_bits, 128);
+        assert_eq!(s.max_payload_bits, 1024);
+        assert_eq!(s.values_per_message(), 64);
+        assert_eq!(s.refinement_request_bits(), 32);
+    }
+
+    #[test]
+    fn fragmentation_counts_headers() {
+        let s = MessageSizes::default();
+        // Empty payload: exactly one header.
+        assert_eq!(s.fragment(0), (1, 128));
+        // One payload exactly full.
+        assert_eq!(s.fragment(1024), (1, 1024 + 128));
+        // One bit over: two fragments, two headers.
+        assert_eq!(s.fragment(1025), (2, 1025 + 256));
+        // 65 values of 16 bits = 1040 bits -> 2 fragments.
+        assert_eq!(s.fragment(65 * 16), (2, 1040 + 256));
+    }
+
+    #[test]
+    fn payload_builder_accumulates() {
+        let s = MessageSizes::default();
+        let bits = PayloadSize::new(&s)
+            .counters(4)
+            .values(3)
+            .sparse_buckets(2)
+            .raw_bits(5)
+            .bits();
+        assert_eq!(bits, 4 * 16 + 3 * 16 + 2 * 24 + 5);
+    }
+
+    #[test]
+    fn values_per_message_rounds_down() {
+        let s = MessageSizes {
+            max_payload_bits: 100,
+            value_bits: 16,
+            ..MessageSizes::default()
+        };
+        assert_eq!(s.values_per_message(), 6);
+    }
+}

@@ -1,0 +1,434 @@
+//! Convergecast / broadcast engines with in-network aggregation.
+//!
+//! All quantile protocols in the paper are built from exactly two
+//! communication patterns over the routing tree:
+//!
+//! * **Convergecast** (leaf → root): every node may contribute a local
+//!   payload; intermediate nodes *merge* the payloads of their children
+//!   with their own (TAG-style aggregation) and forward a single message to
+//!   their parent — possibly pruning the merged payload first (e.g. IQ
+//!   refinement responses keep only the `f` largest values, §4.2.2).
+//!   A node stays silent iff neither it nor any descendant has anything to
+//!   say.
+//! * **Broadcast** (root → leaves): a payload flooded down the tree; every
+//!   internal node transmits once and every node receives once.
+//!
+//! The engine charges transmit/receive energy per the [`RadioModel`] and
+//! fragments payloads per [`MessageSizes`]. Protocol logic never touches the
+//! ledger directly.
+
+use crate::energy::{EnergyLedger, RadioModel};
+use crate::loss::LossModel;
+use crate::message::MessageSizes;
+use crate::topology::{NodeId, Topology};
+use crate::tree::RoutingTree;
+
+/// A mergeable convergecast payload.
+///
+/// Implementations describe both the algebra (how payloads combine) and the
+/// wire format (how many bits the payload occupies).
+pub trait Aggregate {
+    /// Merges `other` into `self` (TAG-style in-network aggregation).
+    fn merge(&mut self, other: Self);
+
+    /// Size of this payload on the wire, in bits, excluding headers.
+    fn payload_bits(&self, sizes: &MessageSizes) -> u64;
+
+    /// Number of raw measurements contained in the payload, for the
+    /// "transmitted values" statistic of §5.1. Defaults to zero for
+    /// counter-only payloads.
+    fn value_count(&self) -> usize {
+        0
+    }
+}
+
+/// Per-round traffic statistics (§5.1 performance indicators).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages transmitted (fragments count individually).
+    pub messages: u64,
+    /// Raw measurements transmitted hop-by-hop (each hop counts).
+    pub values: u64,
+    /// Total bits on air.
+    pub bits: u64,
+    /// Convergecast waves executed.
+    pub convergecasts: u64,
+    /// Broadcast waves executed.
+    pub broadcasts: u64,
+}
+
+impl TrafficStats {
+    /// Component-wise sum.
+    pub fn add(&mut self, other: &TrafficStats) {
+        self.messages += other.messages;
+        self.values += other.values;
+        self.bits += other.bits;
+        self.convergecasts += other.convergecasts;
+        self.broadcasts += other.broadcasts;
+    }
+}
+
+/// The simulated network: topology + routing tree + energy accounting.
+#[derive(Debug, Clone)]
+pub struct Network {
+    topo: Topology,
+    tree: RoutingTree,
+    model: RadioModel,
+    sizes: MessageSizes,
+    ledger: EnergyLedger,
+    stats: TrafficStats,
+    loss: Option<LossModel>,
+}
+
+impl Network {
+    /// Assembles a network from its parts.
+    pub fn new(topo: Topology, tree: RoutingTree, model: RadioModel, sizes: MessageSizes) -> Self {
+        let n = topo.len();
+        assert_eq!(n, tree.len(), "tree and topology disagree on node count");
+        Network {
+            topo,
+            tree,
+            model,
+            sizes,
+            ledger: EnergyLedger::new(n),
+            stats: TrafficStats::default(),
+            loss: None,
+        }
+    }
+
+    /// Enables Bernoulli message loss (the §6 future-work extension).
+    /// Protocols are *not* informed of losses; the resulting rank error is
+    /// what the loss experiments measure.
+    pub fn set_loss(&mut self, loss: Option<LossModel>) {
+        self.loss = loss;
+    }
+
+    /// Number of nodes including the root.
+    pub fn len(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Never true.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of sensor nodes `|N|`.
+    pub fn sensor_count(&self) -> usize {
+        self.topo.sensor_count()
+    }
+
+    /// The routing tree.
+    pub fn tree(&self) -> &RoutingTree {
+        &self.tree
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Message sizing constants.
+    pub fn sizes(&self) -> &MessageSizes {
+        &self.sizes
+    }
+
+    /// Radio model parameters.
+    pub fn model(&self) -> &RadioModel {
+        &self.model
+    }
+
+    /// The energy ledger (read access for metrics).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Cumulative traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Marks the end of a protocol round in the ledger.
+    pub fn end_round(&mut self) {
+        self.ledger.end_round();
+    }
+
+    /// Charges one unicast transmission of `payload_bits` from `from` to its
+    /// parent, with fragmentation, and returns whether the (entire) payload
+    /// arrived. Used internally and exposed for custom protocol steps.
+    pub fn charge_unicast_up(&mut self, from: NodeId, payload_bits: u64, values: usize) -> bool {
+        let parent = self
+            .tree
+            .parent(from)
+            .expect("root has no parent to send to");
+        let (fragments, total_bits) = self.sizes.fragment(payload_bits);
+        self.ledger
+            .charge_tx(from, self.model.tx_energy(total_bits, self.topo.radio_range()));
+        // The parent listens according to its schedule, so it pays for the
+        // reception even if the message is corrupted.
+        self.ledger.charge(parent, self.model.rx_energy(total_bits));
+        self.stats.messages += fragments;
+        self.stats.values += values as u64;
+        self.stats.bits += total_bits;
+        match &mut self.loss {
+            Some(loss) => !loss.lose(),
+            None => true,
+        }
+    }
+
+    /// Runs a convergecast. `local` yields each *sensor* node's own
+    /// contribution (the root takes no measurements). Returns the aggregate
+    /// that reaches the root, or `None` if every node stayed silent.
+    pub fn convergecast<T: Aggregate>(
+        &mut self,
+        local: impl FnMut(NodeId) -> Option<T>,
+    ) -> Option<T> {
+        self.convergecast_with(local, |_, _| {})
+    }
+
+    /// Runs a convergecast where every sending node may prune/transform the
+    /// merged payload before forwarding it (`prune` receives the node id and
+    /// the payload about to be sent — or, at the root, the final payload).
+    ///
+    /// Pruning at the root is deliberate: the root applies the same logic
+    /// (e.g. keeping the `f` largest values) when consuming the data.
+    pub fn convergecast_with<T: Aggregate>(
+        &mut self,
+        mut local: impl FnMut(NodeId) -> Option<T>,
+        mut prune: impl FnMut(NodeId, &mut T),
+    ) -> Option<T> {
+        self.stats.convergecasts += 1;
+        let n = self.len();
+        let mut inbox: Vec<Option<T>> = Vec::with_capacity(n);
+        inbox.resize_with(n, || None);
+
+        // bottom_up() is children-before-parents, so by the time we reach a
+        // node its inbox already holds the merged payloads of its children.
+        let order: Vec<NodeId> = self.tree.bottom_up().to_vec();
+        for u in order {
+            let from_children = inbox[u.index()].take();
+            let own = if u.is_root() { None } else { local(u) };
+            let mut combined = match (from_children, own) {
+                (Some(mut a), Some(b)) => {
+                    a.merge(b);
+                    Some(a)
+                }
+                (Some(a), None) => Some(a),
+                (None, Some(b)) => Some(b),
+                (None, None) => None,
+            };
+
+            if u.is_root() {
+                if let Some(p) = combined.as_mut() {
+                    prune(u, p);
+                }
+                return combined;
+            }
+
+            if let Some(mut payload) = combined {
+                prune(u, &mut payload);
+                let bits = payload.payload_bits(&self.sizes);
+                let arrived = self.charge_unicast_up(u, bits, payload.value_count());
+                if arrived {
+                    let parent = self.tree.parent(u).expect("non-root");
+                    let slot = &mut inbox[parent.index()];
+                    match slot {
+                        Some(existing) => existing.merge(payload),
+                        None => *slot = Some(payload),
+                    }
+                }
+            }
+        }
+        unreachable!("bottom_up order always ends at the root");
+    }
+
+    /// Floods a payload of `payload_bits` bits from the root to every node.
+    /// Returns the set of nodes that actually received it (all of them
+    /// without loss; possibly a subtree-prefix with loss enabled).
+    pub fn broadcast(&mut self, payload_bits: u64) -> Vec<bool> {
+        self.stats.broadcasts += 1;
+        let n = self.len();
+        let (fragments, total_bits) = self.sizes.fragment(payload_bits);
+        let mut received = vec![false; n];
+        received[NodeId::ROOT.index()] = true;
+
+        let order: Vec<NodeId> = self.tree.top_down().collect();
+        for u in order {
+            if !received[u.index()] || self.tree.is_leaf(u) {
+                continue;
+            }
+            // One radio transmission reaches all children (§5.1.4: receivers
+            // pay because the schedule tells them when to listen).
+            self.ledger
+                .charge_tx(u, self.model.tx_energy(total_bits, self.topo.radio_range()));
+            self.stats.messages += fragments;
+            self.stats.bits += total_bits;
+            let children: Vec<NodeId> = self.tree.children(u).to_vec();
+            for c in children {
+                self.ledger.charge(c, self.model.rx_energy(total_bits));
+                let arrived = match &mut self.loss {
+                    Some(loss) => !loss.lose(),
+                    None => true,
+                };
+                if arrived {
+                    received[c.index()] = true;
+                }
+            }
+        }
+        received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    /// Payload: a sum plus a vector of values.
+    #[derive(Debug, Clone, PartialEq)]
+    struct SumVals {
+        sum: i64,
+        vals: Vec<i64>,
+    }
+
+    impl Aggregate for SumVals {
+        fn merge(&mut self, other: Self) {
+            self.sum += other.sum;
+            self.vals.extend(other.vals);
+        }
+        fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
+            sizes.counter_bits + self.vals.len() as u64 * sizes.value_bits
+        }
+        fn value_count(&self) -> usize {
+            self.vals.len()
+        }
+    }
+
+    fn line_network(n: usize) -> Network {
+        let positions = (0..n).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let topo = Topology::build(positions, 12.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        Network::new(topo, tree, RadioModel::default(), MessageSizes::default())
+    }
+
+    #[test]
+    fn convergecast_aggregates_all_contributions() {
+        let mut net = line_network(5);
+        let agg = net
+            .convergecast(|id| {
+                Some(SumVals {
+                    sum: id.0 as i64,
+                    vals: vec![id.0 as i64 * 100],
+                })
+            })
+            .unwrap();
+        assert_eq!(agg.sum, 1 + 2 + 3 + 4);
+        let mut vals = agg.vals.clone();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn silent_nodes_send_nothing() {
+        let mut net = line_network(5);
+        let agg: Option<SumVals> = net.convergecast(|_| None);
+        assert!(agg.is_none());
+        assert_eq!(net.stats().messages, 0);
+        assert_eq!(net.ledger().max_sensor_consumption(), 0.0);
+    }
+
+    #[test]
+    fn intermediate_node_forwards_descendant_payload() {
+        let mut net = line_network(4);
+        // Only the farthest leaf (node 3) talks; nodes 2 and 1 must relay.
+        let agg = net
+            .convergecast(|id| {
+                (id == NodeId(3)).then(|| SumVals {
+                    sum: 7,
+                    vals: vec![],
+                })
+            })
+            .unwrap();
+        assert_eq!(agg.sum, 7);
+        // Three hops: 3->2, 2->1, 1->0.
+        assert_eq!(net.stats().messages, 3);
+        // Relays pay both rx and tx; leaf pays only tx; root pays only rx.
+        let e1 = net.ledger().consumed(NodeId(1));
+        let e3 = net.ledger().consumed(NodeId(3));
+        assert!(e1 > e3);
+    }
+
+    #[test]
+    fn pruning_shrinks_forwarded_payload() {
+        let mut net = line_network(4);
+        // Every node contributes 10 values; relays keep only 2.
+        let agg = net
+            .convergecast_with(
+                |id| {
+                    Some(SumVals {
+                        sum: 0,
+                        vals: vec![id.0 as i64; 10],
+                    })
+                },
+                |_, p: &mut SumVals| {
+                    p.vals.truncate(2);
+                },
+            )
+            .unwrap();
+        assert_eq!(agg.vals.len(), 2);
+        // Hop 3->2 carries 2 values, hop 2->1 carries 2 (pruned from 12)...
+        assert_eq!(net.stats().values, 6);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_and_charges_tx_per_internal_node() {
+        let mut net = line_network(4);
+        let received = net.broadcast(16);
+        assert!(received.iter().all(|&r| r));
+        // Internal nodes 0,1,2 each transmit once.
+        assert_eq!(net.stats().messages, 3);
+        assert_eq!(net.stats().broadcasts, 1);
+        // Leaf 3 only receives.
+        let total = 16 + net.sizes().header_bits;
+        let rx = net.model().rx_energy(total);
+        assert!((net.ledger().consumed(NodeId(3)) - rx).abs() < 1e-18);
+    }
+
+    #[test]
+    fn star_broadcast_single_transmission() {
+        // Root with 4 direct children: one tx, four rx.
+        let mut positions = vec![Point::new(0.0, 0.0)];
+        for i in 0..4 {
+            let a = i as f64 * std::f64::consts::FRAC_PI_2;
+            positions.push(Point::new(a.cos() * 5.0, a.sin() * 5.0));
+        }
+        let topo = Topology::build(positions, 6.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        let mut net = Network::new(topo, tree, RadioModel::default(), MessageSizes::default());
+        net.broadcast(0);
+        assert_eq!(net.stats().messages, 1);
+    }
+
+    #[test]
+    fn fragmentation_inflates_message_count() {
+        let mut net = line_network(2);
+        // 100 values of 16 bits = 1600 bits > 1024-bit payload -> 2 fragments.
+        net.convergecast(|_| {
+            Some(SumVals {
+                sum: 0,
+                vals: vec![1; 100],
+            })
+        })
+        .unwrap();
+        // One payload too big for a single message... minus the sum counter.
+        assert_eq!(net.stats().messages, 2);
+    }
+
+    #[test]
+    fn end_round_snapshots_ledger() {
+        let mut net = line_network(3);
+        net.broadcast(0);
+        net.end_round();
+        assert_eq!(net.ledger().rounds(), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! The physical network graph `G_p = (N ∪ {r}, E_p)`.
+//!
+//! Nodes are placed in a rectangular deployment area; two nodes are
+//! physically connected iff their Euclidean distance is at most the radio
+//! range `ρ` (a unit-disk graph). Node `0` is by convention the root/sink
+//! `r`: it has an infinite energy supply and takes no measurements
+//! (paper §2).
+
+use crate::geometry::Point;
+
+/// Identifier of a network node. Index `0` is always the root (sink).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The distinguished root node `r`.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Returns the node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// True iff this is the root node.
+    #[inline]
+    pub fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The physical topology: node positions plus the disk connectivity graph.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Point>,
+    radio_range: f64,
+    /// Adjacency lists of the disk graph (symmetric, no self loops).
+    neighbors: Vec<Vec<NodeId>>,
+}
+
+impl Topology {
+    /// Builds the disk graph over `positions` with radio range
+    /// `radio_range` (meters). `positions[0]` is the root.
+    ///
+    /// Uses a uniform grid spatial index so construction is roughly
+    /// `O(n · d)` where `d` is the average neighborhood size, instead of
+    /// the naive `O(n²)`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two positions are given or the range is not
+    /// strictly positive.
+    pub fn build(positions: Vec<Point>, radio_range: f64) -> Self {
+        assert!(positions.len() >= 2, "need a root and at least one sensor");
+        assert!(radio_range > 0.0, "radio range must be positive");
+
+        let n = positions.len();
+        let mut neighbors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+
+        // Grid index with cell size = radio range: all neighbors of a node
+        // lie in its own or one of the 8 surrounding cells.
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        for p in &positions {
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+        }
+        let cell = radio_range;
+        let key = |p: &Point| -> (i64, i64) {
+            (
+                ((p.x - min_x) / cell).floor() as i64,
+                ((p.y - min_y) / cell).floor() as i64,
+            )
+        };
+        let mut grid: std::collections::HashMap<(i64, i64), Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, p) in positions.iter().enumerate() {
+            grid.entry(key(p)).or_default().push(i as u32);
+        }
+
+        let range_sq = radio_range * radio_range;
+        for (i, p) in positions.iter().enumerate() {
+            let (cx, cy) = key(p);
+            for dx in -1..=1 {
+                for dy in -1..=1 {
+                    let Some(bucket) = grid.get(&(cx + dx, cy + dy)) else {
+                        continue;
+                    };
+                    for &j in bucket {
+                        if (j as usize) > i && positions[j as usize].dist_sq(p) <= range_sq {
+                            neighbors[i].push(NodeId(j));
+                            neighbors[j as usize].push(NodeId(i as u32));
+                        }
+                    }
+                }
+            }
+        }
+        for adj in &mut neighbors {
+            adj.sort_unstable();
+        }
+
+        Topology {
+            positions,
+            radio_range,
+            neighbors,
+        }
+    }
+
+    /// Total number of nodes including the root (`|N| + 1`).
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Never true: a topology always has at least a root and one sensor.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of sensor nodes `|N|` (root excluded).
+    pub fn sensor_count(&self) -> usize {
+        self.positions.len() - 1
+    }
+
+    /// The radio range ρ in meters.
+    pub fn radio_range(&self) -> f64 {
+        self.radio_range
+    }
+
+    /// Position of a node.
+    pub fn position(&self, id: NodeId) -> Point {
+        self.positions[id.index()]
+    }
+
+    /// Physical neighbors of `id` in the disk graph.
+    pub fn neighbors(&self, id: NodeId) -> &[NodeId] {
+        &self.neighbors[id.index()]
+    }
+
+    /// Returns `true` iff every node can reach the root over physical links
+    /// (the paper assumes an unpartitioned network).
+    pub fn is_connected(&self) -> bool {
+        let n = self.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![NodeId::ROOT];
+        seen[0] = true;
+        let mut visited = 0usize;
+        while let Some(u) = stack.pop() {
+            visited += 1;
+            for &v in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Iterator over all node ids, root first.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over sensor node ids (everything but the root).
+    pub fn sensor_ids(&self) -> impl Iterator<Item = NodeId> {
+        (1..self.len() as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_topology(n: usize, spacing: f64, range: f64) -> Topology {
+        let positions = (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        Topology::build(positions, range)
+    }
+
+    #[test]
+    fn disk_graph_edges_respect_range() {
+        let topo = line_topology(5, 10.0, 10.5);
+        // Each interior node sees exactly its two line neighbors.
+        assert_eq!(topo.neighbors(NodeId(2)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(topo.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert!(topo.is_connected());
+    }
+
+    #[test]
+    fn larger_range_adds_edges() {
+        let topo = line_topology(5, 10.0, 20.5);
+        assert_eq!(topo.neighbors(NodeId(2)).len(), 4);
+    }
+
+    #[test]
+    fn disconnected_topology_detected() {
+        let mut positions: Vec<Point> = (0..3).map(|i| Point::new(i as f64, 0.0)).collect();
+        positions.push(Point::new(100.0, 100.0));
+        let topo = Topology::build(positions, 2.0);
+        assert!(!topo.is_connected());
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let topo = line_topology(20, 7.0, 15.0);
+        for u in topo.node_ids() {
+            for &v in topo.neighbors(u) {
+                assert!(topo.neighbors(v).contains(&u), "{u} -> {v} not symmetric");
+                assert_ne!(u, v, "self loop at {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_index_matches_bruteforce() {
+        // Deterministic pseudo-random placement.
+        let mut s: u64 = 42;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64) / ((1u64 << 31) as f64)
+        };
+        let positions: Vec<Point> = (0..200)
+            .map(|_| Point::new(next() * 100.0, next() * 100.0))
+            .collect();
+        let range = 12.0;
+        let topo = Topology::build(positions.clone(), range);
+        for i in 0..positions.len() {
+            let mut expect: Vec<NodeId> = (0..positions.len())
+                .filter(|&j| j != i && positions[i].dist(&positions[j]) <= range)
+                .map(|j| NodeId(j as u32))
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(topo.neighbors(NodeId(i as u32)), expect.as_slice());
+        }
+    }
+
+    #[test]
+    fn counts_exclude_root() {
+        let topo = line_topology(5, 1.0, 2.0);
+        assert_eq!(topo.len(), 5);
+        assert_eq!(topo.sensor_count(), 4);
+        assert_eq!(topo.sensor_ids().count(), 4);
+        assert!(NodeId::ROOT.is_root());
+        assert!(!NodeId(1).is_root());
+    }
+}

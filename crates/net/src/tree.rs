@@ -1,0 +1,329 @@
+//! The logical routing tree `G_l = (N ∪ {r}, E_l)`.
+//!
+//! The paper reduces the physical connectivity `E_p` to an acyclic connected
+//! subset `E_l` and routes all traffic along it: every node may only talk to
+//! its parent and its children (§5.1.1). We build a *Shortest Path Tree*
+//! rooted at the sink, exactly as the paper's simulations do: BFS by hop
+//! count with Euclidean distance as the tie-breaker, which makes tree
+//! construction deterministic for a given topology.
+
+use crate::topology::{NodeId, Topology};
+
+/// A routing tree over a [`Topology`], rooted at [`NodeId::ROOT`].
+#[derive(Debug, Clone)]
+pub struct RoutingTree {
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    /// Nodes ordered children-before-parents (reverse BFS); iterating this
+    /// order performs a convergecast, the reverse a broadcast.
+    bottom_up: Vec<NodeId>,
+}
+
+impl RoutingTree {
+    /// Builds the shortest-path tree of `topo` rooted at the sink.
+    ///
+    /// # Errors
+    /// Returns `Err` with the set of unreachable nodes if the physical graph
+    /// is partitioned (the paper assumes this never happens, but callers on
+    /// random placements need to detect and resample).
+    pub fn shortest_path_tree(topo: &Topology) -> Result<Self, Vec<NodeId>> {
+        let n = topo.len();
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut depth = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+
+        depth[0] = 0;
+        let mut frontier = vec![NodeId::ROOT];
+        order.push(NodeId::ROOT);
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in topo.neighbors(u) {
+                    if depth[v.index()] == u32::MAX {
+                        depth[v.index()] = depth[u.index()] + 1;
+                        parent[v.index()] = Some(u);
+                        next.push(v);
+                    } else if depth[v.index()] == depth[u.index()] + 1 {
+                        // Tie-break on Euclidean distance for determinism
+                        // and shorter (cheaper) links.
+                        let cur = parent[v.index()].expect("tie implies parent set");
+                        let d_cur = topo.position(v).dist(&topo.position(cur));
+                        let d_new = topo.position(v).dist(&topo.position(u));
+                        if d_new < d_cur {
+                            parent[v.index()] = Some(u);
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            order.extend_from_slice(&next);
+            frontier = next;
+        }
+
+        let unreachable: Vec<NodeId> = topo
+            .node_ids()
+            .filter(|id| depth[id.index()] == u32::MAX)
+            .collect();
+        if !unreachable.is_empty() {
+            return Err(unreachable);
+        }
+
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for id in topo.node_ids().skip(1) {
+            let p = parent[id.index()].expect("non-root has parent");
+            children[p.index()].push(id);
+        }
+
+        let mut bottom_up = order;
+        bottom_up.reverse();
+
+        Ok(RoutingTree {
+            parent,
+            children,
+            depth,
+            bottom_up,
+        })
+    }
+
+    /// Builds a routing tree from explicit parent pointers (`None` exactly
+    /// for the root at index 0). Used for custom logical topologies, e.g.
+    /// the §2 multi-measurement expansion where artificial children must
+    /// hang off their real node regardless of hop-count ties.
+    ///
+    /// # Errors
+    /// Returns the offending node ids if the pointers do not form a tree
+    /// rooted at node 0 (cycle, unreachable node, or non-root without a
+    /// parent).
+    pub fn from_parents(parent: Vec<Option<NodeId>>) -> Result<Self, Vec<NodeId>> {
+        let n = parent.len();
+        if n == 0 || parent[0].is_some() {
+            return Err(vec![NodeId::ROOT]);
+        }
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut bad = Vec::new();
+        for (i, p) in parent.iter().enumerate().skip(1) {
+            match p {
+                Some(p) if p.index() < n && p.index() != i => {
+                    children[p.index()].push(NodeId(i as u32));
+                }
+                _ => bad.push(NodeId(i as u32)),
+            }
+        }
+        if !bad.is_empty() {
+            return Err(bad);
+        }
+        // BFS from the root assigns depths and detects unreachable nodes
+        // (which is what a cycle reduces to).
+        let mut depth = vec![u32::MAX; n];
+        depth[0] = 0;
+        let mut order = vec![NodeId::ROOT];
+        let mut head = 0usize;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for &c in &children[u.index()] {
+                depth[c.index()] = depth[u.index()] + 1;
+                order.push(c);
+            }
+        }
+        let unreachable: Vec<NodeId> = (0..n as u32)
+            .map(NodeId)
+            .filter(|id| depth[id.index()] == u32::MAX)
+            .collect();
+        if !unreachable.is_empty() {
+            return Err(unreachable);
+        }
+        let mut bottom_up = order;
+        bottom_up.reverse();
+        Ok(RoutingTree {
+            parent,
+            children,
+            depth,
+            bottom_up,
+        })
+    }
+
+    /// Number of nodes in the tree (root included).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Never true (a tree always contains at least the root).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Parent of `id`, or `None` for the root.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.parent[id.index()]
+    }
+
+    /// Children of `id` in the routing tree.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id.index()]
+    }
+
+    /// Hop distance from the root.
+    pub fn depth(&self, id: NodeId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// True iff `id` has no children.
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.children[id.index()].is_empty()
+    }
+
+    /// Nodes in children-before-parents order (ends at the root).
+    /// Processing nodes in this order implements a convergecast wave.
+    pub fn bottom_up(&self) -> &[NodeId] {
+        &self.bottom_up
+    }
+
+    /// Nodes in parents-before-children order (starts at the root).
+    pub fn top_down(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.bottom_up.iter().rev().copied()
+    }
+
+    /// Size of the subtree rooted at each node (including the node itself;
+    /// the root's entry equals [`RoutingTree::len`]).
+    pub fn subtree_sizes(&self) -> Vec<usize> {
+        let mut size = vec![1usize; self.len()];
+        for &u in self.bottom_up() {
+            if let Some(p) = self.parent(u) {
+                size[p.index()] += size[u.index()];
+            }
+        }
+        size
+    }
+
+    /// Maximum node depth (tree height in hops).
+    pub fn height(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+
+    fn line(n: usize) -> (Topology, RoutingTree) {
+        let positions = (0..n).map(|i| Point::new(i as f64, 0.0)).collect();
+        let topo = Topology::build(positions, 1.5);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        (topo, tree)
+    }
+
+    #[test]
+    fn line_tree_is_a_path() {
+        let (_, tree) = line(6);
+        for i in 1..6u32 {
+            assert_eq!(tree.parent(NodeId(i)), Some(NodeId(i - 1)));
+            assert_eq!(tree.depth(NodeId(i)), i);
+        }
+        assert_eq!(tree.parent(NodeId::ROOT), None);
+        assert!(tree.is_leaf(NodeId(5)));
+        assert_eq!(tree.height(), 5);
+    }
+
+    #[test]
+    fn bottom_up_visits_children_first() {
+        let (_, tree) = line(10);
+        let mut seen = [false; 10];
+        for &u in tree.bottom_up() {
+            for &c in tree.children(u) {
+                assert!(seen[c.index()], "child {c} not before parent {u}");
+            }
+            seen[u.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn top_down_visits_parents_first() {
+        let (_, tree) = line(10);
+        let mut seen = [false; 10];
+        for u in tree.top_down() {
+            if let Some(p) = tree.parent(u) {
+                assert!(seen[p.index()], "parent {p} not before child {u}");
+            }
+            seen[u.index()] = true;
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_sum_up() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(-1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 1.0),
+        ];
+        let topo = Topology::build(positions, 1.2);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        let sizes = tree.subtree_sizes();
+        assert_eq!(sizes[NodeId::ROOT.index()], 5);
+        // Node 1 has children {3, 4}.
+        assert_eq!(sizes[1], 3);
+        assert_eq!(sizes[2], 1);
+    }
+
+    #[test]
+    fn partitioned_graph_reports_unreachable() {
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(50.0, 50.0),
+        ];
+        let topo = Topology::build(positions, 2.0);
+        let err = RoutingTree::shortest_path_tree(&topo).unwrap_err();
+        assert_eq!(err, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn from_parents_builds_custom_trees() {
+        // root <- 1 <- 2, root <- 3.
+        let tree = RoutingTree::from_parents(vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(0)),
+        ])
+        .unwrap();
+        assert_eq!(tree.depth(NodeId(2)), 2);
+        assert_eq!(tree.children(NodeId(0)), &[NodeId(1), NodeId(3)]);
+        // Convergecast order still respects children-before-parents.
+        let mut seen = [false; 4];
+        for &u in tree.bottom_up() {
+            for &c in tree.children(u) {
+                assert!(seen[c.index()]);
+            }
+            seen[u.index()] = true;
+        }
+    }
+
+    #[test]
+    fn from_parents_rejects_cycles_and_orphans() {
+        // 1 and 2 point at each other: unreachable from the root.
+        let err = RoutingTree::from_parents(vec![None, Some(NodeId(2)), Some(NodeId(1))])
+            .unwrap_err();
+        assert_eq!(err, vec![NodeId(1), NodeId(2)]);
+        // Root with a parent is invalid.
+        assert!(RoutingTree::from_parents(vec![Some(NodeId(1)), None]).is_err());
+        // Self-parent is invalid.
+        assert!(RoutingTree::from_parents(vec![None, Some(NodeId(1))]).is_err());
+    }
+
+    #[test]
+    fn parents_are_strictly_shallower() {
+        let (_, tree) = line(8);
+        for i in 1..8u32 {
+            let id = NodeId(i);
+            let p = tree.parent(id).unwrap();
+            assert_eq!(tree.depth(p) + 1, tree.depth(id));
+        }
+    }
+}

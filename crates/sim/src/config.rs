@@ -1,0 +1,225 @@
+//! Simulation configuration (§5.1.7, Table 2).
+
+use cqp_core::hbc::HbcConfig;
+use cqp_core::iq::IqConfig;
+use cqp_core::lcll::RefiningStrategy;
+use cqp_core::{Adaptive, ContinuousQuantile, Gk, Hbc, Iq, Lcll, LcllRange, Pos, QueryConfig, Tag};
+use wsn_data::pressure::PressureConfig;
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_net::{MessageSizes, RadioModel};
+
+/// Which protocol to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmKind {
+    /// TAG baseline [17].
+    Tag,
+    /// POS binary-search baseline [9].
+    Pos,
+    /// LCLL with hierarchical refining [16].
+    LcllH,
+    /// LCLL with slip refining [16].
+    LcllS,
+    /// LCLL, range-anchored reconstruction (static bucket hierarchy).
+    LcllR,
+    /// HBC (paper §4.1, default improvements).
+    Hbc,
+    /// HBC §4.1.2 no-threshold-broadcast variant.
+    HbcNb,
+    /// IQ (paper §4.2).
+    Iq,
+    /// Adaptive HBC↔IQ switching (future work).
+    Adaptive,
+    /// Summary-based exact snapshot method (§3.1, [10]).
+    Gk,
+}
+
+impl AlgorithmKind {
+    /// The six algorithms compared in §5 of the paper.
+    pub const PAPER_SET: [AlgorithmKind; 6] = [
+        AlgorithmKind::Tag,
+        AlgorithmKind::Pos,
+        AlgorithmKind::LcllH,
+        AlgorithmKind::LcllS,
+        AlgorithmKind::Hbc,
+        AlgorithmKind::Iq,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmKind::Tag => "TAG",
+            AlgorithmKind::Pos => "POS",
+            AlgorithmKind::LcllH => "LCLL-H",
+            AlgorithmKind::LcllS => "LCLL-S",
+            AlgorithmKind::LcllR => "LCLL-R",
+            AlgorithmKind::Hbc => "HBC",
+            AlgorithmKind::HbcNb => "HBC-nb",
+            AlgorithmKind::Iq => "IQ",
+            AlgorithmKind::Adaptive => "Adaptive",
+            AlgorithmKind::Gk => "GK",
+        }
+    }
+
+    /// Instantiates the protocol for a query.
+    pub fn build(&self, query: QueryConfig, sizes: &MessageSizes) -> Box<dyn ContinuousQuantile> {
+        match self {
+            AlgorithmKind::Tag => Box::new(Tag::new(query)),
+            AlgorithmKind::Pos => Box::new(Pos::new(query)),
+            AlgorithmKind::LcllH => {
+                Box::new(Lcll::new(query, RefiningStrategy::Hierarchical, sizes))
+            }
+            AlgorithmKind::LcllS => Box::new(Lcll::new(query, RefiningStrategy::Slip, sizes)),
+            AlgorithmKind::LcllR => Box::new(LcllRange::new(query, sizes)),
+            AlgorithmKind::Hbc => Box::new(Hbc::new(query, HbcConfig::default(), sizes)),
+            AlgorithmKind::HbcNb => Box::new(Hbc::new(
+                query,
+                HbcConfig {
+                    direct_retrieval: false,
+                    eliminate_threshold_broadcast: true,
+                    ..HbcConfig::default()
+                },
+                sizes,
+            )),
+            AlgorithmKind::Iq => Box::new(Iq::new(query, IqConfig::default())),
+            AlgorithmKind::Adaptive => Box::new(Adaptive::new(query, sizes)),
+            AlgorithmKind::Gk => Box::new(Gk::new(query, sizes)),
+        }
+    }
+}
+
+/// Which dataset drives the measurements.
+#[derive(Debug, Clone)]
+pub enum DatasetSpec {
+    /// The synthetic sinusoidal workload (§5.1.2); nodes placed uniformly.
+    Synthetic(SyntheticConfig),
+    /// The barometric-pressure traces (§5.1.3); nodes placed by a SOM and
+    /// the node count comes from the dataset itself.
+    Pressure(PressureConfig),
+    /// Per-node bounded random walks (extension; uniform placement).
+    /// Fields: value-range size and maximum per-round step.
+    RandomWalk {
+        /// Number of values in the universe (range is `[0, size)`).
+        range_size: u64,
+        /// Maximum per-round step per node.
+        step: i64,
+    },
+    /// Calm-drift / turbulence regime switching (extension; uniform
+    /// placement). The stress test for [`AlgorithmKind::Adaptive`].
+    Regime {
+        /// Number of values in the universe.
+        range_size: u64,
+        /// Rounds per regime phase.
+        phase_len: u32,
+        /// Per-round drift during calm phases.
+        drift: i64,
+    },
+}
+
+/// Full configuration of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct SimulationConfig {
+    /// Number of sensor nodes `|N|` (ignored for pressure, which fixes
+    /// 1022 nodes like the paper unless overridden in its config).
+    pub sensor_count: usize,
+    /// Radio range ρ in meters.
+    pub radio_range: f64,
+    /// Rounds per simulation run (paper: 250).
+    pub rounds: u32,
+    /// Simulation runs to average over (paper: 20). Topology (and, for the
+    /// synthetic dataset, placement) changes between runs.
+    pub runs: u32,
+    /// Quantile parameter φ (paper: the median, 0.5).
+    pub phi: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Radio energy model.
+    pub radio: RadioModel,
+    /// Message sizing.
+    pub sizes: MessageSizes,
+    /// Bernoulli message-loss probability (`None` = reliable links, the
+    /// paper's assumption; `Some` enables the §6 extension).
+    pub loss: Option<f64>,
+    /// Dataset.
+    pub dataset: DatasetSpec,
+}
+
+impl Default for SimulationConfig {
+    /// The defaults of Table 2: |N| = 1000, ρ = 35 m, 250 rounds, 20 runs,
+    /// median query, synthetic dataset with τ = 125 and ψ = 10 %.
+    fn default() -> Self {
+        SimulationConfig {
+            sensor_count: 1000,
+            radio_range: 35.0,
+            rounds: 250,
+            runs: 20,
+            phi: 0.5,
+            seed: 0xC0FFEE,
+            radio: RadioModel::default(),
+            sizes: MessageSizes::default(),
+            loss: None,
+            dataset: DatasetSpec::Synthetic(SyntheticConfig::default()),
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// A scaled-down configuration for fast tests and CI (fewer nodes,
+    /// rounds and runs; same structure).
+    pub fn quick() -> Self {
+        SimulationConfig {
+            sensor_count: 120,
+            rounds: 60,
+            runs: 3,
+            ..SimulationConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_matches_section_5() {
+        let names: Vec<&str> = AlgorithmKind::PAPER_SET.iter().map(|a| a.name()).collect();
+        assert_eq!(names, ["TAG", "POS", "LCLL-H", "LCLL-S", "HBC", "IQ"]);
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        let sizes = MessageSizes::default();
+        let q = QueryConfig::median(100, 0, 1023);
+        for kind in [
+            AlgorithmKind::Tag,
+            AlgorithmKind::Pos,
+            AlgorithmKind::LcllH,
+            AlgorithmKind::LcllS,
+            AlgorithmKind::LcllR,
+            AlgorithmKind::Hbc,
+            AlgorithmKind::HbcNb,
+            AlgorithmKind::Iq,
+            AlgorithmKind::Adaptive,
+            AlgorithmKind::Gk,
+        ] {
+            let alg = kind.build(q, &sizes);
+            assert_eq!(alg.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn defaults_follow_table_2() {
+        let cfg = SimulationConfig::default();
+        assert_eq!(cfg.sensor_count, 1000);
+        assert_eq!(cfg.radio_range, 35.0);
+        assert_eq!(cfg.rounds, 250);
+        assert_eq!(cfg.runs, 20);
+        assert_eq!(cfg.phi, 0.5);
+        match cfg.dataset {
+            DatasetSpec::Synthetic(s) => {
+                assert_eq!(s.period, 125);
+                assert_eq!(s.noise_percent, 10.0);
+            }
+            _ => panic!("default dataset must be synthetic"),
+        }
+    }
+}

@@ -1,0 +1,760 @@
+//! The paper's experiment sweeps (§5.2, Figures 4 and 6–10) plus the two
+//! future-work extensions, pre-configured. Every table and figure of the
+//! evaluation maps to one [`Sweep`] (or the special Fig.-4 trace).
+
+use cqp_core::iq::IqConfig;
+use cqp_core::{ContinuousQuantile, Iq, QueryConfig};
+use wsn_data::pressure::{PressureConfig, RangeSetting};
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_data::{Dataset, Rng, SyntheticDataset};
+
+use crate::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+use crate::metrics::AggregatedMetrics;
+use crate::runner::run_experiment;
+
+/// One experiment cell: an x-axis label plus its configuration.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// X-axis label ("|N|=1000", "τ=63", …).
+    pub label: String,
+    /// The configuration of this cell.
+    pub config: SimulationConfig,
+}
+
+/// A full sweep behind one figure.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Identifier ("fig6" … "fig10", "loss", "adaptive").
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// The x-axis cells.
+    pub cells: Vec<Cell>,
+    /// Algorithms compared.
+    pub algorithms: Vec<AlgorithmKind>,
+    /// Algorithms skipped for specific cells because their cost explodes
+    /// (the paper likewise "cut off the graphs of TAG", §5.1.6):
+    /// `(algorithm, cell label)` pairs.
+    pub skip: Vec<(AlgorithmKind, String)>,
+}
+
+/// Results of a sweep: `results[alg][cell]`.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// The sweep that was run.
+    pub sweep: Sweep,
+    /// Per-algorithm, per-cell metrics (`None` where skipped).
+    pub results: Vec<Vec<Option<AggregatedMetrics>>>,
+}
+
+/// Runs every cell of a sweep for every algorithm.
+pub fn run_sweep(sweep: &Sweep) -> SweepResults {
+    let mut results = Vec::with_capacity(sweep.algorithms.len());
+    for &alg in &sweep.algorithms {
+        let mut row = Vec::with_capacity(sweep.cells.len());
+        for cell in &sweep.cells {
+            let skipped = sweep
+                .skip
+                .iter()
+                .any(|(a, l)| *a == alg && *l == cell.label);
+            row.push((!skipped).then(|| run_experiment(&cell.config, alg)));
+        }
+        results.push(row);
+    }
+    SweepResults {
+        sweep: sweep.clone(),
+        results,
+    }
+}
+
+fn base(quick: bool) -> SimulationConfig {
+    if quick {
+        SimulationConfig {
+            sensor_count: 150,
+            rounds: 80,
+            runs: 3,
+            ..SimulationConfig::default()
+        }
+    } else {
+        // Full fidelity: 20 runs × 250 rounds, exactly Table 2.
+        SimulationConfig::default()
+    }
+}
+
+fn synthetic(cfg: &SimulationConfig) -> SyntheticConfig {
+    match &cfg.dataset {
+        DatasetSpec::Synthetic(s) => s.clone(),
+        _ => unreachable!("base config is synthetic"),
+    }
+}
+
+/// Figure 6: varying the number of nodes `|N|`.
+pub fn fig6(quick: bool) -> Sweep {
+    let b = base(quick);
+    let ns: &[usize] = if quick {
+        &[60, 120, 250]
+    } else {
+        &[250, 500, 1000, 2000, 4000]
+    };
+    let cells = ns
+        .iter()
+        .map(|&n| Cell {
+            label: format!("|N|={n}"),
+            config: SimulationConfig {
+                sensor_count: n,
+                ..b.clone()
+            },
+        })
+        .collect();
+    // TAG's O(k·|N|) collection makes the largest cell disproportionately
+    // expensive to simulate — the paper cuts TAG off as well.
+    let skip = if quick {
+        vec![]
+    } else {
+        vec![(AlgorithmKind::Tag, "|N|=4000".to_string())]
+    };
+    Sweep {
+        id: "fig6",
+        title: "Fig. 6 — Synthetic dataset, varying |N|",
+        cells,
+        algorithms: AlgorithmKind::PAPER_SET.to_vec(),
+        skip,
+    }
+}
+
+/// Figure 7: varying the sinusoid period τ.
+pub fn fig7(quick: bool) -> Sweep {
+    let b = base(quick);
+    let periods: &[u32] = &[250, 125, 63, 32, 8];
+    let cells = periods
+        .iter()
+        .map(|&p| Cell {
+            label: format!("τ={p}"),
+            config: SimulationConfig {
+                dataset: DatasetSpec::Synthetic(SyntheticConfig {
+                    period: p,
+                    ..synthetic(&b)
+                }),
+                ..b.clone()
+            },
+        })
+        .collect();
+    Sweep {
+        id: "fig7",
+        title: "Fig. 7 — Synthetic dataset, varying the period τ",
+        cells,
+        algorithms: AlgorithmKind::PAPER_SET.to_vec(),
+        skip: vec![],
+    }
+}
+
+/// Figure 8: varying the measurement noise ψ.
+pub fn fig8(quick: bool) -> Sweep {
+    let b = base(quick);
+    let noises: &[f64] = &[0.0, 5.0, 10.0, 20.0, 50.0];
+    let cells = noises
+        .iter()
+        .map(|&psi| Cell {
+            label: format!("ψ={psi}%"),
+            config: SimulationConfig {
+                dataset: DatasetSpec::Synthetic(SyntheticConfig {
+                    noise_percent: psi,
+                    ..synthetic(&b)
+                }),
+                ..b.clone()
+            },
+        })
+        .collect();
+    Sweep {
+        id: "fig8",
+        title: "Fig. 8 — Synthetic dataset, varying the noise ψ",
+        cells,
+        algorithms: AlgorithmKind::PAPER_SET.to_vec(),
+        skip: vec![],
+    }
+}
+
+/// Figure 9: varying the radio range ρ.
+pub fn fig9(quick: bool) -> Sweep {
+    let mut b = base(quick);
+    if quick {
+        // ρ = 15 m needs enough density to stay connected.
+        b.sensor_count = 400;
+    }
+    let ranges: &[f64] = &[15.0, 35.0, 60.0, 85.0];
+    let cells = ranges
+        .iter()
+        .map(|&rho| Cell {
+            label: format!("ρ={rho}m"),
+            config: SimulationConfig {
+                radio_range: rho,
+                ..b.clone()
+            },
+        })
+        .collect();
+    Sweep {
+        id: "fig9",
+        title: "Fig. 9 — Synthetic dataset, varying the radio range ρ",
+        cells,
+        algorithms: AlgorithmKind::PAPER_SET.to_vec(),
+        skip: vec![],
+    }
+}
+
+/// Figure 10: pressure dataset, varying the sampling rate, in the
+/// optimistic and pessimistic range settings (§5.2.5).
+pub fn fig10(quick: bool) -> Sweep {
+    let b = base(quick);
+    let (sensors, rounds) = if quick { (150, 60) } else { (1022, 250) };
+    let skips: &[u32] = &[1, 2, 4, 8, 16];
+    // All skip cells share the same raw trace length (and therefore the
+    // same underlying regional pressure series for a given seed) so the
+    // sweep isolates the sampling rate, §5.2.5.
+    let steps = (rounds as usize) * (*skips.last().expect("non-empty")) as usize + 1;
+    let mut cells = Vec::new();
+    for &(range, tag) in &[
+        (RangeSetting::Optimistic, "opt"),
+        (RangeSetting::Pessimistic, "pess"),
+    ] {
+        for &skip in skips {
+            cells.push(Cell {
+                label: format!("skip={skip} ({tag})"),
+                config: SimulationConfig {
+                    rounds,
+                    dataset: DatasetSpec::Pressure(PressureConfig {
+                        sensor_count: sensors,
+                        steps,
+                        skip,
+                        range,
+                        ..PressureConfig::default()
+                    }),
+                    ..b.clone()
+                },
+            });
+        }
+    }
+    Sweep {
+        id: "fig10",
+        title: "Fig. 10 — Air-pressure dataset, varying the sampling rate",
+        cells,
+        algorithms: AlgorithmKind::PAPER_SET.to_vec(),
+        skip: vec![],
+    }
+}
+
+/// §6 extension: message loss and the induced rank error.
+pub fn loss(quick: bool) -> Sweep {
+    let b = base(quick);
+    let ps: &[f64] = &[0.0, 0.02, 0.05, 0.1, 0.2];
+    let cells = ps
+        .iter()
+        .map(|&p| Cell {
+            label: format!("loss={:.0}%", p * 100.0),
+            config: SimulationConfig {
+                loss: (p > 0.0).then_some(p),
+                ..b.clone()
+            },
+        })
+        .collect();
+    Sweep {
+        id: "loss",
+        title: "Ext. — Message loss vs. rank error (§6 future work)",
+        cells,
+        algorithms: vec![
+            AlgorithmKind::Pos,
+            AlgorithmKind::Hbc,
+            AlgorithmKind::Iq,
+            AlgorithmKind::LcllH,
+            AlgorithmKind::LcllR,
+        ],
+        skip: vec![],
+    }
+}
+
+/// §4.2 extension: adaptive HBC↔IQ switching across temporal-correlation
+/// regimes.
+pub fn adaptive(quick: bool) -> Sweep {
+    let b = base(quick);
+    let periods: &[u32] = &[250, 63, 8];
+    let cells = periods
+        .iter()
+        .map(|&p| Cell {
+            label: format!("τ={p}"),
+            config: SimulationConfig {
+                dataset: DatasetSpec::Synthetic(SyntheticConfig {
+                    period: p,
+                    ..synthetic(&b)
+                }),
+                ..b.clone()
+            },
+        })
+        .collect();
+    Sweep {
+        id: "adaptive",
+        title: "Ext. — Adaptive switching vs. fixed HBC/IQ (§4.2 future work)",
+        cells,
+        algorithms: vec![
+            AlgorithmKind::Hbc,
+            AlgorithmKind::HbcNb,
+            AlgorithmKind::Iq,
+            AlgorithmKind::Adaptive,
+        ],
+        skip: vec![],
+    }
+}
+
+/// Reconstruction-sensitivity sweep: the three LCLL readings (DESIGN.md
+/// §3.4) across temporal correlation regimes and both Fig.-10 range
+/// settings. Quantifies how much the under-specified baseline's behaviour
+/// depends on the reconstruction chosen.
+pub fn lcllcmp(quick: bool) -> Sweep {
+    let b = base(quick);
+    let mut cells: Vec<Cell> = [250u32, 32, 8]
+        .iter()
+        .map(|&p| Cell {
+            label: format!("τ={p}"),
+            config: SimulationConfig {
+                dataset: DatasetSpec::Synthetic(SyntheticConfig {
+                    period: p,
+                    ..synthetic(&b)
+                }),
+                ..b.clone()
+            },
+        })
+        .collect();
+    let (sensors, rounds) = if quick { (150, 60) } else { (1022, 250) };
+    for (range, tag) in [
+        (RangeSetting::Optimistic, "opt"),
+        (RangeSetting::Pessimistic, "pess"),
+    ] {
+        cells.push(Cell {
+            label: format!("pressure ({tag})"),
+            config: SimulationConfig {
+                rounds,
+                dataset: DatasetSpec::Pressure(PressureConfig {
+                    sensor_count: sensors,
+                    steps: rounds as usize * 4 + 1,
+                    skip: 4,
+                    range,
+                    ..PressureConfig::default()
+                }),
+                ..b.clone()
+            },
+        });
+    }
+    Sweep {
+        id: "lcllcmp",
+        title: "Ext. — LCLL reconstruction sensitivity (H vs S vs R)",
+        cells,
+        algorithms: vec![
+            AlgorithmKind::LcllH,
+            AlgorithmKind::LcllS,
+            AlgorithmKind::LcllR,
+        ],
+        skip: vec![],
+    }
+}
+
+/// Extension sweep: the exact methods of §3.1 head-to-head across |N| —
+/// TAG (O(|N|) collection), GK (summary-based, sublinear per node), and
+/// the continuous protocols that exploit temporal correlation.
+pub fn exactcmp(quick: bool) -> Sweep {
+    let b = base(quick);
+    let ns: &[usize] = if quick {
+        &[60, 150, 300]
+    } else {
+        &[250, 500, 1000, 2000]
+    };
+    let cells = ns
+        .iter()
+        .map(|&n| Cell {
+            label: format!("|N|={n}"),
+            config: SimulationConfig {
+                sensor_count: n,
+                ..b.clone()
+            },
+        })
+        .collect();
+    Sweep {
+        id: "exactcmp",
+        title: "Ext. — Exact methods of §3.1 (snapshot vs continuous)",
+        cells,
+        algorithms: vec![
+            AlgorithmKind::Tag,
+            AlgorithmKind::Gk,
+            AlgorithmKind::Pos,
+            AlgorithmKind::Hbc,
+            AlgorithmKind::Iq,
+        ],
+        skip: vec![],
+    }
+}
+
+/// Extension sweep: varying the quantile parameter φ. Definition 2.1's
+/// algorithms are rank-independent; the *costs* are not — TAG forwards
+/// `k` values per node, and skewed quantiles sit in sparser value regions.
+pub fn phi(quick: bool) -> Sweep {
+    let b = base(quick);
+    let phis: &[f64] = &[0.05, 0.25, 0.5, 0.75, 0.95];
+    let cells = phis
+        .iter()
+        .map(|&phi| Cell {
+            label: format!("φ={phi}"),
+            config: SimulationConfig {
+                phi,
+                ..b.clone()
+            },
+        })
+        .collect();
+    Sweep {
+        id: "phi",
+        title: "Ext. — Varying the quantile parameter φ (Definition 2.1)",
+        cells,
+        algorithms: AlgorithmKind::PAPER_SET.to_vec(),
+        skip: vec![],
+    }
+}
+
+/// One ablation row: a label and its aggregated metrics.
+pub type AblationRow = (String, AggregatedMetrics);
+
+/// Ablation A: HBC bucket count — does the Lambert-W cost model actually
+/// pick a good `b`? Sweeps fixed bucket counts against the model's choice
+/// on the default workload (DESIGN.md calls this out as the design choice
+/// to validate).
+pub fn ablation_buckets(quick: bool) -> Vec<AblationRow> {
+    use cqp_core::hbc::{Hbc, HbcConfig};
+    let cfg = base(quick);
+    let b_opt = cqp_core::cost_model::optimal_buckets(&cfg.sizes, 1024);
+    let mut rows = Vec::new();
+    for b in [2usize, 4, b_opt, 16, 32, 64] {
+        let m = crate::runner::run_experiment_with(&cfg, &move |q, s| {
+            Box::new(Hbc::new(
+                q,
+                HbcConfig {
+                    buckets: Some(b),
+                    // Isolate the search strategy from the retrieval
+                    // shortcut.
+                    direct_retrieval: false,
+                    ..HbcConfig::default()
+                },
+                s,
+            ))
+        });
+        let tag = if b == b_opt { " (cost model)" } else { "" };
+        rows.push((format!("b={b}{tag}"), m));
+    }
+    rows
+}
+
+/// Ablation B: IQ's knobs — hint usage, history window `m`, and the two
+/// Ξ initializers of §4.2.1.
+pub fn ablation_iq(quick: bool) -> Vec<AblationRow> {
+    use cqp_core::iq::{Iq, IqConfig, XiInit};
+    let cfg = base(quick);
+    let variants: Vec<(String, IqConfig)> = vec![
+        ("default (m=4, hints, mean-gap)".into(), IqConfig::default()),
+        (
+            "no hints".into(),
+            IqConfig {
+                use_hints: false,
+                ..IqConfig::default()
+            },
+        ),
+        (
+            "m=2".into(),
+            IqConfig {
+                m: 2,
+                ..IqConfig::default()
+            },
+        ),
+        (
+            "m=8".into(),
+            IqConfig {
+                m: 8,
+                ..IqConfig::default()
+            },
+        ),
+        (
+            "median-gap init".into(),
+            IqConfig {
+                xi_init: XiInit::MedianGap,
+                ..IqConfig::default()
+            },
+        ),
+    ];
+    variants
+        .into_iter()
+        .map(|(label, iq_cfg)| {
+            let m = crate::runner::run_experiment_with(&cfg, &move |q, _| {
+                Box::new(Iq::new(q, iq_cfg))
+            });
+            (label, m)
+        })
+        .collect()
+}
+
+/// Ablation C: the [21] improvements — direct value retrieval on/off for
+/// POS, HBC and LCLL-H.
+pub fn ablation_retrieval(quick: bool) -> Vec<AblationRow> {
+    use cqp_core::hbc::{Hbc, HbcConfig};
+    use cqp_core::lcll::{Lcll, RefiningStrategy};
+    use cqp_core::Pos;
+    let cfg = base(quick);
+    let mut rows: Vec<AblationRow> = Vec::new();
+    rows.push((
+        "POS +retrieval".into(),
+        crate::runner::run_experiment_with(&cfg, &|q, _| Box::new(Pos::new(q))),
+    ));
+    rows.push((
+        "POS -retrieval".into(),
+        crate::runner::run_experiment_with(&cfg, &|q, _| {
+            Box::new(Pos::new(q).without_direct_retrieval())
+        }),
+    ));
+    rows.push((
+        "HBC +retrieval".into(),
+        crate::runner::run_experiment_with(&cfg, &|q, s| {
+            Box::new(Hbc::new(q, HbcConfig::default(), s))
+        }),
+    ));
+    rows.push((
+        "HBC -retrieval".into(),
+        crate::runner::run_experiment_with(&cfg, &|q, s| {
+            Box::new(Hbc::new(
+                q,
+                HbcConfig {
+                    direct_retrieval: false,
+                    ..HbcConfig::default()
+                },
+                s,
+            ))
+        }),
+    ));
+    rows.push((
+        "LCLL-H +retrieval".into(),
+        crate::runner::run_experiment_with(&cfg, &|q, s| {
+            Box::new(Lcll::new(q, RefiningStrategy::Hierarchical, s))
+        }),
+    ));
+    rows.push((
+        "LCLL-H -retrieval".into(),
+        crate::runner::run_experiment_with(&cfg, &|q, s| {
+            Box::new(Lcll::new(q, RefiningStrategy::Hierarchical, s).without_direct_retrieval())
+        }),
+    ));
+    rows
+}
+
+/// Ablation D: initialization strategy — TAG full collection vs. the
+/// `b`-ary snapshot search of [21] (§3.2/§4.2.1 allow either). Measured on
+/// a single round so only the init cost shows.
+pub fn ablation_init(quick: bool) -> Vec<AblationRow> {
+    use cqp_core::init::InitStrategy;
+    use cqp_core::iq::{Iq, IqConfig};
+    let mut cfg = base(quick);
+    cfg.rounds = 1;
+    let mut rows = Vec::new();
+    for (label, strategy) in [
+        ("IQ, TAG init (full collection)", InitStrategy::Tag),
+        ("IQ, b-ary snapshot init [21]", InitStrategy::BarySearch),
+    ] {
+        let m = crate::runner::run_experiment_with(&cfg, &move |q, _| {
+            Box::new(Iq::new(
+                q,
+                IqConfig {
+                    init: strategy,
+                    ..IqConfig::default()
+                },
+            ))
+        });
+        rows.push((label.to_string(), m));
+    }
+    rows
+}
+
+/// Extension: the §3.1 sampling trade-off — run the quantile over a random
+/// layer of nodes and measure energy saved vs rank error introduced.
+pub fn sampling_tradeoff(quick: bool) -> Vec<AblationRow> {
+    use cqp_core::SampledQuantile;
+    let cfg = base(quick);
+    let n = cfg.sensor_count;
+    let mut rows = Vec::new();
+    for p in [0.05f64, 0.1, 0.25, 0.5, 1.0] {
+        let m = crate::runner::run_experiment_with(&cfg, &move |q, _| {
+            Box::new(SampledQuantile::new(q, 0.5, n, p, 0xABCD))
+        });
+        rows.push((format!("sampled layer p={p}"), m));
+    }
+    // Reference: the exact continuous protocols on the same workload.
+    rows.push((
+        "exact IQ (reference)".to_string(),
+        crate::runner::run_experiment(&cfg, AlgorithmKind::Iq),
+    ));
+    rows.push((
+        "exact TAG (reference)".to_string(),
+        crate::runner::run_experiment(&cfg, AlgorithmKind::Tag),
+    ));
+    rows
+}
+
+/// Every sweep behind the evaluation.
+pub fn all_sweeps(quick: bool) -> Vec<Sweep> {
+    vec![
+        fig6(quick),
+        fig7(quick),
+        fig8(quick),
+        fig9(quick),
+        fig10(quick),
+        loss(quick),
+        adaptive(quick),
+        phi(quick),
+        lcllcmp(quick),
+        exactcmp(quick),
+    ]
+}
+
+/// Looks a sweep up by id.
+pub fn by_id(id: &str, quick: bool) -> Option<Sweep> {
+    match id {
+        "fig6" => Some(fig6(quick)),
+        "fig7" => Some(fig7(quick)),
+        "fig8" => Some(fig8(quick)),
+        "fig9" => Some(fig9(quick)),
+        "fig10" => Some(fig10(quick)),
+        "loss" => Some(loss(quick)),
+        "adaptive" => Some(adaptive(quick)),
+        "phi" => Some(phi(quick)),
+        "lcllcmp" => Some(lcllcmp(quick)),
+        "exactcmp" => Some(exactcmp(quick)),
+        _ => None,
+    }
+}
+
+/// One row of the Figure-4 trace: the evolution of IQ's interval Ξ.
+#[derive(Debug, Clone, Copy)]
+pub struct XiTraceRow {
+    /// Round index.
+    pub round: u32,
+    /// The exact quantile of the round.
+    pub quantile: i64,
+    /// Lower end of Ξ (quantile + ξ_l).
+    pub xi_lo: i64,
+    /// Upper end of Ξ (quantile + ξ_r).
+    pub xi_hi: i64,
+    /// Smallest measurement in the network.
+    pub min: i64,
+    /// Largest measurement.
+    pub max: i64,
+    /// Whether the round needed a refinement (white gaps in Fig. 4).
+    pub refined: bool,
+}
+
+/// Regenerates Figure 4: IQ's Ξ on a slowly drifting trace over 125
+/// rounds. Uses the synthetic generator in a low-noise configuration (the
+/// original figure used an air-pressure trace; the visual behaviour —
+/// Ξ hugging the quantile, widening on trend changes — is the point).
+pub fn fig4_trace(rounds: u32) -> Vec<XiTraceRow> {
+    let mut rng = Rng::seed_from_u64(41);
+    let positions = wsn_data::placement::uniform(400, 200.0, 200.0, &mut rng);
+    let sensor_pos: Vec<(f64, f64)> = positions[1..].to_vec();
+    let scfg = SyntheticConfig {
+        period: 125,
+        noise_percent: 5.0,
+        ..SyntheticConfig::default()
+    };
+    let mut ds = SyntheticDataset::generate(scfg, &sensor_pos, &mut rng);
+
+    let points: Vec<wsn_net::Point> = positions
+        .iter()
+        .map(|&(x, y)| wsn_net::Point::new(x, y))
+        .collect();
+    let topo = wsn_net::Topology::build(points, 35.0);
+    let tree = wsn_net::RoutingTree::shortest_path_tree(&topo).expect("connected");
+    let mut net = wsn_net::Network::new(
+        topo,
+        tree,
+        wsn_net::RadioModel::default(),
+        wsn_net::MessageSizes::default(),
+    );
+
+    let query = QueryConfig::median(400, ds.range_min(), ds.range_max());
+    let mut iq = Iq::new(query, IqConfig::default());
+    let mut values = vec![0i64; 400];
+    let mut out = Vec::with_capacity(rounds as usize);
+    for t in 0..rounds {
+        ds.sample_round(t, &mut values);
+        let q = iq.round(&mut net, &values);
+        let (xl, xr) = iq.xi();
+        out.push(XiTraceRow {
+            round: t,
+            quantile: q,
+            xi_lo: q + xl,
+            xi_hi: q + xr,
+            min: *values.iter().min().expect("non-empty"),
+            max: *values.iter().max().expect("non-empty"),
+            refined: iq.last_refinements() > 0,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_figure_has_a_sweep() {
+        let ids: Vec<&str> = all_sweeps(true).iter().map(|s| s.id).collect();
+        assert_eq!(
+            ids,
+            [
+                "fig6", "fig7", "fig8", "fig9", "fig10", "loss", "adaptive", "phi", "lcllcmp",
+                "exactcmp"
+            ]
+        );
+        for id in ids {
+            assert!(by_id(id, true).is_some());
+        }
+        assert!(by_id("fig99", true).is_none());
+    }
+
+    #[test]
+    fn fig10_covers_both_range_settings() {
+        let s = fig10(true);
+        assert_eq!(s.cells.len(), 10);
+        assert!(s.cells.iter().any(|c| c.label.contains("opt")));
+        assert!(s.cells.iter().any(|c| c.label.contains("pess")));
+    }
+
+    #[test]
+    fn fig4_trace_tracks_the_quantile() {
+        let trace = fig4_trace(30);
+        assert_eq!(trace.len(), 30);
+        for row in &trace[1..] {
+            assert!(row.xi_lo <= row.quantile && row.quantile <= row.xi_hi);
+            assert!(row.min <= row.quantile && row.quantile <= row.max);
+        }
+        // Ξ must not degenerate over the whole trace once a trend exists.
+        assert!(trace[5..].iter().any(|r| r.xi_hi > r.xi_lo));
+    }
+
+    #[test]
+    fn quick_sweeps_are_runnable_end_to_end() {
+        // Smallest sweep: adaptive with trimmed cells.
+        let mut s = adaptive(true);
+        s.cells.truncate(1);
+        for c in &mut s.cells {
+            c.config.rounds = 20;
+            c.config.runs = 1;
+            c.config.sensor_count = 60;
+        }
+        let r = run_sweep(&s);
+        assert_eq!(r.results.len(), s.algorithms.len());
+        for row in &r.results {
+            for m in row.iter().flatten() {
+                assert_eq!(m.exactness, 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! # wsn-sim — simulation runner for continuous quantile queries
+//!
+//! Reproduces the evaluation methodology of §5.1: given a configuration
+//! (node count, radio range, dataset, algorithm), it builds the physical
+//! topology and shortest-path routing tree, replays the dataset round by
+//! round through the chosen protocol, verifies every answer against a
+//! centralized oracle, and reports the paper's performance indicators —
+//! maximum per-node energy consumption and network lifetime — averaged
+//! over rounds and simulation runs.
+//!
+//! * [`config`] — simulation parameters (Table 2 defaults),
+//! * [`runner`] — a single run and multi-run aggregation,
+//! * [`metrics`] — the measured indicators,
+//! * [`experiments`] — the pre-configured sweeps behind every figure,
+//! * [`trace`] — per-round instrumentation with CSV export,
+//! * [`multi`] — the §2 multi-measurement-node expansion,
+//! * [`report`] — plain-text table rendering.
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod multi;
+pub mod report;
+pub mod runner;
+pub mod trace;
+
+pub use config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+pub use metrics::{AggregatedMetrics, RunMetrics};
+pub use runner::{run_experiment, run_once};
+
+/// A sensor measurement.
+pub type Value = wsn_net::Value;

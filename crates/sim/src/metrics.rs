@@ -1,0 +1,140 @@
+//! The performance indicators of §5.1.5.
+
+/// Metrics of a single simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Mean per-round energy of the hottest sensor node (J/round) — the
+    /// "maximum per-node energy consumption" indicator.
+    pub max_node_energy_per_round: f64,
+    /// Network lifetime in rounds (until the first sensor exhausts its
+    /// 30 mJ supply, extrapolated from per-round means; DESIGN.md §3.3).
+    pub lifetime_rounds: f64,
+    /// Messages transmitted per round (network-wide).
+    pub messages_per_round: f64,
+    /// Measurements transmitted per round (each hop counts).
+    pub values_per_round: f64,
+    /// Bits on air per round.
+    pub bits_per_round: f64,
+    /// Rounds whose answer equaled the oracle's k-th value.
+    pub exact_rounds: u32,
+    /// Total rounds executed.
+    pub total_rounds: u32,
+    /// Mean absolute rank error of the answers (0 when always exact;
+    /// meaningful under message loss, §6).
+    pub mean_rank_error: f64,
+    /// Receive-energy fraction of the hotspot node (§5.2.1's analysis of
+    /// where the energy goes as density grows).
+    pub hotspot_rx_fraction: f64,
+}
+
+impl RunMetrics {
+    /// Fraction of rounds answered exactly.
+    pub fn exactness(&self) -> f64 {
+        if self.total_rounds == 0 {
+            return 1.0;
+        }
+        self.exact_rounds as f64 / self.total_rounds as f64
+    }
+}
+
+/// Mean and standard deviation over simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregatedMetrics {
+    /// Number of runs aggregated.
+    pub runs: u32,
+    /// Mean hotspot energy per round (J/round).
+    pub max_node_energy_per_round: f64,
+    /// Std-dev of the hotspot energy.
+    pub max_node_energy_std: f64,
+    /// Mean lifetime (rounds).
+    pub lifetime_rounds: f64,
+    /// Std-dev of the lifetime.
+    pub lifetime_std: f64,
+    /// Mean messages per round.
+    pub messages_per_round: f64,
+    /// Mean values per round.
+    pub values_per_round: f64,
+    /// Mean bits per round.
+    pub bits_per_round: f64,
+    /// Fraction of exact rounds across all runs.
+    pub exactness: f64,
+    /// Mean absolute rank error.
+    pub mean_rank_error: f64,
+    /// Mean hotspot receive-energy fraction.
+    pub hotspot_rx_fraction: f64,
+}
+
+impl AggregatedMetrics {
+    /// Aggregates per-run metrics.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn from_runs(runs: &[RunMetrics]) -> Self {
+        assert!(!runs.is_empty(), "need at least one run");
+        let n = runs.len() as f64;
+        let mean = |f: &dyn Fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
+        let std = |f: &dyn Fn(&RunMetrics) -> f64, m: f64| {
+            (runs.iter().map(|r| (f(r) - m).powi(2)).sum::<f64>() / n).sqrt()
+        };
+        let energy = mean(&|r: &RunMetrics| r.max_node_energy_per_round);
+        let lifetime = mean(&|r: &RunMetrics| r.lifetime_rounds);
+        AggregatedMetrics {
+            runs: runs.len() as u32,
+            max_node_energy_per_round: energy,
+            max_node_energy_std: std(&|r: &RunMetrics| r.max_node_energy_per_round, energy),
+            lifetime_rounds: lifetime,
+            lifetime_std: std(&|r: &RunMetrics| r.lifetime_rounds, lifetime),
+            messages_per_round: mean(&|r: &RunMetrics| r.messages_per_round),
+            values_per_round: mean(&|r: &RunMetrics| r.values_per_round),
+            bits_per_round: mean(&|r: &RunMetrics| r.bits_per_round),
+            exactness: mean(&|r: &RunMetrics| r.exactness()),
+            mean_rank_error: mean(&|r: &RunMetrics| r.mean_rank_error),
+            hotspot_rx_fraction: mean(&|r: &RunMetrics| r.hotspot_rx_fraction),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(e: f64, lt: f64, exact: u32, total: u32) -> RunMetrics {
+        RunMetrics {
+            max_node_energy_per_round: e,
+            lifetime_rounds: lt,
+            messages_per_round: 10.0,
+            values_per_round: 5.0,
+            bits_per_round: 100.0,
+            exact_rounds: exact,
+            total_rounds: total,
+            mean_rank_error: 0.0,
+            hotspot_rx_fraction: 0.5,
+        }
+    }
+
+    #[test]
+    fn aggregation_means_and_stds() {
+        let agg = AggregatedMetrics::from_runs(&[run(1.0, 100.0, 10, 10), run(3.0, 300.0, 5, 10)]);
+        assert_eq!(agg.runs, 2);
+        assert_eq!(agg.max_node_energy_per_round, 2.0);
+        assert_eq!(agg.max_node_energy_std, 1.0);
+        assert_eq!(agg.lifetime_rounds, 200.0);
+        assert_eq!(agg.exactness, 0.75);
+    }
+
+    #[test]
+    fn exactness_of_single_run() {
+        assert_eq!(run(1.0, 1.0, 9, 10).exactness(), 0.9);
+        let empty = RunMetrics {
+            total_rounds: 0,
+            ..run(1.0, 1.0, 0, 0)
+        };
+        assert_eq!(empty.exactness(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn rejects_empty_aggregation() {
+        let _ = AggregatedMetrics::from_runs(&[]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Multi-measurement nodes (§2): "An extension of the concepts proposed in
+//! this paper to nodes producing multiple values at a time is trivial
+//! since additional values could be interpreted as received from
+//! artificial child nodes."
+//!
+//! This module implements exactly that interpretation: given a deployment
+//! whose sensors each produce `m_i` measurements per round, it expands the
+//! world into one where every extra measurement belongs to an *artificial
+//! child* co-located with — and routed through — its real node. Real
+//! nodes keep their shortest-path-tree routes; artificial children are
+//! forced onto their real node via [`RoutingTree::from_parents`]. Since
+//! the radio model charges the range-dependent term per transmission
+//! regardless of link length, the artificial hop approximates the real
+//! node's local handling of its extra values; the approximation is
+//! conservative (it slightly overcharges the α term).
+
+use wsn_net::{NodeId, Point, RoutingTree, Topology};
+
+use crate::Value;
+
+/// The expansion of a multi-measurement deployment into the paper's
+/// single-measurement model.
+#[derive(Debug, Clone)]
+pub struct ExpandedWorld {
+    /// Topology including artificial children (co-located with parents).
+    pub topology: Topology,
+    /// Routing tree where every artificial child hangs off its real node.
+    pub tree: RoutingTree,
+    /// Maps each expanded sensor index (0-based, as in a `values` slice)
+    /// to the real sensor it belongs to.
+    pub origin: Vec<usize>,
+}
+
+/// Expands `positions` (root first, then sensors) where sensor `i`
+/// produces `multiplicity[i] >= 1` values per round.
+///
+/// Artificial children are placed at their parent's position, so the
+/// distance-dependent part of their transmit energy is zero; the
+/// distance-independent part models the real node's own radio handling of
+/// its extra values, which is the faithful reading of §2's construction.
+///
+/// # Panics
+/// Panics if any multiplicity is zero or the expanded graph is
+/// disconnected.
+pub fn expand(
+    positions: &[(f64, f64)],
+    radio_range: f64,
+    multiplicity: &[usize],
+) -> ExpandedWorld {
+    assert_eq!(
+        positions.len(),
+        multiplicity.len() + 1,
+        "positions include the root; multiplicities cover sensors only"
+    );
+    assert!(
+        multiplicity.iter().all(|&m| m >= 1),
+        "every sensor produces at least one value"
+    );
+
+    let mut points: Vec<Point> = positions.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let mut origin: Vec<usize> = (0..multiplicity.len()).collect();
+    for (i, &m) in multiplicity.iter().enumerate() {
+        for _ in 1..m {
+            // Co-located artificial child of sensor i (node index i+1).
+            points.push(points[i + 1]);
+            origin.push(i);
+        }
+    }
+    let real_count = positions.len();
+    let topology = Topology::build(points, radio_range);
+    // Route the real nodes with the usual SPT, then force every
+    // artificial child onto its real node (it *is* that node).
+    let base_topo = Topology::build(
+        positions.iter().map(|&(x, y)| Point::new(x, y)).collect(),
+        radio_range,
+    );
+    let base_tree = RoutingTree::shortest_path_tree(&base_topo)
+        .expect("expansion requires a connected deployment");
+    let mut parents: Vec<Option<NodeId>> = (0..real_count as u32)
+        .map(|i| base_tree.parent(NodeId(i)))
+        .collect();
+    for &real in &origin[multiplicity.len()..] {
+        parents.push(Some(NodeId(real as u32 + 1)));
+    }
+    let tree = RoutingTree::from_parents(parents).expect("valid by construction");
+    ExpandedWorld {
+        topology,
+        tree,
+        origin,
+    }
+}
+
+/// Flattens a per-real-sensor measurement matrix into the expanded
+/// world's `values` slice (row `i` holds sensor `i`'s `m_i` values).
+pub fn flatten_measurements(world: &ExpandedWorld, per_sensor: &[Vec<Value>]) -> Vec<Value> {
+    let mut next_extra: Vec<usize> = vec![1; per_sensor.len()];
+    world
+        .origin
+        .iter()
+        .enumerate()
+        .map(|(expanded_idx, &real)| {
+            if expanded_idx < per_sensor.len() {
+                per_sensor[real][0]
+            } else {
+                let j = next_extra[real];
+                next_extra[real] += 1;
+                per_sensor[real][j]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_core::iq::IqConfig;
+    use cqp_core::{ContinuousQuantile, Iq, QueryConfig};
+    use wsn_net::{MessageSizes, Network, RadioModel};
+
+    fn line_positions(n: usize) -> Vec<(f64, f64)> {
+        (0..=n).map(|i| (i as f64 * 8.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn expansion_counts_and_origins() {
+        let world = expand(&line_positions(3), 10.0, &[1, 3, 2]);
+        // 1 root + 3 real sensors + (2 + 1) artificial children.
+        assert_eq!(world.topology.len(), 7);
+        assert_eq!(world.origin, vec![0, 1, 2, 1, 1, 2]);
+    }
+
+    #[test]
+    fn artificial_children_hang_off_their_real_node() {
+        let world = expand(&line_positions(3), 10.0, &[1, 3, 1]);
+        // Expanded nodes 4 and 5 (indices) are children of sensor 2
+        // (node id 2) — same position, depth one below.
+        for id in [4u32, 5] {
+            let child = wsn_net::NodeId(id);
+            assert_eq!(
+                world.topology.position(child),
+                world.topology.position(wsn_net::NodeId(2))
+            );
+            assert_eq!(world.tree.depth(child), world.tree.depth(wsn_net::NodeId(2)) + 1);
+        }
+    }
+
+    #[test]
+    fn flatten_preserves_all_measurements() {
+        let world = expand(&line_positions(2), 10.0, &[2, 3]);
+        let per_sensor = vec![vec![10, 11], vec![20, 21, 22]];
+        let mut flat = flatten_measurements(&world, &per_sensor);
+        flat.sort_unstable();
+        assert_eq!(flat, vec![10, 11, 20, 21, 22]);
+    }
+
+    #[test]
+    fn quantile_over_multi_measurements_is_exact() {
+        let n_real = 5;
+        let mult = vec![2usize, 1, 3, 2, 1];
+        let world = expand(&line_positions(n_real), 10.0, &mult);
+        let n_expanded = world.origin.len();
+        let query = QueryConfig::median(n_expanded, 0, 1023);
+        let mut net = Network::new(
+            world.topology.clone(),
+            world.tree.clone(),
+            RadioModel::default(),
+            MessageSizes::default(),
+        );
+        let mut iq = Iq::new(query, IqConfig::default());
+        for t in 0..10i64 {
+            let per_sensor: Vec<Vec<Value>> = mult
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| (0..m as i64).map(|j| 100 + i as i64 * 10 + j * 3 + t).collect())
+                .collect();
+            let flat = flatten_measurements(&world, &per_sensor);
+            let got = iq.round(&mut net, &flat);
+            assert_eq!(got, cqp_core::rank::kth_smallest(&flat, query.k), "t={t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn zero_multiplicity_rejected() {
+        let _ = expand(&line_positions(2), 10.0, &[1, 0]);
+    }
+}

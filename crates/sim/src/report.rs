@@ -1,0 +1,272 @@
+//! Plain-text rendering of sweep results — the rows/series the paper's
+//! figures plot.
+
+use crate::experiments::{SweepResults, XiTraceRow};
+use crate::metrics::AggregatedMetrics;
+
+/// Which indicator a table shows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Indicator {
+    /// Maximum per-node energy consumption (mJ per round).
+    MaxEnergy,
+    /// Network lifetime (rounds).
+    Lifetime,
+    /// Messages per round.
+    Messages,
+    /// Transmitted values per round.
+    Values,
+    /// Mean absolute rank error.
+    RankError,
+    /// Fraction of exactly answered rounds.
+    Exactness,
+}
+
+impl Indicator {
+    /// Column-header label including unit.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Indicator::MaxEnergy => "max per-node energy [mJ/round]",
+            Indicator::Lifetime => "network lifetime [rounds]",
+            Indicator::Messages => "messages/round",
+            Indicator::Values => "values/round",
+            Indicator::RankError => "mean rank error",
+            Indicator::Exactness => "exact rounds [%]",
+        }
+    }
+
+    /// Extracts and scales the indicator.
+    pub fn extract(&self, m: &AggregatedMetrics) -> f64 {
+        match self {
+            Indicator::MaxEnergy => m.max_node_energy_per_round * 1e3, // J -> mJ
+            Indicator::Lifetime => m.lifetime_rounds,
+            Indicator::Messages => m.messages_per_round,
+            Indicator::Values => m.values_per_round,
+            Indicator::RankError => m.mean_rank_error,
+            Indicator::Exactness => m.exactness * 100.0,
+        }
+    }
+}
+
+fn format_value(x: f64) -> String {
+    if !x.is_finite() {
+        "inf".to_string()
+    } else if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100_000.0 {
+        format!("{x:.3e}")
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Renders one indicator of a sweep as an aligned text table
+/// (algorithms × cells).
+pub fn render_table(results: &SweepResults, indicator: Indicator) -> String {
+    let sweep = &results.sweep;
+    let mut headers: Vec<String> = vec!["algorithm".to_string()];
+    headers.extend(sweep.cells.iter().map(|c| c.label.clone()));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (ai, alg) in sweep.algorithms.iter().enumerate() {
+        let mut row = vec![alg.name().to_string()];
+        for cell in &results.results[ai] {
+            row.push(match cell {
+                Some(m) => format_value(indicator.extract(m)),
+                None => "—".to_string(),
+            });
+        }
+        rows.push(row);
+    }
+
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} — {}\n", sweep.title, indicator.label()));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{:>width$}", c, width = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(&headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders ablation rows (label → metrics) as an aligned table.
+pub fn render_ablation(title: &str, rows: &[crate::experiments::AblationRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}\n{:<34}  {:>16}  {:>15}\n",
+        "variant", "energy [mJ/rnd]", "lifetime [rnd]"
+    ));
+    out.push_str(&"-".repeat(69));
+    out.push('\n');
+    for (label, m) in rows {
+        out.push_str(&format!(
+            "{:<34}  {:>16}  {:>15}\n",
+            label,
+            format_value(m.max_node_energy_per_round * 1e3),
+            format_value(m.lifetime_rounds)
+        ));
+    }
+    out
+}
+
+/// Renders ablation rows including the accuracy columns (for the §3.1
+/// sampling trade-off, where answers are deliberately approximate).
+pub fn render_ablation_with_error(
+    title: &str,
+    rows: &[crate::experiments::AblationRow],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title}\n{:<26}  {:>16}  {:>10}  {:>11}\n",
+        "variant", "energy [mJ/rnd]", "exact [%]", "rank error"
+    ));
+    out.push_str(&"-".repeat(69));
+    out.push('\n');
+    for (label, m) in rows {
+        out.push_str(&format!(
+            "{:<26}  {:>16}  {:>10}  {:>11}\n",
+            label,
+            format_value(m.max_node_energy_per_round * 1e3),
+            format_value(m.exactness * 100.0),
+            format_value(m.mean_rank_error)
+        ));
+    }
+    out
+}
+
+/// Renders the Figure-4 Ξ trace as a text series.
+pub fn render_xi_trace(trace: &[XiTraceRow]) -> String {
+    let mut out = String::from(
+        "Fig. 4 — IQ interval Ξ over time (round, min, Ξ_lo, quantile, Ξ_hi, max, refined)\n",
+    );
+    for r in trace {
+        out.push_str(&format!(
+            "{:>4}  {:>6}  {:>6}  {:>6}  {:>6}  {:>6}  {}\n",
+            r.round,
+            r.min,
+            r.xi_lo,
+            r.quantile,
+            r.xi_hi,
+            r.max,
+            if r.refined { "R" } else { "" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AlgorithmKind, SimulationConfig};
+    use crate::experiments::{Cell, Sweep, SweepResults};
+    use crate::metrics::{AggregatedMetrics, RunMetrics};
+
+    fn dummy_metrics(e: f64) -> AggregatedMetrics {
+        AggregatedMetrics::from_runs(&[RunMetrics {
+            max_node_energy_per_round: e,
+            lifetime_rounds: 1000.0,
+            messages_per_round: 5.0,
+            values_per_round: 2.0,
+            bits_per_round: 100.0,
+            exact_rounds: 10,
+            total_rounds: 10,
+            mean_rank_error: 0.0,
+            hotspot_rx_fraction: 0.5,
+        }])
+    }
+
+    fn dummy_results() -> SweepResults {
+        let sweep = Sweep {
+            id: "fig6",
+            title: "Test sweep",
+            cells: vec![
+                Cell {
+                    label: "|N|=10".into(),
+                    config: SimulationConfig::quick(),
+                },
+                Cell {
+                    label: "|N|=20".into(),
+                    config: SimulationConfig::quick(),
+                },
+            ],
+            algorithms: vec![AlgorithmKind::Iq, AlgorithmKind::Tag],
+            skip: vec![],
+        };
+        SweepResults {
+            sweep,
+            results: vec![
+                vec![Some(dummy_metrics(1e-6)), Some(dummy_metrics(2e-6))],
+                vec![Some(dummy_metrics(5e-6)), None],
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_algorithms_and_cells() {
+        let t = render_table(&dummy_results(), Indicator::MaxEnergy);
+        assert!(t.contains("IQ"));
+        assert!(t.contains("TAG"));
+        assert!(t.contains("|N|=10"));
+        assert!(t.contains("—"), "skipped cells render as em dash");
+        assert!(t.contains("mJ/round"));
+    }
+
+    #[test]
+    fn energy_is_reported_in_millijoules() {
+        let t = render_table(&dummy_results(), Indicator::MaxEnergy);
+        // 1e-6 J = 0.001 mJ.
+        assert!(t.contains("0.0010"), "table was:\n{t}");
+    }
+
+    #[test]
+    fn all_indicators_render() {
+        let r = dummy_results();
+        for ind in [
+            Indicator::MaxEnergy,
+            Indicator::Lifetime,
+            Indicator::Messages,
+            Indicator::Values,
+            Indicator::RankError,
+            Indicator::Exactness,
+        ] {
+            let t = render_table(&r, ind);
+            assert!(t.contains(ind.label()));
+        }
+    }
+
+    #[test]
+    fn xi_trace_renders_refinement_marker() {
+        let trace = vec![crate::experiments::XiTraceRow {
+            round: 0,
+            quantile: 50,
+            xi_lo: 45,
+            xi_hi: 55,
+            min: 0,
+            max: 100,
+            refined: true,
+        }];
+        let t = render_xi_trace(&trace);
+        assert!(t.trim_end().ends_with('R'));
+    }
+}

@@ -1,0 +1,349 @@
+//! Executes simulation runs and aggregates their metrics.
+
+use cqp_core::protocol::QueryConfig;
+use wsn_data::som::som_placement;
+use wsn_data::walks::{RandomWalkDataset, RegimeDataset};
+use wsn_data::{Dataset, PressureDataset, Rng, SyntheticDataset};
+use wsn_net::loss::LossModel;
+use wsn_net::{Network, Point, RoutingTree, Topology};
+
+use crate::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+use crate::metrics::{AggregatedMetrics, RunMetrics};
+use crate::Value;
+
+/// Deployment area used by all experiments (§5.1.2: 200 m × 200 m).
+pub const AREA: f64 = 200.0;
+
+/// How often a disconnected random placement is re-drawn before giving up.
+const MAX_PLACEMENT_ATTEMPTS: u32 = 200;
+
+/// Builds dataset + connected topology + routing tree for one run.
+fn build_world(
+    cfg: &SimulationConfig,
+    rng: &mut Rng,
+) -> (Box<dyn Dataset>, Topology, RoutingTree) {
+    for _ in 0..MAX_PLACEMENT_ATTEMPTS {
+        let (dataset, positions): (Box<dyn Dataset>, Vec<Point>) = match &cfg.dataset {
+            DatasetSpec::Synthetic(scfg) => {
+                let raw = wsn_data::placement::uniform(cfg.sensor_count, AREA, AREA, rng);
+                let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                let sensor_pos: Vec<(f64, f64)> = raw[1..].to_vec();
+                let ds = SyntheticDataset::generate(scfg.clone(), &sensor_pos, rng);
+                (Box::new(ds), positions)
+            }
+            DatasetSpec::Pressure(pcfg) => {
+                let ds = PressureDataset::generate(pcfg.clone(), rng);
+                let firsts = ds.first_measurements();
+                let sensor_pos = som_placement(&firsts, AREA, AREA, rng);
+                // The paper re-selects the root between runs; we place the
+                // sink at a random position (node traces stay fixed).
+                let mut positions =
+                    vec![Point::new(rng.range_f64(0.0, AREA), rng.range_f64(0.0, AREA))];
+                positions.extend(sensor_pos.iter().map(|&(x, y)| Point::new(x, y)));
+                (Box::new(ds), positions)
+            }
+            DatasetSpec::RandomWalk { range_size, step } => {
+                let raw = wsn_data::placement::uniform(cfg.sensor_count, AREA, AREA, rng);
+                let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                let ds = RandomWalkDataset::new(
+                    cfg.sensor_count,
+                    0,
+                    *range_size as i64 - 1,
+                    *step,
+                    rng,
+                );
+                (Box::new(ds), positions)
+            }
+            DatasetSpec::Regime {
+                range_size,
+                phase_len,
+                drift,
+            } => {
+                let raw = wsn_data::placement::uniform(cfg.sensor_count, AREA, AREA, rng);
+                let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+                let ds = RegimeDataset::new(
+                    cfg.sensor_count,
+                    0,
+                    *range_size as i64 - 1,
+                    *phase_len,
+                    *drift,
+                    rng,
+                );
+                (Box::new(ds), positions)
+            }
+        };
+        let topo = Topology::build(positions, cfg.radio_range);
+        if let Ok(tree) = RoutingTree::shortest_path_tree(&topo) {
+            return (dataset, topo, tree);
+        }
+    }
+    panic!(
+        "could not find a connected placement for |N|={} ρ={} after {} attempts",
+        cfg.sensor_count, cfg.radio_range, MAX_PLACEMENT_ATTEMPTS
+    );
+}
+
+/// Absolute rank error of answer `v` against the true rank `k` (0 when `v`
+/// is a value of rank k, i.e. `l < k ≤ l + e`).
+fn rank_error(values: &[Value], v: Value, k: u64) -> u64 {
+    let l = values.iter().filter(|&&x| x < v).count() as u64;
+    let e = values.iter().filter(|&&x| x == v).count() as u64;
+    if k > l && k <= l + e {
+        0
+    } else if k <= l {
+        l + 1 - k
+    } else {
+        k - (l + e).max(1)
+    }
+}
+
+/// A protocol factory: how ablation studies inject custom configurations
+/// into the standard runner.
+pub type ProtocolBuilder<'a> = &'a dyn Fn(
+    QueryConfig,
+    &wsn_net::MessageSizes,
+) -> Box<dyn cqp_core::ContinuousQuantile>;
+
+/// Executes one simulation run and returns its metrics.
+pub fn run_once(cfg: &SimulationConfig, kind: AlgorithmKind, run_index: u32) -> RunMetrics {
+    run_once_with(cfg, &|q, s| kind.build(q, s), run_index)
+}
+
+/// [`run_once`] with a custom protocol factory.
+pub fn run_once_with(
+    cfg: &SimulationConfig,
+    builder: ProtocolBuilder<'_>,
+    run_index: u32,
+) -> RunMetrics {
+    let mut rng = Rng::seed_from_u64(
+        cfg.seed ^ (run_index as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+    );
+    let (mut dataset, topo, tree) = build_world(cfg, &mut rng);
+    let n = dataset.sensor_count();
+    assert_eq!(n + 1, topo.len(), "dataset and topology disagree");
+
+    let query = QueryConfig::phi(cfg.phi, n, dataset.range_min(), dataset.range_max());
+    let mut alg = builder(query, &cfg.sizes);
+    let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
+    if let Some(p) = cfg.loss {
+        net.set_loss(Some(LossModel::new(p, rng.next_u64())));
+    }
+
+    let mut values = vec![0 as Value; n];
+    let mut exact_rounds = 0u32;
+    let mut rank_error_sum = 0u64;
+    for t in 0..cfg.rounds {
+        dataset.sample_round(t, &mut values);
+        let answer = alg.round(&mut net, &values);
+        let err = rank_error(&values, answer, query.k);
+        if err == 0 {
+            exact_rounds += 1;
+        }
+        rank_error_sum += err;
+    }
+
+    let rounds = cfg.rounds.max(1) as f64;
+    let ledger = net.ledger();
+    let hotspot = ledger.max_sensor_consumption() / rounds;
+    let stats = net.stats();
+    RunMetrics {
+        max_node_energy_per_round: hotspot,
+        lifetime_rounds: ledger.estimated_lifetime_rounds(net.model()),
+        messages_per_round: stats.messages as f64 / rounds,
+        values_per_round: stats.values as f64 / rounds,
+        bits_per_round: stats.bits as f64 / rounds,
+        exact_rounds,
+        total_rounds: cfg.rounds,
+        mean_rank_error: rank_error_sum as f64 / rounds,
+        hotspot_rx_fraction: ledger.hotspot_rx_fraction(),
+    }
+}
+
+/// Literal network-lifetime measurement: replays dataset rounds (cycling
+/// after `cfg.rounds`) until the first sensor's cumulative consumption
+/// exceeds its initial energy supply, and returns that round number.
+/// Slower than the extrapolated estimate in [`RunMetrics`] but makes no
+/// stationarity assumption (DESIGN.md §3.3). `max_rounds` bounds runaway
+/// configurations.
+pub fn run_until_death(
+    cfg: &SimulationConfig,
+    kind: AlgorithmKind,
+    run_index: u32,
+    max_rounds: u32,
+) -> Option<u32> {
+    let mut rng = Rng::seed_from_u64(
+        cfg.seed ^ (run_index as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+    );
+    let (mut dataset, topo, tree) = build_world(cfg, &mut rng);
+    let n = dataset.sensor_count();
+    let query = QueryConfig::phi(cfg.phi, n, dataset.range_min(), dataset.range_max());
+    let mut alg = kind.build(query, &cfg.sizes);
+    let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
+    if let Some(p) = cfg.loss {
+        net.set_loss(Some(LossModel::new(p, rng.next_u64())));
+    }
+    let mut values = vec![0 as Value; n];
+    for t in 0..max_rounds {
+        dataset.sample_round(t % cfg.rounds.max(1), &mut values);
+        alg.round(&mut net, &values);
+        if net.ledger().max_sensor_consumption() > net.model().initial_energy {
+            return Some(t + 1);
+        }
+    }
+    None
+}
+
+/// Executes `cfg.runs` runs (re-drawing topology each time, §5.1) and
+/// aggregates.
+pub fn run_experiment(cfg: &SimulationConfig, kind: AlgorithmKind) -> AggregatedMetrics {
+    run_experiment_with(cfg, &|q, s| kind.build(q, s))
+}
+
+/// [`run_experiment`] with a custom protocol factory (ablation studies).
+pub fn run_experiment_with(
+    cfg: &SimulationConfig,
+    builder: ProtocolBuilder<'_>,
+) -> AggregatedMetrics {
+    let runs: Vec<RunMetrics> = (0..cfg.runs)
+        .map(|r| run_once_with(cfg, builder, r))
+        .collect();
+    AggregatedMetrics::from_runs(&runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SimulationConfig {
+        SimulationConfig {
+            sensor_count: 60,
+            rounds: 25,
+            runs: 2,
+            ..SimulationConfig::default()
+        }
+    }
+
+    #[test]
+    fn rank_error_definition() {
+        let values = vec![1, 2, 2, 3, 9];
+        // k = 3 -> value 2 (ranks 2..3).
+        assert_eq!(rank_error(&values, 2, 3), 0);
+        assert_eq!(rank_error(&values, 2, 2), 0);
+        assert_eq!(rank_error(&values, 2, 4), 1);
+        assert_eq!(rank_error(&values, 9, 3), 2); // rank of 9 is 5
+        assert_eq!(rank_error(&values, 1, 3), 2); // rank of 1 is 1
+        // A value not present at all: 5 sits above 4 values, so it acts
+        // like rank 5 -> two ranks away from k = 3.
+        assert_eq!(rank_error(&values, 5, 3), 2);
+    }
+
+    #[test]
+    fn every_algorithm_is_exact_in_simulation() {
+        let cfg = tiny_cfg();
+        for kind in AlgorithmKind::PAPER_SET {
+            let agg = run_experiment(&cfg, kind);
+            assert_eq!(agg.exactness, 1.0, "{} must be exact", kind.name());
+            assert_eq!(agg.mean_rank_error, 0.0);
+            assert!(agg.max_node_energy_per_round > 0.0);
+            assert!(agg.lifetime_rounds.is_finite());
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let cfg = tiny_cfg();
+        let a = run_once(&cfg, AlgorithmKind::Iq, 0);
+        let b = run_once(&cfg, AlgorithmKind::Iq, 0);
+        assert_eq!(a, b);
+        let c = run_once(&cfg, AlgorithmKind::Iq, 1);
+        assert_ne!(a, c, "different runs should differ");
+    }
+
+    #[test]
+    fn tag_costs_more_than_continuous_protocols() {
+        let cfg = tiny_cfg();
+        let tag = run_experiment(&cfg, AlgorithmKind::Tag);
+        let iq = run_experiment(&cfg, AlgorithmKind::Iq);
+        assert!(
+            tag.max_node_energy_per_round > iq.max_node_energy_per_round,
+            "TAG {} should be costlier than IQ {}",
+            tag.max_node_energy_per_round,
+            iq.max_node_energy_per_round
+        );
+        assert!(tag.lifetime_rounds < iq.lifetime_rounds);
+    }
+
+    #[test]
+    fn pressure_world_builds_and_runs() {
+        let cfg = SimulationConfig {
+            rounds: 15,
+            runs: 1,
+            dataset: DatasetSpec::Pressure(wsn_data::PressureConfig {
+                sensor_count: 80,
+                steps: 64,
+                ..wsn_data::PressureConfig::default()
+            }),
+            ..SimulationConfig::default()
+        };
+        let agg = run_experiment(&cfg, AlgorithmKind::Iq);
+        assert_eq!(agg.exactness, 1.0);
+    }
+
+    #[test]
+    fn literal_lifetime_agrees_with_the_estimate() {
+        let cfg = SimulationConfig {
+            sensor_count: 60,
+            rounds: 40,
+            runs: 1,
+            ..SimulationConfig::default()
+        };
+        let estimated = run_once(&cfg, AlgorithmKind::Iq, 0).lifetime_rounds;
+        let literal = run_until_death(&cfg, AlgorithmKind::Iq, 0, 20_000)
+            .expect("network must eventually die") as f64;
+        let ratio = literal / estimated;
+        assert!(
+            (0.7..=1.4).contains(&ratio),
+            "literal {literal} vs estimated {estimated}"
+        );
+    }
+
+    #[test]
+    fn walk_and_regime_datasets_run_exactly() {
+        for dataset in [
+            DatasetSpec::RandomWalk {
+                range_size: 1024,
+                step: 5,
+            },
+            DatasetSpec::Regime {
+                range_size: 1024,
+                phase_len: 10,
+                drift: 3,
+            },
+        ] {
+            let cfg = SimulationConfig {
+                sensor_count: 60,
+                rounds: 40,
+                runs: 1,
+                dataset,
+                ..SimulationConfig::default()
+            };
+            for kind in [AlgorithmKind::Iq, AlgorithmKind::Hbc, AlgorithmKind::Adaptive] {
+                let m = run_experiment(&cfg, kind);
+                assert_eq!(m.exactness, 1.0, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn loss_mode_runs_and_reports_rank_error() {
+        let cfg = SimulationConfig {
+            loss: Some(0.3),
+            ..tiny_cfg()
+        };
+        // With 30% loss some rounds will be wrong, but nothing panics and
+        // the error is quantified.
+        let agg = run_experiment(&cfg, AlgorithmKind::Pos);
+        assert!(agg.exactness <= 1.0);
+        assert!(agg.mean_rank_error >= 0.0);
+    }
+}

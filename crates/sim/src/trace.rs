@@ -1,0 +1,159 @@
+//! Per-round instrumentation: run any protocol over a dataset and record
+//! what happened each round — the raw series behind time plots like
+//! Figure 4 — with CSV export.
+
+use cqp_core::ContinuousQuantile;
+use wsn_data::Dataset;
+use wsn_net::Network;
+
+use crate::Value;
+
+/// One round of a traced run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRecord {
+    /// Round index `t`.
+    pub round: u32,
+    /// The answer the protocol produced.
+    pub quantile: Value,
+    /// The oracle's k-th value (equal to `quantile` absent loss).
+    pub truth: Value,
+    /// Messages transmitted in this round.
+    pub messages: u64,
+    /// Raw measurements transmitted in this round (hop-counted).
+    pub values: u64,
+    /// Bits on air in this round.
+    pub bits: u64,
+    /// Hotspot energy consumed in this round (J).
+    pub hotspot_energy: f64,
+    /// Smallest measurement in the network this round.
+    pub min: Value,
+    /// Largest measurement this round.
+    pub max: Value,
+}
+
+/// Runs `alg` over `dataset` for `rounds` rounds on `net`, recording every
+/// round. The protocol keeps running even when its answer diverges from
+/// the oracle (loss experiments), so the trace shows the divergence.
+pub fn trace_run(
+    net: &mut Network,
+    alg: &mut dyn ContinuousQuantile,
+    dataset: &mut dyn Dataset,
+    rounds: u32,
+    k: u64,
+) -> Vec<RoundRecord> {
+    let n = dataset.sensor_count();
+    let mut values = vec![0 as Value; n];
+    let mut out = Vec::with_capacity(rounds as usize);
+    let mut prev_stats = *net.stats();
+    let mut prev_hotspot = net.ledger().max_sensor_consumption();
+    for t in 0..rounds {
+        dataset.sample_round(t, &mut values);
+        let quantile = alg.round(net, &values);
+        let truth = cqp_core::rank::kth_smallest(&values, k);
+        let stats = *net.stats();
+        let hotspot = net.ledger().max_sensor_consumption();
+        out.push(RoundRecord {
+            round: t,
+            quantile,
+            truth,
+            messages: stats.messages - prev_stats.messages,
+            values: stats.values - prev_stats.values,
+            bits: stats.bits - prev_stats.bits,
+            hotspot_energy: hotspot - prev_hotspot,
+            min: *values.iter().min().expect("non-empty network"),
+            max: *values.iter().max().expect("non-empty network"),
+        });
+        prev_stats = stats;
+        prev_hotspot = hotspot;
+    }
+    out
+}
+
+/// Renders a trace as CSV (with header), ready for external plotting.
+pub fn to_csv(trace: &[RoundRecord]) -> String {
+    let mut out =
+        String::from("round,quantile,truth,messages,values,bits,hotspot_energy_j,min,max\n");
+    for r in trace {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{:.9e},{},{}\n",
+            r.round,
+            r.quantile,
+            r.truth,
+            r.messages,
+            r.values,
+            r.bits,
+            r.hotspot_energy,
+            r.min,
+            r.max
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cqp_core::iq::IqConfig;
+    use cqp_core::{Iq, QueryConfig};
+    use wsn_data::synthetic::{SyntheticConfig, SyntheticDataset};
+    use wsn_data::Rng;
+    use wsn_net::{MessageSizes, Point, RadioModel, RoutingTree, Topology};
+
+    fn world(n: usize) -> (Network, SyntheticDataset) {
+        let mut rng = Rng::seed_from_u64(7);
+        let raw = wsn_data::placement::uniform(n, 200.0, 200.0, &mut rng);
+        let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let topo = Topology::build(positions, 40.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        let net = Network::new(topo, tree, RadioModel::default(), MessageSizes::default());
+        let ds = SyntheticDataset::generate(SyntheticConfig::default(), &raw[1..], &mut rng);
+        (net, ds)
+    }
+
+    #[test]
+    fn trace_matches_oracle_and_sums_to_totals() {
+        let n = 80;
+        let (mut net, mut ds) = world(n);
+        let query = QueryConfig::median(n, ds.range_min(), ds.range_max());
+        let mut iq = Iq::new(query, IqConfig::default());
+        let trace = trace_run(&mut net, &mut iq, &mut ds, 30, query.k);
+        assert_eq!(trace.len(), 30);
+        for r in &trace {
+            assert_eq!(r.quantile, r.truth, "round {}", r.round);
+            assert!(r.min <= r.quantile && r.quantile <= r.max);
+        }
+        let sum_msgs: u64 = trace.iter().map(|r| r.messages).sum();
+        assert_eq!(sum_msgs, net.stats().messages);
+        let sum_bits: u64 = trace.iter().map(|r| r.bits).sum();
+        assert_eq!(sum_bits, net.stats().bits);
+    }
+
+    #[test]
+    fn init_round_is_the_expensive_one() {
+        let n = 80;
+        let (mut net, mut ds) = world(n);
+        let query = QueryConfig::median(n, ds.range_min(), ds.range_max());
+        let mut iq = Iq::new(query, IqConfig::default());
+        let trace = trace_run(&mut net, &mut iq, &mut ds, 20, query.k);
+        let init_bits = trace[0].bits;
+        let later_max = trace[1..].iter().map(|r| r.bits).max().unwrap();
+        assert!(
+            init_bits > later_max,
+            "full collection ({init_bits}) must dominate update rounds ({later_max})"
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_round() {
+        let n = 80;
+        let (mut net, mut ds) = world(n);
+        let query = QueryConfig::median(n, ds.range_min(), ds.range_max());
+        let mut iq = Iq::new(query, IqConfig::default());
+        let trace = trace_run(&mut net, &mut iq, &mut ds, 10, query.k);
+        let csv = to_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert!(lines[0].starts_with("round,quantile,truth"));
+        assert!(lines[1].starts_with("0,"));
+    }
+}

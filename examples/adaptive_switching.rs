@@ -1,0 +1,95 @@
+//! Adaptive algorithm switching — the §4.2 future-work idea implemented:
+//! a workload that alternates calm and turbulent phases, with the
+//! [`cqp_core::Adaptive`] meta-protocol hopping between IQ and HBC while a
+//! fixed IQ and a fixed HBC run the same trace for comparison.
+//!
+//! ```text
+//! cargo run -p wsn-sim --release --example adaptive_switching
+//! ```
+
+use cqp_core::adaptive::Mode;
+use cqp_core::hbc::HbcConfig;
+use cqp_core::iq::IqConfig;
+use cqp_core::{Adaptive, ContinuousQuantile, Hbc, Iq, QueryConfig};
+use wsn_data::Rng;
+use wsn_net::{MessageSizes, Network, Point, RadioModel, RoutingTree, Topology};
+
+const N: usize = 250;
+const ROUNDS: u32 = 200;
+const RANGE: i64 = 10_000;
+
+/// Calm phase: slow drift. Turbulent phase: erratic jumps.
+fn values_for_round(t: u32, rng: &mut Rng) -> Vec<i64> {
+    let turbulent = (t / 50) % 2 == 1;
+    (0..N)
+        .map(|i| {
+            if turbulent {
+                rng.range_i64(0, RANGE - 1)
+            } else {
+                (3000 + i as i64 * 8 + t as i64 * 2) % RANGE
+            }
+        })
+        .collect()
+}
+
+fn build_net(seed: u64) -> Network {
+    let mut rng = Rng::seed_from_u64(seed);
+    let raw = wsn_data::placement::uniform(N, 200.0, 200.0, &mut rng);
+    let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let topo = Topology::build(positions, 35.0);
+    let tree = RoutingTree::shortest_path_tree(&topo).expect("connected");
+    Network::new(topo, tree, RadioModel::default(), MessageSizes::default())
+}
+
+fn main() {
+    let sizes = MessageSizes::default();
+    let query = QueryConfig::median(N, 0, RANGE - 1);
+
+    let mut contenders: Vec<(Box<dyn ContinuousQuantile>, Network)> = vec![
+        (Box::new(Iq::new(query, IqConfig::default())), build_net(7)),
+        (
+            Box::new(Hbc::new(query, HbcConfig::default(), &sizes)),
+            build_net(7),
+        ),
+    ];
+    let mut adaptive = Adaptive::new(query, &sizes);
+    let mut adaptive_net = build_net(7);
+
+    let mut rng = Rng::seed_from_u64(99);
+    let mut mode_log = String::new();
+    for t in 0..ROUNDS {
+        let values = values_for_round(t, &mut rng);
+        for (alg, net) in &mut contenders {
+            alg.round(net, &values);
+        }
+        adaptive.round(&mut adaptive_net, &values);
+        if t % 5 == 0 {
+            mode_log.push(match adaptive.mode() {
+                Mode::Iq => 'i',
+                Mode::Hbc => 'h',
+            });
+        }
+    }
+
+    println!("workload: 50-round calm/turbulent phases, {ROUNDS} rounds total\n");
+    println!("adaptive mode over time (every 5th round): {mode_log}");
+    println!("mode switches: {}\n", adaptive.switches());
+
+    println!("{:>9}  {:>16}  {:>14}", "algorithm", "hotspot [mJ/rnd]", "lifetime [rnd]");
+    for (alg, net) in &contenders {
+        let hotspot = net.ledger().max_sensor_consumption() / ROUNDS as f64;
+        println!(
+            "{:>9}  {:>16.4}  {:>14.0}",
+            alg.name(),
+            hotspot * 1e3,
+            net.model().initial_energy / hotspot
+        );
+    }
+    let hotspot = adaptive_net.ledger().max_sensor_consumption() / ROUNDS as f64;
+    println!(
+        "{:>9}  {:>16.4}  {:>14.0}",
+        adaptive.name(),
+        hotspot * 1e3,
+        adaptive_net.model().initial_energy / hotspot
+    );
+}

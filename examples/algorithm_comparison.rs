@@ -1,0 +1,66 @@
+//! Algorithm shoot-out: sweep the temporal correlation (sinusoid period τ)
+//! and print which protocol wins where — the core finding of the paper
+//! (§5.2.2: IQ wins under strong temporal correlation; histogram-based
+//! approaches catch up when the quantile moves fast).
+//!
+//! ```text
+//! cargo run -p wsn-sim --release --example algorithm_comparison
+//! ```
+
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+use wsn_sim::run_experiment;
+
+fn main() {
+    let algorithms = [
+        AlgorithmKind::Pos,
+        AlgorithmKind::LcllH,
+        AlgorithmKind::LcllS,
+        AlgorithmKind::Hbc,
+        AlgorithmKind::Iq,
+    ];
+    let periods = [250u32, 125, 63, 32, 8];
+
+    println!("max per-node energy [mJ/round]; lower is better\n");
+    print!("{:>9}", "algorithm");
+    for p in periods {
+        print!("  {:>8}", format!("τ={p}"));
+    }
+    println!();
+
+    let mut best: Vec<(f64, &str)> = vec![(f64::INFINITY, ""); periods.len()];
+    for kind in algorithms {
+        print!("{:>9}", kind.name());
+        for (i, &period) in periods.iter().enumerate() {
+            let cfg = SimulationConfig {
+                sensor_count: 250,
+                rounds: 120,
+                runs: 3,
+                dataset: DatasetSpec::Synthetic(SyntheticConfig {
+                    period,
+                    ..SyntheticConfig::default()
+                }),
+                ..SimulationConfig::default()
+            };
+            let m = run_experiment(&cfg, kind);
+            let mj = m.max_node_energy_per_round * 1e3;
+            assert_eq!(m.exactness, 1.0, "all protocols are exact");
+            if mj < best[i].0 {
+                best[i] = (mj, kind.name());
+            }
+            print!("  {:>8.4}", mj);
+        }
+        println!();
+    }
+
+    print!("{:>9}", "winner");
+    for (_, name) in &best {
+        print!("  {name:>8}");
+    }
+    println!();
+    println!(
+        "\nReading: τ is the period of the underlying sinusoid — small τ means\n\
+         the median races through the value range; large τ means strong\n\
+         temporal correlation between consecutive rounds."
+    );
+}

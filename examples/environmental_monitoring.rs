@@ -1,0 +1,63 @@
+//! Environmental monitoring: the paper's motivating scenario — a barometric
+//! pressure network whose median is tracked continuously, with SOM-derived
+//! node placement (§5.1.3) and all six §5 algorithms compared head-to-head.
+//!
+//! ```text
+//! cargo run -p wsn-sim --release --example environmental_monitoring
+//! ```
+
+use wsn_data::pressure::{PressureConfig, RangeSetting};
+use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+use wsn_sim::run_experiment;
+
+fn main() {
+    let base = SimulationConfig {
+        rounds: 150,
+        runs: 3,
+        dataset: DatasetSpec::Pressure(PressureConfig {
+            sensor_count: 300,
+            steps: 700,
+            skip: 4,
+            range: RangeSetting::Optimistic,
+            ..PressureConfig::default()
+        }),
+        ..SimulationConfig::default()
+    };
+
+    println!("Barometric pressure network: 300 traces, SOM placement, skip=4");
+    println!(
+        "{:>9}  {:>14}  {:>13}  {:>11}  {:>9}",
+        "algorithm", "energy[mJ/rnd]", "lifetime[rnd]", "msgs/round", "exact[%]"
+    );
+    for kind in AlgorithmKind::PAPER_SET {
+        let m = run_experiment(&base, kind);
+        println!(
+            "{:>9}  {:>14.4}  {:>13.0}  {:>11.1}  {:>9.1}",
+            kind.name(),
+            m.max_node_energy_per_round * 1e3,
+            m.lifetime_rounds,
+            m.messages_per_round,
+            m.exactness * 100.0
+        );
+    }
+
+    println!("\nSame network under a pessimistic value range (856–1086 hPa):");
+    let pessimistic = SimulationConfig {
+        dataset: DatasetSpec::Pressure(PressureConfig {
+            sensor_count: 300,
+            steps: 700,
+            skip: 4,
+            range: RangeSetting::Pessimistic,
+            ..PressureConfig::default()
+        }),
+        ..base
+    };
+    for kind in [AlgorithmKind::LcllH, AlgorithmKind::LcllS, AlgorithmKind::Iq] {
+        let m = run_experiment(&pessimistic, kind);
+        println!(
+            "{:>9}  {:>14.4} mJ/round",
+            kind.name(),
+            m.max_node_energy_per_round * 1e3
+        );
+    }
+}

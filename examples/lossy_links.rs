@@ -1,0 +1,56 @@
+//! Message loss and rank error — the paper's §6 future work: "if messages
+//! get lost, a rank error is introduced and it would be interesting to
+//! analyze the behaviour of different approaches under loss".
+//!
+//! This example sweeps the loss probability and reports, per protocol, how
+//! often the answer is still the exact k-th value and how far off it is
+//! when it isn't.
+//!
+//! ```text
+//! cargo run -p wsn-sim --release --example lossy_links
+//! ```
+
+use wsn_sim::config::{AlgorithmKind, SimulationConfig};
+use wsn_sim::run_experiment;
+
+fn main() {
+    let algorithms = [
+        AlgorithmKind::Pos,
+        AlgorithmKind::Hbc,
+        AlgorithmKind::Iq,
+        AlgorithmKind::LcllH,
+    ];
+    let losses = [0.0, 0.01, 0.05, 0.10, 0.20];
+
+    println!("exact rounds [%] (top) and mean rank error (bottom) under Bernoulli loss\n");
+    print!("{:>9}", "algorithm");
+    for p in losses {
+        print!("  {:>9}", format!("p={:.0}%", p * 100.0));
+    }
+    println!();
+
+    for kind in algorithms {
+        let mut exact_row = format!("{:>9}", kind.name());
+        let mut err_row = format!("{:>9}", "");
+        for p in losses {
+            let cfg = SimulationConfig {
+                sensor_count: 200,
+                rounds: 120,
+                runs: 3,
+                loss: (p > 0.0).then_some(p),
+                ..SimulationConfig::default()
+            };
+            let m = run_experiment(&cfg, kind);
+            exact_row.push_str(&format!("  {:>9.1}", m.exactness * 100.0));
+            err_row.push_str(&format!("  {:>9.2}", m.mean_rank_error));
+        }
+        println!("{exact_row}");
+        println!("{err_row}\n");
+    }
+
+    println!(
+        "Counter-based protocols drift when validation packets vanish; the\n\
+         direct-value phases (IQ's Ξ, retrievals) resynchronize the root,\n\
+         which is why the rank error stays bounded instead of diverging."
+    );
+}

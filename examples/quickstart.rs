@@ -1,0 +1,68 @@
+//! Quickstart: build a small sensor network, run a continuous median query
+//! with IQ, and watch the energy accounting.
+//!
+//! ```text
+//! cargo run -p wsn-sim --release --example quickstart
+//! ```
+
+use cqp_core::iq::IqConfig;
+use cqp_core::{ContinuousQuantile, Iq, QueryConfig};
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_data::{Dataset, Rng, SyntheticDataset};
+use wsn_net::{MessageSizes, Network, Point, RadioModel, RoutingTree, Topology};
+
+fn main() {
+    // 1. Place 200 sensors (plus the sink) uniformly in a 200 m × 200 m
+    //    field and connect everything within a 35 m radio range.
+    let mut rng = Rng::seed_from_u64(2014);
+    let raw = wsn_data::placement::uniform(200, 200.0, 200.0, &mut rng);
+    let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
+    let topo = Topology::build(positions, 35.0);
+    let tree = RoutingTree::shortest_path_tree(&topo).expect("connected network");
+    println!(
+        "network: {} sensors, tree height {} hops",
+        topo.sensor_count(),
+        tree.height()
+    );
+
+    // 2. Wire up the radio energy model (50 nJ/bit + 10 pJ/bit/m², 30 mJ
+    //    per node) and the IEEE-802.15.4-style message sizes.
+    let mut net = Network::new(topo, tree, RadioModel::default(), MessageSizes::default());
+
+    // 3. Generate a spatially correlated, slowly drifting measurement field.
+    let sensor_pos: Vec<(f64, f64)> = raw[1..].to_vec();
+    let mut data = SyntheticDataset::generate(SyntheticConfig::default(), &sensor_pos, &mut rng);
+
+    // 4. Run a continuous median query with IQ, the paper's heuristic.
+    let query = QueryConfig::median(200, data.range_min(), data.range_max());
+    let mut iq = Iq::new(query, IqConfig::default());
+
+    let mut values = vec![0i64; 200];
+    println!("round  median  Ξ=[lo,hi]       refined  hotspot energy so far");
+    for t in 0..30 {
+        data.sample_round(t, &mut values);
+        let median = iq.round(&mut net, &values);
+        let (xl, xr) = iq.xi();
+        println!(
+            "{:>5}  {:>6}  [{:>5}, {:>5}]  {:>7}  {:.4} mJ",
+            t,
+            median,
+            median + xl,
+            median + xr,
+            if iq.last_refinements() > 0 { "yes" } else { "no" },
+            net.ledger().max_sensor_consumption() * 1e3,
+        );
+    }
+
+    let lifetime = net.ledger().estimated_lifetime_rounds(net.model());
+    println!(
+        "\nprojected network lifetime: {:.0} rounds (first sensor dead)",
+        lifetime
+    );
+    println!(
+        "traffic: {} messages, {} transmitted values, {} broadcast waves",
+        net.stats().messages,
+        net.stats().values,
+        net.stats().broadcasts
+    );
+}

@@ -1,0 +1,224 @@
+//! Degenerate-input robustness: the smallest networks, the narrowest value
+//! universes, extreme ranks, and star/deep-line topologies. Every protocol
+//! must stay exact (or panic loudly at construction for genuinely invalid
+//! configurations — never mid-simulation).
+
+use cqp_core::rank::kth_smallest;
+use cqp_core::QueryConfig;
+use wsn_net::{MessageSizes, Network, Point, RadioModel, RoutingTree, Topology};
+use wsn_sim::config::AlgorithmKind;
+
+const ALL: [AlgorithmKind; 10] = [
+    AlgorithmKind::Tag,
+    AlgorithmKind::Pos,
+    AlgorithmKind::LcllH,
+    AlgorithmKind::LcllS,
+    AlgorithmKind::LcllR,
+    AlgorithmKind::Hbc,
+    AlgorithmKind::HbcNb,
+    AlgorithmKind::Iq,
+    AlgorithmKind::Adaptive,
+    AlgorithmKind::Gk,
+];
+
+fn net_from(positions: Vec<Point>, range: f64) -> Network {
+    let topo = Topology::build(positions, range);
+    let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+    Network::new(topo, tree, RadioModel::default(), MessageSizes::default())
+}
+
+fn line(n_sensors: usize) -> Network {
+    net_from(
+        (0..=n_sensors)
+            .map(|i| Point::new(i as f64 * 8.0, 0.0))
+            .collect(),
+        10.0,
+    )
+}
+
+fn star(n_sensors: usize) -> Network {
+    let mut positions = vec![Point::new(0.0, 0.0)];
+    for i in 0..n_sensors {
+        let a = i as f64 * std::f64::consts::TAU / n_sensors as f64;
+        positions.push(Point::new(a.cos() * 5.0, a.sin() * 5.0));
+    }
+    net_from(positions, 6.0)
+}
+
+#[test]
+fn single_sensor_network() {
+    let query = QueryConfig::median(1, 0, 1023);
+    for kind in ALL {
+        let mut alg = kind.build(query, &MessageSizes::default());
+        let mut net = line(1);
+        for t in 0..6i64 {
+            let v = 100 + t * 37;
+            assert_eq!(alg.round(&mut net, &[v]), v, "{} t={t}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn two_sensors_and_both_extreme_ranks() {
+    for k in [1u64, 2] {
+        let query = QueryConfig {
+            k,
+            range_min: 0,
+            range_max: 255,
+        };
+        for kind in ALL {
+            let mut alg = kind.build(query, &MessageSizes::default());
+            let mut net = line(2);
+            for t in 0..6i64 {
+                let values = vec![(40 + t * 3) % 256, (200 - t * 5) % 256];
+                let want = kth_smallest(&values, k);
+                assert_eq!(
+                    alg.round(&mut net, &values),
+                    want,
+                    "{} k={k} t={t}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn unit_value_universe() {
+    // r_min == r_max: every measurement is forced to the same value.
+    let query = QueryConfig::median(10, 7, 7);
+    for kind in ALL {
+        let mut alg = kind.build(query, &MessageSizes::default());
+        let mut net = line(10);
+        for _ in 0..4 {
+            assert_eq!(alg.round(&mut net, &[7; 10]), 7, "{}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn binary_value_universe() {
+    let query = QueryConfig::median(9, 0, 1);
+    for kind in ALL {
+        let mut alg = kind.build(query, &MessageSizes::default());
+        let mut net = star(9);
+        for t in 0..8usize {
+            // Shift the 0/1 split across the median each round.
+            let ones = (t * 2) % 10;
+            let values: Vec<i64> = (0..9).map(|i| i64::from(i < ones)).collect();
+            let want = kth_smallest(&values, query.k);
+            assert_eq!(alg.round(&mut net, &values), want, "{} t={t}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn star_topology_single_hop() {
+    let n = 12;
+    let query = QueryConfig::median(n, 0, 511);
+    for kind in ALL {
+        let mut alg = kind.build(query, &MessageSizes::default());
+        let mut net = star(n);
+        for t in 0..6i64 {
+            let values: Vec<i64> = (0..n as i64).map(|i| (i * 43 + t * 11) % 512).collect();
+            assert_eq!(
+                alg.round(&mut net, &values),
+                kth_smallest(&values, query.k),
+                "{} t={t}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn deep_line_topology() {
+    // 60-hop line: worst relay depth, fragmentation along the funnel.
+    let n = 60;
+    let query = QueryConfig::median(n, 0, 1023);
+    for kind in ALL {
+        let mut alg = kind.build(query, &MessageSizes::default());
+        let mut net = line(n);
+        for t in 0..4i64 {
+            let values: Vec<i64> = (0..n as i64).map(|i| (i * 17 + t * 29) % 1024).collect();
+            assert_eq!(
+                alg.round(&mut net, &values),
+                kth_smallest(&values, query.k),
+                "{} t={t}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn values_pinned_to_range_boundaries() {
+    let n = 8;
+    let query = QueryConfig::median(n, 0, 1023);
+    for kind in ALL {
+        let mut alg = kind.build(query, &MessageSizes::default());
+        let mut net = line(n);
+        // All at minimum, all at maximum, then an even split.
+        for values in [
+            vec![0i64; n],
+            vec![1023; n],
+            (0..n as i64).map(|i| if i % 2 == 0 { 0 } else { 1023 }).collect(),
+        ] {
+            assert_eq!(
+                alg.round(&mut net, &values),
+                kth_smallest(&values, query.k),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn negative_value_universes_work() {
+    // The protocols are defined over any integer interval; nothing should
+    // assume non-negative measurements.
+    let n = 10;
+    let query = QueryConfig::median(n, -512, 511);
+    for kind in ALL {
+        let mut alg = kind.build(query, &MessageSizes::default());
+        let mut net = line(n);
+        for t in 0..5i64 {
+            let values: Vec<i64> = (0..n as i64).map(|i| (i * 97 + t * 13) % 512 - 256).collect();
+            assert_eq!(
+                alg.round(&mut net, &values),
+                kth_smallest(&values, query.k),
+                "{} t={t}",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn tiny_payload_messages_still_work() {
+    // A 16-byte payload fits only 8 measurements: fragmentation and tiny
+    // histograms everywhere.
+    let sizes = MessageSizes {
+        max_payload_bits: 16 * 8,
+        ..MessageSizes::default()
+    };
+    let n = 20;
+    let query = QueryConfig::median(n, 0, 255);
+    for kind in ALL {
+        let mut alg = kind.build(query, &sizes);
+        let positions = (0..=n).map(|i| Point::new(i as f64 * 8.0, 0.0)).collect();
+        let topo = Topology::build(positions, 10.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        let mut net = Network::new(topo, tree, RadioModel::default(), sizes);
+        for t in 0..5i64 {
+            let values: Vec<i64> = (0..n as i64).map(|i| (i * 31 + t * 7) % 256).collect();
+            assert_eq!(
+                alg.round(&mut net, &values),
+                kth_smallest(&values, query.k),
+                "{} t={t}",
+                kind.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Shape checks against the paper's figures: we do not chase absolute
+//! numbers (different radio testbed), but the qualitative findings of §5.2
+//! must reproduce. These run on scaled-down sweeps to stay CI-friendly;
+//! `cargo run -p wsn-bench --release --bin experiments` produces the
+//! full-scale versions recorded in EXPERIMENTS.md.
+
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+use wsn_sim::run_experiment;
+
+fn cfg(n: usize, dataset: DatasetSpec) -> SimulationConfig {
+    SimulationConfig {
+        sensor_count: n,
+        rounds: 60,
+        runs: 2,
+        dataset,
+        ..SimulationConfig::default()
+    }
+}
+
+fn energy(c: &SimulationConfig, kind: AlgorithmKind) -> f64 {
+    run_experiment(c, kind).max_node_energy_per_round
+}
+
+#[test]
+fn fig6_energy_grows_with_node_count() {
+    // §5.2.1: "With increasing node count |N|, the maximum per-node energy
+    // consumption grows for all approaches."
+    for kind in [AlgorithmKind::Pos, AlgorithmKind::Hbc, AlgorithmKind::Iq] {
+        let small = energy(&cfg(60, DatasetSpec::Synthetic(SyntheticConfig::default())), kind);
+        let large = energy(&cfg(240, DatasetSpec::Synthetic(SyntheticConfig::default())), kind);
+        assert!(
+            large > small,
+            "{}: energy must grow with |N| ({small} vs {large})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn fig6_reception_share_grows_with_density() {
+    // §5.2.1: "The vast majority of their increase in energy consumption
+    // comes from the growing number of values an intermediate node has to
+    // receive" — denser networks shift the hotspot's budget toward rx.
+    for kind in [AlgorithmKind::Pos, AlgorithmKind::Iq] {
+        let sparse = run_experiment(
+            &cfg(60, DatasetSpec::Synthetic(SyntheticConfig::default())),
+            kind,
+        )
+        .hotspot_rx_fraction;
+        let dense = run_experiment(
+            &cfg(300, DatasetSpec::Synthetic(SyntheticConfig::default())),
+            kind,
+        )
+        .hotspot_rx_fraction;
+        assert!(
+            dense > sparse,
+            "{}: rx share must grow with density ({sparse:.2} -> {dense:.2})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn fig7_small_period_hurts_everyone() {
+    // §5.2.2: "all solutions perform best for high τ".
+    for kind in [AlgorithmKind::Pos, AlgorithmKind::Hbc, AlgorithmKind::Iq] {
+        let slow = energy(
+            &cfg(
+                150,
+                DatasetSpec::Synthetic(SyntheticConfig {
+                    period: 250,
+                    ..SyntheticConfig::default()
+                }),
+            ),
+            kind,
+        );
+        let fast = energy(
+            &cfg(
+                150,
+                DatasetSpec::Synthetic(SyntheticConfig {
+                    period: 8,
+                    ..SyntheticConfig::default()
+                }),
+            ),
+            kind,
+        );
+        assert!(
+            fast > slow,
+            "{}: τ=8 must cost more than τ=250 ({fast} vs {slow})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn fig7_iq_wins_under_strong_temporal_correlation() {
+    // The headline result: the heuristic beats the (asymptotically
+    // optimal) histogram search when consecutive quantiles correlate.
+    let c = cfg(
+        200,
+        DatasetSpec::Synthetic(SyntheticConfig {
+            period: 250,
+            ..SyntheticConfig::default()
+        }),
+    );
+    let iq = energy(&c, AlgorithmKind::Iq);
+    for other in [AlgorithmKind::Pos, AlgorithmKind::Hbc, AlgorithmKind::Tag] {
+        let e = energy(&c, other);
+        assert!(
+            iq < e,
+            "IQ ({iq}) should beat {} ({e}) at τ=250",
+            other.name()
+        );
+    }
+}
+
+#[test]
+fn fig8_noise_hurts_filter_protocols_but_not_lcll_h() {
+    // §5.2.3: POS/HBC/IQ degrade with ψ; LCLL-H is barely affected.
+    let quiet = |kind| {
+        energy(
+            &cfg(
+                150,
+                DatasetSpec::Synthetic(SyntheticConfig {
+                    noise_percent: 0.0,
+                    ..SyntheticConfig::default()
+                }),
+            ),
+            kind,
+        )
+    };
+    let noisy = |kind| {
+        energy(
+            &cfg(
+                150,
+                DatasetSpec::Synthetic(SyntheticConfig {
+                    noise_percent: 50.0,
+                    ..SyntheticConfig::default()
+                }),
+            ),
+            kind,
+        )
+    };
+    for kind in [AlgorithmKind::Pos, AlgorithmKind::Iq] {
+        let (q, n) = (quiet(kind), noisy(kind));
+        assert!(n > q * 1.2, "{}: noise should hurt ({q} -> {n})", kind.name());
+    }
+    let (q, n) = (quiet(AlgorithmKind::LcllH), noisy(AlgorithmKind::LcllH));
+    assert!(
+        n < q * 2.0,
+        "LCLL-H should be comparatively noise-insensitive ({q} -> {n})"
+    );
+}
+
+#[test]
+fn fig9_energy_grows_with_radio_range() {
+    // §5.2.4: more neighbors ⇒ more receptions ⇒ more energy.
+    for kind in [AlgorithmKind::Pos, AlgorithmKind::Iq] {
+        let short = energy(
+            &SimulationConfig {
+                radio_range: 20.0,
+                ..cfg(250, DatasetSpec::Synthetic(SyntheticConfig::default()))
+            },
+            kind,
+        );
+        let long = energy(
+            &SimulationConfig {
+                radio_range: 70.0,
+                ..cfg(250, DatasetSpec::Synthetic(SyntheticConfig::default()))
+            },
+            kind,
+        );
+        assert!(
+            long > short,
+            "{}: ρ=70 must cost more than ρ=20 ({long} vs {short})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn fig10_more_skipped_samples_cost_more() {
+    // §5.2.5: lower sampling rate ⇒ weaker correlation ⇒ higher cost.
+    use wsn_data::pressure::PressureConfig;
+    let pressure = |skip: u32| {
+        DatasetSpec::Pressure(PressureConfig {
+            sensor_count: 150,
+            steps: 60 * skip as usize + 1,
+            skip,
+            ..PressureConfig::default()
+        })
+    };
+    for kind in [AlgorithmKind::Iq, AlgorithmKind::LcllS] {
+        let dense = energy(&cfg(150, pressure(1)), kind);
+        let sparse = energy(&cfg(150, pressure(16)), kind);
+        assert!(
+            sparse > dense,
+            "{}: skip=16 must cost more than skip=1 ({sparse} vs {dense})",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn loss_increases_rank_error_monotonically_in_expectation() {
+    let base = cfg(120, DatasetSpec::Synthetic(SyntheticConfig::default()));
+    let err = |p: f64| {
+        let c = SimulationConfig {
+            loss: (p > 0.0).then_some(p),
+            ..base.clone()
+        };
+        run_experiment(&c, AlgorithmKind::Pos).mean_rank_error
+    };
+    let none = err(0.0);
+    let heavy = err(0.25);
+    assert_eq!(none, 0.0, "no loss, no error");
+    assert!(heavy > 0.0, "heavy loss must show up as rank error");
+}
+
+#[test]
+fn adaptive_is_never_far_from_the_best_fixed_choice() {
+    for period in [250u32, 8] {
+        let c = cfg(
+            150,
+            DatasetSpec::Synthetic(SyntheticConfig {
+                period,
+                ..SyntheticConfig::default()
+            }),
+        );
+        let iq = energy(&c, AlgorithmKind::Iq);
+        let hbc = energy(&c, AlgorithmKind::Hbc);
+        let adaptive = energy(&c, AlgorithmKind::Adaptive);
+        let best = iq.min(hbc);
+        assert!(
+            adaptive <= best * 1.7,
+            "τ={period}: adaptive {adaptive} too far from best fixed {best}"
+        );
+    }
+}
+
+#[test]
+fn tag_is_the_most_expensive_baseline() {
+    let c = cfg(150, DatasetSpec::Synthetic(SyntheticConfig::default()));
+    let tag = energy(&c, AlgorithmKind::Tag);
+    for kind in [AlgorithmKind::Iq, AlgorithmKind::Hbc, AlgorithmKind::LcllS] {
+        let e = energy(&c, kind);
+        assert!(tag > e, "TAG ({tag}) must exceed {} ({e})", kind.name());
+    }
+}

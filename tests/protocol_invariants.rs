@@ -1,0 +1,251 @@
+//! Protocol-level invariants the paper states or implies: refinement
+//! complexity bounds, silence on unchanged rounds, IQ's one-refinement
+//! guarantee, and the complexity separations between the approaches.
+
+use cqp_core::hbc::{Hbc, HbcConfig};
+use cqp_core::iq::{Iq, IqConfig};
+use cqp_core::lcll::{Lcll, RefiningStrategy};
+use cqp_core::pos::Pos;
+use cqp_core::{ContinuousQuantile, QueryConfig};
+use wsn_data::Rng;
+use wsn_net::{MessageSizes, Network, Point, RadioModel, RoutingTree, Topology};
+
+fn grid_net(n_sensors: usize) -> Network {
+    let cols = (n_sensors as f64).sqrt().ceil() as usize + 1;
+    let positions: Vec<Point> = (0..=n_sensors)
+        .map(|i| Point::new((i % cols) as f64 * 9.0, (i / cols) as f64 * 9.0))
+        .collect();
+    let topo = Topology::build(positions, 13.0);
+    let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+    Network::new(topo, tree, RadioModel::default(), MessageSizes::default())
+}
+
+fn random_rounds(n: usize, rounds: usize, range: i64, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..rounds)
+        .map(|_| (0..n).map(|_| rng.range_i64(0, range - 1)).collect())
+        .collect()
+}
+
+#[test]
+fn iq_never_needs_more_than_one_refinement() {
+    let n = 60;
+    let mut net = grid_net(n);
+    let query = QueryConfig::median(n, 0, 1 << 20);
+    let mut iq = Iq::new(query, IqConfig::default());
+    for (t, values) in random_rounds(n, 60, 1 << 20, 3).iter().enumerate() {
+        iq.round(&mut net, values);
+        assert!(iq.last_refinements() <= 1, "round {t}");
+    }
+}
+
+#[test]
+fn pos_refinements_bounded_by_log_of_range() {
+    let n = 50;
+    let range: i64 = 1 << 16;
+    let mut net = grid_net(n);
+    let query = QueryConfig::median(n, 0, range - 1);
+    let mut pos = Pos::new(query);
+    for (t, values) in random_rounds(n, 40, range, 5).iter().enumerate() {
+        pos.round(&mut net, values);
+        // log2(2^16) + direct retrieval + slack.
+        assert!(pos.last_refinements() <= 18, "round {t}: {}", pos.last_refinements());
+    }
+}
+
+#[test]
+fn hbc_refinements_bounded_by_log_b_of_range() {
+    let n = 50;
+    let range: i64 = 1 << 16;
+    let sizes = MessageSizes::default();
+    let mut net = grid_net(n);
+    let query = QueryConfig::median(n, 0, range - 1);
+    let mut hbc = Hbc::new(query, HbcConfig::default(), &sizes);
+    let b = hbc.buckets() as f64;
+    let bound = ((range as f64).ln() / b.ln()).ceil() as u32 + 2;
+    for (t, values) in random_rounds(n, 40, range, 7).iter().enumerate() {
+        hbc.round(&mut net, values);
+        assert!(
+            hbc.last_refinements() <= bound,
+            "round {t}: {} > {bound}",
+            hbc.last_refinements()
+        );
+    }
+}
+
+#[test]
+fn hbc_needs_fewer_refinements_than_pos_on_average() {
+    // The point of the cost model: b-ary beats binary in iterations.
+    let n = 50;
+    let range: i64 = 1 << 16;
+    let sizes = MessageSizes::default();
+    let rounds = random_rounds(n, 50, range, 11);
+
+    let mut net = grid_net(n);
+    let query = QueryConfig::median(n, 0, range - 1);
+    // Compare the pure search strategies: no direct retrieval on either
+    // side (with it, both collapse to one retrieval at |N| = 50).
+    let mut pos = Pos::new(query).without_direct_retrieval();
+    let mut pos_total = 0u32;
+    for values in &rounds {
+        pos.round(&mut net, values);
+        pos_total += pos.last_refinements();
+    }
+
+    let mut net = grid_net(n);
+    let mut hbc = Hbc::new(
+        query,
+        HbcConfig {
+            direct_retrieval: false,
+            ..HbcConfig::default()
+        },
+        &sizes,
+    );
+    let mut hbc_total = 0u32;
+    for values in &rounds {
+        hbc.round(&mut net, values);
+        hbc_total += hbc.last_refinements();
+    }
+    assert!(
+        hbc_total < pos_total,
+        "HBC {hbc_total} should refine less than POS {pos_total}"
+    );
+}
+
+#[test]
+fn quiet_rounds_generate_zero_traffic_for_every_filter_protocol() {
+    let n = 40;
+    let query = QueryConfig::median(n, 0, 1023);
+    let sizes = MessageSizes::default();
+    let values: Vec<i64> = (0..n).map(|i| (i as i64 * 37) % 1024).collect();
+
+    let protos: Vec<Box<dyn ContinuousQuantile>> = vec![
+        Box::new(Pos::new(query)),
+        Box::new(Hbc::new(query, HbcConfig::default(), &sizes)),
+        Box::new(Iq::new(query, IqConfig::default())),
+        Box::new(Lcll::new(query, RefiningStrategy::Hierarchical, &sizes)),
+        Box::new(Lcll::new(query, RefiningStrategy::Slip, &sizes)),
+    ];
+    for mut alg in protos {
+        let mut net = grid_net(n);
+        alg.round(&mut net, &values);
+        alg.round(&mut net, &values); // settle any post-init bookkeeping
+        let before = net.stats().messages;
+        for _ in 0..5 {
+            alg.round(&mut net, &values);
+        }
+        assert_eq!(
+            net.stats().messages,
+            before,
+            "{} spent messages on identical rounds",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn lcll_slip_is_linear_hierarchical_is_logarithmic() {
+    let n = 30;
+    let range: i64 = 1 << 22;
+    let sizes = MessageSizes::default();
+    let query = QueryConfig::median(n, 0, range - 1);
+
+    let refinements_after_jump = |strategy: RefiningStrategy, d: i64| {
+        let mut net = grid_net(n);
+        let mut alg = Lcll::new(query, strategy, &sizes).without_direct_retrieval();
+        let v0: Vec<i64> = (0..n).map(|i| (range / 2) + i as i64).collect();
+        alg.round(&mut net, &v0);
+        let v1: Vec<i64> = v0.iter().map(|v| v + d).collect();
+        alg.round(&mut net, &v1);
+        alg.last_refinements()
+    };
+
+    let slip_small = refinements_after_jump(RefiningStrategy::Slip, 256);
+    let slip_large = refinements_after_jump(RefiningStrategy::Slip, 256 * 64);
+    assert!(
+        slip_large as f64 >= slip_small as f64 * 16.0,
+        "slip {slip_small} -> {slip_large} should scale ~linearly"
+    );
+
+    let h_small = refinements_after_jump(RefiningStrategy::Hierarchical, 256);
+    let h_large = refinements_after_jump(RefiningStrategy::Hierarchical, 256 * 64);
+    assert!(
+        h_large <= h_small + 4,
+        "hierarchical {h_small} -> {h_large} should scale ~logarithmically"
+    );
+}
+
+#[test]
+fn iq_trades_validation_values_against_refinements() {
+    // A drifting workload: after Ξ adapts, IQ sends a few values per round
+    // during validation instead of refinement round-trips.
+    let n = 60;
+    let mut net = grid_net(n);
+    let query = QueryConfig::median(n, 0, 100_000);
+    let mut iq = Iq::new(query, IqConfig::default());
+    let mut refinements = 0u32;
+    let mut a_sizes = 0usize;
+    for t in 0..40i64 {
+        let values: Vec<i64> = (0..n).map(|i| 5000 + i as i64 * 20 + t * 7).collect();
+        iq.round(&mut net, &values);
+        if t > 5 {
+            refinements += iq.last_refinements();
+            a_sizes += iq.last_validation_set_size();
+        }
+    }
+    assert_eq!(refinements, 0, "steady drift must be absorbed by Ξ");
+    assert!(a_sizes > 0, "…which requires Ξ to carry values");
+}
+
+#[test]
+fn hbc_variant_avoids_broadcasts_but_refines_more() {
+    let n = 40;
+    let query = QueryConfig::median(n, 0, 4095);
+    let sizes = MessageSizes::default();
+    let rounds: Vec<Vec<i64>> = (0..20)
+        .map(|t| (0..n).map(|i| 1000 + i as i64 * 9 + t * 13).collect())
+        .collect();
+
+    let run = |cfg: HbcConfig| {
+        let mut net = grid_net(n);
+        let mut alg = Hbc::new(query, cfg, &sizes);
+        let mut refinements = 0;
+        for values in &rounds {
+            alg.round(&mut net, values);
+            refinements += alg.last_refinements();
+        }
+        (net.stats().broadcasts, refinements)
+    };
+
+    let (basic_bc, basic_ref) = run(HbcConfig {
+        direct_retrieval: false,
+        ..HbcConfig::default()
+    });
+    let (variant_bc, variant_ref) = run(HbcConfig {
+        direct_retrieval: false,
+        eliminate_threshold_broadcast: true,
+        ..HbcConfig::default()
+    });
+    assert!(variant_bc < basic_bc, "variant {variant_bc} vs basic {basic_bc}");
+    assert!(
+        variant_ref >= basic_ref,
+        "the broadcast saving is paid in refinements (paper §4.1.2)"
+    );
+}
+
+#[test]
+fn tag_transmitted_values_scale_linearly_with_n() {
+    let count_values = |n: usize| {
+        let mut net = grid_net(n);
+        let query = QueryConfig::median(n, 0, 1023);
+        let mut tag = cqp_core::Tag::new(query);
+        let values: Vec<i64> = (0..n).map(|i| i as i64).collect();
+        tag.round(&mut net, &values);
+        net.stats().values
+    };
+    let small = count_values(30);
+    let large = count_values(120);
+    // O(|N|) per-node values -> network totals grow superlinearly in the
+    // funnel; at minimum, quadrupling N must more than quadruple values.
+    assert!(large > small * 4, "TAG {small} -> {large}");
+}
