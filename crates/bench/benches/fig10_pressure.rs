@@ -4,16 +4,12 @@
 mod common;
 
 use common::{bench_base, run_cell};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use wsn_bench::harness::Harness;
 use wsn_data::pressure::{PressureConfig, RangeSetting};
 use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_pressure");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut h = Harness::from_args("fig10_pressure");
     for &(range, tag) in &[
         (RangeSetting::Optimistic, "opt"),
         (RangeSetting::Pessimistic, "pess"),
@@ -30,17 +26,16 @@ fn bench(c: &mut Criterion) {
                 }),
                 ..base
             };
-            for alg in [AlgorithmKind::Iq, AlgorithmKind::LcllS, AlgorithmKind::LcllH] {
-                group.bench_with_input(
-                    BenchmarkId::new(alg.name(), format!("{tag}/skip{skip}")),
-                    &cfg,
-                    |b, cfg| b.iter(|| black_box(run_cell(cfg, alg))),
-                );
+            for alg in [
+                AlgorithmKind::Iq,
+                AlgorithmKind::LcllS,
+                AlgorithmKind::LcllH,
+            ] {
+                h.bench(&format!("{}/{tag}/skip{skip}", alg.name()), || {
+                    run_cell(&cfg, alg)
+                });
             }
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

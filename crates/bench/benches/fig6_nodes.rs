@@ -3,30 +3,19 @@
 mod common;
 
 use common::{bench_base, run_cell};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use wsn_bench::harness::Harness;
 use wsn_sim::config::{AlgorithmKind, SimulationConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig6_nodes");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut h = Harness::from_args("fig6_nodes");
     for &n in &[100usize, 200, 400] {
         let cfg = SimulationConfig {
             sensor_count: n,
             ..bench_base()
         };
         for alg in AlgorithmKind::PAPER_SET {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), n),
-                &cfg,
-                |b, cfg| b.iter(|| black_box(run_cell(cfg, alg))),
-            );
+            h.bench(&format!("{}/{n}", alg.name()), || run_cell(&cfg, alg));
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,16 +3,12 @@
 mod common;
 
 use common::{bench_base, run_cell};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use wsn_bench::harness::Harness;
 use wsn_data::synthetic::SyntheticConfig;
 use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig8_noise");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut h = Harness::from_args("fig8_noise");
     for &psi in &[0.0f64, 10.0, 50.0] {
         let cfg = SimulationConfig {
             dataset: DatasetSpec::Synthetic(SyntheticConfig {
@@ -22,15 +18,8 @@ fn bench(c: &mut Criterion) {
             ..bench_base()
         };
         for alg in [AlgorithmKind::Hbc, AlgorithmKind::Iq, AlgorithmKind::LcllH] {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), format!("{psi}")),
-                &cfg,
-                |b, cfg| b.iter(|| black_box(run_cell(cfg, alg))),
-            );
+            h.bench(&format!("{}/{psi}", alg.name()), || run_cell(&cfg, alg));
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

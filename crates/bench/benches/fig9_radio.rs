@@ -3,15 +3,11 @@
 mod common;
 
 use common::{bench_base, run_cell};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use wsn_bench::harness::Harness;
 use wsn_sim::config::{AlgorithmKind, SimulationConfig};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_radio");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut h = Harness::from_args("fig9_radio");
     for &rho in &[25.0f64, 45.0, 85.0] {
         let cfg = SimulationConfig {
             radio_range: rho,
@@ -19,15 +15,8 @@ fn bench(c: &mut Criterion) {
             ..bench_base()
         };
         for alg in [AlgorithmKind::Pos, AlgorithmKind::Hbc, AlgorithmKind::Iq] {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), format!("{rho}")),
-                &cfg,
-                |b, cfg| b.iter(|| black_box(run_cell(cfg, alg))),
-            );
+            h.bench(&format!("{}/{rho}", alg.name()), || run_cell(&cfg, alg));
         }
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -5,90 +5,88 @@
 use cqp_core::buckets::BucketPartition;
 use cqp_core::cost_model::{lambert_w0, optimal_buckets};
 use cqp_core::payloads::ValueList;
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use wsn_bench::harness::Harness;
 use wsn_data::{NoiseField, Rng, SelfOrganizingMap};
 use wsn_net::{MessageSizes, Point, RadioModel, RoutingTree, Topology};
 
-fn bench_cost_model(c: &mut Criterion) {
-    c.bench_function("lambert_w0", |b| {
-        b.iter(|| black_box(lambert_w0(black_box(6.62))))
-    });
+fn main() {
+    let mut h = Harness::from_args("micro");
+
+    // Cost model.
+    h.bench("lambert_w0", || lambert_w0(std::hint::black_box(6.62)));
     let sizes = MessageSizes::default();
-    c.bench_function("optimal_buckets", |b| {
-        b.iter(|| black_box(optimal_buckets(&sizes, black_box(1024))))
+    h.bench("optimal_buckets", || {
+        optimal_buckets(&sizes, std::hint::black_box(1024))
     });
-}
 
-fn bench_buckets(c: &mut Criterion) {
+    // Bucket partitioning.
     let part = BucketPartition::new(0, 1023, 11);
-    c.bench_function("bucket_index_of", |b| {
-        b.iter(|| black_box(part.index_of(black_box(517))))
+    h.bench("bucket_index_of", || {
+        part.index_of(std::hint::black_box(517))
     });
-}
 
-fn bench_pruning(c: &mut Criterion) {
+    // Payload pruning.
     let mut rng = Rng::seed_from_u64(7);
     let vals: Vec<i64> = (0..1000).map(|_| rng.range_i64(0, 10_000)).collect();
-    c.bench_function("keep_smallest_1000_to_64", |b| {
-        b.iter(|| {
-            let mut l = ValueList { vals: vals.clone() };
-            l.keep_smallest(64);
-            black_box(l.vals.len())
-        })
+    h.bench("keep_smallest_1000_to_64", || {
+        let mut l = ValueList { vals: vals.clone() };
+        l.keep_smallest(64);
+        l.vals.len()
     });
-    c.bench_function("keep_largest_with_ties_1000_to_64", |b| {
-        b.iter(|| {
-            let mut l = ValueList { vals: vals.clone() };
-            l.keep_largest_with_ties(64);
-            black_box(l.vals.len())
-        })
+    h.bench("keep_largest_with_ties_1000_to_64", || {
+        let mut l = ValueList { vals: vals.clone() };
+        l.keep_largest_with_ties(64);
+        l.vals.len()
     });
-}
 
-fn bench_convergecast(c: &mut Criterion) {
+    // Convergecast machinery. Two variants: a cold network per wave (the
+    // old measurement, dominated by construction) and a warm network whose
+    // scratch buffers are reused across waves (the simulation hot path).
     let mut rng = Rng::seed_from_u64(3);
     let raw = wsn_data::placement::uniform(500, 200.0, 200.0, &mut rng);
     let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
     let topo = Topology::build(positions, 35.0);
     let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
-    c.bench_function("convergecast_500_nodes", |b| {
-        b.iter(|| {
-            let mut net = wsn_net::Network::new(
-                topo.clone(),
-                tree.clone(),
-                RadioModel::default(),
-                MessageSizes::default(),
-            );
-            let agg: Option<ValueList> =
-                net.convergecast(|id| Some(ValueList::single(id.0 as i64)));
-            black_box(agg.map(|a| a.vals.len()))
-        })
+    h.bench("convergecast_500_nodes_cold", || {
+        let mut net = wsn_net::Network::new(
+            topo.clone(),
+            tree.clone(),
+            RadioModel::default(),
+            MessageSizes::default(),
+        );
+        let agg: Option<ValueList> = net.convergecast(|id| Some(ValueList::single(id.0 as i64)));
+        agg.map(|a| a.vals.len())
     });
-}
+    let mut warm = wsn_net::Network::new(
+        topo.clone(),
+        tree.clone(),
+        RadioModel::default(),
+        MessageSizes::default(),
+    );
+    h.bench("convergecast_500_nodes_warm", || {
+        let agg: Option<ValueList> = warm.convergecast(|id| Some(ValueList::single(id.0 as i64)));
+        warm.end_round();
+        agg.map(|a| a.vals.len())
+    });
+    let mut recv = Vec::new();
+    h.bench("broadcast_500_nodes_warm", || {
+        warm.broadcast_into(64, &mut recv);
+        warm.end_round();
+        recv.iter().filter(|&&r| r).count()
+    });
 
-fn bench_data(c: &mut Criterion) {
-    c.bench_function("noise_field_sample", |b| {
-        let mut rng = Rng::seed_from_u64(1);
-        let field = NoiseField::new(6, &mut rng);
-        b.iter(|| black_box(field.sample(black_box(0.31), black_box(0.77))))
+    // Datasets.
+    let mut rng = Rng::seed_from_u64(1);
+    let field = NoiseField::new(6, &mut rng);
+    h.bench("noise_field_sample", || {
+        field.sample(std::hint::black_box(0.31), std::hint::black_box(0.77))
     });
-    c.bench_function("som_train_200", |b| {
-        let mut rng = Rng::seed_from_u64(2);
-        let features: Vec<f64> = (0..200).map(|_| rng.range_f64(0.0, 100.0)).collect();
-        b.iter(|| {
-            let mut r = Rng::seed_from_u64(3);
-            black_box(SelfOrganizingMap::train(8, &features, 3, &mut r).side())
-        })
+    let mut rng = Rng::seed_from_u64(2);
+    let features: Vec<f64> = (0..200).map(|_| rng.range_f64(0.0, 100.0)).collect();
+    h.bench("som_train_200", || {
+        let mut r = Rng::seed_from_u64(3);
+        SelfOrganizingMap::train(8, &features, 3, &mut r).side()
     });
-}
 
-criterion_group!(
-    benches,
-    bench_cost_model,
-    bench_buckets,
-    bench_pruning,
-    bench_convergecast,
-    bench_data
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -5,16 +5,12 @@
 mod common;
 
 use common::bench_base;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use wsn_bench::harness::Harness;
 use wsn_sim::config::AlgorithmKind;
 use wsn_sim::runner::run_once;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("protocol_round");
-    group.sample_size(10);
-    group.warm_up_time(std::time::Duration::from_millis(500));
-    group.measurement_time(std::time::Duration::from_secs(2));
+fn main() {
+    let mut h = Harness::from_args("protocol_round");
     let cfg = bench_base();
     for alg in [
         AlgorithmKind::Tag,
@@ -28,12 +24,9 @@ fn bench(c: &mut Criterion) {
         AlgorithmKind::Adaptive,
         AlgorithmKind::Gk,
     ] {
-        group.bench_with_input(BenchmarkId::new(alg.name(), "150n40r"), &cfg, |b, cfg| {
-            b.iter(|| black_box(run_once(cfg, alg, 0).max_node_energy_per_round))
+        h.bench(&format!("{}/150n40r", alg.name()), || {
+            run_once(&cfg, alg, 0).max_node_energy_per_round
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

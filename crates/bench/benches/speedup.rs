@@ -1,0 +1,66 @@
+//! Parallel-engine speedup measurement: the same experiment workload
+//! executed by the sequential path and by the worker pool, so
+//! `BENCH_results.json` records the actual multi-thread speedup of
+//! `experiments`-style sweeps on this machine (see the neighbouring
+//! `_meta.cores` entry when interpreting the ratio — a 1-core container
+//! cannot show a parallel win, but the parity tests still guarantee the
+//! results are identical).
+
+mod common;
+
+use common::bench_base;
+use wsn_bench::harness::Harness;
+use wsn_sim::config::{AlgorithmKind, SimulationConfig};
+use wsn_sim::experiments;
+use wsn_sim::runner::run_experiment_threads;
+
+fn main() {
+    let mut h = Harness::from_args("speedup");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    h.note("cores", cores as f64);
+
+    // Workload 1: one experiment's `runs` loop (8 independent runs — the
+    // inner parallel dimension of `run_experiment`).
+    let cfg = SimulationConfig {
+        runs: 8,
+        ..bench_base()
+    };
+    let seq = h.bench("run_experiment_8runs/threads=1", || {
+        run_experiment_threads(&cfg, AlgorithmKind::Iq, 1)
+    });
+    let par = h.bench("run_experiment_8runs/threads=8", || {
+        run_experiment_threads(&cfg, AlgorithmKind::Iq, 8)
+    });
+    if let (Some(seq), Some(par)) = (seq, par) {
+        h.note(
+            "run_experiment_speedup_8_threads",
+            seq.median_ns as f64 / par.median_ns as f64,
+        );
+    }
+
+    // Workload 2: a sweep grid (the outer parallel dimension driven by the
+    // `experiments` binary).
+    let mut sweep = experiments::adaptive(true);
+    sweep.cells.truncate(2);
+    for c in &mut sweep.cells {
+        c.config.sensor_count = 100;
+        c.config.rounds = 30;
+        c.config.runs = 2;
+    }
+    let seq = h.bench("run_sweep_grid/threads=1", || {
+        experiments::run_sweep_threads(&sweep, 1)
+    });
+    let par = h.bench("run_sweep_grid/threads=8", || {
+        experiments::run_sweep_threads(&sweep, 8)
+    });
+    if let (Some(seq), Some(par)) = (seq, par) {
+        h.note(
+            "run_sweep_speedup_8_threads",
+            seq.median_ns as f64 / par.median_ns as f64,
+        );
+    }
+
+    h.finish();
+}

@@ -10,12 +10,14 @@
 
 use std::time::Instant;
 
-use wsn_sim::experiments::{self, run_sweep};
-use wsn_sim::report::{render_ablation, render_ablation_with_error, render_table, render_xi_trace, Indicator};
+use wsn_sim::experiments::{self, run_sweep_threads};
+use wsn_sim::report::{
+    render_ablation, render_ablation_with_error, render_table, render_xi_trace, Indicator,
+};
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [--quick] \
+        "usage: experiments [--quick] [--threads N] \
                 [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|adaptive|phi|lcllcmp|exactcmp|sampling|ablation]"
     );
 }
@@ -24,10 +26,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut figure: Option<String> = None;
+    let mut threads = wsn_sim::parallel::thread_count();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--threads" => {
+                i += 1;
+                match args.get(i).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) => threads = n.max(1),
+                    None => {
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--figure" => {
                 i += 1;
                 match args.get(i) {
@@ -92,7 +105,10 @@ fn main() {
             );
             println!(
                 "{}",
-                render_ablation("Ablation B — IQ parameters", &experiments::ablation_iq(quick))
+                render_ablation(
+                    "Ablation B — IQ parameters",
+                    &experiments::ablation_iq(quick)
+                )
             );
             println!(
                 "{}",
@@ -122,8 +138,8 @@ fn main() {
                 eprintln!("unknown figure id: {id}");
                 std::process::exit(2);
             };
-            eprintln!("running {} …", sweep.id);
-            let results = run_sweep(&sweep);
+            eprintln!("running {} on {threads} thread(s) …", sweep.id);
+            let results = run_sweep_threads(&sweep, threads);
             println!("{}", render_table(&results, Indicator::MaxEnergy));
             println!("{}", render_table(&results, Indicator::Lifetime));
             if id == "loss" {

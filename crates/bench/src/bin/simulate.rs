@@ -14,7 +14,7 @@ use std::io::Write;
 use wsn_data::pressure::{PressureConfig, RangeSetting};
 use wsn_data::synthetic::SyntheticConfig;
 use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
-use wsn_sim::runner::run_experiment;
+use wsn_sim::runner::run_experiment_threads;
 
 #[derive(Debug)]
 struct Args {
@@ -33,6 +33,7 @@ struct Args {
     loss: Option<f64>,
     seed: u64,
     csv: Option<String>,
+    threads: usize,
 }
 
 impl Default for Args {
@@ -53,6 +54,7 @@ impl Default for Args {
             loss: None,
             seed: 0xC0FFEE,
             csv: None,
+            threads: wsn_sim::parallel::thread_count(),
         }
     }
 }
@@ -147,6 +149,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--csv" => args.csv = Some(value(&argv, &mut i, "--csv")?),
+            "--threads" => {
+                args.threads = value(&argv, &mut i, "--threads")?
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -167,7 +175,7 @@ fn print_usage() {
                 [--nodes N] [--rounds R] [--runs K] [--phi F] [--rho M]
                 [--dataset synthetic|pressure|walk|regime] [--period T] [--noise PSI]
                 [--skip S] [--range optimistic|pessimistic]
-                [--loss P] [--seed S] [--csv FILE]"
+                [--loss P] [--seed S] [--csv FILE] [--threads N]"
     );
 }
 
@@ -282,8 +290,13 @@ fn write_csv_trace(args: &Args, cfg: &SimulationConfig, path: &str) -> Result<()
             dataset.range_max(),
         );
         let mut alg = kind.build(query, &cfg.sizes);
-        let trace =
-            wsn_sim::trace::trace_run(&mut net, alg.as_mut(), dataset.as_mut(), cfg.rounds, query.k);
+        let trace = wsn_sim::trace::trace_run(
+            &mut net,
+            alg.as_mut(),
+            dataset.as_mut(),
+            cfg.rounds,
+            query.k,
+        );
         let csv = wsn_sim::trace::to_csv(&trace);
         std::fs::File::create(path)
             .and_then(|mut f| f.write_all(csv.as_bytes()))
@@ -347,7 +360,7 @@ fn main() {
         "rank error"
     );
     for kind in kinds {
-        let m = run_experiment(&cfg, kind);
+        let m = run_experiment_threads(&cfg, kind, args.threads);
         println!(
             "{:>9}  {:>15.4}  {:>14.1}  {:>11.1}  {:>12.1}  {:>9.1}  {:>10.2}",
             kind.name(),

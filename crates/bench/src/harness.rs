@@ -1,0 +1,280 @@
+//! Zero-dependency benchmark harness (replaces the former Criterion
+//! benches so `cargo bench` works fully offline).
+//!
+//! Each bench target builds a [`Harness`], registers closures with
+//! [`Harness::bench`], and calls [`Harness::finish`]: every benchmark runs
+//! `warmup` untimed iterations followed by `iters` timed ones, reports
+//! median / min / mean wall-clock time, and the whole group is merged into
+//! `BENCH_results.json` (one top-level key per bench target, so targets
+//! can be re-run individually without clobbering each other's numbers).
+//!
+//! CLI (after `cargo bench --bench <target> --`):
+//!
+//! ```text
+//! [FILTER]        only run benchmarks whose name contains FILTER
+//! --iters N       timed iterations per benchmark        (default 10)
+//! --warmup N      untimed warm-up iterations            (default 2)
+//! --out PATH      results file                          (default BENCH_results.json)
+//! ```
+//!
+//! Unknown flags (e.g. the `--bench` cargo appends) are ignored.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration (ns).
+    pub min_ns: u64,
+    /// Median iteration (ns).
+    pub median_ns: u64,
+    /// Mean iteration (ns).
+    pub mean_ns: u64,
+}
+
+/// A benchmark group: runs closures, prints a table, persists JSON.
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    warmup: u32,
+    iters: u32,
+    filter: Option<String>,
+    out_path: String,
+    results: Vec<(String, Stats)>,
+    extra: Vec<(String, f64)>,
+}
+
+impl Harness {
+    /// Builds a harness for `group` from the process arguments.
+    pub fn from_args(group: &str) -> Harness {
+        let mut h = Harness {
+            group: group.to_string(),
+            warmup: 2,
+            iters: 10,
+            filter: None,
+            out_path: default_out_path(),
+            results: Vec::new(),
+            extra: Vec::new(),
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--iters" => {
+                    i += 1;
+                    if let Some(n) = argv.get(i).and_then(|v| v.parse().ok()) {
+                        h.iters = n;
+                    }
+                }
+                "--warmup" => {
+                    i += 1;
+                    if let Some(n) = argv.get(i).and_then(|v| v.parse().ok()) {
+                        h.warmup = n;
+                    }
+                }
+                "--out" => {
+                    i += 1;
+                    if let Some(p) = argv.get(i) {
+                        h.out_path = p.clone();
+                    }
+                }
+                flag if flag.starts_with('-') => {} // cargo's --bench etc.
+                filter => h.filter = Some(filter.to_string()),
+            }
+            i += 1;
+        }
+        h.iters = h.iters.max(1);
+        eprintln!(
+            "[{group}] warmup={w} iters={n}{f}",
+            w = h.warmup,
+            n = h.iters,
+            f = h
+                .filter
+                .as_deref()
+                .map(|f| format!(" filter={f:?}"))
+                .unwrap_or_default()
+        );
+        h
+    }
+
+    /// Times `f` (after warm-up) and records the result under `name`.
+    /// The return value is passed through [`black_box`] so the work cannot
+    /// be optimized away. Returns the stats (`None` when filtered out) so
+    /// callers can derive quantities like speedup ratios.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> Option<Stats> {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut samples: Vec<u64> = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed().as_nanos() as u64);
+        }
+        samples.sort_unstable();
+        let stats = Stats {
+            iters: self.iters,
+            min_ns: samples[0],
+            median_ns: samples[samples.len() / 2],
+            mean_ns: samples.iter().sum::<u64>() / samples.len() as u64,
+        };
+        println!(
+            "{name:<44} median {:>10}  min {:>10}  mean {:>10}",
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.min_ns),
+            fmt_ns(stats.mean_ns),
+        );
+        self.results.push((name.to_string(), stats));
+        Some(stats)
+    }
+
+    /// Records a pre-computed named scalar (e.g. a speedup ratio or a
+    /// thread count) that should land in the JSON next to the timings.
+    pub fn note(&mut self, name: &str, value: f64) {
+        println!("{name:<44} {value:.3}");
+        self.extra.push((name.to_string(), value));
+    }
+
+    /// Prints the footer and merges this group into the results file.
+    pub fn finish(self) {
+        if self.results.is_empty() && self.extra.is_empty() {
+            eprintln!("[{}] nothing ran (filter too narrow?)", self.group);
+            return;
+        }
+        let mut group = Json::Obj(vec![]);
+        for (name, s) in &self.results {
+            group.set(
+                name,
+                Json::Obj(vec![
+                    ("median_ns".into(), Json::int(s.median_ns)),
+                    ("min_ns".into(), Json::int(s.min_ns)),
+                    ("mean_ns".into(), Json::int(s.mean_ns)),
+                    ("iters".into(), Json::int(s.iters as u64)),
+                ]),
+            );
+        }
+        for (name, value) in &self.extra {
+            group.set(name, Json::Num(*value));
+        }
+        let mut root = load_results(&self.out_path);
+        root.set(
+            "_meta",
+            Json::Obj(vec![(
+                "cores".into(),
+                Json::int(
+                    std::thread::available_parallelism()
+                        .map(|n| n.get() as u64)
+                        .unwrap_or(1),
+                ),
+            )]),
+        );
+        root.set(&self.group, group);
+        match std::fs::write(&self.out_path, root.pretty()) {
+            Ok(()) => eprintln!("[{}] results merged into {}", self.group, self.out_path),
+            Err(e) => eprintln!("[{}] could not write {}: {e}", self.group, self.out_path),
+        }
+    }
+}
+
+/// Default results path: `BENCH_results.json` at the workspace root.
+/// Cargo runs bench binaries with the *package* directory as CWD, so walk
+/// up to the directory holding `Cargo.lock`; fall back to the CWD itself.
+fn default_out_path() -> String {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir
+                .join("BENCH_results.json")
+                .to_string_lossy()
+                .into_owned();
+        }
+        if !dir.pop() {
+            return "BENCH_results.json".to_string();
+        }
+    }
+}
+
+/// Loads an existing results file, or starts a fresh document.
+pub fn load_results(path: &str) -> Json {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .filter(|v| matches!(v, Json::Obj(_)))
+        .unwrap_or(Json::Obj(vec![]))
+}
+
+/// Renders nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    let ns = ns as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_ordered_stats() {
+        let mut h = Harness {
+            group: "t".into(),
+            warmup: 1,
+            iters: 5,
+            filter: None,
+            out_path: String::new(),
+            results: Vec::new(),
+            extra: Vec::new(),
+        };
+        let mut calls = 0u32;
+        h.bench("busy", || {
+            calls += 1;
+            std::hint::black_box((0..1000).sum::<u64>())
+        });
+        assert_eq!(calls, 6, "1 warmup + 5 timed");
+        let (_, s) = &h.results[0];
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.iters == 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut h = Harness {
+            group: "t".into(),
+            warmup: 0,
+            iters: 1,
+            filter: Some("keep".into()),
+            out_path: String::new(),
+            results: Vec::new(),
+            extra: Vec::new(),
+        };
+        h.bench("keep/this", || 1);
+        h.bench("drop/this", || 1);
+        assert_eq!(h.results.len(), 1);
+        assert_eq!(h.results[0].0, "keep/this");
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_000_000), "2.00 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+}

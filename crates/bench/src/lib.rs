@@ -5,11 +5,15 @@
 //! * the `experiments` binary (`cargo run -p wsn-bench --release --bin
 //!   experiments`) prints, for every figure of §5 plus the two future-work
 //!   extensions, the same rows/series the paper plots;
-//! * the Criterion benches (`cargo bench`) time representative
-//!   simulation cells and the protocol-level hot paths.
+//! * the zero-dependency [`harness`] benches (`cargo bench`) time
+//!   representative simulation cells and the protocol-level hot paths and
+//!   merge their numbers into `BENCH_results.json`.
 //!
-//! This library crate only re-exports the pieces the two entry points
-//! share.
+//! This library crate holds the bench harness and re-exports the pieces
+//! the entry points share.
+
+pub mod harness;
+pub mod json;
 
 pub use wsn_sim::experiments;
 pub use wsn_sim::report;

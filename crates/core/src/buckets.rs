@@ -69,7 +69,12 @@ mod tests {
 
     #[test]
     fn partition_covers_interval_without_gaps() {
-        for &(lo, hi, b) in &[(0i64, 1023i64, 10usize), (-50, 49, 7), (3, 3, 4), (0, 5, 64)] {
+        for &(lo, hi, b) in &[
+            (0i64, 1023i64, 10usize),
+            (-50, 49, 7),
+            (3, 3, 4),
+            (0, 5, 64),
+        ] {
             let p = BucketPartition::new(lo, hi, b);
             let mut expected_start = lo;
             for i in 0..p.buckets {

@@ -56,20 +56,43 @@ pub fn histogram_request(
     net: &mut Network,
     values: &[Value],
     part: BucketPartition,
-    mut on_receive: impl FnMut(usize, Value, Value),
+    on_receive: impl FnMut(usize, Value, Value),
 ) -> Histogram {
-    let received = net.broadcast(net.sizes().refinement_request_bits());
+    let mut scratch = WaveScratch::default();
+    histogram_request_reuse(net, values, part, on_receive, &mut scratch)
+}
+
+/// Reusable buffers for repeated request waves ([`histogram_request`] in
+/// the descent loop): reception flags and per-node contribution slots, so
+/// one descent performs no per-iteration heap allocation.
+#[derive(Debug, Default)]
+struct WaveScratch {
+    received: Vec<bool>,
+    contributions: Vec<Option<Histogram>>,
+}
+
+/// [`histogram_request`] with caller-owned scratch buffers.
+fn histogram_request_reuse(
+    net: &mut Network,
+    values: &[Value],
+    part: BucketPartition,
+    mut on_receive: impl FnMut(usize, Value, Value),
+    scratch: &mut WaveScratch,
+) -> Histogram {
+    net.broadcast_into(net.sizes().refinement_request_bits(), &mut scratch.received);
     let n = net.len();
-    let mut contributions: Vec<Option<Histogram>> = vec![None; n];
+    scratch.contributions.clear();
+    scratch.contributions.resize(n, None);
     for idx in 1..n {
-        if !received[idx] {
+        if !scratch.received[idx] {
             continue;
         }
         on_receive(idx, part.lo, part.hi);
         if let Some(i) = part.index_of(values[idx - 1]) {
-            contributions[idx] = Some(Histogram::unit(part.buckets, i));
+            scratch.contributions[idx] = Some(Histogram::unit(part.buckets, i));
         }
     }
+    let contributions = &mut scratch.contributions;
     net.convergecast(|id| contributions[id.index()].take())
         .unwrap_or_else(|| Histogram::zeros(part.buckets))
 }
@@ -94,6 +117,7 @@ pub fn descend(
 ) -> Option<DescentOutcome> {
     let mut last_request: Option<(Value, Value)> = None;
     let mut last_request_counts: Option<Counts> = None;
+    let mut scratch = WaveScratch::default();
     loop {
         if lo > hi || *refinements >= cfg.max_refinements {
             return None;
@@ -139,7 +163,7 @@ pub fn descend(
 
         *refinements += 1;
         let part = BucketPartition::new(lo, hi, cfg.b);
-        let hist = histogram_request(net, values, part, &mut on_receive);
+        let hist = histogram_request_reuse(net, values, part, &mut on_receive, &mut scratch);
         let total = hist.total();
         let mut below = match anchor {
             RankAnchor::BelowLo(b) => b,

@@ -48,6 +48,9 @@ pub struct Gk {
     capacity: usize,
     last: Option<Value>,
     last_iterations: u32,
+    /// Reusable reception-flag buffer for the per-iteration broadcasts
+    /// (scratch only, never observable state).
+    recv: Vec<bool>,
 }
 
 /// Hard cap on narrowing iterations per round.
@@ -64,6 +67,7 @@ impl Gk {
             capacity,
             last: None,
             last_iterations: 0,
+            recv: Vec::new(),
         }
     }
 
@@ -79,18 +83,18 @@ impl Gk {
 
     /// Summary convergecast over values inside `[lo, hi]`.
     fn summary_pass(
-        &self,
+        &mut self,
         net: &mut Network,
         values: &[Value],
         lo: Value,
         hi: Value,
     ) -> RankSummary {
         // Interval announcement.
-        let received = net.broadcast(net.sizes().refinement_request_bits());
+        net.broadcast_into(net.sizes().refinement_request_bits(), &mut self.recv);
         let n = net.len();
         let mut contributions: Vec<Option<RankSummary>> = vec![None; n];
         for idx in 1..n {
-            if !received[idx] {
+            if !self.recv[idx] {
                 continue;
             }
             let v = values[idx - 1];
@@ -109,7 +113,7 @@ impl Gk {
     /// Exact counting round-trip: how many values of `[lo, hi]` fall below
     /// `probe_lo`, and how many inside `[probe_lo, probe_hi]`.
     fn counting_pass(
-        &self,
+        &mut self,
         net: &mut Network,
         values: &[Value],
         lo: Value,
@@ -118,11 +122,11 @@ impl Gk {
         probe_hi: Value,
     ) -> CountPair {
         let bits = 2 * net.sizes().value_bits + net.sizes().refinement_request_bits();
-        let received = net.broadcast(bits);
+        net.broadcast_into(bits, &mut self.recv);
         let n = net.len();
         let mut contributions: Vec<Option<CountPair>> = vec![None; n];
         for idx in 1..n {
-            if !received[idx] {
+            if !self.recv[idx] {
                 continue;
             }
             let v = values[idx - 1];
@@ -173,15 +177,8 @@ impl ContinuousQuantile for Gk {
             }
             if inside <= capacity_direct {
                 self.last_iterations += 1;
-                let r = direct_retrieval(
-                    net,
-                    values,
-                    lo,
-                    hi,
-                    k,
-                    n_total,
-                    RankAnchor::BelowLo(below),
-                );
+                let r =
+                    direct_retrieval(net, values, lo, hi, k, n_total, RankAnchor::BelowLo(below));
                 break match r.quantile {
                     Some(q) => q,
                     None => self.last.unwrap_or(lo),
@@ -256,7 +253,9 @@ mod tests {
         let mut gk = Gk::new(query, &MessageSizes::default());
         for t in 0..20u32 {
             let values: Vec<Value> = (0..n)
-                .map(|i| ((i as u32).wrapping_mul(2654435761).wrapping_add(t * 97) % 60_000) as Value)
+                .map(|i| {
+                    ((i as u32).wrapping_mul(2654435761).wrapping_add(t * 97) % 60_000) as Value
+                })
                 .collect();
             assert_eq!(
                 gk.round(&mut net, &values),
@@ -301,7 +300,10 @@ mod tests {
         let values: Vec<Value> = (0..n)
             .map(|i| ((i as i64 * 7_777_777) % (1 << 30)).abs())
             .collect();
-        assert_eq!(gk.round(&mut net, &values), rank::kth_smallest(&values, query.k));
+        assert_eq!(
+            gk.round(&mut net, &values),
+            rank::kth_smallest(&values, query.k)
+        );
         assert!(
             gk.last_iterations() <= 8,
             "iterations {}",

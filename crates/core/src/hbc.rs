@@ -296,7 +296,14 @@ impl ContinuousQuantile for Hbc {
                 Direction::Down => {
                     let lo = v.lower_bound(self.root_lb).max(self.query.range_min);
                     let hi = self.root_lb - 1;
-                    self.refine(net, values, lo, hi, RankAnchor::AtMostHi(self.counts.l), None)
+                    self.refine(
+                        net,
+                        values,
+                        lo,
+                        hi,
+                        RankAnchor::AtMostHi(self.counts.l),
+                        None,
+                    )
                 }
                 Direction::Up => {
                     let lo = self.root_ub + 1;

@@ -87,6 +87,9 @@ pub struct Iq {
     initialized: bool,
     last_refinements: u32,
     last_a_size: usize,
+    /// Reusable reception-flag buffer for broadcasts (scratch only, never
+    /// observable state).
+    recv: Vec<bool>,
 }
 
 impl Iq {
@@ -107,6 +110,7 @@ impl Iq {
             initialized: false,
             last_refinements: 0,
             last_a_size: 0,
+            recv: Vec::new(),
         }
     }
 
@@ -180,8 +184,8 @@ impl Iq {
 
         // Filter broadcast carries the tuple (v_k, ξ) (§4.2.1).
         let bits = PayloadSize::new(net.sizes()).values(2).bits();
-        let received = net.broadcast(bits);
-        for (i, ok) in received.iter().enumerate() {
+        net.broadcast_into(bits, &mut self.recv);
+        for (i, ok) in self.recv.iter().enumerate() {
             self.node_history[i].push_back(q);
             if *ok {
                 self.node_filter[i] = q;
@@ -207,11 +211,11 @@ impl Iq {
         self.last_refinements += 1;
         // Request: f plus the interval bounds.
         let bits = PayloadSize::new(net.sizes()).counters(1).values(2).bits();
-        let received = net.broadcast(bits);
+        net.broadcast_into(bits, &mut self.recv);
         let n = net.len();
         let mut contributions: Vec<Option<ValueList>> = vec![None; n];
         for idx in 1..n {
-            if !received[idx] {
+            if !self.recv[idx] {
                 continue;
             }
             let v = values[idx - 1];
@@ -261,12 +265,13 @@ impl Iq {
         self.root_filter = q;
         self.root_xi = Self::update_history(&mut self.root_history, self.config.m, q);
 
-        let received = if changed {
-            net.broadcast(net.sizes().value_bits)
+        if changed {
+            net.broadcast_into(net.sizes().value_bits, &mut self.recv);
         } else {
-            vec![true; net.len()]
-        };
-        for (i, &got_it) in received.iter().enumerate() {
+            self.recv.clear();
+            self.recv.resize(net.len(), true);
+        }
+        for (i, &got_it) in self.recv.iter().enumerate() {
             let node_q = if got_it { q } else { self.node_filter[i] };
             self.node_filter[i] = node_q;
             self.node_xi[i] =
@@ -497,7 +502,9 @@ mod tests {
         for t in 0..40 {
             // Uniform upward drift of 3 per round: after Ξ adapts, the new
             // quantile is always inside Ξ.
-            let values: Vec<Value> = (0..n).map(|i| 1000 + i as Value * 10 + t as Value * 3).collect();
+            let values: Vec<Value> = (0..n)
+                .map(|i| 1000 + i as Value * 10 + t as Value * 3)
+                .collect();
             let got = iq.round(&mut net, &values);
             assert_eq!(got, rank::kth_smallest(&values, query.k));
             if t > 5 {
@@ -545,7 +552,9 @@ mod tests {
         let query = QueryConfig::median(n, 0, 31);
         let mut iq = Iq::new(query, IqConfig::default());
         for t in 0..15 {
-            let values: Vec<Value> = (0..n).map(|i| ((i + t as usize) % 6) as Value * 3).collect();
+            let values: Vec<Value> = (0..n)
+                .map(|i| ((i + t as usize) % 6) as Value * 3)
+                .collect();
             assert_eq!(
                 iq.round(&mut net, &values),
                 rank::kth_smallest(&values, query.k),

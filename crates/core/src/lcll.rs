@@ -174,8 +174,7 @@ impl Lcll {
                             cum += hist.counts[i];
                         }
                         let (s, e) = part.bounds(chosen);
-                        let anchor =
-                            crate::retrieval::RankAnchor::BelowLo(below_window + cum);
+                        let anchor = crate::retrieval::RankAnchor::BelowLo(below_window + cum);
                         let outcome = descend(
                             net,
                             values,
@@ -357,9 +356,10 @@ impl ContinuousQuantile for Lcll {
             let f = self.node_filter[idx];
             let old = side(self.prev[idx - 1], f);
             let new = side(values[idx - 1], f);
-            contributions.push((old != new).then(|| {
-                DeltaHistogram::movement(3, bucket_code(old), bucket_code(new))
-            }));
+            contributions.push(
+                (old != new)
+                    .then(|| DeltaHistogram::movement(3, bucket_code(old), bucket_code(new))),
+            );
         }
         self.prev.copy_from_slice(values);
         if let Some(deltas) = net.convergecast(|id| contributions[id.index()].take()) {
@@ -491,8 +491,8 @@ mod tests {
         let query = QueryConfig::median(n, 0, 10_000_000);
         let jump = |d: Value| {
             let mut net = line_net(n);
-            let mut lcll = new_lcll(query, RefiningStrategy::Hierarchical)
-                .without_direct_retrieval();
+            let mut lcll =
+                new_lcll(query, RefiningStrategy::Hierarchical).without_direct_retrieval();
             let v0: Vec<Value> = (0..n).map(|i| 5_000_000 + i as Value).collect();
             lcll.round(&mut net, &v0);
             let v1: Vec<Value> = v0.iter().map(|v| v + d).collect();
@@ -528,8 +528,7 @@ mod tests {
             let query = QueryConfig::median(n, 0, 7);
             let mut lcll = new_lcll(query, strategy);
             for t in 0..12 {
-                let values: Vec<Value> =
-                    (0..n).map(|i| ((i as u32 + t) % 5) as Value).collect();
+                let values: Vec<Value> = (0..n).map(|i| ((i as u32 + t) % 5) as Value).collect();
                 assert_eq!(
                     lcll.round(&mut net, &values),
                     rank::kth_smallest(&values, query.k),

@@ -176,13 +176,7 @@ impl LcllRange {
     /// the unit sub-histogram from the nodes inside, updates node focus
     /// views, and returns the quantile (descending further if the bucket is
     /// wider than `b`).
-    fn refocus(
-        &mut self,
-        net: &mut Network,
-        values: &[Value],
-        bucket: usize,
-        below: u64,
-    ) -> Value {
+    fn refocus(&mut self, net: &mut Network, values: &[Value], bucket: usize, below: u64) -> Value {
         // The old focus bucket's total re-materializes at top level.
         self.top_counts[self.focus] = self.sub_counts.iter().sum();
 
@@ -326,7 +320,11 @@ enum Located {
     /// bucket is a single value wide).
     TopBucket { bucket: usize, below: u64 },
     /// In cell `cell` of the focus bucket.
-    SubCell { cell: usize, below: u64, inside: u64 },
+    SubCell {
+        cell: usize,
+        below: u64,
+        inside: u64,
+    },
 }
 
 impl ContinuousQuantile for LcllRange {
@@ -389,7 +387,11 @@ impl ContinuousQuantile for LcllRange {
 
         // --- Locate; refocus only when the quantile escaped ---
         let result = match self.locate(self.query.k) {
-            Some(Located::SubCell { cell, below, inside }) => {
+            Some(Located::SubCell {
+                cell,
+                below,
+                inside,
+            }) => {
                 let (lo, hi) = self.sub.bounds(cell);
                 if lo == hi {
                     lo
@@ -540,8 +542,9 @@ mod tests {
             };
             let mut alg = LcllRange::new(query, &MessageSizes::default());
             for t in 0..15 {
-                let values: Vec<Value> =
-                    (0..n).map(|i| (((i + t as usize) % 7) * 30) as Value).collect();
+                let values: Vec<Value> = (0..n)
+                    .map(|i| (((i + t as usize) % 7) * 30) as Value)
+                    .collect();
                 assert_eq!(
                     alg.round(&mut net, &values),
                     rank::kth_smallest(&values, k),
@@ -574,8 +577,8 @@ mod tests {
         let n = 25;
         let mut net = line_net(n);
         let query = QueryConfig::median(n, 0, 2047);
-        let mut alg = LcllRange::new(query, &MessageSizes::default())
-            .with_init(InitStrategy::BarySearch);
+        let mut alg =
+            LcllRange::new(query, &MessageSizes::default()).with_init(InitStrategy::BarySearch);
         for t in 0..20 {
             let values = drifting_values(n, t);
             assert_eq!(

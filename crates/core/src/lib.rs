@@ -56,10 +56,10 @@ pub mod payloads;
 pub mod pos;
 pub mod protocol;
 pub mod rank;
-pub mod snapshot;
-pub mod summary;
 pub mod retrieval;
 pub mod sampled;
+pub mod snapshot;
+pub mod summary;
 pub mod tag;
 pub mod validation;
 pub mod wire;
@@ -71,8 +71,8 @@ pub use iq::{Iq, IqConfig};
 pub use lcll::{Lcll, RefiningStrategy};
 pub use lcll_range::LcllRange;
 pub use pos::Pos;
-pub use sampled::SampledQuantile;
 pub use protocol::{ContinuousQuantile, QueryConfig};
+pub use sampled::SampledQuantile;
 pub use tag::Tag;
 
 /// A sensor measurement (re-exported from `wsn-net`).

@@ -129,9 +129,7 @@ pub struct Histogram {
 impl Histogram {
     /// An all-zero histogram with `b` buckets.
     pub fn zeros(b: usize) -> Self {
-        Histogram {
-            counts: vec![0; b],
-        }
+        Histogram { counts: vec![0; b] }
     }
 
     /// A histogram with a single unit entry in bucket `i`.
@@ -177,9 +175,7 @@ pub struct DeltaHistogram {
 impl DeltaHistogram {
     /// An all-zero delta vector of length `b`.
     pub fn zeros(b: usize) -> Self {
-        DeltaHistogram {
-            deltas: vec![0; b],
-        }
+        DeltaHistogram { deltas: vec![0; b] }
     }
 
     /// The move of one node from bucket `from` to bucket `to`.
@@ -215,9 +211,7 @@ mod tests {
     #[test]
     fn value_list_merge_and_size() {
         let sizes = MessageSizes::default();
-        let mut a = ValueList {
-            vals: vec![1, 2],
-        };
+        let mut a = ValueList { vals: vec![1, 2] };
         a.merge(ValueList::single(3));
         assert_eq!(a.vals.len(), 3);
         assert_eq!(a.payload_bits(&sizes), 48);
@@ -253,14 +247,10 @@ mod tests {
 
     #[test]
     fn keep_zero_clears() {
-        let mut l = ValueList {
-            vals: vec![1, 2],
-        };
+        let mut l = ValueList { vals: vec![1, 2] };
         l.keep_largest_with_ties(0);
         assert!(l.vals.is_empty());
-        let mut l = ValueList {
-            vals: vec![1, 2],
-        };
+        let mut l = ValueList { vals: vec![1, 2] };
         l.keep_smallest_with_ties(0);
         assert!(l.vals.is_empty());
     }

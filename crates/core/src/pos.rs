@@ -39,6 +39,9 @@ pub struct Pos {
     /// Direct value retrieval enabled (§3.2 improvement; on by default).
     direct_retrieval: bool,
     init: InitStrategy,
+    /// Reusable reception-flag buffer for the probe/broadcast loop (scratch
+    /// only, never observable state).
+    recv: Vec<bool>,
 }
 
 impl Pos {
@@ -54,6 +57,7 @@ impl Pos {
             last_refinements: 0,
             direct_retrieval: true,
             init: InitStrategy::default(),
+            recv: Vec::new(),
         }
     }
 
@@ -83,8 +87,8 @@ impl Pos {
         self.node_filter = vec![q; net.len()];
         self.prev = values.to_vec();
         // Filter broadcast: one value.
-        let received = net.broadcast(net.sizes().value_bits);
-        for (i, ok) in received.iter().enumerate() {
+        net.broadcast_into(net.sizes().value_bits, &mut self.recv);
+        for (i, ok) in self.recv.iter().enumerate() {
             if *ok {
                 self.node_filter[i] = q;
             }
@@ -98,11 +102,11 @@ impl Pos {
     /// nodes whose measurement switched interval, updating per-node
     /// thresholds and the root counts.
     fn probe(&mut self, net: &mut Network, values: &[Value], mid: Value) -> Counts {
-        let received = net.broadcast(net.sizes().value_bits);
+        net.broadcast_into(net.sizes().value_bits, &mut self.recv);
         let n = net.len();
         let mut contributions: Vec<Option<MovementCounters>> = vec![None; n];
         for idx in 1..n {
-            if !received[idx] {
+            if !self.recv[idx] {
                 continue; // node missed the probe; it cannot react
             }
             let old_thr = self.node_filter[idx];
@@ -148,11 +152,11 @@ impl Pos {
         anchor: RankAnchor,
     ) -> Value {
         // Request: the interval bounds.
-        let received = net.broadcast(net.sizes().refinement_request_bits());
+        net.broadcast_into(net.sizes().refinement_request_bits(), &mut self.recv);
         let n = net.len();
         let mut contributions: Vec<Option<ValueList>> = vec![None; n];
         for idx in 1..n {
-            if !received[idx] {
+            if !self.recv[idx] {
                 continue;
             }
             let v = values[idx - 1];
@@ -191,8 +195,8 @@ impl Pos {
         self.root_filter = q;
         // Final filter broadcast (§3.2: "with this improvement a final
         // broadcast becomes necessary").
-        let received = net.broadcast(net.sizes().value_bits);
-        for (i, ok) in received.iter().enumerate() {
+        net.broadcast_into(net.sizes().value_bits, &mut self.recv);
+        for (i, ok) in self.recv.iter().enumerate() {
             if *ok {
                 self.node_filter[i] = q;
             }
@@ -417,7 +421,11 @@ mod tests {
         let n = 20;
         let mut net = line_net(n);
         for &k in &[1u64, 5, 15, 20] {
-            let query = QueryConfig { k, range_min: 0, range_max: 1023 };
+            let query = QueryConfig {
+                k,
+                range_min: 0,
+                range_max: 1023,
+            };
             let mut pos = Pos::new(query);
             for t in 0..12 {
                 let values = drifting_values(n, t * 5);

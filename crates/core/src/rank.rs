@@ -182,9 +182,15 @@ mod tests {
     fn movement_direction() {
         let values = vec![1, 2, 2, 3, 4, 4, 4];
         // Threshold 4: l = 4 >= k=3 -> down.
-        assert_eq!(Counts::of(&values, 4).quantile_moved(3), Some(Direction::Down));
+        assert_eq!(
+            Counts::of(&values, 4).quantile_moved(3),
+            Some(Direction::Down)
+        );
         // Threshold 1: l+e = 1 < 3 -> up.
-        assert_eq!(Counts::of(&values, 1).quantile_moved(3), Some(Direction::Up));
+        assert_eq!(
+            Counts::of(&values, 1).quantile_moved(3),
+            Some(Direction::Up)
+        );
         assert_eq!(Counts::of(&values, 2).quantile_moved(3), None);
     }
 

@@ -82,9 +82,7 @@ impl ContinuousQuantile for SampledQuantile {
         let member = &self.member;
         let collected = net
             .convergecast_with(
-                |id| {
-                    member[id.index() - 1].then(|| ValueList::single(measurement(values, id)))
-                },
+                |id| member[id.index() - 1].then(|| ValueList::single(measurement(values, id))),
                 |_, l: &mut ValueList| l.keep_smallest(k_sample),
             )
             .map(|l| l.vals)
@@ -126,10 +124,7 @@ mod tests {
         let mut net = line_net(n);
         for t in 0..10i64 {
             let values: Vec<Value> = (0..n as i64).map(|i| (i * 31 + t * 7) % 1024).collect();
-            assert_eq!(
-                alg.round(&mut net, &values),
-                kth_smallest(&values, query.k)
-            );
+            assert_eq!(alg.round(&mut net, &values), kth_smallest(&values, query.k));
         }
     }
 

@@ -101,10 +101,7 @@ impl SnapshotQuery {
             refinements,
             last_interval: outcome.last_request.map(|(lo, hi)| {
                 let width = (hi - lo + 1) as u64;
-                let count = outcome
-                    .last_request_counts
-                    .map(|c| c.e)
-                    .unwrap_or_default();
+                let count = outcome.last_request_counts.map(|c| c.e).unwrap_or_default();
                 (width, count)
             }),
         })
@@ -139,8 +136,8 @@ mod tests {
                 range_min: 0,
                 range_max: 511,
             };
-            let snap = SnapshotQuery::new(query, &MessageSizes::default())
-                .without_direct_retrieval();
+            let snap =
+                SnapshotQuery::new(query, &MessageSizes::default()).without_direct_retrieval();
             let out = snap.run(&mut net, &values).unwrap();
             assert_eq!(out.quantile, sorted[k as usize - 1], "k={k}");
             assert!(out.counts.is_valid_quantile(k));
@@ -161,7 +158,11 @@ mod tests {
         let out = snap.run(&mut net, &values).unwrap();
         assert_eq!(out.quantile, kth_smallest(&values, query.k));
         // Binary search: roughly log2(1024) = 10 iterations.
-        assert!(out.refinements >= 8 && out.refinements <= 12, "{}", out.refinements);
+        assert!(
+            out.refinements >= 8 && out.refinements <= 12,
+            "{}",
+            out.refinements
+        );
     }
 
     #[test]
@@ -199,8 +200,7 @@ mod tests {
         let values: Vec<Value> = (0..n).map(|i| i as Value * 11).collect();
         let mut net = line_net(n);
         let query = QueryConfig::median(n, 0, 1023);
-        let snap = SnapshotQuery::new(query, &MessageSizes::default())
-            .without_direct_retrieval();
+        let snap = SnapshotQuery::new(query, &MessageSizes::default()).without_direct_retrieval();
         let out = snap.run(&mut net, &values).unwrap();
         let (width, count) = out.last_interval.unwrap();
         assert!(width >= 1);

@@ -174,8 +174,7 @@ impl Aggregate for RankSummary {
     /// Wire size: per entry one value and two counters (rmin, rmax), plus
     /// one counter for the total count.
     fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
-        sizes.counter_bits
-            + self.entries.len() as u64 * (sizes.value_bits + 2 * sizes.counter_bits)
+        sizes.counter_bits + self.entries.len() as u64 * (sizes.value_bits + 2 * sizes.counter_bits)
     }
     fn value_count(&self) -> usize {
         self.entries.len()

@@ -80,7 +80,9 @@ mod tests {
         let query = QueryConfig::median(9, 0, 100);
         let mut tag = Tag::new(query);
         for round in 0..5 {
-            let values: Vec<Value> = (0..9).map(|i| ((i * 13 + round * 7) % 100) as Value).collect();
+            let values: Vec<Value> = (0..9)
+                .map(|i| ((i * 13 + round * 7) % 100) as Value)
+                .collect();
             let got = tag.round(&mut net, &values);
             assert_eq!(got, rank::kth_smallest(&values, query.k), "round {round}");
         }
@@ -90,7 +92,11 @@ mod tests {
     #[test]
     fn intermediate_nodes_forward_at_most_k_values() {
         let mut net = line_net(10);
-        let query = QueryConfig { k: 3, range_min: 0, range_max: 100 };
+        let query = QueryConfig {
+            k: 3,
+            range_min: 0,
+            range_max: 100,
+        };
         let mut tag = Tag::new(query);
         let values: Vec<Value> = (0..10).map(|i| i as Value).collect();
         tag.round(&mut net, &values);
@@ -103,9 +109,17 @@ mod tests {
     fn works_for_extreme_ranks() {
         let mut net = line_net(7);
         let values: Vec<Value> = vec![4, 9, 2, 7, 7, 1, 5];
-        let mut min_q = Tag::new(QueryConfig { k: 1, range_min: 0, range_max: 10 });
+        let mut min_q = Tag::new(QueryConfig {
+            k: 1,
+            range_min: 0,
+            range_max: 10,
+        });
         assert_eq!(min_q.round(&mut net, &values), 1);
-        let mut max_q = Tag::new(QueryConfig { k: 7, range_min: 0, range_max: 10 });
+        let mut max_q = Tag::new(QueryConfig {
+            k: 7,
+            range_min: 0,
+            range_max: 10,
+        });
         assert_eq!(max_q.round(&mut net, &values), 9);
     }
 }

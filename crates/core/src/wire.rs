@@ -42,7 +42,11 @@ impl WireContext {
 
     fn put_counter(&self, w: &mut BitWriter, c: u64) {
         let width = self.sizes.counter_bits as u32;
-        let max = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+        let max = if width >= 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         w.put(c.min(max), width);
     }
 
@@ -159,14 +163,26 @@ impl WireContext {
             HintStyle::MinMax => {
                 // Absent hints (sentinels) encode as the filter itself —
                 // a neutral bound the receiver merges losslessly.
-                let lo = if p.hint_min == Value::MAX { filter } else { p.hint_min };
-                let hi = if p.hint_max == Value::MIN { filter } else { p.hint_max };
+                let lo = if p.hint_min == Value::MAX {
+                    filter
+                } else {
+                    p.hint_min
+                };
+                let hi = if p.hint_max == Value::MIN {
+                    filter
+                } else {
+                    p.hint_max
+                };
                 self.put_value(&mut w, lo.clamp(self.range_min, field_max));
                 self.put_value(&mut w, hi.clamp(self.range_min, field_max));
             }
             HintStyle::MaxDiff => {
                 let width = self.sizes.value_bits as u32;
-                let max = if width >= 64 { u64::MAX } else { (1 << width) - 1 };
+                let max = if width >= 64 {
+                    u64::MAX
+                } else {
+                    (1 << width) - 1
+                };
                 w.put(p.max_diff.min(max), width);
             }
         }

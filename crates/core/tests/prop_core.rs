@@ -1,4 +1,9 @@
 //! Property-based tests of the core data structures and rank math.
+//!
+//! Compiled only with `--features proptest` (plus an ad-hoc
+//! `cargo add proptest --dev`) so the default build needs no network
+//! access; see crates/core/Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use cqp_core::buckets::BucketPartition;
 use cqp_core::cost_model::{bary_search_cost, iterations_for, lambert_w0, optimal_buckets};

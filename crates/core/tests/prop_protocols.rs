@@ -2,6 +2,11 @@
 //! topologies, random value streams and random ranks, every protocol must
 //! return the exact k-th value every round — and IQ must keep its
 //! one-refinement guarantee.
+//!
+//! Compiled only with `--features proptest` (plus an ad-hoc
+//! `cargo add proptest --dev`) so the default build needs no network
+//! access; see crates/core/Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use cqp_core::hbc::{Hbc, HbcConfig};
 use cqp_core::iq::{Iq, IqConfig};

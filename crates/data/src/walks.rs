@@ -33,7 +33,9 @@ impl RandomWalkDataset {
         assert!(n > 0, "need at least one sensor");
         assert!(range_min <= range_max, "empty range");
         assert!(step >= 1, "step must be positive");
-        let state = (0..n).map(|_| rng.range_i64(range_min, range_max)).collect();
+        let state = (0..n)
+            .map(|_| rng.range_i64(range_min, range_max))
+            .collect();
         RandomWalkDataset {
             range_min,
             range_max,

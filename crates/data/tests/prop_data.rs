@@ -1,4 +1,9 @@
 //! Property-based tests of the dataset generators.
+//!
+//! Compiled only with `--features proptest` (plus an ad-hoc
+//! `cargo add proptest --dev`) so the default build needs no network
+//! access; see crates/data/Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use wsn_data::pressure::{PressureConfig, RangeSetting};

@@ -52,13 +52,25 @@ impl BitWriter {
     /// Appends a signed integer as `width`-bit two's complement.
     pub fn put_signed(&mut self, value: i64, width: u32) {
         assert!((1..=64).contains(&width));
-        let min = if width == 64 { i64::MIN } else { -(1i64 << (width - 1)) };
-        let max = if width == 64 { i64::MAX } else { (1i64 << (width - 1)) - 1 };
+        let min = if width == 64 {
+            i64::MIN
+        } else {
+            -(1i64 << (width - 1))
+        };
+        let max = if width == 64 {
+            i64::MAX
+        } else {
+            (1i64 << (width - 1)) - 1
+        };
         assert!(
             (min..=max).contains(&value),
             "value {value} does not fit signed {width} bits"
         );
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         self.put((value as u64) & mask, width);
     }
 

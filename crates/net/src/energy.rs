@@ -156,16 +156,20 @@ impl EnergyLedger {
 
     /// The id of the sensor node with the highest cumulative consumption.
     pub fn hottest_sensor(&self) -> NodeId {
-        let (idx, _) = self.consumed[1..]
-            .iter()
-            .enumerate()
-            .fold((0usize, f64::MIN), |acc, (i, &e)| {
-                if e > acc.1 {
-                    (i, e)
-                } else {
-                    acc
-                }
-            });
+        let (idx, _) =
+            self.consumed[1..]
+                .iter()
+                .enumerate()
+                .fold(
+                    (0usize, f64::MIN),
+                    |acc, (i, &e)| {
+                        if e > acc.1 {
+                            (i, e)
+                        } else {
+                            acc
+                        }
+                    },
+                );
         NodeId(idx as u32 + 1)
     }
 

@@ -40,11 +40,11 @@
 //! assert!(net.ledger().max_sensor_consumption() > 0.0); // tx/rx charged
 //! ```
 
+pub mod codec;
 pub mod energy;
 pub mod geometry;
 pub mod loss;
 pub mod message;
-pub mod codec;
 pub mod network;
 pub mod topology;
 pub mod tree;

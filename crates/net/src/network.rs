@@ -17,6 +17,8 @@
 //! fragments payloads per [`MessageSizes`]. Protocol logic never touches the
 //! ledger directly.
 
+use std::any::{Any, TypeId};
+
 use crate::energy::{EnergyLedger, RadioModel};
 use crate::loss::LossModel;
 use crate::message::MessageSizes;
@@ -68,6 +70,67 @@ impl TrafficStats {
     }
 }
 
+/// Reusable per-wave scratch buffers, so the convergecast/broadcast hot
+/// path performs no heap allocation in steady state. Convergecast inboxes
+/// are generic over the payload type, so they are stored type-erased and
+/// recycled per payload type: the first wave of each `T` allocates, every
+/// later wave reuses that buffer.
+///
+/// Scratch holds no observable state — clearing (or cloning to empty) never
+/// changes simulation results, only allocation behaviour.
+#[derive(Default)]
+struct ScratchPool {
+    /// One recycled `Vec<Option<T>>` inbox per convergecast payload type.
+    inboxes: Vec<(TypeId, Box<dyn Any + Send>)>,
+}
+
+impl ScratchPool {
+    /// Takes the recycled inbox for payload type `T` (empty on first use),
+    /// cleared and resized to `n` empty slots.
+    fn take_inbox<T: Send + 'static>(&mut self, n: usize) -> Vec<Option<T>> {
+        let tid = TypeId::of::<Vec<Option<T>>>();
+        let mut inbox = self
+            .inboxes
+            .iter_mut()
+            .find(|(t, _)| *t == tid)
+            .and_then(|(_, b)| b.downcast_mut::<Vec<Option<T>>>())
+            .map(std::mem::take)
+            .unwrap_or_default();
+        inbox.clear();
+        inbox.resize_with(n, || None);
+        inbox
+    }
+
+    /// Returns an inbox to the pool for later reuse.
+    fn put_inbox<T: Send + 'static>(&mut self, mut inbox: Vec<Option<T>>) {
+        inbox.clear();
+        let tid = TypeId::of::<Vec<Option<T>>>();
+        match self.inboxes.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, b)) => {
+                if let Some(slot) = b.downcast_mut::<Vec<Option<T>>>() {
+                    *slot = inbox;
+                }
+            }
+            None => self.inboxes.push((tid, Box::new(inbox))),
+        }
+    }
+}
+
+impl std::fmt::Debug for ScratchPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchPool")
+            .field("inboxes", &self.inboxes.len())
+            .finish()
+    }
+}
+
+impl Clone for ScratchPool {
+    /// Scratch is not meaningful state; clones start empty.
+    fn clone(&self) -> Self {
+        ScratchPool::default()
+    }
+}
+
 /// The simulated network: topology + routing tree + energy accounting.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -78,6 +141,38 @@ pub struct Network {
     ledger: EnergyLedger,
     stats: TrafficStats,
     loss: Option<LossModel>,
+    scratch: ScratchPool,
+}
+
+/// Charges one unicast transmission from `from` to its parent using split
+/// field borrows, so convergecast can iterate the routing tree while
+/// mutating the ledger/stats without cloning the traversal order.
+#[allow(clippy::too_many_arguments)]
+fn charge_unicast(
+    tree: &RoutingTree,
+    topo: &Topology,
+    model: &RadioModel,
+    sizes: &MessageSizes,
+    ledger: &mut EnergyLedger,
+    stats: &mut TrafficStats,
+    loss: &mut Option<LossModel>,
+    from: NodeId,
+    payload_bits: u64,
+    values: usize,
+) -> bool {
+    let parent = tree.parent(from).expect("root has no parent to send to");
+    let (fragments, total_bits) = sizes.fragment(payload_bits);
+    ledger.charge_tx(from, model.tx_energy(total_bits, topo.radio_range()));
+    // The parent listens according to its schedule, so it pays for the
+    // reception even if the message is corrupted.
+    ledger.charge(parent, model.rx_energy(total_bits));
+    stats.messages += fragments;
+    stats.values += values as u64;
+    stats.bits += total_bits;
+    match loss {
+        Some(loss) => !loss.lose(),
+        None => true,
+    }
 }
 
 impl Network {
@@ -93,6 +188,7 @@ impl Network {
             ledger: EnergyLedger::new(n),
             stats: TrafficStats::default(),
             loss: None,
+            scratch: ScratchPool::default(),
         }
     }
 
@@ -157,29 +253,24 @@ impl Network {
     /// parent, with fragmentation, and returns whether the (entire) payload
     /// arrived. Used internally and exposed for custom protocol steps.
     pub fn charge_unicast_up(&mut self, from: NodeId, payload_bits: u64, values: usize) -> bool {
-        let parent = self
-            .tree
-            .parent(from)
-            .expect("root has no parent to send to");
-        let (fragments, total_bits) = self.sizes.fragment(payload_bits);
-        self.ledger
-            .charge_tx(from, self.model.tx_energy(total_bits, self.topo.radio_range()));
-        // The parent listens according to its schedule, so it pays for the
-        // reception even if the message is corrupted.
-        self.ledger.charge(parent, self.model.rx_energy(total_bits));
-        self.stats.messages += fragments;
-        self.stats.values += values as u64;
-        self.stats.bits += total_bits;
-        match &mut self.loss {
-            Some(loss) => !loss.lose(),
-            None => true,
-        }
+        charge_unicast(
+            &self.tree,
+            &self.topo,
+            &self.model,
+            &self.sizes,
+            &mut self.ledger,
+            &mut self.stats,
+            &mut self.loss,
+            from,
+            payload_bits,
+            values,
+        )
     }
 
     /// Runs a convergecast. `local` yields each *sensor* node's own
     /// contribution (the root takes no measurements). Returns the aggregate
     /// that reaches the root, or `None` if every node stayed silent.
-    pub fn convergecast<T: Aggregate>(
+    pub fn convergecast<T: Aggregate + Send + 'static>(
         &mut self,
         local: impl FnMut(NodeId) -> Option<T>,
     ) -> Option<T> {
@@ -192,20 +283,33 @@ impl Network {
     ///
     /// Pruning at the root is deliberate: the root applies the same logic
     /// (e.g. keeping the `f` largest values) when consuming the data.
-    pub fn convergecast_with<T: Aggregate>(
+    pub fn convergecast_with<T: Aggregate + Send + 'static>(
         &mut self,
         mut local: impl FnMut(NodeId) -> Option<T>,
         mut prune: impl FnMut(NodeId, &mut T),
     ) -> Option<T> {
         self.stats.convergecasts += 1;
         let n = self.len();
-        let mut inbox: Vec<Option<T>> = Vec::with_capacity(n);
-        inbox.resize_with(n, || None);
+        let mut inbox = self.scratch.take_inbox::<T>(n);
+
+        // Split field borrows: the traversal reads the tree while the
+        // charging mutates ledger/stats/loss, so the wave walks
+        // `bottom_up()` in place instead of cloning the order.
+        let Network {
+            tree,
+            topo,
+            model,
+            sizes,
+            ledger,
+            stats,
+            loss,
+            ..
+        } = self;
 
         // bottom_up() is children-before-parents, so by the time we reach a
         // node its inbox already holds the merged payloads of its children.
-        let order: Vec<NodeId> = self.tree.bottom_up().to_vec();
-        for u in order {
+        let mut result = None;
+        for &u in tree.bottom_up() {
             let from_children = inbox[u.index()].take();
             let own = if u.is_root() { None } else { local(u) };
             let mut combined = match (from_children, own) {
@@ -222,15 +326,27 @@ impl Network {
                 if let Some(p) = combined.as_mut() {
                     prune(u, p);
                 }
-                return combined;
+                result = combined;
+                break;
             }
 
             if let Some(mut payload) = combined {
                 prune(u, &mut payload);
-                let bits = payload.payload_bits(&self.sizes);
-                let arrived = self.charge_unicast_up(u, bits, payload.value_count());
+                let bits = payload.payload_bits(sizes);
+                let arrived = charge_unicast(
+                    tree,
+                    topo,
+                    model,
+                    sizes,
+                    ledger,
+                    stats,
+                    loss,
+                    u,
+                    bits,
+                    payload.value_count(),
+                );
                 if arrived {
-                    let parent = self.tree.parent(u).expect("non-root");
+                    let parent = tree.parent(u).expect("non-root");
                     let slot = &mut inbox[parent.index()];
                     match slot {
                         Some(existing) => existing.merge(payload),
@@ -239,34 +355,58 @@ impl Network {
                 }
             }
         }
-        unreachable!("bottom_up order always ends at the root");
+        self.scratch.put_inbox(inbox);
+        result
     }
 
     /// Floods a payload of `payload_bits` bits from the root to every node.
     /// Returns the set of nodes that actually received it (all of them
     /// without loss; possibly a subtree-prefix with loss enabled).
+    ///
+    /// Allocates the result vector; loops that broadcast repeatedly should
+    /// prefer [`Network::broadcast_into`] with a reused buffer.
     pub fn broadcast(&mut self, payload_bits: u64) -> Vec<bool> {
+        let mut received = Vec::new();
+        self.broadcast_into(payload_bits, &mut received);
+        received
+    }
+
+    /// [`Network::broadcast`] writing the per-node reception flags into a
+    /// caller-owned buffer (cleared and resized in place), so repeated
+    /// waves perform no heap allocation.
+    pub fn broadcast_into(&mut self, payload_bits: u64, received: &mut Vec<bool>) {
         self.stats.broadcasts += 1;
         let n = self.len();
         let (fragments, total_bits) = self.sizes.fragment(payload_bits);
-        let mut received = vec![false; n];
+        received.clear();
+        received.resize(n, false);
         received[NodeId::ROOT.index()] = true;
 
-        let order: Vec<NodeId> = self.tree.top_down().collect();
-        for u in order {
-            if !received[u.index()] || self.tree.is_leaf(u) {
+        // Split field borrows, as in `convergecast_with`: traversal and
+        // child lookups read the tree in place while the ledger/stats/loss
+        // are mutated — no per-node clone of the children list.
+        let Network {
+            tree,
+            topo,
+            model,
+            sizes: _,
+            ledger,
+            stats,
+            loss,
+            ..
+        } = self;
+        for u in tree.top_down() {
+            if !received[u.index()] || tree.is_leaf(u) {
                 continue;
             }
             // One radio transmission reaches all children (§5.1.4: receivers
             // pay because the schedule tells them when to listen).
-            self.ledger
-                .charge_tx(u, self.model.tx_energy(total_bits, self.topo.radio_range()));
-            self.stats.messages += fragments;
-            self.stats.bits += total_bits;
-            let children: Vec<NodeId> = self.tree.children(u).to_vec();
-            for c in children {
-                self.ledger.charge(c, self.model.rx_energy(total_bits));
-                let arrived = match &mut self.loss {
+            ledger.charge_tx(u, model.tx_energy(total_bits, topo.radio_range()));
+            stats.messages += fragments;
+            stats.bits += total_bits;
+            for &c in tree.children(u) {
+                ledger.charge(c, model.rx_energy(total_bits));
+                let arrived = match loss {
                     Some(loss) => !loss.lose(),
                     None => true,
                 };
@@ -275,7 +415,6 @@ impl Network {
                 }
             }
         }
-        received
     }
 }
 

@@ -176,7 +176,9 @@ mod tests {
     use super::*;
 
     fn line_topology(n: usize, spacing: f64, range: f64) -> Topology {
-        let positions = (0..n).map(|i| Point::new(i as f64 * spacing, 0.0)).collect();
+        let positions = (0..n)
+            .map(|i| Point::new(i as f64 * spacing, 0.0))
+            .collect();
         Topology::build(positions, range)
     }
 
@@ -219,7 +221,9 @@ mod tests {
         // Deterministic pseudo-random placement.
         let mut s: u64 = 42;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64) / ((1u64 << 31) as f64)
         };
         let positions: Vec<Point> = (0..200)

@@ -308,8 +308,8 @@ mod tests {
     #[test]
     fn from_parents_rejects_cycles_and_orphans() {
         // 1 and 2 point at each other: unreachable from the root.
-        let err = RoutingTree::from_parents(vec![None, Some(NodeId(2)), Some(NodeId(1))])
-            .unwrap_err();
+        let err =
+            RoutingTree::from_parents(vec![None, Some(NodeId(2)), Some(NodeId(1))]).unwrap_err();
         assert_eq!(err, vec![NodeId(1), NodeId(2)]);
         // Root with a parent is invalid.
         assert!(RoutingTree::from_parents(vec![Some(NodeId(1)), None]).is_err());

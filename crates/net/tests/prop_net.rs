@@ -1,4 +1,9 @@
 //! Property-based tests of the network substrate.
+//!
+//! Compiled only with `--features proptest` (plus an ad-hoc
+//! `cargo add proptest --dev`) so the default build needs no network
+//! access; see crates/net/Cargo.toml.
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use wsn_net::{

@@ -10,7 +10,7 @@ use wsn_data::{Dataset, Rng, SyntheticDataset};
 
 use crate::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 use crate::metrics::AggregatedMetrics;
-use crate::runner::run_experiment;
+use crate::runner::run_experiment_threads;
 
 /// One experiment cell: an x-axis label plus its configuration.
 #[derive(Debug, Clone)]
@@ -47,19 +47,38 @@ pub struct SweepResults {
     pub results: Vec<Vec<Option<AggregatedMetrics>>>,
 }
 
-/// Runs every cell of a sweep for every algorithm.
+/// Runs every cell of a sweep for every algorithm, in parallel on
+/// [`crate::parallel::thread_count`] workers. Deterministic: cell metrics
+/// depend only on `(config, algorithm)`, never on scheduling.
 pub fn run_sweep(sweep: &Sweep) -> SweepResults {
+    run_sweep_threads(sweep, crate::parallel::thread_count())
+}
+
+/// [`run_sweep`] with an explicit worker count (`1` = fully sequential).
+///
+/// The algorithm × cell grid is the outer parallel dimension (cells differ
+/// wildly in cost, so dynamic scheduling over the grid balances best).
+/// When more workers are available than grid points, the surplus goes to
+/// each cell's inner `runs` loop; otherwise cells run their runs
+/// sequentially to avoid oversubscription.
+pub fn run_sweep_threads(sweep: &Sweep, threads: usize) -> SweepResults {
+    let cells = sweep.cells.len();
+    let grid = sweep.algorithms.len() * cells;
+    let inner = if grid == 0 { 1 } else { threads.div_ceil(grid) };
+    let mut flat = crate::parallel::map_indexed(grid, threads, |i| {
+        let alg = sweep.algorithms[i / cells];
+        let cell = &sweep.cells[i % cells];
+        let skipped = sweep
+            .skip
+            .iter()
+            .any(|(a, l)| *a == alg && *l == cell.label);
+        (!skipped).then(|| run_experiment_threads(&cell.config, alg, inner))
+    });
     let mut results = Vec::with_capacity(sweep.algorithms.len());
-    for &alg in &sweep.algorithms {
-        let mut row = Vec::with_capacity(sweep.cells.len());
-        for cell in &sweep.cells {
-            let skipped = sweep
-                .skip
-                .iter()
-                .any(|(a, l)| *a == alg && *l == cell.label);
-            row.push((!skipped).then(|| run_experiment(&cell.config, alg)));
-        }
-        results.push(row);
+    for _ in &sweep.algorithms {
+        let rest = flat.split_off(cells);
+        results.push(flat);
+        flat = rest;
     }
     SweepResults {
         sweep: sweep.clone(),
@@ -400,10 +419,7 @@ pub fn phi(quick: bool) -> Sweep {
         .iter()
         .map(|&phi| Cell {
             label: format!("φ={phi}"),
-            config: SimulationConfig {
-                phi,
-                ..b.clone()
-            },
+            config: SimulationConfig { phi, ..b.clone() },
         })
         .collect();
     Sweep {
@@ -486,9 +502,8 @@ pub fn ablation_iq(quick: bool) -> Vec<AblationRow> {
     variants
         .into_iter()
         .map(|(label, iq_cfg)| {
-            let m = crate::runner::run_experiment_with(&cfg, &move |q, _| {
-                Box::new(Iq::new(q, iq_cfg))
-            });
+            let m =
+                crate::runner::run_experiment_with(&cfg, &move |q, _| Box::new(Iq::new(q, iq_cfg)));
             (label, m)
         })
         .collect()

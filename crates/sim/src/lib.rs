@@ -13,6 +13,7 @@
 //! * [`runner`] — a single run and multi-run aggregation,
 //! * [`metrics`] — the measured indicators,
 //! * [`experiments`] — the pre-configured sweeps behind every figure,
+//! * [`parallel`] — the deterministic std-only worker pool behind them,
 //! * [`trace`] — per-round instrumentation with CSV export,
 //! * [`multi`] — the §2 multi-measurement-node expansion,
 //! * [`report`] — plain-text table rendering.
@@ -21,13 +22,14 @@ pub mod config;
 pub mod experiments;
 pub mod metrics;
 pub mod multi;
+pub mod parallel;
 pub mod report;
 pub mod runner;
 pub mod trace;
 
 pub use config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 pub use metrics::{AggregatedMetrics, RunMetrics};
-pub use runner::{run_experiment, run_once};
+pub use runner::{run_experiment, run_experiment_threads, run_once};
 
 /// A sensor measurement.
 pub type Value = wsn_net::Value;

@@ -42,11 +42,7 @@ pub struct ExpandedWorld {
 /// # Panics
 /// Panics if any multiplicity is zero or the expanded graph is
 /// disconnected.
-pub fn expand(
-    positions: &[(f64, f64)],
-    radio_range: f64,
-    multiplicity: &[usize],
-) -> ExpandedWorld {
+pub fn expand(positions: &[(f64, f64)], radio_range: f64, multiplicity: &[usize]) -> ExpandedWorld {
     assert_eq!(
         positions.len(),
         multiplicity.len() + 1,
@@ -140,7 +136,10 @@ mod tests {
                 world.topology.position(child),
                 world.topology.position(wsn_net::NodeId(2))
             );
-            assert_eq!(world.tree.depth(child), world.tree.depth(wsn_net::NodeId(2)) + 1);
+            assert_eq!(
+                world.tree.depth(child),
+                world.tree.depth(wsn_net::NodeId(2)) + 1
+            );
         }
     }
 
@@ -171,7 +170,11 @@ mod tests {
             let per_sensor: Vec<Vec<Value>> = mult
                 .iter()
                 .enumerate()
-                .map(|(i, &m)| (0..m as i64).map(|j| 100 + i as i64 * 10 + j * 3 + t).collect())
+                .map(|(i, &m)| {
+                    (0..m as i64)
+                        .map(|j| 100 + i as i64 * 10 + j * 3 + t)
+                        .collect()
+                })
                 .collect();
             let flat = flatten_measurements(&world, &per_sensor);
             let got = iq.round(&mut net, &flat);

@@ -1,0 +1,118 @@
+//! Std-only deterministic parallel execution.
+//!
+//! Experiments are embarrassingly parallel: every run derives its RNG
+//! stream purely from `(cfg.seed, run_index)` and shares nothing with its
+//! siblings, so executing runs on worker threads and collecting results
+//! into index-ordered slots yields *bit-for-bit* the same aggregate as the
+//! sequential loop (see `tests/parallel_parity.rs`). The pool is built on
+//! [`std::thread::scope`] — no external dependencies, no unsafe.
+//!
+//! Thread count resolution order:
+//! 1. `WSN_THREADS` environment variable (values `<= 1` force sequential
+//!    execution);
+//! 2. [`std::thread::available_parallelism`];
+//! 3. `1` when neither is available.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads to use, from `WSN_THREADS` or the machine's parallelism.
+pub fn thread_count() -> usize {
+    if let Ok(raw) = std::env::var("WSN_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every index in `0..n` on up to `threads` workers and
+/// returns the results in index order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven item
+/// costs balance automatically; results are collected per-worker as
+/// `(index, value)` pairs and merged into ordered slots afterwards, so the
+/// output is independent of scheduling. With `threads <= 1` (or `n <= 1`)
+/// this degrades to a plain sequential loop on the caller's thread —
+/// byte-identical behavior, zero thread overhead.
+pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            let batch = handle.join().expect("worker thread panicked");
+            for (i, value) in batch {
+                slots[i] = Some(value);
+            }
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced exactly one result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_indexed_preserves_order() {
+        for threads in [1, 2, 4, 9] {
+            let out = map_indexed(23, threads, |i| i * i);
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_indexed_handles_empty_and_single() {
+        assert_eq!(map_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(map_indexed(1, 4, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn map_indexed_balances_uneven_items() {
+        // Items with wildly different costs still land in their slots.
+        let out = map_indexed(16, 4, |i| {
+            if i % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i as u64 * 3
+        });
+        assert_eq!(out, (0..16u64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

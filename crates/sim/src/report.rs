@@ -132,10 +132,7 @@ pub fn render_ablation(title: &str, rows: &[crate::experiments::AblationRow]) ->
 
 /// Renders ablation rows including the accuracy columns (for the §3.1
 /// sampling trade-off, where answers are deliberately approximate).
-pub fn render_ablation_with_error(
-    title: &str,
-    rows: &[crate::experiments::AblationRow],
-) -> String {
+pub fn render_ablation_with_error(title: &str, rows: &[crate::experiments::AblationRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{title}\n{:<26}  {:>16}  {:>10}  {:>11}\n",

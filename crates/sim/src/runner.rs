@@ -18,10 +18,7 @@ pub const AREA: f64 = 200.0;
 const MAX_PLACEMENT_ATTEMPTS: u32 = 200;
 
 /// Builds dataset + connected topology + routing tree for one run.
-fn build_world(
-    cfg: &SimulationConfig,
-    rng: &mut Rng,
-) -> (Box<dyn Dataset>, Topology, RoutingTree) {
+fn build_world(cfg: &SimulationConfig, rng: &mut Rng) -> (Box<dyn Dataset>, Topology, RoutingTree) {
     for _ in 0..MAX_PLACEMENT_ATTEMPTS {
         let (dataset, positions): (Box<dyn Dataset>, Vec<Point>) = match &cfg.dataset {
             DatasetSpec::Synthetic(scfg) => {
@@ -37,21 +34,18 @@ fn build_world(
                 let sensor_pos = som_placement(&firsts, AREA, AREA, rng);
                 // The paper re-selects the root between runs; we place the
                 // sink at a random position (node traces stay fixed).
-                let mut positions =
-                    vec![Point::new(rng.range_f64(0.0, AREA), rng.range_f64(0.0, AREA))];
+                let mut positions = vec![Point::new(
+                    rng.range_f64(0.0, AREA),
+                    rng.range_f64(0.0, AREA),
+                )];
                 positions.extend(sensor_pos.iter().map(|&(x, y)| Point::new(x, y)));
                 (Box::new(ds), positions)
             }
             DatasetSpec::RandomWalk { range_size, step } => {
                 let raw = wsn_data::placement::uniform(cfg.sensor_count, AREA, AREA, rng);
                 let positions: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
-                let ds = RandomWalkDataset::new(
-                    cfg.sensor_count,
-                    0,
-                    *range_size as i64 - 1,
-                    *step,
-                    rng,
-                );
+                let ds =
+                    RandomWalkDataset::new(cfg.sensor_count, 0, *range_size as i64 - 1, *step, rng);
                 (Box::new(ds), positions)
             }
             DatasetSpec::Regime {
@@ -86,8 +80,13 @@ fn build_world(
 /// Absolute rank error of answer `v` against the true rank `k` (0 when `v`
 /// is a value of rank k, i.e. `l < k ≤ l + e`).
 fn rank_error(values: &[Value], v: Value, k: u64) -> u64 {
-    let l = values.iter().filter(|&&x| x < v).count() as u64;
-    let e = values.iter().filter(|&&x| x == v).count() as u64;
+    // Single fused pass over the measurements (this runs once per
+    // simulated round, on every round).
+    let (mut l, mut e) = (0u64, 0u64);
+    for &x in values {
+        l += (x < v) as u64;
+        e += (x == v) as u64;
+    }
     if k > l && k <= l + e {
         0
     } else if k <= l {
@@ -98,11 +97,10 @@ fn rank_error(values: &[Value], v: Value, k: u64) -> u64 {
 }
 
 /// A protocol factory: how ablation studies inject custom configurations
-/// into the standard runner.
-pub type ProtocolBuilder<'a> = &'a dyn Fn(
-    QueryConfig,
-    &wsn_net::MessageSizes,
-) -> Box<dyn cqp_core::ContinuousQuantile>;
+/// into the standard runner. `Sync` so runs can share it across worker
+/// threads (factories are pure constructors over plain config data).
+pub type ProtocolBuilder<'a> = &'a (dyn Fn(QueryConfig, &wsn_net::MessageSizes) -> Box<dyn cqp_core::ContinuousQuantile>
+         + Sync);
 
 /// Executes one simulation run and returns its metrics.
 pub fn run_once(cfg: &SimulationConfig, kind: AlgorithmKind, run_index: u32) -> RunMetrics {
@@ -116,7 +114,10 @@ pub fn run_once_with(
     run_index: u32,
 ) -> RunMetrics {
     let mut rng = Rng::seed_from_u64(
-        cfg.seed ^ (run_index as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+        cfg.seed
+            ^ (run_index as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(1),
     );
     let (mut dataset, topo, tree) = build_world(cfg, &mut rng);
     let n = dataset.sensor_count();
@@ -172,7 +173,10 @@ pub fn run_until_death(
     max_rounds: u32,
 ) -> Option<u32> {
     let mut rng = Rng::seed_from_u64(
-        cfg.seed ^ (run_index as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1),
+        cfg.seed
+            ^ (run_index as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(1),
     );
     let (mut dataset, topo, tree) = build_world(cfg, &mut rng);
     let n = dataset.sensor_count();
@@ -194,7 +198,9 @@ pub fn run_until_death(
 }
 
 /// Executes `cfg.runs` runs (re-drawing topology each time, §5.1) and
-/// aggregates.
+/// aggregates. Runs execute in parallel on [`crate::parallel::thread_count`]
+/// workers; every run seeds its own RNG from `(cfg.seed, run_index)`, so
+/// the aggregate is bit-identical to the sequential loop.
 pub fn run_experiment(cfg: &SimulationConfig, kind: AlgorithmKind) -> AggregatedMetrics {
     run_experiment_with(cfg, &|q, s| kind.build(q, s))
 }
@@ -204,9 +210,27 @@ pub fn run_experiment_with(
     cfg: &SimulationConfig,
     builder: ProtocolBuilder<'_>,
 ) -> AggregatedMetrics {
-    let runs: Vec<RunMetrics> = (0..cfg.runs)
-        .map(|r| run_once_with(cfg, builder, r))
-        .collect();
+    run_experiment_with_threads(cfg, builder, crate::parallel::thread_count())
+}
+
+/// [`run_experiment`] with an explicit worker count (`1` = sequential).
+pub fn run_experiment_threads(
+    cfg: &SimulationConfig,
+    kind: AlgorithmKind,
+    threads: usize,
+) -> AggregatedMetrics {
+    run_experiment_with_threads(cfg, &|q, s| kind.build(q, s), threads)
+}
+
+/// [`run_experiment_with`] with an explicit worker count (`1` = sequential).
+pub fn run_experiment_with_threads(
+    cfg: &SimulationConfig,
+    builder: ProtocolBuilder<'_>,
+    threads: usize,
+) -> AggregatedMetrics {
+    let runs = crate::parallel::map_indexed(cfg.runs as usize, threads, |r| {
+        run_once_with(cfg, builder, r as u32)
+    });
     AggregatedMetrics::from_runs(&runs)
 }
 
@@ -232,8 +256,8 @@ mod tests {
         assert_eq!(rank_error(&values, 2, 4), 1);
         assert_eq!(rank_error(&values, 9, 3), 2); // rank of 9 is 5
         assert_eq!(rank_error(&values, 1, 3), 2); // rank of 1 is 1
-        // A value not present at all: 5 sits above 4 values, so it acts
-        // like rank 5 -> two ranks away from k = 3.
+                                                  // A value not present at all: 5 sits above 4 values, so it acts
+                                                  // like rank 5 -> two ranks away from k = 3.
         assert_eq!(rank_error(&values, 5, 3), 2);
     }
 
@@ -327,7 +351,11 @@ mod tests {
                 dataset,
                 ..SimulationConfig::default()
             };
-            for kind in [AlgorithmKind::Iq, AlgorithmKind::Hbc, AlgorithmKind::Adaptive] {
+            for kind in [
+                AlgorithmKind::Iq,
+                AlgorithmKind::Hbc,
+                AlgorithmKind::Adaptive,
+            ] {
                 let m = run_experiment(&cfg, kind);
                 assert_eq!(m.exactness, 1.0, "{}", kind.name());
             }

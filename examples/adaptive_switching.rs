@@ -75,7 +75,10 @@ fn main() {
     println!("adaptive mode over time (every 5th round): {mode_log}");
     println!("mode switches: {}\n", adaptive.switches());
 
-    println!("{:>9}  {:>16}  {:>14}", "algorithm", "hotspot [mJ/rnd]", "lifetime [rnd]");
+    println!(
+        "{:>9}  {:>16}  {:>14}",
+        "algorithm", "hotspot [mJ/rnd]", "lifetime [rnd]"
+    );
     for (alg, net) in &contenders {
         let hotspot = net.ledger().max_sensor_consumption() / ROUNDS as f64;
         println!(

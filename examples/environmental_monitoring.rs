@@ -52,7 +52,11 @@ fn main() {
         }),
         ..base
     };
-    for kind in [AlgorithmKind::LcllH, AlgorithmKind::LcllS, AlgorithmKind::Iq] {
+    for kind in [
+        AlgorithmKind::LcllH,
+        AlgorithmKind::LcllS,
+        AlgorithmKind::Iq,
+    ] {
         let m = run_experiment(&pessimistic, kind);
         println!(
             "{:>9}  {:>14.4} mJ/round",

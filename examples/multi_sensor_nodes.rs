@@ -56,9 +56,9 @@ fn main() {
             .map(|i| {
                 let base = 1000 + (i as i64 * 13) % 400 + t * 4;
                 vec![
-                    base,                                    // temperature
-                    base + 600 + rng.range_i64(-10, 10),     // humidity proxy
-                    base - 300 + rng.range_i64(-25, 25),     // light
+                    base,                                // temperature
+                    base + 600 + rng.range_i64(-10, 10), // humidity proxy
+                    base - 300 + rng.range_i64(-25, 25), // light
                 ]
             })
             .collect();

@@ -49,7 +49,11 @@ fn main() {
             median,
             median + xl,
             median + xr,
-            if iq.last_refinements() > 0 { "yes" } else { "no" },
+            if iq.last_refinements() > 0 {
+                "yes"
+            } else {
+                "no"
+            },
             net.ledger().max_sensor_consumption() * 1e3,
         );
     }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate. Everything here runs without touching a registry or the
+# network — the workspace has zero external dependencies (see README
+# "Offline builds"). Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "ci.sh: all gates passed"

@@ -162,7 +162,9 @@ fn values_pinned_to_range_boundaries() {
         for values in [
             vec![0i64; n],
             vec![1023; n],
-            (0..n as i64).map(|i| if i % 2 == 0 { 0 } else { 1023 }).collect(),
+            (0..n as i64)
+                .map(|i| if i % 2 == 0 { 0 } else { 1023 })
+                .collect(),
         ] {
             assert_eq!(
                 alg.round(&mut net, &values),
@@ -184,7 +186,9 @@ fn negative_value_universes_work() {
         let mut alg = kind.build(query, &MessageSizes::default());
         let mut net = line(n);
         for t in 0..5i64 {
-            let values: Vec<i64> = (0..n as i64).map(|i| (i * 97 + t * 13) % 512 - 256).collect();
+            let values: Vec<i64> = (0..n as i64)
+                .map(|i| (i * 97 + t * 13) % 512 - 256)
+                .collect();
             assert_eq!(
                 alg.round(&mut net, &values),
                 kth_smallest(&values, query.k),

@@ -130,12 +130,7 @@ fn adversarial_sequence_direct_drive() {
     let sizes = MessageSizes::default();
     for kind in ALL {
         let mut alg = kind.build(query, &sizes);
-        let mut net = Network::new(
-            topo.clone(),
-            tree.clone(),
-            RadioModel::default(),
-            sizes,
-        );
+        let mut net = Network::new(topo.clone(), tree.clone(), RadioModel::default(), sizes);
         for (t, values) in rounds.iter().enumerate() {
             let got = alg.round(&mut net, values);
             let want = cqp_core::rank::kth_smallest(values, query.k);
@@ -166,23 +161,13 @@ fn randomized_fuzz_direct_drive() {
         };
         for kind in ALL {
             let mut alg = kind.build(query, &sizes);
-            let mut net = Network::new(
-                topo.clone(),
-                tree.clone(),
-                RadioModel::default(),
-                sizes,
-            );
+            let mut net = Network::new(topo.clone(), tree.clone(), RadioModel::default(), sizes);
             let mut rng2 = Rng::seed_from_u64(seed.wrapping_mul(31) + 7);
             for t in 0..25 {
                 let values: Vec<i64> = (0..n).map(|_| rng2.range_i64(0, 255)).collect();
                 let got = alg.round(&mut net, &values);
                 let want = cqp_core::rank::kth_smallest(&values, k);
-                assert_eq!(
-                    got,
-                    want,
-                    "{} wrong: seed={seed} k={k} t={t}",
-                    kind.name()
-                );
+                assert_eq!(got, want, "{} wrong: seed={seed} k={k} t={t}", kind.name());
             }
         }
     }

@@ -27,8 +27,14 @@ fn fig6_energy_grows_with_node_count() {
     // §5.2.1: "With increasing node count |N|, the maximum per-node energy
     // consumption grows for all approaches."
     for kind in [AlgorithmKind::Pos, AlgorithmKind::Hbc, AlgorithmKind::Iq] {
-        let small = energy(&cfg(60, DatasetSpec::Synthetic(SyntheticConfig::default())), kind);
-        let large = energy(&cfg(240, DatasetSpec::Synthetic(SyntheticConfig::default())), kind);
+        let small = energy(
+            &cfg(60, DatasetSpec::Synthetic(SyntheticConfig::default())),
+            kind,
+        );
+        let large = energy(
+            &cfg(240, DatasetSpec::Synthetic(SyntheticConfig::default())),
+            kind,
+        );
         assert!(
             large > small,
             "{}: energy must grow with |N| ({small} vs {large})",
@@ -144,7 +150,11 @@ fn fig8_noise_hurts_filter_protocols_but_not_lcll_h() {
     };
     for kind in [AlgorithmKind::Pos, AlgorithmKind::Iq] {
         let (q, n) = (quiet(kind), noisy(kind));
-        assert!(n > q * 1.2, "{}: noise should hurt ({q} -> {n})", kind.name());
+        assert!(
+            n > q * 1.2,
+            "{}: noise should hurt ({q} -> {n})",
+            kind.name()
+        );
     }
     let (q, n) = (quiet(AlgorithmKind::LcllH), noisy(AlgorithmKind::LcllH));
     assert!(

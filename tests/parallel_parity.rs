@@ -1,0 +1,188 @@
+//! Determinism guarantees of the parallel execution layer: parallel and
+//! sequential execution must produce *bit-for-bit* identical aggregates,
+//! regardless of worker count or scheduling.
+
+use wsn_sim::experiments::{self, run_sweep_threads};
+use wsn_sim::runner::{run_experiment_threads, run_experiment_with_threads};
+use wsn_sim::{AlgorithmKind, SimulationConfig};
+
+fn small_cfg() -> SimulationConfig {
+    SimulationConfig {
+        sensor_count: 60,
+        rounds: 30,
+        runs: 4,
+        ..SimulationConfig::default()
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_for_every_paper_algorithm() {
+    let cfg = small_cfg();
+    for kind in AlgorithmKind::PAPER_SET {
+        let sequential = run_experiment_threads(&cfg, kind, 1);
+        for threads in [2, 4, 8] {
+            let parallel = run_experiment_threads(&cfg, kind, threads);
+            assert_eq!(
+                sequential,
+                parallel,
+                "{} must aggregate bit-identically on {threads} threads",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_equals_sequential_with_custom_builder() {
+    let cfg = small_cfg();
+    let builder = |q: cqp_core::QueryConfig,
+                   _: &wsn_net::MessageSizes|
+     -> Box<dyn cqp_core::ContinuousQuantile> { Box::new(cqp_core::Pos::new(q)) };
+    let sequential = run_experiment_with_threads(&cfg, &builder, 1);
+    let parallel = run_experiment_with_threads(&cfg, &builder, 3);
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn parallel_equals_sequential_under_message_loss() {
+    // Loss draws extra RNG streams; they too must be scheduling-invariant.
+    let cfg = SimulationConfig {
+        loss: Some(0.2),
+        ..small_cfg()
+    };
+    let sequential = run_experiment_threads(&cfg, AlgorithmKind::Pos, 1);
+    let parallel = run_experiment_threads(&cfg, AlgorithmKind::Pos, 4);
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn sweep_grid_is_scheduling_invariant() {
+    let mut sweep = experiments::adaptive(true);
+    sweep.cells.truncate(2);
+    for c in &mut sweep.cells {
+        c.config.sensor_count = 60;
+        c.config.rounds = 15;
+        c.config.runs = 2;
+    }
+    let sequential = run_sweep_threads(&sweep, 1);
+    let parallel = run_sweep_threads(&sweep, 6);
+    assert_eq!(sequential.results, parallel.results);
+    assert_eq!(sequential.results.len(), sweep.algorithms.len());
+    for row in &sequential.results {
+        assert_eq!(row.len(), sweep.cells.len());
+    }
+}
+
+#[test]
+fn sweep_respects_skip_entries_in_parallel() {
+    let mut sweep = experiments::adaptive(true);
+    sweep.cells.truncate(2);
+    for c in &mut sweep.cells {
+        c.config.sensor_count = 60;
+        c.config.rounds = 10;
+        c.config.runs = 1;
+    }
+    let skip_label = sweep.cells[1].label.clone();
+    let skip_alg = sweep.algorithms[0];
+    sweep.skip.push((skip_alg, skip_label));
+    let out = run_sweep_threads(&sweep, 4);
+    assert!(out.results[0][1].is_none(), "skipped cell must stay empty");
+    assert!(out.results[0][0].is_some());
+    assert!(out.results[1][1].is_some());
+}
+
+#[test]
+fn wsn_threads_env_forces_sequential_fallback() {
+    // `thread_count` must honour WSN_THREADS; with 1 the pool degrades to
+    // the caller's thread. Set the env var for this whole test binary's
+    // process before sampling it.
+    std::env::set_var("WSN_THREADS", "1");
+    assert_eq!(wsn_sim::parallel::thread_count(), 1);
+    std::env::set_var("WSN_THREADS", "7");
+    assert_eq!(wsn_sim::parallel::thread_count(), 7);
+    std::env::set_var("WSN_THREADS", "0");
+    assert_eq!(
+        wsn_sim::parallel::thread_count(),
+        1,
+        "0 clamps to sequential"
+    );
+    std::env::set_var("WSN_THREADS", "not-a-number");
+    assert!(wsn_sim::parallel::thread_count() >= 1, "garbage falls back");
+    std::env::remove_var("WSN_THREADS");
+    assert!(wsn_sim::parallel::thread_count() >= 1);
+}
+
+#[test]
+fn scratch_buffer_reuse_does_not_change_network_accounting() {
+    // Regression guard for the zero-allocation hot path: convergecast and
+    // broadcast go through reusable scratch buffers owned by `Network`;
+    // stats and energy must match a freshly-built network replaying the
+    // same waves (i.e. reuse is invisible).
+    use wsn_net::{
+        Aggregate, MessageSizes, Network, NodeId, Point, RadioModel, RoutingTree, Topology,
+    };
+
+    #[derive(Debug, Clone, Default)]
+    struct Sum(i64);
+    impl Aggregate for Sum {
+        fn merge(&mut self, other: Self) {
+            self.0 += other.0;
+        }
+        fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
+            sizes.counter_bits
+        }
+    }
+
+    fn total_energy(net: &Network) -> f64 {
+        (0..net.len())
+            .map(|i| net.ledger().consumed(NodeId(i as u32)))
+            .sum()
+    }
+
+    fn build() -> Network {
+        let positions: Vec<Point> = (0..25)
+            .map(|i| Point::new((i % 5) as f64 * 20.0, (i / 5) as f64 * 20.0))
+            .collect();
+        let topo = Topology::build(positions, 25.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        Network::new(topo, tree, RadioModel::default(), MessageSizes::default())
+    }
+
+    let waves = 5;
+    // Reused network: one instance runs all waves (scratch buffers warm
+    // after the first).
+    let mut reused = build();
+    let mut reused_answers = Vec::new();
+    for _ in 0..waves {
+        let agg = reused.convergecast(|id| Some(Sum(id.index() as i64)));
+        reused_answers.push(agg.map(|a| a.0));
+        let received = reused.broadcast(64);
+        assert!(received.iter().all(|&r| r));
+        reused.end_round();
+    }
+
+    // Fresh networks: every wave gets a cold instance.
+    let mut fresh_energy = 0.0;
+    let mut fresh_answers = Vec::new();
+    let mut fresh_stats = (0u64, 0u64);
+    for _ in 0..waves {
+        let mut net = build();
+        let agg = net.convergecast(|id| Some(Sum(id.index() as i64)));
+        fresh_answers.push(agg.map(|a| a.0));
+        let received = net.broadcast(64);
+        assert!(received.iter().all(|&r| r));
+        net.end_round();
+        fresh_energy += total_energy(&net);
+        fresh_stats.0 += net.stats().messages;
+        fresh_stats.1 += net.stats().bits;
+    }
+
+    assert_eq!(reused_answers, fresh_answers);
+    assert_eq!(
+        (reused.stats().messages, reused.stats().bits),
+        fresh_stats,
+        "traffic accounting must be identical with warm scratch buffers"
+    );
+    let diff = (total_energy(&reused) - fresh_energy).abs();
+    assert!(diff < 1e-12, "energy accounting drifted by {diff}");
+}

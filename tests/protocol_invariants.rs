@@ -49,7 +49,11 @@ fn pos_refinements_bounded_by_log_of_range() {
     for (t, values) in random_rounds(n, 40, range, 5).iter().enumerate() {
         pos.round(&mut net, values);
         // log2(2^16) + direct retrieval + slack.
-        assert!(pos.last_refinements() <= 18, "round {t}: {}", pos.last_refinements());
+        assert!(
+            pos.last_refinements() <= 18,
+            "round {t}: {}",
+            pos.last_refinements()
+        );
     }
 }
 
@@ -226,7 +230,10 @@ fn hbc_variant_avoids_broadcasts_but_refines_more() {
         eliminate_threshold_broadcast: true,
         ..HbcConfig::default()
     });
-    assert!(variant_bc < basic_bc, "variant {variant_bc} vs basic {basic_bc}");
+    assert!(
+        variant_bc < basic_bc,
+        "variant {variant_bc} vs basic {basic_bc}"
+    );
     assert!(
         variant_ref >= basic_ref,
         "the broadcast saving is paid in refinements (paper §4.1.2)"
