@@ -18,7 +18,7 @@ use wsn_sim::report::{
 fn print_usage() {
     eprintln!(
         "usage: experiments [--quick] [--threads N] \
-                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|adaptive|phi|lcllcmp|exactcmp|sampling|ablation]"
+                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|reliability|adaptive|phi|lcllcmp|exactcmp|sampling|ablation]"
     );
 }
 
@@ -74,6 +74,7 @@ fn main() {
             "fig9".into(),
             "fig10".into(),
             "loss".into(),
+            "reliability".into(),
             "adaptive".into(),
             "phi".into(),
             "lcllcmp".into(),
@@ -145,6 +146,12 @@ fn main() {
             if id == "loss" {
                 println!("{}", render_table(&results, Indicator::RankError));
                 println!("{}", render_table(&results, Indicator::Exactness));
+            }
+            if id == "reliability" {
+                println!("{}", render_table(&results, Indicator::RankError));
+                println!("{}", render_table(&results, Indicator::Exactness));
+                println!("{}", render_table(&results, Indicator::Retransmissions));
+                println!("{}", render_table(&results, Indicator::Delivery));
             }
         }
         eprintln!("[{id} done in {:.1?}]\n", start.elapsed());

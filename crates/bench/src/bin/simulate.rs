@@ -31,6 +31,9 @@ struct Args {
     skip: u32,
     range: String,
     loss: Option<f64>,
+    retries: u32,
+    recovery: u32,
+    node_failures: Option<f64>,
     seed: u64,
     csv: Option<String>,
     threads: usize,
@@ -52,6 +55,9 @@ impl Default for Args {
             skip: 1,
             range: "optimistic".into(),
             loss: None,
+            retries: 0,
+            recovery: 0,
+            node_failures: None,
             seed: 0xC0FFEE,
             csv: None,
             threads: wsn_sim::parallel::thread_count(),
@@ -74,6 +80,16 @@ fn algorithm_by_name(name: &str) -> Option<AlgorithmKind> {
     ];
     all.into_iter()
         .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+/// Parses a probability flag, rejecting values outside [0, 1] at the CLI
+/// boundary (the library asserts on them much deeper).
+fn probability(raw: String, flag: &str) -> Result<f64, String> {
+    let p: f64 = raw.parse().map_err(|e| format!("{flag}: {e}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{flag}: {p} is not a probability in [0, 1]"));
+    }
+    Ok(p)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -136,12 +152,22 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--skip: {e}"))?
             }
             "--range" => args.range = value(&argv, &mut i, "--range")?,
-            "--loss" => {
-                args.loss = Some(
-                    value(&argv, &mut i, "--loss")?
-                        .parse()
-                        .map_err(|e| format!("--loss: {e}"))?,
-                )
+            "--loss" => args.loss = Some(probability(value(&argv, &mut i, "--loss")?, "--loss")?),
+            "--retries" => {
+                args.retries = value(&argv, &mut i, "--retries")?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--recovery" => {
+                args.recovery = value(&argv, &mut i, "--recovery")?
+                    .parse()
+                    .map_err(|e| format!("--recovery: {e}"))?
+            }
+            "--node-failures" => {
+                args.node_failures = Some(probability(
+                    value(&argv, &mut i, "--node-failures")?,
+                    "--node-failures",
+                )?)
             }
             "--seed" => {
                 args.seed = value(&argv, &mut i, "--seed")?
@@ -175,7 +201,8 @@ fn print_usage() {
                 [--nodes N] [--rounds R] [--runs K] [--phi F] [--rho M]
                 [--dataset synthetic|pressure|walk|regime] [--period T] [--noise PSI]
                 [--skip S] [--range optimistic|pessimistic]
-                [--loss P] [--seed S] [--csv FILE] [--threads N]"
+                [--loss P] [--retries R] [--recovery PASSES] [--node-failures P]
+                [--seed S] [--csv FILE] [--threads N]"
     );
 }
 
@@ -219,6 +246,8 @@ fn build_config(args: &Args) -> Result<SimulationConfig, String> {
         phi: args.phi,
         seed: args.seed,
         loss: args.loss,
+        reliability: wsn_net::ReliabilityConfig::recovering(args.retries, args.recovery),
+        node_failure: args.node_failures,
         dataset,
         ..SimulationConfig::default()
     })
@@ -349,7 +378,8 @@ fn main() {
         vec![args.algorithm.expect("validated")]
     };
 
-    println!(
+    let reliability_on = cfg.reliability.is_enabled() || cfg.node_failure.is_some();
+    print!(
         "{:>9}  {:>15}  {:>14}  {:>11}  {:>12}  {:>9}  {:>10}",
         "algorithm",
         "energy[mJ/rnd]",
@@ -359,9 +389,16 @@ fn main() {
         "exact[%]",
         "rank error"
     );
+    if reliability_on {
+        print!(
+            "  {:>12}  {:>10}  {:>7}",
+            "retx/round", "deliv[%]", "failed"
+        );
+    }
+    println!();
     for kind in kinds {
         let m = run_experiment_threads(&cfg, kind, args.threads);
-        println!(
+        print!(
             "{:>9}  {:>15.4}  {:>14.1}  {:>11.1}  {:>12.1}  {:>9.1}  {:>10.2}",
             kind.name(),
             m.max_node_energy_per_round * 1e3,
@@ -371,5 +408,14 @@ fn main() {
             m.exactness * 100.0,
             m.mean_rank_error
         );
+        if reliability_on {
+            print!(
+                "  {:>12.2}  {:>10.2}  {:>7.1}",
+                m.retransmissions_per_round,
+                m.delivery_rate * 100.0,
+                m.failed_nodes
+            );
+        }
+        println!();
     }
 }

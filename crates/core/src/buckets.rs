@@ -1,5 +1,5 @@
 //! Equi-width bucket partitioning shared by the histogram protocols
-//! (HBC §4.1, LCLL [16]).
+//! (HBC §4.1, LCLL \[16\]).
 //!
 //! An inclusive integer interval `[lo, hi]` of width `W = hi − lo + 1` is
 //! divided into `b' = min(b, W)` buckets. Node-side bucket assignment and

@@ -1,4 +1,4 @@
-//! The cost model from the authors' snapshot paper [21] (§4.1).
+//! The cost model from the authors' snapshot paper \[21\] (§4.1).
 //!
 //! A `b`-ary histogram search over a universe of `τ` values needs
 //! `⌈log_b τ⌉` refinement iterations; each iteration costs (at the hotspot
@@ -12,7 +12,7 @@
 //! over continuous `b` yields `b_exact = exp(W(c / (e·s_b)) + 1)` where `W`
 //! is the (principal branch of the) Lambert W function — the lower-bound
 //! estimate the paper quotes. [`optimal_buckets`] refines the estimate by
-//! scanning integer `b`, the "exact" solution of [21].
+//! scanning integer `b`, the "exact" solution of \[21\].
 
 use wsn_net::MessageSizes;
 
@@ -93,7 +93,7 @@ pub fn iterations_for(b: usize, range_size: u64) -> u32 {
 
 /// The integer-optimal bucket count for a universe of `range_size` values:
 /// scans `b ∈ [2, values_per_message]` and returns the argmin of
-/// [`bary_search_cost`] (the "exact" solution of [21]; capped at one
+/// [`bary_search_cost`] (the "exact" solution of \[21\]; capped at one
 /// payload's worth of buckets).
 pub fn optimal_buckets(sizes: &MessageSizes, range_size: u64) -> usize {
     let max_b = (sizes.max_payload_bits / sizes.bucket_bits).max(2) as usize;

@@ -1,5 +1,5 @@
 //! Shared `b`-ary histogram descent (the refinement core of HBC §4.1 and
-//! LCLL-H [16]).
+//! LCLL-H \[16\]).
 //!
 //! Given a candidate interval known to contain the k-th value, the root
 //! repeatedly broadcasts a refinement request; nodes whose measurement
@@ -7,7 +7,7 @@
 //! partition; the root picks the bucket containing the target rank and
 //! recurses until the bucket width is 1 — or, when enabled and the
 //! candidate count provably fits one message, requests the values directly
-//! ([21]).
+//! (\[21\]).
 
 use wsn_net::Network;
 

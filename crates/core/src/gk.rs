@@ -1,4 +1,4 @@
-//! GK — the summary-based exact method of §3.1 ([10]): compute a
+//! GK — the summary-based exact method of §3.1 (\[10\]): compute a
 //! mergeable quantile summary in-network, use its rank bounds to narrow a
 //! candidate interval, count exactly, and recurse — "transmitting
 //! O(log³ |N|) values" instead of TAG's O(|N|).

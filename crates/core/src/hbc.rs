@@ -1,11 +1,11 @@
 //! HBC — the Histogram Based Continuous algorithm (paper §4.1).
 //!
 //! POS-style validation plus a `b`-ary histogram descent in place of POS's
-//! binary search, with `b` chosen by the cost model of [21]
+//! binary search, with `b` chosen by the cost model of \[21\]
 //! ([`crate::cost_model`]). Includes both improvements the paper evaluates:
 //!
 //! * **direct value retrieval** once the candidate interval is known to
-//!   hold at most one message's worth of values ([21]),
+//!   hold at most one message's worth of values (\[21\]),
 //! * the **§4.1.2 broadcast-elimination variant**, where nodes partition
 //!   the value space by the bounds of the last refinement request instead
 //!   of a single filter value, making the final threshold broadcast
@@ -19,6 +19,7 @@ use crate::descent::{descend, DescentConfig};
 use crate::init::{run_init, InitStrategy};
 use crate::protocol::{ContinuousQuantile, QueryConfig};
 use crate::rank::{Counts, Direction};
+use crate::recovery;
 use crate::retrieval::RankAnchor;
 use crate::validation::{node_validation_interval, HintStyle, ValidationPayload};
 use crate::Value;
@@ -34,7 +35,7 @@ pub struct HbcConfig {
     /// computed once, not per round — the paper found recomputation
     /// marginal).
     pub buckets: Option<usize>,
-    /// Enable direct value retrieval ([21]).
+    /// Enable direct value retrieval (\[21\]).
     pub direct_retrieval: bool,
     /// Enable the §4.1.2 variant (disables `direct_retrieval`; the paper
     /// notes the two cannot simply be combined).
@@ -256,7 +257,10 @@ impl ContinuousQuantile for Hbc {
             ));
         }
         self.prev.copy_from_slice(values);
-        let validation = net.convergecast(|id| contributions[id.index()].take());
+        // Incomplete validations corrupt the maintained counts; re-issue
+        // the wave for missing subtrees when wave recovery is enabled.
+        let validation =
+            recovery::collect_with_recovery(net, |id| contributions[id.index()].clone());
 
         if let Some(v) = &validation {
             let n_total = self.counts.n();

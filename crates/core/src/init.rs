@@ -16,13 +16,13 @@ use crate::Value;
 
 /// How a continuous protocol bootstraps its first quantile (§3.2 / §4.2.1:
 /// "The initialization can be performed by using TAG or by using a
-/// histogram-based solution like the one described in [21]").
+/// histogram-based solution like the one described in \[21\]").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum InitStrategy {
     /// TAG-equivalent full collection (what POS does; the default).
     #[default]
     Tag,
-    /// The cost-model `b`-ary snapshot search of [21].
+    /// The cost-model `b`-ary snapshot search of \[21\].
     BarySearch,
 }
 

@@ -28,6 +28,7 @@ use crate::init::{initial_xi_mean_gap, initial_xi_median_gap, run_init, InitStra
 use crate::payloads::ValueList;
 use crate::protocol::{ContinuousQuantile, QueryConfig};
 use crate::rank::{Counts, Direction};
+use crate::recovery;
 use crate::validation::{node_validation, HintStyle, ValidationPayload};
 use crate::Value;
 
@@ -305,7 +306,10 @@ impl ContinuousQuantile for Iq {
             ));
         }
         self.prev.copy_from_slice(values);
-        let validation = net.convergecast(|id| contributions[id.index()].take());
+        // Incomplete validations corrupt the maintained counts; re-issue
+        // the wave for missing subtrees when wave recovery is enabled.
+        let validation =
+            recovery::collect_with_recovery(net, |id| contributions[id.index()].clone());
 
         let (mut a_set, max_diff) = match validation {
             Some(v) => {

@@ -1,4 +1,4 @@
-//! LCLL — the message-size-driven histogram baseline (Liu et al. [16], as
+//! LCLL — the message-size-driven histogram baseline (Liu et al. \[16\], as
 //! configured in §5.1.6 of the paper).
 //!
 //! LCLL chooses its bucket count from the message size — with the default
@@ -29,6 +29,7 @@ use crate::init::{run_init, InitStrategy};
 use crate::payloads::DeltaHistogram;
 use crate::protocol::{ContinuousQuantile, QueryConfig};
 use crate::rank::{side, Counts, Direction, Side};
+use crate::recovery;
 use crate::Value;
 
 /// Refinement strategy of LCLL (§5.1.6).
@@ -49,7 +50,7 @@ pub struct Lcll {
     query: QueryConfig,
     strategy: RefiningStrategy,
     b: usize,
-    /// Whether direct value retrieval ([21]) may shortcut H-descents.
+    /// Whether direct value retrieval (\[21\]) may shortcut H-descents.
     direct_retrieval: bool,
     counts: Counts,
     root_filter: Value,
@@ -61,7 +62,7 @@ pub struct Lcll {
 }
 
 impl Lcll {
-    /// Creates an LCLL query; `b` is derived from the message size as [16]
+    /// Creates an LCLL query; `b` is derived from the message size as \[16\]
     /// suggests (`payload / bucket size`).
     pub fn new(
         query: QueryConfig,
@@ -362,7 +363,11 @@ impl ContinuousQuantile for Lcll {
             );
         }
         self.prev.copy_from_slice(values);
-        if let Some(deltas) = net.convergecast(|id| contributions[id.index()].take()) {
+        // Incomplete validations corrupt the maintained counts; re-issue
+        // the wave for missing subtrees when wave recovery is enabled.
+        if let Some(deltas) =
+            recovery::collect_with_recovery(net, |id| contributions[id.index()].clone())
+        {
             let apply = |base: u64, d: i64| -> u64 {
                 if d >= 0 {
                     base + d as u64

@@ -1,9 +1,9 @@
 //! LCLL-R — the *range-anchored* reconstruction of Liu et al.'s
-//! hierarchical refining [16].
+//! hierarchical refining \[16\].
 //!
 //! [`crate::lcll`] reconstructs LCLL's refinement as a search relative to
 //! the last quantile (displacement-driven). This module implements the
-//! other faithful reading of [16]: a **static two-level bucket hierarchy
+//! other faithful reading of \[16\]: a **static two-level bucket hierarchy
 //! anchored to the value range**.
 //!
 //! * Level 0: `b` equal buckets over the whole universe `[r_min, r_max]`

@@ -6,13 +6,13 @@
 //!
 //! | Module | Algorithm | Source |
 //! |---|---|---|
-//! | [`tag`] | TAG exact quantile (k-smallest forwarding) | Madden et al. [17], §5.1.6 |
-//! | [`pos`] | POS — binary-search continuous quantiles | Cox et al. [9], §3.2 |
-//! | [`lcll`] | LCLL-H / LCLL-S — message-size histograms | Liu et al. [16], §5.1.6 |
+//! | [`tag`] | TAG exact quantile (k-smallest forwarding) | Madden et al. \[17\], §5.1.6 |
+//! | [`pos`] | POS — binary-search continuous quantiles | Cox et al. \[9\], §3.2 |
+//! | [`lcll`] | LCLL-H / LCLL-S — message-size histograms | Liu et al. \[16\], §5.1.6 |
 //! | [`hbc`] | **HBC** — cost-model `b`-ary continuous refinement | paper §4.1 |
 //! | [`iq`] | **IQ** — interval heuristic, ≤ 1 refinement | paper §4.2 |
 //! | [`adaptive`] | HBC↔IQ runtime switching | paper §4.2 / §6 future work |
-//! | [`cost_model`] | optimal bucket count via Lambert W | prior work [21], §4.1 |
+//! | [`cost_model`] | optimal bucket count via Lambert W | prior work \[21\], §4.1 |
 //!
 //! All protocols are *exact*: the value returned each round equals the true
 //! k-th smallest measurement (asserted against an oracle throughout the test
@@ -56,6 +56,7 @@ pub mod payloads;
 pub mod pos;
 pub mod protocol;
 pub mod rank;
+pub mod recovery;
 pub mod retrieval;
 pub mod sampled;
 pub mod snapshot;

@@ -119,7 +119,7 @@ impl Aggregate for MovementCounters {
 }
 
 /// A histogram over `b` buckets, aggregated by per-bucket summation and
-/// transmitted in compressed form (empty buckets dropped, [21]).
+/// transmitted in compressed form (empty buckets dropped, \[21\]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// Count per bucket.

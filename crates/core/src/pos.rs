@@ -1,4 +1,4 @@
-//! POS — binary-search continuous quantiles (Cox et al. [9], §3.2).
+//! POS — binary-search continuous quantiles (Cox et al. \[9\], §3.2).
 //!
 //! Rounds after initialization consist of a *validation* convergecast
 //! (movement counters + min/max hints) and, when the filter is no longer
@@ -15,6 +15,7 @@ use crate::init::{run_init, InitStrategy};
 use crate::payloads::{MovementCounters, ValueList};
 use crate::protocol::{ContinuousQuantile, QueryConfig};
 use crate::rank::{kth_smallest, side, Counts, Direction};
+use crate::recovery;
 use crate::validation::{node_validation, HintStyle, ValidationPayload};
 use crate::Value;
 
@@ -230,7 +231,12 @@ impl ContinuousQuantile for Pos {
             ));
         }
         self.prev.copy_from_slice(values);
-        let validation = net.convergecast(|id| contributions[id.index()].take());
+        // A silently incomplete validation would corrupt the maintained
+        // rank forever; with wave recovery enabled the collection re-issues
+        // the wave for missing subtrees (cloning keeps the closure
+        // idempotent).
+        let validation =
+            recovery::collect_with_recovery(net, |id| contributions[id.index()].clone());
 
         if let Some(v) = &validation {
             let n_total = self.counts.n();

@@ -1,5 +1,5 @@
 //! Direct value retrieval — the "send values directly if the refinement
-//! interval is nearly empty" improvement from [21], used by POS, HBC and
+//! interval is nearly empty" improvement from \[21\], used by POS, HBC and
 //! LCLL.
 //!
 //! The root broadcasts an interval request; every node whose measurement

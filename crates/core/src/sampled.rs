@@ -1,6 +1,6 @@
 //! Probabilistic quantiles by node sampling (§3.1: "exact solutions can
 //! usually be made probabilistic by querying only a subset of nodes, e.g.,
-//! by employing a layered architecture as described in [28]").
+//! by employing a layered architecture as described in \[28\]").
 //!
 //! A fixed random *layer* of nodes participates; everyone else only
 //! relays. The root computes the exact φ-quantile **of the sample**, which

@@ -1,12 +1,12 @@
 //! Snapshot quantile queries — the cost-model `b`-ary search of the
-//! authors' prior work [21], which both HBC (§4.1) and the protocol
+//! authors' prior work \[21\], which both HBC (§4.1) and the protocol
 //! initializations (§3.2, §4.2.1) build on.
 //!
 //! A snapshot query knows nothing about previous rounds: the root descends
 //! from the full value universe `[r_min, r_max]` with histogram
 //! convergecasts of `b = b_opt` buckets (`b_opt` from
 //! [`crate::cost_model`]) until the k-th value is isolated, optionally
-//! short-circuiting through direct value retrieval ([21]).
+//! short-circuiting through direct value retrieval (\[21\]).
 
 use wsn_net::Network;
 
@@ -34,7 +34,7 @@ pub struct SnapshotOutcome {
     pub last_interval: Option<(u64, u64)>,
 }
 
-/// A snapshot φ-quantile query using the [21] cost model.
+/// A snapshot φ-quantile query using the \[21\] cost model.
 #[derive(Debug, Clone, Copy)]
 pub struct SnapshotQuery {
     query: QueryConfig,
@@ -53,7 +53,7 @@ impl SnapshotQuery {
     }
 
     /// Overrides the bucket count (e.g. `b = 2` reproduces the binary
-    /// search of Shamir [22] / POS [9]).
+    /// search of Shamir \[22\] / POS \[9\]).
     pub fn with_buckets(mut self, b: usize) -> Self {
         assert!(b >= 2, "need at least two buckets");
         self.b = b;

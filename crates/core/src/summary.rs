@@ -1,5 +1,5 @@
 //! Mergeable rank-bound summaries — the substrate for the
-//! Greenwald–Khanna-style exact method of §3.1 ([10]: "they solve the
+//! Greenwald–Khanna-style exact method of §3.1 (\[10\]: "they solve the
 //! given problem by transmitting O(log³ |N|) values").
 //!
 //! A [`RankSummary`] stores a subset of the values seen so far, each with

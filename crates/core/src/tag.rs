@@ -1,4 +1,4 @@
-//! TAG exact quantile baseline (Madden et al. [17]).
+//! TAG exact quantile baseline (Madden et al. \[17\]).
 //!
 //! Every round, measurements flow to the root. With the §5.1.6 optimization
 //! the root is assumed to know `|N|` and to have disseminated `k` once, so

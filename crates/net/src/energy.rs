@@ -121,7 +121,9 @@ impl EnergyLedger {
     /// comes from the growing number of values an intermediate node has to
     /// receive".
     pub fn hotspot_rx_fraction(&self) -> f64 {
-        let hot = self.hottest_sensor();
+        let Some(hot) = self.hottest_sensor() else {
+            return 0.0;
+        };
         let total = self.consumed(hot);
         if total <= 0.0 {
             0.0
@@ -154,23 +156,41 @@ impl EnergyLedger {
         self.consumed[1..].iter().copied().fold(0.0, f64::max)
     }
 
-    /// The id of the sensor node with the highest cumulative consumption.
-    pub fn hottest_sensor(&self) -> NodeId {
-        let (idx, _) =
-            self.consumed[1..]
-                .iter()
-                .enumerate()
-                .fold(
-                    (0usize, f64::MIN),
-                    |acc, (i, &e)| {
-                        if e > acc.1 {
-                            (i, e)
-                        } else {
-                            acc
-                        }
-                    },
-                );
-        NodeId(idx as u32 + 1)
+    /// The id of the sensor node with the highest cumulative consumption,
+    /// or `None` for a root-only ledger (the root is mains-powered and is
+    /// never a hotspot candidate).
+    pub fn hottest_sensor(&self) -> Option<NodeId> {
+        let (idx, _) = self.consumed.get(1..)?.iter().enumerate().fold(
+            (usize::MAX, f64::MIN),
+            |acc, (i, &e)| {
+                if acc.0 == usize::MAX || e > acc.1 {
+                    (i, e)
+                } else {
+                    acc
+                }
+            },
+        );
+        (idx != usize::MAX).then(|| NodeId(idx as u32 + 1))
+    }
+
+    /// The highest energy any node spent within `id`'s single costliest
+    /// completed round (recorded by [`EnergyLedger::end_round`]).
+    pub fn max_round_consumption(&self, id: NodeId) -> f64 {
+        self.max_round_consumption[id.index()]
+    }
+
+    /// The single costliest sensor-round observed so far: the maximum over
+    /// sensors of the per-round consumption peak. This is the worst-case
+    /// burst a node's power budget must survive (as opposed to
+    /// [`EnergyLedger::max_sensor_consumption`], the *cumulative* hotspot).
+    /// Zero until a round completes or for a root-only ledger.
+    pub fn max_round_sensor_consumption(&self) -> f64 {
+        self.max_round_consumption
+            .get(1..)
+            .unwrap_or(&[])
+            .iter()
+            .copied()
+            .fold(0.0, f64::max)
     }
 
     /// Mean per-round consumption of each node (`consumed / rounds`).
@@ -256,7 +276,7 @@ mod tests {
         assert_eq!(l.rounds(), 2);
         assert!((l.consumed(NodeId(1)) - 6e-6).abs() < 1e-18);
         assert!((l.max_sensor_consumption() - 6e-6).abs() < 1e-18);
-        assert_eq!(l.hottest_sensor(), NodeId(1));
+        assert_eq!(l.hottest_sensor(), Some(NodeId(1)));
         // Mean per round: node1 3e-6, node2 1.5e-6 -> lifetime 30e-3/3e-6 = 1e4.
         let lt = l.estimated_lifetime_rounds(&m);
         assert!((lt - 1e4).abs() / 1e4 < 1e-12);
@@ -275,6 +295,37 @@ mod tests {
         assert!((l.consumed(NodeId(1)) - 4e-6).abs() < 1e-18);
         // Node 1 is the hotspot; rx fraction = 0.25.
         assert!((l.hotspot_rx_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_only_ledger_has_no_hotspot() {
+        // Regression: this used to return NodeId(1), a node that does not
+        // exist in a root-only ledger.
+        let mut l = EnergyLedger::new(1);
+        l.charge(NodeId::ROOT, 1e-3);
+        assert_eq!(l.hottest_sensor(), None);
+        assert_eq!(l.hotspot_rx_fraction(), 0.0);
+        assert_eq!(l.max_round_sensor_consumption(), 0.0);
+        assert_eq!(EnergyLedger::new(0).hottest_sensor(), None);
+    }
+
+    #[test]
+    fn max_round_consumption_tracks_the_costliest_round() {
+        let mut l = EnergyLedger::new(3);
+        l.charge(NodeId(1), 2e-6);
+        l.charge(NodeId(2), 1e-6);
+        l.end_round();
+        l.charge(NodeId(1), 5e-6);
+        l.end_round();
+        l.charge(NodeId(1), 1e-6);
+        l.end_round();
+        assert!((l.max_round_consumption(NodeId(1)) - 5e-6).abs() < 1e-18);
+        assert!((l.max_round_consumption(NodeId(2)) - 1e-6).abs() < 1e-18);
+        assert!((l.max_round_sensor_consumption() - 5e-6).abs() < 1e-18);
+        // Energy charged after the last end_round is not yet a peak.
+        let mut fresh = EnergyLedger::new(2);
+        fresh.charge(NodeId(1), 9e-6);
+        assert_eq!(fresh.max_round_sensor_consumption(), 0.0);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! * [`energy`] — the first-order radio energy model and per-node ledger,
 //! * [`network`] — convergecast / broadcast engines with in-network
 //!   aggregation and energy accounting,
-//! * [`loss`] — optional Bernoulli link-loss model (paper §6 future work).
+//! * [`loss`] — optional Bernoulli link-loss model (paper §6 future work),
+//! * [`reliability`] — optional ARQ, wave recovery and crash-stop node
+//!   failures with routing-tree repair (the other half of §6).
 //!
 //! The substrate is deliberately protocol-agnostic: quantile algorithms in
 //! `cqp-core` express themselves purely through [`network::Network`]
@@ -46,6 +48,7 @@ pub mod geometry;
 pub mod loss;
 pub mod message;
 pub mod network;
+pub mod reliability;
 pub mod topology;
 pub mod tree;
 
@@ -53,6 +56,7 @@ pub use energy::{EnergyLedger, RadioModel};
 pub use geometry::Point;
 pub use message::{MessageSizes, PayloadSize};
 pub use network::{Aggregate, Network, TrafficStats};
+pub use reliability::{FailureModel, ReliabilityConfig, ReliabilityStats, WaveReport};
 pub use topology::{NodeId, Topology};
 pub use tree::RoutingTree;
 

@@ -22,6 +22,9 @@ pub struct MessageSizes {
     /// Size of a bucket index when histograms are compressed to
     /// (index, count) pairs, bits.
     pub bucket_index_bits: u64,
+    /// Size of one link-layer acknowledgement frame, bits. Only ever on
+    /// air when ARQ is enabled (see `wsn_net::reliability`).
+    pub ack_bits: u64,
 }
 
 impl Default for MessageSizes {
@@ -36,6 +39,8 @@ impl Default for MessageSizes {
             counter_bits: 16,
             bucket_bits: 16,
             bucket_index_bits: 8,
+            // IEEE 802.15.4 immediate acknowledgement frame: 11 bytes.
+            ack_bits: 11 * 8,
         }
     }
 }
@@ -61,6 +66,17 @@ impl MessageSizes {
     pub fn fragment(&self, payload_bits: u64) -> (u64, u64) {
         let fragments = payload_bits.div_ceil(self.max_payload_bits).max(1);
         (fragments, payload_bits + fragments * self.header_bits)
+    }
+
+    /// On-air size (payload share plus header) of every fragment of a
+    /// `payload_bits`-sized payload, in order. The sizes sum to the total
+    /// of [`MessageSizes::fragment`]; each 802.15.4 frame is lost (and
+    /// retransmitted) individually.
+    pub fn fragment_bits(&self, payload_bits: u64) -> impl Iterator<Item = u64> + '_ {
+        let (fragments, _) = self.fragment(payload_bits);
+        let max = self.max_payload_bits;
+        let header = self.header_bits;
+        (0..fragments).map(move |i| payload_bits.saturating_sub(i * max).min(max) + header)
     }
 }
 
@@ -98,7 +114,7 @@ impl<'a> PayloadSize<'a> {
     }
 
     /// Adds `n` compressed histogram entries: (bucket index, count) pairs.
-    /// The paper compresses histograms by dropping empty buckets ([21],
+    /// The paper compresses histograms by dropping empty buckets (\[21\],
     /// used by HBC and LCLL).
     pub fn sparse_buckets(mut self, n: usize) -> Self {
         self.bits += n as u64 * (self.sizes.bucket_bits + self.sizes.bucket_index_bits);
@@ -128,6 +144,24 @@ mod tests {
         assert_eq!(s.max_payload_bits, 1024);
         assert_eq!(s.values_per_message(), 64);
         assert_eq!(s.refinement_request_bits(), 32);
+        assert_eq!(s.ack_bits, 88);
+    }
+
+    #[test]
+    fn fragment_bits_sum_to_the_total() {
+        let s = MessageSizes::default();
+        for payload in [0u64, 1, 1024, 1025, 4000] {
+            let (fragments, total) = s.fragment(payload);
+            let sizes: Vec<u64> = s.fragment_bits(payload).collect();
+            assert_eq!(sizes.len() as u64, fragments, "payload {payload}");
+            assert_eq!(sizes.iter().sum::<u64>(), total, "payload {payload}");
+            // Every fragment fits one frame.
+            assert!(sizes
+                .iter()
+                .all(|&b| b <= s.max_payload_bits + s.header_bits));
+        }
+        // A zero-size payload is one bare header.
+        assert_eq!(s.fragment_bits(0).collect::<Vec<_>>(), vec![s.header_bits]);
     }
 
     #[test]

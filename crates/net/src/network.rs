@@ -16,12 +16,19 @@
 //! The engine charges transmit/receive energy per the [`RadioModel`] and
 //! fragments payloads per [`MessageSizes`]. Protocol logic never touches the
 //! ledger directly.
+//!
+//! With a [`LossModel`] installed, every 802.15.4 fragment is lost
+//! independently; the optional reliability layer (see
+//! [`crate::reliability`]) adds per-link ARQ, end-to-end wave recovery, and
+//! crash-stop node failures with routing-tree repair — all charged to the
+//! same ledger, so reliability has a measurable energy price.
 
 use std::any::{Any, TypeId};
 
 use crate::energy::{EnergyLedger, RadioModel};
 use crate::loss::LossModel;
 use crate::message::MessageSizes;
+use crate::reliability::{FailureModel, ReliabilityConfig, ReliabilityStats, WaveReport};
 use crate::topology::{NodeId, Topology};
 use crate::tree::RoutingTree;
 
@@ -141,38 +148,98 @@ pub struct Network {
     ledger: EnergyLedger,
     stats: TrafficStats,
     loss: Option<LossModel>,
+    reliability: ReliabilityConfig,
+    rel_stats: ReliabilityStats,
+    wave: WaveReport,
+    failures: Option<FailureModel>,
+    alive: Vec<bool>,
     scratch: ScratchPool,
 }
 
-/// Charges one unicast transmission from `from` to its parent using split
-/// field borrows, so convergecast can iterate the routing tree while
-/// mutating the ledger/stats without cloning the traversal order.
+/// Sends one logical payload over the single link `from → to`, charging
+/// energy/stats through split field borrows so the wave engines can iterate
+/// the routing tree in place. Returns whether the *entire* payload (every
+/// fragment) arrived.
+///
+/// Without a loss model the link is perfect: the payload is charged in one
+/// piece and always arrives (ARQ never acts — there is nothing to
+/// retransmit, and link-layer ACKs are not modelled on reliable links).
+/// With a loss model every 802.15.4 fragment is lost independently (a
+/// ten-fragment histogram really is more fragile than a one-value payload)
+/// and, when `arq_retries > 0`, each data frame is acknowledged and
+/// retransmitted up to the budget. Retries and ACKs are charged to the
+/// ledger like any other traffic; ACK frames count towards bits on air but
+/// not towards the message count (§5.1 counts data messages).
 #[allow(clippy::too_many_arguments)]
-fn charge_unicast(
-    tree: &RoutingTree,
+fn send_over_link(
     topo: &Topology,
     model: &RadioModel,
     sizes: &MessageSizes,
     ledger: &mut EnergyLedger,
     stats: &mut TrafficStats,
+    rel: &mut ReliabilityStats,
     loss: &mut Option<LossModel>,
+    arq_retries: u32,
     from: NodeId,
+    to: NodeId,
     payload_bits: u64,
     values: usize,
 ) -> bool {
-    let parent = tree.parent(from).expect("root has no parent to send to");
-    let (fragments, total_bits) = sizes.fragment(payload_bits);
-    ledger.charge_tx(from, model.tx_energy(total_bits, topo.radio_range()));
-    // The parent listens according to its schedule, so it pays for the
-    // reception even if the message is corrupted.
-    ledger.charge(parent, model.rx_energy(total_bits));
-    stats.messages += fragments;
+    let range = topo.radio_range();
     stats.values += values as u64;
-    stats.bits += total_bits;
-    match loss {
-        Some(loss) => !loss.lose(),
-        None => true,
+    let Some(loss) = loss.as_mut() else {
+        let (fragments, total_bits) = sizes.fragment(payload_bits);
+        ledger.charge_tx(from, model.tx_energy(total_bits, range));
+        // The receiver listens according to its schedule, so it pays for
+        // the reception even if the message is corrupted.
+        ledger.charge(to, model.rx_energy(total_bits));
+        stats.messages += fragments;
+        stats.bits += total_bits;
+        rel.delivered += 1;
+        return true;
+    };
+    let mut all_arrived = true;
+    for frag_bits in sizes.fragment_bits(payload_bits) {
+        let mut frag_arrived = false;
+        let mut attempt = 0u32;
+        loop {
+            ledger.charge_tx(from, model.tx_energy(frag_bits, range));
+            ledger.charge(to, model.rx_energy(frag_bits));
+            stats.messages += 1;
+            stats.bits += frag_bits;
+            if attempt > 0 {
+                rel.retransmissions += 1;
+            }
+            let arrived = !loss.lose();
+            frag_arrived |= arrived;
+            if arq_retries == 0 {
+                // Fire-and-forget: the plain lossy path, no ACKs on air.
+                break;
+            }
+            if arrived {
+                // Immediate ACK `to → from`. A lost ACK burns a retry on a
+                // harmless duplicate — the data is already through.
+                ledger.charge_tx(to, model.tx_energy(sizes.ack_bits, range));
+                ledger.charge(from, model.rx_energy(sizes.ack_bits));
+                stats.bits += sizes.ack_bits;
+                rel.acks += 1;
+                if !loss.lose() {
+                    break;
+                }
+            }
+            if attempt >= arq_retries {
+                break;
+            }
+            attempt += 1;
+        }
+        all_arrived &= frag_arrived;
     }
+    if all_arrived {
+        rel.delivered += 1;
+    } else {
+        rel.dropped += 1;
+    }
+    all_arrived
 }
 
 impl Network {
@@ -188,15 +255,102 @@ impl Network {
             ledger: EnergyLedger::new(n),
             stats: TrafficStats::default(),
             loss: None,
+            reliability: ReliabilityConfig::default(),
+            rel_stats: ReliabilityStats::default(),
+            wave: WaveReport::default(),
+            failures: None,
+            alive: vec![true; n],
             scratch: ScratchPool::default(),
         }
     }
 
     /// Enables Bernoulli message loss (the §6 future-work extension).
-    /// Protocols are *not* informed of losses; the resulting rank error is
-    /// what the loss experiments measure.
+    /// Without a reliability layer, protocols are *not* informed of losses;
+    /// the resulting rank error is what the loss experiments measure. With
+    /// one ([`Network::set_reliability`]), ARQ and wave recovery fight the
+    /// losses and [`Network::last_wave`] reports what still went missing.
     pub fn set_loss(&mut self, loss: Option<LossModel>) {
         self.loss = loss;
+    }
+
+    /// Configures the reliability layer (per-link ARQ retries and end-to-end
+    /// recovery passes). The default config reproduces the plain lossy path
+    /// bit for bit. Reliability only acts when a loss model is installed.
+    pub fn set_reliability(&mut self, cfg: ReliabilityConfig) {
+        self.reliability = cfg;
+    }
+
+    /// The active reliability configuration.
+    pub fn reliability(&self) -> ReliabilityConfig {
+        self.reliability
+    }
+
+    /// Cumulative reliability counters (retransmissions, ACKs, recoveries,
+    /// failures, …).
+    pub fn reliability_stats(&self) -> &ReliabilityStats {
+        &self.rel_stats
+    }
+
+    /// Report of the most recent convergecast wave: who sent, and the roots
+    /// of the subtrees whose contribution never reached the sink.
+    pub fn last_wave(&self) -> &WaveReport {
+        &self.wave
+    }
+
+    /// Marks, in a caller-owned mask (cleared and resized in place), every
+    /// node whose contribution to the most recent convergecast failed to
+    /// reach the sink: the union of the subtrees under
+    /// [`WaveReport::dropped_roots`].
+    pub fn mark_dropped_subtrees(&self, mask: &mut Vec<bool>) {
+        mask.clear();
+        mask.resize(self.len(), false);
+        for &r in &self.wave.dropped_roots {
+            self.tree.mark_subtree(r, mask);
+        }
+    }
+
+    /// Installs (or removes) the crash-stop node-failure process.
+    pub fn set_failures(&mut self, failures: Option<FailureModel>) {
+        self.failures = failures;
+    }
+
+    /// Per-node liveness under the crash-stop failure process (all `true`
+    /// without one; the root never fails).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// True iff `id` is alive *and* connected to the sink through the
+    /// current (possibly repaired) routing tree.
+    pub fn is_reachable(&self, id: NodeId) -> bool {
+        self.alive[id.index()] && self.tree.contains(id)
+    }
+
+    /// Advances the failure process by one round: every live sensor dies
+    /// independently with the model's probability, and if anyone died the
+    /// routing tree is repaired over the surviving disk graph
+    /// ([`RoutingTree::spanning_alive`]), re-parenting orphaned subtrees
+    /// where a path exists. Returns the number of nodes that died this
+    /// round. A no-op without a failure model.
+    pub fn fail_round(&mut self) -> usize {
+        let Some(fm) = self.failures.as_mut() else {
+            return 0;
+        };
+        let mut newly = 0usize;
+        for alive in self.alive.iter_mut().skip(1) {
+            if *alive && fm.strike() {
+                *alive = false;
+                newly += 1;
+            }
+        }
+        if newly > 0 {
+            self.rel_stats.failed_nodes += newly as u64;
+            let (tree, orphans) = RoutingTree::spanning_alive(&self.topo, &self.alive);
+            self.tree = tree;
+            self.rel_stats.orphaned_nodes = orphans.len() as u64;
+            self.rel_stats.repairs += 1;
+        }
+        newly
     }
 
     /// Number of nodes including the root.
@@ -253,15 +407,21 @@ impl Network {
     /// parent, with fragmentation, and returns whether the (entire) payload
     /// arrived. Used internally and exposed for custom protocol steps.
     pub fn charge_unicast_up(&mut self, from: NodeId, payload_bits: u64, values: usize) -> bool {
-        charge_unicast(
-            &self.tree,
+        let to = self
+            .tree
+            .parent(from)
+            .expect("root has no parent to send to");
+        send_over_link(
             &self.topo,
             &self.model,
             &self.sizes,
             &mut self.ledger,
             &mut self.stats,
+            &mut self.rel_stats,
             &mut self.loss,
+            self.reliability.max_retries,
             from,
+            to,
             payload_bits,
             values,
         )
@@ -289,6 +449,7 @@ impl Network {
         mut prune: impl FnMut(NodeId, &mut T),
     ) -> Option<T> {
         self.stats.convergecasts += 1;
+        self.wave.clear();
         let n = self.len();
         let mut inbox = self.scratch.take_inbox::<T>(n);
 
@@ -303,8 +464,20 @@ impl Network {
             ledger,
             stats,
             loss,
+            reliability,
+            rel_stats,
+            wave,
             ..
         } = self;
+        let arq = reliability.max_retries;
+
+        // (holder, origin, payload): payloads that died on a link, stashed
+        // at the last node that held them so the recovery passes can resume
+        // the climb where it stopped. `origin` is the node that first sent
+        // the payload — the root of the subtree whose contributions it
+        // carries (the tree gives a unique path, so the subtrees of the
+        // origins are exactly the unaccounted nodes, with no overlap).
+        let mut stranded: Vec<(NodeId, NodeId, T)> = Vec::new();
 
         // bottom_up() is children-before-parents, so by the time we reach a
         // node its inbox already holds the merged payloads of its children.
@@ -312,7 +485,7 @@ impl Network {
         for &u in tree.bottom_up() {
             let from_children = inbox[u.index()].take();
             let own = if u.is_root() { None } else { local(u) };
-            let mut combined = match (from_children, own) {
+            let combined = match (from_children, own) {
                 (Some(mut a), Some(b)) => {
                     a.merge(b);
                     Some(a)
@@ -323,37 +496,90 @@ impl Network {
             };
 
             if u.is_root() {
-                if let Some(p) = combined.as_mut() {
-                    prune(u, p);
-                }
                 result = combined;
                 break;
             }
 
             if let Some(mut payload) = combined {
                 prune(u, &mut payload);
+                wave.senders += 1;
                 let bits = payload.payload_bits(sizes);
-                let arrived = charge_unicast(
-                    tree,
+                let parent = tree.parent(u).expect("non-root");
+                let arrived = send_over_link(
                     topo,
                     model,
                     sizes,
                     ledger,
                     stats,
+                    rel_stats,
                     loss,
+                    arq,
                     u,
+                    parent,
                     bits,
                     payload.value_count(),
                 );
                 if arrived {
-                    let parent = tree.parent(u).expect("non-root");
                     let slot = &mut inbox[parent.index()];
                     match slot {
                         Some(existing) => existing.merge(payload),
                         None => *slot = Some(payload),
                     }
+                } else if reliability.recovery_passes > 0 {
+                    stranded.push((u, u, payload));
+                } else {
+                    wave.dropped_roots.push(u);
                 }
             }
+        }
+
+        // Recovery passes: stranded payloads resume their climb towards the
+        // root hop by hop, each hop a fresh (ARQ-protected) transmission.
+        // Recovered payloads merge directly into the root's aggregate —
+        // the intermediate nodes already forwarded their own wave upward.
+        let mut pass = 0;
+        while !stranded.is_empty() && pass < reliability.recovery_passes {
+            pass += 1;
+            let mut still = Vec::new();
+            for (start, origin, payload) in stranded {
+                let bits = payload.payload_bits(sizes);
+                let values = payload.value_count();
+                let mut at = start;
+                let delivered = loop {
+                    let parent = tree.parent(at).expect("stranded below the root");
+                    let arrived = send_over_link(
+                        topo, model, sizes, ledger, stats, rel_stats, loss, arq, at, parent, bits,
+                        values,
+                    );
+                    if !arrived {
+                        break false;
+                    }
+                    if parent.is_root() {
+                        break true;
+                    }
+                    at = parent;
+                };
+                if delivered {
+                    rel_stats.recovered += 1;
+                    match result.as_mut() {
+                        Some(existing) => (*existing).merge(payload),
+                        None => result = Some(payload),
+                    }
+                } else {
+                    still.push((at, origin, payload));
+                }
+            }
+            stranded = still;
+        }
+        for (_, origin, _) in &stranded {
+            wave.dropped_roots.push(*origin);
+        }
+
+        // The root applies its prune exactly once, after recovery merged in
+        // the late arrivals (it applies the same logic when consuming the
+        // data, e.g. keeping the `f` largest values).
+        if let Some(p) = result.as_mut() {
+            prune(NodeId::ROOT, p);
         }
         self.scratch.put_inbox(inbox);
         result
@@ -389,10 +615,12 @@ impl Network {
             tree,
             topo,
             model,
-            sizes: _,
+            sizes,
             ledger,
             stats,
             loss,
+            reliability,
+            rel_stats,
             ..
         } = self;
         for u in tree.top_down() {
@@ -400,18 +628,67 @@ impl Network {
                 continue;
             }
             // One radio transmission reaches all children (§5.1.4: receivers
-            // pay because the schedule tells them when to listen).
+            // pay because the schedule tells them when to listen). Broadcast
+            // frames are unacknowledged, as in 802.15.4; reliability comes
+            // from the repair passes below.
             ledger.charge_tx(u, model.tx_energy(total_bits, topo.radio_range()));
             stats.messages += fragments;
             stats.bits += total_bits;
             for &c in tree.children(u) {
                 ledger.charge(c, model.rx_energy(total_bits));
                 let arrived = match loss {
-                    Some(loss) => !loss.lose(),
+                    // Each 802.15.4 frame is lost independently and the
+                    // child needs every fragment. No short-circuit: every
+                    // fragment draws from the loss stream.
+                    Some(loss) => (0..fragments).fold(true, |ok, _| !loss.lose() && ok),
                     None => true,
                 };
                 if arrived {
                     received[c.index()] = true;
+                }
+            }
+        }
+
+        // Repair passes: a parent holding the payload re-offers it to
+        // children that missed it as an ARQ-protected unicast (the missing
+        // link-layer ACK tells the parent who is short). Children repaired
+        // early in a pass repair their own children later in the same pass,
+        // since top_down() visits parents before children.
+        if loss.is_some() {
+            let arq = reliability.max_retries;
+            for _ in 0..reliability.recovery_passes {
+                let mut repaired_any = false;
+                for u in tree.top_down() {
+                    if !received[u.index()] || tree.is_leaf(u) {
+                        continue;
+                    }
+                    for &c in tree.children(u) {
+                        if received[c.index()] {
+                            continue;
+                        }
+                        let arrived = send_over_link(
+                            topo,
+                            model,
+                            sizes,
+                            ledger,
+                            stats,
+                            rel_stats,
+                            loss,
+                            arq,
+                            u,
+                            c,
+                            payload_bits,
+                            0,
+                        );
+                        if arrived {
+                            received[c.index()] = true;
+                            rel_stats.recovered += 1;
+                            repaired_any = true;
+                        }
+                    }
+                }
+                if !repaired_any {
+                    break;
                 }
             }
         }
@@ -569,5 +846,155 @@ mod tests {
         net.broadcast(0);
         net.end_round();
         assert_eq!(net.ledger().rounds(), 1);
+    }
+
+    fn one_value(id: NodeId) -> Option<SumVals> {
+        Some(SumVals {
+            sum: id.0 as i64,
+            vals: vec![id.0 as i64],
+        })
+    }
+
+    #[test]
+    fn each_fragment_is_lost_independently() {
+        // Fire-and-forget over a single 2-fragment link: the empirical
+        // delivery rate must track (1-p)², not (1-p).
+        let mut net = line_network(2);
+        net.set_loss(Some(LossModel::new(0.4, 42)));
+        let waves = 4000;
+        for _ in 0..waves {
+            net.convergecast(|_| {
+                Some(SumVals {
+                    sum: 0,
+                    vals: vec![1; 100], // 1600 bits -> 2 fragments
+                })
+            });
+        }
+        let rate = net.reliability_stats().delivery_rate();
+        let expected = 0.6 * 0.6;
+        assert!((rate - expected).abs() < 0.03, "rate {rate}");
+        // No ARQ traffic on the fire-and-forget path.
+        assert_eq!(net.reliability_stats().acks, 0);
+        assert_eq!(net.reliability_stats().retransmissions, 0);
+    }
+
+    #[test]
+    fn arq_buys_delivery_with_retransmission_energy() {
+        let mut lossy = line_network(2);
+        lossy.set_loss(Some(LossModel::new(0.4, 7)));
+        let mut arq = lossy.clone();
+        arq.set_reliability(ReliabilityConfig::arq(6));
+        let waves = 500;
+        for _ in 0..waves {
+            lossy.convergecast(one_value);
+            arq.convergecast(one_value);
+        }
+        let plain = lossy.reliability_stats();
+        let reliable = arq.reliability_stats();
+        assert!(reliable.delivery_rate() > plain.delivery_rate());
+        // P(all 7 data frames lost) = 0.4⁷ ≈ 0.0016 per hop.
+        assert!(reliable.delivery_rate() > 0.99, "six retries at p=0.4");
+        assert!(reliable.retransmissions > 0);
+        assert!(reliable.acks as usize >= waves);
+        // Reliability is never free: retries and ACKs hit the ledger.
+        assert!(arq.ledger().max_sensor_consumption() > lossy.ledger().max_sensor_consumption());
+    }
+
+    #[test]
+    fn retry_budget_zero_is_bit_identical_to_plain_loss() {
+        let mut plain = line_network(5);
+        plain.set_loss(Some(LossModel::new(0.3, 99)));
+        let mut budget0 = plain.clone();
+        budget0.set_reliability(ReliabilityConfig::arq(0));
+        for _ in 0..200 {
+            plain.convergecast(one_value);
+            budget0.convergecast(one_value);
+        }
+        assert_eq!(plain.stats(), budget0.stats());
+        assert_eq!(plain.reliability_stats(), budget0.reliability_stats());
+        for i in 0..plain.len() {
+            let id = NodeId(i as u32);
+            assert!(plain.ledger().consumed(id) == budget0.ledger().consumed(id));
+        }
+    }
+
+    #[test]
+    fn total_loss_terminates_with_empty_result_and_full_report() {
+        let mut net = line_network(4);
+        net.set_loss(Some(LossModel::new(1.0, 1)));
+        net.set_reliability(ReliabilityConfig::recovering(3, 4));
+        let agg: Option<SumVals> = net.convergecast(one_value);
+        assert!(agg.is_none());
+        let wave = net.last_wave();
+        assert!(!wave.is_complete());
+        assert_eq!(wave.senders, 3);
+        // The first hop (node 3 -> 2) already fails, so every sensor is a
+        // dropped root and the dropped mask covers all sensors.
+        let mut mask = Vec::new();
+        net.mark_dropped_subtrees(&mut mask);
+        assert_eq!(mask, vec![false, true, true, true]);
+        // Broadcast under total loss terminates too (repair passes give up).
+        let received = net.broadcast(16);
+        assert!(!received[1] && !received[2] && !received[3]);
+    }
+
+    #[test]
+    fn recovery_passes_salvage_stranded_payloads() {
+        let mut net = line_network(5);
+        net.set_loss(Some(LossModel::new(0.35, 3)));
+        net.set_reliability(ReliabilityConfig::recovering(2, 4));
+        let mut complete = 0;
+        let waves = 300;
+        for _ in 0..waves {
+            let agg = net.convergecast(one_value);
+            if net.last_wave().is_complete() {
+                complete += 1;
+                // A complete wave carries every sensor's contribution.
+                assert_eq!(agg.unwrap().sum, 1 + 2 + 3 + 4);
+            }
+        }
+        assert!(complete > waves * 9 / 10, "complete {complete}/{waves}");
+        assert!(net.reliability_stats().recovered > 0);
+    }
+
+    #[test]
+    fn broadcast_repair_reoffers_to_missed_children() {
+        let mut net = line_network(6);
+        net.set_loss(Some(LossModel::new(0.4, 11)));
+        net.set_reliability(ReliabilityConfig::recovering(6, 6));
+        let mut all = 0;
+        let waves = 200;
+        let mut received = Vec::new();
+        for _ in 0..waves {
+            net.broadcast_into(64, &mut received);
+            if received.iter().all(|&r| r) {
+                all += 1;
+            }
+        }
+        assert!(all > waves * 9 / 10, "all {all}/{waves}");
+        assert!(net.reliability_stats().recovered > 0);
+    }
+
+    #[test]
+    fn fail_round_kills_and_repairs_the_tree() {
+        let mut net = line_network(4);
+        assert_eq!(net.fail_round(), 0, "no failure model installed");
+        net.set_failures(Some(FailureModel::new(1.0, 5)));
+        assert_eq!(net.fail_round(), 3);
+        assert!(net.alive()[0]);
+        assert!(!net.alive()[1] && !net.alive()[2] && !net.alive()[3]);
+        assert!(net.is_reachable(NodeId::ROOT));
+        assert!(!net.is_reachable(NodeId(2)));
+        let stats = *net.reliability_stats();
+        assert_eq!(stats.failed_nodes, 3);
+        assert_eq!(stats.repairs, 1);
+        assert_eq!(stats.orphaned_nodes, 0, "dead nodes are not orphans");
+        // Dead nodes neither contribute nor relay: the wave is root-only.
+        let agg: Option<SumVals> = net.convergecast(one_value);
+        assert!(agg.is_none());
+        assert_eq!(net.stats().messages, 0);
+        // Further rounds are no-ops: everyone is already dead.
+        assert_eq!(net.fail_round(), 0);
+        assert_eq!(net.reliability_stats().repairs, 1);
     }
 }

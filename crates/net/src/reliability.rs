@@ -1,0 +1,244 @@
+//! Reliable transport and node-failure modelling (the §6 open problem).
+//!
+//! The paper assumes reliable links and immortal nodes; its §6 names message
+//! loss as the main obstacle to deploying the *exact* continuous protocols.
+//! This module provides the knobs the network engine uses to buy reliability
+//! back, at a measurable energy price:
+//!
+//! * **Per-link ARQ** — every unicast data frame is acknowledged and
+//!   retransmitted up to [`ReliabilityConfig::max_retries`] times. Every
+//!   retry and every ACK is charged to the energy ledger, so reliability is
+//!   never free.
+//! * **Wave recovery** — payloads that still die after ARQ are stashed at
+//!   the last node that held them and re-forwarded towards the root in up
+//!   to [`ReliabilityConfig::recovery_passes`] extra passes; broadcasts are
+//!   repaired symmetrically (parents re-offer the payload to children that
+//!   missed it).
+//! * **Crash-stop node failures** — [`FailureModel`] kills sensors with a
+//!   per-round probability; the engine repairs the routing tree over the
+//!   surviving disk graph and reports nodes that become unreachable.
+//!
+//! Every wave additionally produces a [`WaveReport`] naming the subtree
+//! roots whose contribution never reached the sink, so protocols can detect
+//! an incomplete wave and re-issue it instead of silently answering from
+//! corrupted counters.
+
+use crate::topology::NodeId;
+
+/// Link-layer reliability knobs. The default (`max_retries = 0`,
+/// `recovery_passes = 0`) reproduces the unreliable fire-and-forget
+/// behaviour of the plain loss model bit for bit: no ACKs are sent and no
+/// recovery traffic is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReliabilityConfig {
+    /// Maximum ARQ retransmissions per data frame (0 = fire-and-forget,
+    /// which also disables ACKs entirely). ARQ only acts when a loss model
+    /// is installed — on reliable links there is nothing to retransmit.
+    pub max_retries: u32,
+    /// Maximum end-to-end recovery passes per wave: convergecast payloads
+    /// dropped after ARQ are re-forwarded hop-by-hop towards the root, and
+    /// broadcast payloads are re-offered to children that missed them.
+    /// 0 disables wave recovery (and protocol-level wave re-issue).
+    pub recovery_passes: u32,
+}
+
+impl ReliabilityConfig {
+    /// ARQ with `max_retries` retransmissions and no end-to-end recovery.
+    pub fn arq(max_retries: u32) -> Self {
+        ReliabilityConfig {
+            max_retries,
+            recovery_passes: 0,
+        }
+    }
+
+    /// Full reliability: ARQ plus end-to-end wave recovery.
+    pub fn recovering(max_retries: u32, recovery_passes: u32) -> Self {
+        ReliabilityConfig {
+            max_retries,
+            recovery_passes,
+        }
+    }
+
+    /// True iff any reliability mechanism is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.max_retries > 0 || self.recovery_passes > 0
+    }
+}
+
+/// Cumulative reliability counters (across all waves of a run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReliabilityStats {
+    /// Logical payload hops that arrived (possibly after retries).
+    pub delivered: u64,
+    /// Logical payload hops lost even after exhausting the ARQ budget.
+    pub dropped: u64,
+    /// Data-frame retransmissions sent by the ARQ layer.
+    pub retransmissions: u64,
+    /// Acknowledgement frames sent.
+    pub acks: u64,
+    /// Stranded convergecast payloads that reached the root via recovery
+    /// passes, plus broadcast receptions repaired by re-offers.
+    pub recovered: u64,
+    /// Sensors killed by the crash-stop failure process.
+    pub failed_nodes: u64,
+    /// Live sensors currently cut off from the sink (no path over the
+    /// surviving disk graph). Updated on every tree repair.
+    pub orphaned_nodes: u64,
+    /// Routing-tree repairs performed after failures.
+    pub repairs: u64,
+}
+
+impl ReliabilityStats {
+    /// Fraction of logical payload hops delivered (1.0 when nothing was
+    /// sent).
+    pub fn delivery_rate(&self) -> f64 {
+        let total = self.delivered + self.dropped;
+        if total == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / total as f64
+        }
+    }
+}
+
+/// Report of the most recent convergecast wave.
+#[derive(Debug, Clone, Default)]
+pub struct WaveReport {
+    /// Roots of the subtrees whose merged contribution never reached the
+    /// sink. Every node whose contribution is missing lies in the subtree
+    /// of exactly one listed root (or of a deeper listed root), so the
+    /// union of these subtrees is precisely the set of unaccounted nodes.
+    pub dropped_roots: Vec<NodeId>,
+    /// Nodes that transmitted a payload during the wave.
+    pub senders: u64,
+}
+
+impl WaveReport {
+    /// True iff every contribution reached the sink.
+    pub fn is_complete(&self) -> bool {
+        self.dropped_roots.is_empty()
+    }
+
+    /// Resets the report for a new wave.
+    pub fn clear(&mut self) {
+        self.dropped_roots.clear();
+        self.senders = 0;
+    }
+}
+
+/// Crash-stop node failures: each round, every live sensor dies
+/// independently with probability `p`. Dead nodes never transmit, receive
+/// or recover (§6-style fail-stop; no babbling failures).
+///
+/// The generator is the same self-contained splitmix64 as
+/// [`crate::loss::LossModel`], so failure schedules are reproducible from
+/// the seed alone.
+#[derive(Debug, Clone)]
+pub struct FailureModel {
+    p: f64,
+    state: u64,
+}
+
+impl FailureModel {
+    /// Creates a crash process with per-round death probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "failure probability out of range");
+        FailureModel { p, state: seed }
+    }
+
+    /// The per-round death probability.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Samples one node-round: `true` means the node crashes now.
+    pub fn strike(&mut self) -> bool {
+        if self.p <= 0.0 {
+            return false;
+        }
+        if self.p >= 1.0 {
+            return true;
+        }
+        self.next_f64() < self.p
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        // splitmix64 step (identical to LossModel's generator).
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_fire_and_forget() {
+        let c = ReliabilityConfig::default();
+        assert_eq!(c.max_retries, 0);
+        assert_eq!(c.recovery_passes, 0);
+        assert!(!c.is_enabled());
+        assert!(ReliabilityConfig::arq(3).is_enabled());
+        assert!(ReliabilityConfig::recovering(3, 4).recovery_passes == 4);
+    }
+
+    #[test]
+    fn delivery_rate_handles_silence() {
+        let mut s = ReliabilityStats::default();
+        assert_eq!(s.delivery_rate(), 1.0);
+        s.delivered = 3;
+        s.dropped = 1;
+        assert!((s.delivery_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wave_report_completeness() {
+        let mut w = WaveReport::default();
+        assert!(w.is_complete());
+        w.dropped_roots.push(NodeId(3));
+        w.senders = 5;
+        assert!(!w.is_complete());
+        w.clear();
+        assert!(w.is_complete());
+        assert_eq!(w.senders, 0);
+    }
+
+    #[test]
+    fn failure_model_is_deterministic() {
+        let mut a = FailureModel::new(0.3, 99);
+        let mut b = FailureModel::new(0.3, 99);
+        for _ in 0..200 {
+            assert_eq!(a.strike(), b.strike());
+        }
+    }
+
+    #[test]
+    fn failure_extremes() {
+        let mut never = FailureModel::new(0.0, 1);
+        assert!((0..100).all(|_| !never.strike()));
+        let mut always = FailureModel::new(1.0, 1);
+        assert!((0..100).all(|_| always.strike()));
+    }
+
+    #[test]
+    fn empirical_failure_rate_matches_p() {
+        let mut f = FailureModel::new(0.1, 7);
+        let deaths = (0..100_000).filter(|_| f.strike()).count();
+        let rate = deaths as f64 / 100_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_probability() {
+        let _ = FailureModel::new(-0.1, 0);
+    }
+}

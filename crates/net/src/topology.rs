@@ -46,7 +46,7 @@ pub struct Topology {
 
 impl Topology {
     /// Builds the disk graph over `positions` with radio range
-    /// `radio_range` (meters). `positions[0]` is the root.
+    /// `radio_range` (meters). `positions\[0\]` is the root.
     ///
     /// Uses a uniform grid spatial index so construction is roughly
     /// `O(n · d)` where `d` is the average neighborhood size, instead of

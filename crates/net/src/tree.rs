@@ -87,6 +87,88 @@ impl RoutingTree {
         })
     }
 
+    /// Rebuilds the shortest-path tree over the *surviving* disk graph
+    /// after crash-stop node failures: only nodes with `alive[i] == true`
+    /// participate, orphaned subtrees are re-parented through whatever live
+    /// detour exists, and nodes that end up with no live path to the sink
+    /// are returned as the orphan list (never an error — a partitioned
+    /// survivor graph is an expected runtime condition, unlike a
+    /// partitioned deployment).
+    ///
+    /// Dead and orphaned nodes keep their slots (the tree stays
+    /// full-length) but have no parent, no children, depth `u32::MAX`, and
+    /// do not appear in [`RoutingTree::bottom_up`] — the wave engines skip
+    /// them naturally.
+    ///
+    /// # Panics
+    /// Panics if `alive` is shorter than the topology or the sink itself
+    /// (`alive\[0\]`) is dead — the sink is mains-powered and outside the
+    /// failure model.
+    pub fn spanning_alive(topo: &Topology, alive: &[bool]) -> (Self, Vec<NodeId>) {
+        let n = topo.len();
+        assert!(alive.len() >= n, "alive mask shorter than topology");
+        assert!(alive[0], "the sink cannot fail");
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut depth = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+
+        depth[0] = 0;
+        let mut frontier = vec![NodeId::ROOT];
+        order.push(NodeId::ROOT);
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for &v in topo.neighbors(u) {
+                    if !alive[v.index()] {
+                        continue;
+                    }
+                    if depth[v.index()] == u32::MAX {
+                        depth[v.index()] = depth[u.index()] + 1;
+                        parent[v.index()] = Some(u);
+                        next.push(v);
+                    } else if depth[v.index()] == depth[u.index()] + 1 {
+                        // Same tie-break as `shortest_path_tree`: prefer the
+                        // geometrically closer parent, deterministically.
+                        let cur = parent[v.index()].expect("tie implies parent set");
+                        let d_cur = topo.position(v).dist(&topo.position(cur));
+                        let d_new = topo.position(v).dist(&topo.position(u));
+                        if d_new < d_cur {
+                            parent[v.index()] = Some(u);
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            order.extend_from_slice(&next);
+            frontier = next;
+        }
+
+        let orphans: Vec<NodeId> = topo
+            .node_ids()
+            .filter(|id| alive[id.index()] && depth[id.index()] == u32::MAX)
+            .collect();
+
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &id in order.iter().skip(1) {
+            let p = parent[id.index()].expect("connected non-root has parent");
+            children[p.index()].push(id);
+        }
+
+        let mut bottom_up = order;
+        bottom_up.reverse();
+
+        (
+            RoutingTree {
+                parent,
+                children,
+                depth,
+                bottom_up,
+            },
+            orphans,
+        )
+    }
+
     /// Builds a routing tree from explicit parent pointers (`None` exactly
     /// for the root at index 0). Used for custom logical topologies, e.g.
     /// the §2 multi-measurement expansion where artificial children must
@@ -165,9 +247,31 @@ impl RoutingTree {
         &self.children[id.index()]
     }
 
-    /// Hop distance from the root.
+    /// Hop distance from the root (`u32::MAX` for nodes outside a repaired
+    /// tree, see [`RoutingTree::spanning_alive`]).
     pub fn depth(&self, id: NodeId) -> u32 {
         self.depth[id.index()]
+    }
+
+    /// True iff `id` is connected to the sink through this tree. Always
+    /// true for trees built by [`RoutingTree::shortest_path_tree`] /
+    /// [`RoutingTree::from_parents`]; repaired trees exclude dead and
+    /// orphaned nodes.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.depth[id.index()] != u32::MAX
+    }
+
+    /// Marks every node of the subtree rooted at `root` (root included) in
+    /// `mask`. The mask is *not* cleared first, so callers can union
+    /// several subtrees.
+    pub fn mark_subtree(&self, root: NodeId, mask: &mut [bool]) {
+        let mut stack = vec![root];
+        while let Some(u) = stack.pop() {
+            if !mask[u.index()] {
+                mask[u.index()] = true;
+                stack.extend_from_slice(&self.children[u.index()]);
+            }
+        }
     }
 
     /// True iff `id` has no children.
@@ -198,9 +302,15 @@ impl RoutingTree {
         size
     }
 
-    /// Maximum node depth (tree height in hops).
+    /// Maximum node depth (tree height in hops). Nodes outside a repaired
+    /// tree do not count.
     pub fn height(&self) -> u32 {
-        self.depth.iter().copied().max().unwrap_or(0)
+        self.depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -315,6 +425,61 @@ mod tests {
         assert!(RoutingTree::from_parents(vec![Some(NodeId(1)), None]).is_err());
         // Self-parent is invalid.
         assert!(RoutingTree::from_parents(vec![None, Some(NodeId(1))]).is_err());
+    }
+
+    #[test]
+    fn spanning_alive_reparents_around_a_dead_relay() {
+        // 0 - 1 - 2 with a detour 0 - 3 - 2: killing 1 re-parents 2 via 3.
+        let positions = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 1.0), // within 1.5 of both 0 and 2
+        ];
+        let topo = Topology::build(positions, 1.5);
+        let full = RoutingTree::shortest_path_tree(&topo).unwrap();
+        assert_eq!(full.parent(NodeId(2)), Some(NodeId(1)));
+
+        let alive = vec![true, false, true, true];
+        let (repaired, orphans) = RoutingTree::spanning_alive(&topo, &alive);
+        assert!(orphans.is_empty());
+        assert_eq!(repaired.parent(NodeId(2)), Some(NodeId(3)));
+        assert!(!repaired.contains(NodeId(1)));
+        assert!(repaired.bottom_up().iter().all(|&u| u != NodeId(1)));
+        assert_eq!(repaired.len(), 4, "repaired trees keep every slot");
+        assert_eq!(repaired.height(), 2);
+    }
+
+    #[test]
+    fn spanning_alive_returns_orphans_on_partition() {
+        // A line 0-1-2-3: killing 1 strands {2, 3} with no detour. The
+        // repair must terminate and report them instead of looping.
+        let (topo, _) = line(4);
+        let alive = vec![true, false, true, true];
+        let (repaired, orphans) = RoutingTree::spanning_alive(&topo, &alive);
+        assert_eq!(orphans, vec![NodeId(2), NodeId(3)]);
+        assert!(!repaired.contains(NodeId(2)));
+        assert!(!repaired.contains(NodeId(3)));
+        assert!(repaired.contains(NodeId(0)));
+        assert_eq!(repaired.bottom_up(), &[NodeId(0)]);
+        // Dead nodes are not orphans: they are simply gone.
+        assert!(!orphans.contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn mark_subtree_unions() {
+        let tree = RoutingTree::from_parents(vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(0)),
+        ])
+        .unwrap();
+        let mut mask = vec![false; 4];
+        tree.mark_subtree(NodeId(1), &mut mask);
+        assert_eq!(mask, vec![false, true, true, false]);
+        tree.mark_subtree(NodeId(3), &mut mask);
+        assert_eq!(mask, vec![false, true, true, true]);
     }
 
     #[test]

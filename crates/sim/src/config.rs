@@ -6,18 +6,18 @@ use cqp_core::lcll::RefiningStrategy;
 use cqp_core::{Adaptive, ContinuousQuantile, Gk, Hbc, Iq, Lcll, LcllRange, Pos, QueryConfig, Tag};
 use wsn_data::pressure::PressureConfig;
 use wsn_data::synthetic::SyntheticConfig;
-use wsn_net::{MessageSizes, RadioModel};
+use wsn_net::{MessageSizes, RadioModel, ReliabilityConfig};
 
 /// Which protocol to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AlgorithmKind {
-    /// TAG baseline [17].
+    /// TAG baseline \[17\].
     Tag,
-    /// POS binary-search baseline [9].
+    /// POS binary-search baseline \[9\].
     Pos,
-    /// LCLL with hierarchical refining [16].
+    /// LCLL with hierarchical refining \[16\].
     LcllH,
-    /// LCLL with slip refining [16].
+    /// LCLL with slip refining \[16\].
     LcllS,
     /// LCLL, range-anchored reconstruction (static bucket hierarchy).
     LcllR,
@@ -29,7 +29,7 @@ pub enum AlgorithmKind {
     Iq,
     /// Adaptive HBC↔IQ switching (future work).
     Adaptive,
-    /// Summary-based exact snapshot method (§3.1, [10]).
+    /// Summary-based exact snapshot method (§3.1, \[10\]).
     Gk,
 }
 
@@ -139,6 +139,14 @@ pub struct SimulationConfig {
     /// Bernoulli message-loss probability (`None` = reliable links, the
     /// paper's assumption; `Some` enables the §6 extension).
     pub loss: Option<f64>,
+    /// Reliability layer (ARQ retries + wave recovery). The default is
+    /// fire-and-forget, bit-identical to the plain lossy path; it only
+    /// acts when `loss` is set.
+    pub reliability: ReliabilityConfig,
+    /// Per-round crash-stop node-failure probability (`None` = immortal
+    /// nodes, the paper's assumption). The routing tree is repaired after
+    /// every failure.
+    pub node_failure: Option<f64>,
     /// Dataset.
     pub dataset: DatasetSpec,
 }
@@ -157,6 +165,8 @@ impl Default for SimulationConfig {
             radio: RadioModel::default(),
             sizes: MessageSizes::default(),
             loss: None,
+            reliability: ReliabilityConfig::default(),
+            node_failure: None,
             dataset: DatasetSpec::Synthetic(SyntheticConfig::default()),
         }
     }

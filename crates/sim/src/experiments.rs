@@ -290,6 +290,71 @@ pub fn loss(quick: bool) -> Sweep {
     }
 }
 
+/// ext-reliability: the §6 reliability ladder at a fixed 30 % loss rate —
+/// from raw fire-and-forget, through growing ARQ budgets, to ARQ plus
+/// end-to-end wave recovery, and finally loss combined with crash-stop node
+/// failures. Shows how much exactness each reliability mechanism buys back
+/// and what it costs in retransmission energy.
+pub fn reliability(quick: bool) -> Sweep {
+    use wsn_net::ReliabilityConfig;
+    let b = base(quick);
+    let p = 0.3;
+    let cells = vec![
+        Cell {
+            label: "raw loss".into(),
+            config: SimulationConfig {
+                loss: Some(p),
+                ..b.clone()
+            },
+        },
+        Cell {
+            label: "arq=1".into(),
+            config: SimulationConfig {
+                loss: Some(p),
+                reliability: ReliabilityConfig::arq(1),
+                ..b.clone()
+            },
+        },
+        Cell {
+            label: "arq=3".into(),
+            config: SimulationConfig {
+                loss: Some(p),
+                reliability: ReliabilityConfig::arq(3),
+                ..b.clone()
+            },
+        },
+        Cell {
+            label: "arq=3+rec".into(),
+            config: SimulationConfig {
+                loss: Some(p),
+                reliability: ReliabilityConfig::recovering(3, 4),
+                ..b.clone()
+            },
+        },
+        Cell {
+            label: "+failures".into(),
+            config: SimulationConfig {
+                loss: Some(p),
+                reliability: ReliabilityConfig::recovering(3, 4),
+                node_failure: Some(0.002),
+                ..b.clone()
+            },
+        },
+    ];
+    Sweep {
+        id: "reliability",
+        title: "Ext. — Reliability ladder at 30 % loss (ARQ / recovery / failures)",
+        cells,
+        algorithms: vec![
+            AlgorithmKind::Pos,
+            AlgorithmKind::Hbc,
+            AlgorithmKind::Iq,
+            AlgorithmKind::LcllH,
+        ],
+        skip: vec![],
+    }
+}
+
 /// §4.2 extension: adaptive HBC↔IQ switching across temporal-correlation
 /// regimes.
 pub fn adaptive(quick: bool) -> Sweep {
@@ -509,7 +574,7 @@ pub fn ablation_iq(quick: bool) -> Vec<AblationRow> {
         .collect()
 }
 
-/// Ablation C: the [21] improvements — direct value retrieval on/off for
+/// Ablation C: the \[21\] improvements — direct value retrieval on/off for
 /// POS, HBC and LCLL-H.
 pub fn ablation_retrieval(quick: bool) -> Vec<AblationRow> {
     use cqp_core::hbc::{Hbc, HbcConfig};
@@ -562,7 +627,7 @@ pub fn ablation_retrieval(quick: bool) -> Vec<AblationRow> {
 }
 
 /// Ablation D: initialization strategy — TAG full collection vs. the
-/// `b`-ary snapshot search of [21] (§3.2/§4.2.1 allow either). Measured on
+/// `b`-ary snapshot search of \[21\] (§3.2/§4.2.1 allow either). Measured on
 /// a single round so only the init cost shows.
 pub fn ablation_init(quick: bool) -> Vec<AblationRow> {
     use cqp_core::init::InitStrategy;
@@ -622,6 +687,7 @@ pub fn all_sweeps(quick: bool) -> Vec<Sweep> {
         fig9(quick),
         fig10(quick),
         loss(quick),
+        reliability(quick),
         adaptive(quick),
         phi(quick),
         lcllcmp(quick),
@@ -638,6 +704,7 @@ pub fn by_id(id: &str, quick: bool) -> Option<Sweep> {
         "fig9" => Some(fig9(quick)),
         "fig10" => Some(fig10(quick)),
         "loss" => Some(loss(quick)),
+        "reliability" => Some(reliability(quick)),
         "adaptive" => Some(adaptive(quick)),
         "phi" => Some(phi(quick)),
         "lcllcmp" => Some(lcllcmp(quick)),
@@ -724,7 +791,16 @@ mod tests {
         assert_eq!(
             ids,
             [
-                "fig6", "fig7", "fig8", "fig9", "fig10", "loss", "adaptive", "phi", "lcllcmp",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "loss",
+                "reliability",
+                "adaptive",
+                "phi",
+                "lcllcmp",
                 "exactcmp"
             ]
         );

@@ -25,6 +25,37 @@ pub struct RunMetrics {
     /// Receive-energy fraction of the hotspot node (§5.2.1's analysis of
     /// where the energy goes as density grows).
     pub hotspot_rx_fraction: f64,
+    /// Fraction of logical payload hops delivered (1.0 on reliable links).
+    pub delivery_rate: f64,
+    /// ARQ data-frame retransmissions per round (0 without ARQ).
+    pub retransmissions_per_round: f64,
+    /// Costliest single round of any sensor (J) — the peak the
+    /// `max_round_consumption` ledger tracks, as opposed to the per-round
+    /// *mean* of the hotspot.
+    pub peak_round_energy: f64,
+    /// Sensors killed by the crash-stop failure process (0 without one).
+    pub failed_nodes: u32,
+}
+
+impl Default for RunMetrics {
+    /// A neutral all-zero run on perfectly reliable links.
+    fn default() -> Self {
+        RunMetrics {
+            max_node_energy_per_round: 0.0,
+            lifetime_rounds: 0.0,
+            messages_per_round: 0.0,
+            values_per_round: 0.0,
+            bits_per_round: 0.0,
+            exact_rounds: 0,
+            total_rounds: 0,
+            mean_rank_error: 0.0,
+            hotspot_rx_fraction: 0.0,
+            delivery_rate: 1.0,
+            retransmissions_per_round: 0.0,
+            peak_round_energy: 0.0,
+            failed_nodes: 0,
+        }
+    }
 }
 
 impl RunMetrics {
@@ -62,6 +93,14 @@ pub struct AggregatedMetrics {
     pub mean_rank_error: f64,
     /// Mean hotspot receive-energy fraction.
     pub hotspot_rx_fraction: f64,
+    /// Mean payload-hop delivery rate.
+    pub delivery_rate: f64,
+    /// Mean ARQ retransmissions per round.
+    pub retransmissions_per_round: f64,
+    /// Mean peak single-round sensor energy (J).
+    pub peak_round_energy: f64,
+    /// Mean sensors killed per run.
+    pub failed_nodes: f64,
 }
 
 impl AggregatedMetrics {
@@ -90,6 +129,10 @@ impl AggregatedMetrics {
             exactness: mean(&|r: &RunMetrics| r.exactness()),
             mean_rank_error: mean(&|r: &RunMetrics| r.mean_rank_error),
             hotspot_rx_fraction: mean(&|r: &RunMetrics| r.hotspot_rx_fraction),
+            delivery_rate: mean(&|r: &RunMetrics| r.delivery_rate),
+            retransmissions_per_round: mean(&|r: &RunMetrics| r.retransmissions_per_round),
+            peak_round_energy: mean(&|r: &RunMetrics| r.peak_round_energy),
+            failed_nodes: mean(&|r: &RunMetrics| r.failed_nodes as f64),
         }
     }
 }
@@ -109,6 +152,7 @@ mod tests {
             total_rounds: total,
             mean_rank_error: 0.0,
             hotspot_rx_fraction: 0.5,
+            ..RunMetrics::default()
         }
     }
 

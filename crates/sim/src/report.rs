@@ -19,6 +19,12 @@ pub enum Indicator {
     RankError,
     /// Fraction of exactly answered rounds.
     Exactness,
+    /// ARQ data-frame retransmissions per round.
+    Retransmissions,
+    /// Fraction of logical payload hops delivered.
+    Delivery,
+    /// Costliest single round of any sensor (mJ).
+    PeakEnergy,
 }
 
 impl Indicator {
@@ -31,6 +37,9 @@ impl Indicator {
             Indicator::Values => "values/round",
             Indicator::RankError => "mean rank error",
             Indicator::Exactness => "exact rounds [%]",
+            Indicator::Retransmissions => "retransmissions/round",
+            Indicator::Delivery => "delivered hops [%]",
+            Indicator::PeakEnergy => "peak round energy [mJ]",
         }
     }
 
@@ -43,6 +52,9 @@ impl Indicator {
             Indicator::Values => m.values_per_round,
             Indicator::RankError => m.mean_rank_error,
             Indicator::Exactness => m.exactness * 100.0,
+            Indicator::Retransmissions => m.retransmissions_per_round,
+            Indicator::Delivery => m.delivery_rate * 100.0,
+            Indicator::PeakEnergy => m.peak_round_energy * 1e3, // J -> mJ
         }
     }
 }
@@ -190,6 +202,7 @@ mod tests {
             total_rounds: 10,
             mean_rank_error: 0.0,
             hotspot_rx_fraction: 0.5,
+            ..RunMetrics::default()
         }])
     }
 
@@ -246,6 +259,9 @@ mod tests {
             Indicator::Values,
             Indicator::RankError,
             Indicator::Exactness,
+            Indicator::Retransmissions,
+            Indicator::Delivery,
+            Indicator::PeakEnergy,
         ] {
             let t = render_table(&r, ind);
             assert!(t.contains(ind.label()));

@@ -5,7 +5,7 @@ use wsn_data::som::som_placement;
 use wsn_data::walks::{RandomWalkDataset, RegimeDataset};
 use wsn_data::{Dataset, PressureDataset, Rng, SyntheticDataset};
 use wsn_net::loss::LossModel;
-use wsn_net::{Network, Point, RoutingTree, Topology};
+use wsn_net::{FailureModel, Network, NodeId, Point, RoutingTree, Topology};
 
 use crate::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 use crate::metrics::{AggregatedMetrics, RunMetrics};
@@ -129,14 +129,42 @@ pub fn run_once_with(
     if let Some(p) = cfg.loss {
         net.set_loss(Some(LossModel::new(p, rng.next_u64())));
     }
+    net.set_reliability(cfg.reliability);
+    // Drawn only when failures are on, so reliable/lossy runs keep the
+    // exact RNG streams (and therefore results) they had without the
+    // failure extension.
+    if let Some(pf) = cfg.node_failure {
+        net.set_failures(Some(FailureModel::new(pf, rng.next_u64())));
+    }
 
     let mut values = vec![0 as Value; n];
+    let mut reachable = Vec::new();
     let mut exact_rounds = 0u32;
     let mut rank_error_sum = 0u64;
     for t in 0..cfg.rounds {
+        net.fail_round();
         dataset.sample_round(t, &mut values);
         let answer = alg.round(&mut net, &values);
-        let err = rank_error(&values, answer, query.k);
+        // Under node failures the ground truth is what a clairvoyant
+        // observer of the *surviving, connected* network would report: dead
+        // and cut-off sensors cannot contribute to any answer.
+        let err = if cfg.node_failure.is_some() {
+            reachable.clear();
+            reachable.extend(
+                (1..=n)
+                    .filter(|&i| net.is_reachable(NodeId(i as u32)))
+                    .map(|i| values[i - 1]),
+            );
+            let m = reachable.len() as u64;
+            if m == 0 {
+                0
+            } else {
+                let k = (cfg.phi * m as f64).ceil() as u64;
+                rank_error(&reachable, answer, k.clamp(1, m))
+            }
+        } else {
+            rank_error(&values, answer, query.k)
+        };
         if err == 0 {
             exact_rounds += 1;
         }
@@ -147,6 +175,7 @@ pub fn run_once_with(
     let ledger = net.ledger();
     let hotspot = ledger.max_sensor_consumption() / rounds;
     let stats = net.stats();
+    let rel = net.reliability_stats();
     RunMetrics {
         max_node_energy_per_round: hotspot,
         lifetime_rounds: ledger.estimated_lifetime_rounds(net.model()),
@@ -157,6 +186,10 @@ pub fn run_once_with(
         total_rounds: cfg.rounds,
         mean_rank_error: rank_error_sum as f64 / rounds,
         hotspot_rx_fraction: ledger.hotspot_rx_fraction(),
+        delivery_rate: rel.delivery_rate(),
+        retransmissions_per_round: rel.retransmissions as f64 / rounds,
+        peak_round_energy: ledger.max_round_sensor_consumption(),
+        failed_nodes: rel.failed_nodes as u32,
     }
 }
 
@@ -186,8 +219,13 @@ pub fn run_until_death(
     if let Some(p) = cfg.loss {
         net.set_loss(Some(LossModel::new(p, rng.next_u64())));
     }
+    net.set_reliability(cfg.reliability);
+    if let Some(pf) = cfg.node_failure {
+        net.set_failures(Some(FailureModel::new(pf, rng.next_u64())));
+    }
     let mut values = vec![0 as Value; n];
     for t in 0..max_rounds {
+        net.fail_round();
         dataset.sample_round(t % cfg.rounds.max(1), &mut values);
         alg.round(&mut net, &values);
         if net.ledger().max_sensor_consumption() > net.model().initial_energy {
@@ -373,5 +411,65 @@ mod tests {
         let agg = run_experiment(&cfg, AlgorithmKind::Pos);
         assert!(agg.exactness <= 1.0);
         assert!(agg.mean_rank_error >= 0.0);
+        // Fire-and-forget: nothing is retransmitted, hops go missing.
+        assert_eq!(agg.retransmissions_per_round, 0.0);
+        assert!(agg.delivery_rate < 1.0);
+    }
+
+    #[test]
+    fn arq_with_recovery_restores_exactness_under_loss() {
+        let lossy = SimulationConfig {
+            loss: Some(0.3),
+            ..tiny_cfg()
+        };
+        let reliable = SimulationConfig {
+            reliability: wsn_net::ReliabilityConfig::recovering(3, 4),
+            ..lossy.clone()
+        };
+        let raw = run_experiment(&lossy, AlgorithmKind::Pos);
+        let rel = run_experiment(&reliable, AlgorithmKind::Pos);
+        assert!(rel.exactness > raw.exactness || raw.exactness == 1.0);
+        assert_eq!(rel.exactness, 1.0, "three retries + recovery at p=0.3");
+        assert!(rel.retransmissions_per_round > 0.0);
+        // Reliability costs energy: the hotspot pays for retries and ACKs.
+        assert!(rel.max_node_energy_per_round > raw.max_node_energy_per_round);
+    }
+
+    #[test]
+    fn retry_budget_zero_matches_the_plain_lossy_run() {
+        let lossy = SimulationConfig {
+            loss: Some(0.25),
+            ..tiny_cfg()
+        };
+        let budget0 = SimulationConfig {
+            reliability: wsn_net::ReliabilityConfig::arq(0),
+            ..lossy.clone()
+        };
+        let a = run_once(&lossy, AlgorithmKind::Hbc, 0);
+        let b = run_once(&budget0, AlgorithmKind::Hbc, 0);
+        assert_eq!(a, b, "budget 0 must be bit-identical to plain loss");
+    }
+
+    #[test]
+    fn node_failures_are_injected_and_survived() {
+        let cfg = SimulationConfig {
+            node_failure: Some(0.01),
+            reliability: wsn_net::ReliabilityConfig::recovering(2, 2),
+            ..tiny_cfg()
+        };
+        let agg = run_experiment(&cfg, AlgorithmKind::Iq);
+        assert!(agg.failed_nodes > 0.0, "1% per round over 25 rounds");
+        assert!(agg.exactness > 0.0);
+        // Failure schedules are part of the deterministic run seed.
+        let a = run_once(&cfg, AlgorithmKind::Iq, 0);
+        let b = run_once(&cfg, AlgorithmKind::Iq, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn peak_round_energy_bounds_the_mean() {
+        let m = run_once(&tiny_cfg(), AlgorithmKind::Pos, 0);
+        assert!(m.peak_round_energy > 0.0);
+        assert!(m.peak_round_energy >= m.max_node_energy_per_round);
     }
 }

@@ -17,4 +17,11 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> ext-reliability smoke (ARQ + wave recovery under 30% loss)"
+./target/release/simulate --algorithm POS --nodes 80 --rounds 30 --runs 2 \
+    --loss 0.3 --retries 3 --recovery 4 --seed 7 --threads 2
+
 echo "ci.sh: all gates passed"
