@@ -11,9 +11,11 @@
 
 use std::io::Write;
 
+use wsn_bench::json::Json;
 use wsn_data::pressure::{PressureConfig, RangeSetting};
 use wsn_data::synthetic::SyntheticConfig;
 use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+use wsn_sim::metrics::AggregatedMetrics;
 use wsn_sim::runner::run_experiment_threads;
 
 #[derive(Debug)]
@@ -34,8 +36,10 @@ struct Args {
     retries: u32,
     recovery: u32,
     node_failures: Option<f64>,
+    audit: bool,
     seed: u64,
     csv: Option<String>,
+    json: Option<String>,
     threads: usize,
 }
 
@@ -58,8 +62,10 @@ impl Default for Args {
             retries: 0,
             recovery: 0,
             node_failures: None,
+            audit: false,
             seed: 0xC0FFEE,
             csv: None,
+            json: None,
             threads: wsn_sim::parallel::thread_count(),
         }
     }
@@ -169,12 +175,14 @@ fn parse_args() -> Result<Args, String> {
                     "--node-failures",
                 )?)
             }
+            "--audit" => args.audit = true,
             "--seed" => {
                 args.seed = value(&argv, &mut i, "--seed")?
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
             "--csv" => args.csv = Some(value(&argv, &mut i, "--csv")?),
+            "--json" => args.json = Some(value(&argv, &mut i, "--json")?),
             "--threads" => {
                 args.threads = value(&argv, &mut i, "--threads")?
                     .parse::<usize>()
@@ -202,7 +210,12 @@ fn print_usage() {
                 [--dataset synthetic|pressure|walk|regime] [--period T] [--noise PSI]
                 [--skip S] [--range optimistic|pessimistic]
                 [--loss P] [--retries R] [--recovery PASSES] [--node-failures P]
-                [--seed S] [--csv FILE] [--threads N]"
+                [--audit] [--seed S] [--csv FILE] [--json FILE] [--threads N]
+
+--audit replays every recorded transmission through the energy auditor and
+prints the per-phase energy breakdown; any ledger discrepancy makes the
+process exit with status 1. --json additionally writes the aggregated
+metrics (including per-phase energy/bits and audit counters) to FILE."
     );
 }
 
@@ -248,6 +261,7 @@ fn build_config(args: &Args) -> Result<SimulationConfig, String> {
         loss: args.loss,
         reliability: wsn_net::ReliabilityConfig::recovering(args.retries, args.recovery),
         node_failure: args.node_failures,
+        audit: args.audit,
         dataset,
         ..SimulationConfig::default()
     })
@@ -336,6 +350,45 @@ fn write_csv_trace(args: &Args, cfg: &SimulationConfig, path: &str) -> Result<()
     Err("could not find a connected placement".into())
 }
 
+/// Serializes an aggregate — the §5.1 indicators plus the per-phase
+/// energy/traffic breakdown and audit counters — as a JSON object.
+fn metrics_json(m: &AggregatedMetrics) -> Json {
+    let by_phase = |vals: [f64; wsn_net::Phase::COUNT]| {
+        Json::Obj(
+            wsn_net::Phase::ALL
+                .iter()
+                .map(|p| (p.name().to_string(), Json::Num(vals[p.index()])))
+                .collect(),
+        )
+    };
+    Json::Obj(vec![
+        ("runs".into(), Json::int(m.runs as u64)),
+        (
+            "max_node_energy_per_round_j".into(),
+            Json::Num(m.max_node_energy_per_round),
+        ),
+        ("lifetime_rounds".into(), Json::Num(m.lifetime_rounds)),
+        ("messages_per_round".into(), Json::Num(m.messages_per_round)),
+        ("values_per_round".into(), Json::Num(m.values_per_round)),
+        ("bits_per_round".into(), Json::Num(m.bits_per_round)),
+        ("exactness".into(), Json::Num(m.exactness)),
+        ("mean_rank_error".into(), Json::Num(m.mean_rank_error)),
+        ("delivery_rate".into(), Json::Num(m.delivery_rate)),
+        (
+            "retransmissions_per_round".into(),
+            Json::Num(m.retransmissions_per_round),
+        ),
+        ("failed_nodes".into(), Json::Num(m.failed_nodes)),
+        ("phase_joules".into(), by_phase(m.phase_joules)),
+        ("phase_bits".into(), by_phase(m.phase_bits)),
+        ("audit_events".into(), Json::int(m.audit_events)),
+        (
+            "audit_discrepancies".into(),
+            Json::int(m.audit_discrepancies),
+        ),
+    ])
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
@@ -396,6 +449,8 @@ fn main() {
         );
     }
     println!();
+    let mut collected = Vec::new();
+    let mut discrepancies = 0u64;
     for kind in kinds {
         let m = run_experiment_threads(&cfg, kind, args.threads);
         print!(
@@ -417,5 +472,37 @@ fn main() {
             );
         }
         println!();
+        discrepancies += m.audit_discrepancies;
+        collected.push((kind, m));
+    }
+    if args.audit {
+        for (kind, m) in &collected {
+            println!();
+            print!(
+                "{}",
+                wsn_sim::report::render_phase_breakdown(kind.name(), m)
+            );
+        }
+    }
+    if let Some(path) = &args.json {
+        let mut root = Json::Obj(vec![]);
+        for (kind, m) in &collected {
+            root.set(kind.name(), metrics_json(m));
+        }
+        if let Err(e) = std::fs::write(path, root.pretty()) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote metrics for {} algorithm(s) to {path}",
+            collected.len()
+        );
+    }
+    if args.audit {
+        if discrepancies > 0 {
+            eprintln!("energy audit FAILED: {discrepancies} ledger discrepancies");
+            std::process::exit(1);
+        }
+        eprintln!("energy audit passed: every ledger charge reconciled bit-exactly");
     }
 }

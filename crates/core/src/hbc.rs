@@ -160,6 +160,7 @@ impl Hbc {
         anchor: RankAnchor,
         inside: Option<u64>,
     ) -> Value {
+        net.set_phase(wsn_net::Phase::Refinement);
         let capacity = net.sizes().values_per_message() as u64;
         let cfg = DescentConfig {
             b: self.b,
@@ -212,6 +213,8 @@ impl Hbc {
     /// Basic variant: updates root and node filters to the newly found
     /// quantile, broadcasting it when it changed.
     fn conclude(&mut self, net: &mut Network, q: Value) {
+        // The threshold broadcast disseminates the refined answer.
+        net.set_phase(wsn_net::Phase::Refinement);
         let changed = q != self.root_lb || q != self.root_ub;
         self.root_lb = q;
         self.root_ub = q;
@@ -244,6 +247,7 @@ impl ContinuousQuantile for Hbc {
         let n = net.len();
 
         // --- Validation ---
+        net.set_phase(wsn_net::Phase::Validation);
         let mut contributions: Vec<Option<ValidationPayload>> = Vec::with_capacity(n);
         contributions.push(None);
         for idx in 1..n {

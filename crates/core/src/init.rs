@@ -48,6 +48,10 @@ pub fn run_init(
     query: QueryConfig,
     strategy: InitStrategy,
 ) -> InitOutcome {
+    // Everything from here until the protocol's first validation —
+    // including the filter broadcast callers issue afterwards — is
+    // initialization traffic.
+    net.set_phase(wsn_net::Phase::Init);
     match strategy {
         InitStrategy::Tag => {
             let sorted = collect_all(net, values);

@@ -210,6 +210,7 @@ impl Iq {
         largest: bool,
     ) -> Vec<Value> {
         self.last_refinements += 1;
+        net.set_phase(wsn_net::Phase::Refinement);
         // Request: f plus the interval bounds.
         let bits = PayloadSize::new(net.sizes()).counters(1).values(2).bits();
         net.broadcast_into(bits, &mut self.recv);
@@ -262,6 +263,8 @@ impl Iq {
     /// updates every node's filter, ξ and history (nodes infer "unchanged"
     /// from the absence of a broadcast, §4.2.2).
     fn conclude(&mut self, net: &mut Network, q: Value) {
+        // The filter broadcast disseminates the refined answer.
+        net.set_phase(wsn_net::Phase::Refinement);
         let changed = q != self.root_filter;
         self.root_filter = q;
         self.root_xi = Self::update_history(&mut self.root_history, self.config.m, q);
@@ -294,6 +297,7 @@ impl ContinuousQuantile for Iq {
         let n = net.len();
 
         // --- Validation (counters + hint + multiset A) ---
+        net.set_phase(wsn_net::Phase::Validation);
         let mut contributions: Vec<Option<ValidationPayload>> = Vec::with_capacity(n);
         contributions.push(None);
         for idx in 1..n {

@@ -132,6 +132,7 @@ impl Lcll {
         values: &[Value],
         dir: Direction,
     ) -> Value {
+        net.set_phase(wsn_net::Phase::Refinement);
         let k = self.query.k;
         let n_total = self.counts.n();
         let capacity = net.sizes().values_per_message() as u64;
@@ -255,6 +256,7 @@ impl Lcll {
 
     /// Slip refining: slide a width-`b` unit-bucket window stepwise.
     fn refine_slip(&mut self, net: &mut Network, values: &[Value], dir: Direction) -> Value {
+        net.set_phase(wsn_net::Phase::Refinement);
         let k = self.query.k;
         let n_total = self.counts.n();
         let step = self.b as Value;
@@ -351,6 +353,7 @@ impl ContinuousQuantile for Lcll {
         let n = net.len();
 
         // --- Validation: delta pairs over {below, at, above} ---
+        net.set_phase(wsn_net::Phase::Validation);
         let mut contributions: Vec<Option<DeltaHistogram>> = Vec::with_capacity(n);
         contributions.push(None);
         for idx in 1..n {

@@ -341,6 +341,7 @@ impl ContinuousQuantile for LcllRange {
         let code_len = self.top.buckets + self.sub.buckets;
 
         // --- Validation: deltas over the two-level partition ---
+        net.set_phase(wsn_net::Phase::Validation);
         let mut contributions: Vec<Option<DeltaHistogram>> = Vec::with_capacity(n);
         contributions.push(None);
         for idx in 1..n {
@@ -386,6 +387,9 @@ impl ContinuousQuantile for LcllRange {
         }
 
         // --- Locate; refocus only when the quantile escaped ---
+        // (Refocus/descent traffic below is refinement; during the init
+        // round `refocus` runs under the Init phase instead.)
+        net.set_phase(wsn_net::Phase::Refinement);
         let result = match self.locate(self.query.k) {
             Some(Located::SubCell {
                 cell,

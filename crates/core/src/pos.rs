@@ -219,6 +219,7 @@ impl ContinuousQuantile for Pos {
         let n = net.len();
 
         // --- Validation ---
+        net.set_phase(wsn_net::Phase::Validation);
         let mut contributions: Vec<Option<ValidationPayload>> = Vec::with_capacity(n);
         contributions.push(None); // root
         for idx in 1..n {
@@ -255,6 +256,7 @@ impl ContinuousQuantile for Pos {
         }
 
         // --- Refinement: binary search with hints ---
+        net.set_phase(wsn_net::Phase::Refinement);
         let filter = self.root_filter;
         let dir = self
             .counts

@@ -15,7 +15,7 @@
 //! idempotent (cheap clones of precomputed payloads, not fresh state
 //! transitions).
 
-use wsn_net::{Aggregate, Network, NodeId};
+use wsn_net::{Aggregate, Network, NodeId, Phase};
 
 /// Upper bound on wave re-issues per [`collect_with_recovery`] call, so a
 /// hopeless wave (e.g. a partitioned subtree) terminates.
@@ -41,7 +41,10 @@ where
     }
 
     // Union of the dropped subtrees: the nodes whose contribution the sink
-    // has not seen yet.
+    // has not seen yet. The re-issued waves are recovery traffic, whatever
+    // phase the original wave ran in.
+    let caller_phase = net.phase();
+    net.set_phase(Phase::Recovery);
     let mut missing = Vec::new();
     net.mark_dropped_subtrees(&mut missing);
     let mut scratch = Vec::new();
@@ -74,6 +77,7 @@ where
             break;
         }
     }
+    net.set_phase(caller_phase);
     result
 }
 

@@ -37,6 +37,10 @@ impl ContinuousQuantile for Tag {
     }
 
     fn round(&mut self, net: &mut Network, values: &[Value]) -> Value {
+        // Every TAG round *is* the initialization collection (§3.2 calls
+        // POS's init "an aggregation technique equivalent to TAG"), so its
+        // traffic is attributed to the Init phase.
+        net.set_phase(wsn_net::Phase::Init);
         let k = self.query.k as usize;
         let collected = net
             .convergecast_with(

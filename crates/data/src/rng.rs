@@ -1,10 +1,13 @@
 //! Deterministic pseudo-random number generation.
 //!
 //! A self-contained xoshiro256** implementation (Blackman & Vigna), seeded
-//! through splitmix64. We implement it in-repo rather than depending on the
-//! `rand` crate so that every simulation run is bit-reproducible across
-//! `rand` version bumps — reproducibility is the whole point of a
-//! reproduction repository.
+//! through the workspace-shared splitmix64
+//! ([`wsn_net::splitmix::SplitMix64`]). We implement it in-repo rather
+//! than depending on the `rand` crate so that every simulation run is
+//! bit-reproducible across `rand` version bumps — reproducibility is the
+//! whole point of a reproduction repository.
+
+use wsn_net::splitmix::SplitMix64;
 
 /// xoshiro256** generator.
 #[derive(Debug, Clone)]
@@ -15,15 +18,8 @@ pub struct Rng {
 impl Rng {
     /// Seeds the generator from a single `u64` via splitmix64.
     pub fn seed_from_u64(seed: u64) -> Self {
-        let mut sm = seed;
-        let mut next_sm = || {
-            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
-            let mut z = sm;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            z ^ (z >> 31)
-        };
-        let s = [next_sm(), next_sm(), next_sm(), next_sm()];
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
         Rng { s }
     }
 
@@ -108,6 +104,29 @@ mod tests {
         let mut b = Rng::seed_from_u64(123);
         for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// Seeding must stay bit-identical to the splitmix64 closure this
+    /// module open-coded before the generator was shared with `wsn-net` —
+    /// every published experiment seed depends on it.
+    #[test]
+    fn seeding_matches_the_old_inline_splitmix() {
+        for seed in [0u64, 1, 123, 0xC0FFEE, u64::MAX] {
+            let mut sm = seed;
+            let mut next_sm = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let old = Rng {
+                s: [next_sm(), next_sm(), next_sm(), next_sm()],
+            };
+            let mut new = Rng::seed_from_u64(seed);
+            assert_eq!(old.s, new.s, "seed {seed}");
+            let _ = new.next_u64();
         }
     }
 

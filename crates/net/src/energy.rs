@@ -194,15 +194,29 @@ impl EnergyLedger {
     }
 
     /// Mean per-round consumption of each node (`consumed / rounds`).
-    /// Empty until at least one round completed.
+    /// All-zero until at least one round completed — the division by zero
+    /// rounds would otherwise poison every entry with NaN (idle ledger) or
+    /// ∞ (charged but never snapshotted), and those propagate silently
+    /// through any downstream mean/max.
     pub fn mean_per_round(&self) -> Vec<f64> {
         if self.rounds_recorded == 0 {
-            return Vec::new();
+            return vec![0.0; self.consumed.len()];
         }
         self.consumed
             .iter()
             .map(|&e| e / self.rounds_recorded as f64)
             .collect()
+    }
+
+    /// Cumulative consumption of every node, indexed by node id (the
+    /// replay target of [`crate::audit::EnergyAuditor`]).
+    pub fn consumed_per_node(&self) -> &[f64] {
+        &self.consumed
+    }
+
+    /// Cumulative *transmit* consumption of every node, indexed by node id.
+    pub fn consumed_tx_per_node(&self) -> &[f64] {
+        &self.consumed_tx
     }
 
     /// Estimated network lifetime in rounds: how many rounds until the
@@ -326,6 +340,22 @@ mod tests {
         let mut fresh = EnergyLedger::new(2);
         fresh.charge(NodeId(1), 9e-6);
         assert_eq!(fresh.max_round_sensor_consumption(), 0.0);
+    }
+
+    /// Regression: with zero completed rounds, `mean_per_round` used to
+    /// divide by zero — NaN per node on an idle ledger, ∞ once anything
+    /// had been charged. It must return a zeroed per-node vector instead.
+    #[test]
+    fn mean_per_round_with_zero_rounds_is_zero_not_nan() {
+        let mut l = EnergyLedger::new(3);
+        assert_eq!(l.mean_per_round(), vec![0.0; 3]);
+        l.charge(NodeId(1), 5e-6);
+        let means = l.mean_per_round();
+        assert_eq!(means.len(), 3);
+        assert!(means.iter().all(|m| m.is_finite() && *m == 0.0));
+        // After a round completes the real means appear.
+        l.end_round();
+        assert!((l.mean_per_round()[1] - 5e-6).abs() < 1e-18);
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //!   aggregation and energy accounting,
 //! * [`loss`] — optional Bernoulli link-loss model (paper §6 future work),
 //! * [`reliability`] — optional ARQ, wave recovery and crash-stop node
-//!   failures with routing-tree repair (the other half of §6).
+//!   failures with routing-tree repair (the other half of §6),
+//! * [`splitmix`] — the workspace-shared splitmix64 generator behind every
+//!   stochastic model,
+//! * [`audit`] — per-transmission event log, per-phase energy attribution
+//!   and a bit-exact replay auditor for the ledger.
 //!
 //! The substrate is deliberately protocol-agnostic: quantile algorithms in
 //! `cqp-core` express themselves purely through [`network::Network`]
@@ -42,6 +46,7 @@
 //! assert!(net.ledger().max_sensor_consumption() > 0.0); // tx/rx charged
 //! ```
 
+pub mod audit;
 pub mod codec;
 pub mod energy;
 pub mod geometry;
@@ -49,9 +54,11 @@ pub mod loss;
 pub mod message;
 pub mod network;
 pub mod reliability;
+pub mod splitmix;
 pub mod topology;
 pub mod tree;
 
+pub use audit::{AuditLog, AuditReport, EnergyAuditor, Phase, PhaseBreakdown, TxEvent, TxKind};
 pub use energy::{EnergyLedger, RadioModel};
 pub use geometry::Point;
 pub use message::{MessageSizes, PayloadSize};

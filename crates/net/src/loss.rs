@@ -5,14 +5,17 @@
 //! This module provides the loss process used by the `ext-loss` experiments:
 //! each logical message is lost independently with probability `p`.
 //!
-//! The generator is a self-contained splitmix64 so that `wsn-net` stays
+//! The generator is the shared in-repo splitmix64
+//! ([`crate::splitmix::SplitMix64`]) so that `wsn-net` stays
 //! dependency-free and runs are reproducible.
+
+use crate::splitmix::SplitMix64;
 
 /// Independent-and-identically-distributed message loss.
 #[derive(Debug, Clone)]
 pub struct LossModel {
     p: f64,
-    state: u64,
+    stream: SplitMix64,
 }
 
 impl LossModel {
@@ -23,7 +26,10 @@ impl LossModel {
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn new(p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "loss probability out of range");
-        LossModel { p, state: seed }
+        LossModel {
+            p,
+            stream: SplitMix64::new(seed),
+        }
     }
 
     /// The loss probability.
@@ -39,17 +45,7 @@ impl LossModel {
         if self.p >= 1.0 {
             return true;
         }
-        self.next_f64() < self.p
-    }
-
-    fn next_f64(&mut self) -> f64 {
-        // splitmix64 step.
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^= z >> 31;
-        (z >> 11) as f64 / (1u64 << 53) as f64
+        self.stream.next_f64() < self.p
     }
 }
 

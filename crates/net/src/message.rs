@@ -46,6 +46,35 @@ impl Default for MessageSizes {
 }
 
 impl MessageSizes {
+    /// Checks that the sizes describe a usable message format. Degenerate
+    /// configurations used to surface as divide-by-zero panics (or silent
+    /// zero-capacity messages) deep inside protocol code; this validates
+    /// them at the boundary instead. [`crate::network::Network::new`]
+    /// rejects invalid sizes up front.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_payload_bits == 0 {
+            return Err("max_payload_bits must be positive".into());
+        }
+        if self.value_bits == 0 {
+            return Err("value_bits must be positive".into());
+        }
+        if self.value_bits > self.max_payload_bits {
+            return Err(format!(
+                "value_bits ({}) exceeds max_payload_bits ({}): \
+                 no measurement fits a message",
+                self.value_bits, self.max_payload_bits
+            ));
+        }
+        Ok(())
+    }
+
+    /// [`MessageSizes::validate`] as a checked constructor: returns the
+    /// sizes unchanged when they are usable.
+    pub fn checked(self) -> Result<Self, String> {
+        self.validate()?;
+        Ok(self)
+    }
+
     /// `s_r`: size of a basic refinement request payload — an interval
     /// `[lb, ub]`, i.e. two values (paper Table 1).
     pub fn refinement_request_bits(&self) -> u64 {
@@ -56,7 +85,8 @@ impl MessageSizes {
     /// defaults (§5.1.6: POS sends values directly when they fit one
     /// message).
     pub fn values_per_message(&self) -> usize {
-        (self.max_payload_bits / self.value_bits) as usize
+        debug_assert!(self.validate().is_ok(), "invalid MessageSizes");
+        (self.max_payload_bits / self.value_bits.max(1)) as usize
     }
 
     /// Splits a `payload_bits`-sized payload into messages and returns the
@@ -64,7 +94,8 @@ impl MessageSizes {
     /// header per fragment). A zero-size payload still costs one message:
     /// the header itself carries the "I have something to say" signal.
     pub fn fragment(&self, payload_bits: u64) -> (u64, u64) {
-        let fragments = payload_bits.div_ceil(self.max_payload_bits).max(1);
+        debug_assert!(self.validate().is_ok(), "invalid MessageSizes");
+        let fragments = payload_bits.div_ceil(self.max_payload_bits.max(1)).max(1);
         (fragments, payload_bits + fragments * self.header_bits)
     }
 
@@ -187,6 +218,30 @@ mod tests {
             .raw_bits(5)
             .bits();
         assert_eq!(bits, 4 * 16 + 3 * 16 + 2 * 24 + 5);
+    }
+
+    #[test]
+    fn validation_rejects_each_degenerate_size() {
+        assert!(MessageSizes::default().validate().is_ok());
+        assert!(MessageSizes::default().checked().is_ok());
+        let zero_value = MessageSizes {
+            value_bits: 0,
+            ..MessageSizes::default()
+        };
+        assert!(zero_value.validate().is_err(), "value_bits == 0");
+        let zero_payload = MessageSizes {
+            max_payload_bits: 0,
+            ..MessageSizes::default()
+        };
+        assert!(zero_payload.validate().is_err(), "max_payload_bits == 0");
+        let oversized_value = MessageSizes {
+            value_bits: 2048,
+            ..MessageSizes::default()
+        };
+        assert!(
+            oversized_value.checked().is_err(),
+            "value_bits > max_payload_bits"
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 
 use std::any::{Any, TypeId};
 
+use crate::audit::{AuditLog, Phase, PhaseBreakdown, TxKind};
 use crate::energy::{EnergyLedger, RadioModel};
 use crate::loss::LossModel;
 use crate::message::MessageSizes;
@@ -153,6 +154,11 @@ pub struct Network {
     wave: WaveReport,
     failures: Option<FailureModel>,
     alive: Vec<bool>,
+    /// The protocol phase currently charged for traffic (see
+    /// [`Network::set_phase`]).
+    phase: Phase,
+    phases: PhaseBreakdown,
+    audit: AuditLog,
     scratch: ScratchPool,
 }
 
@@ -179,6 +185,9 @@ fn send_over_link(
     stats: &mut TrafficStats,
     rel: &mut ReliabilityStats,
     loss: &mut Option<LossModel>,
+    phase: Phase,
+    phases: &mut PhaseBreakdown,
+    audit: &mut AuditLog,
     arq_retries: u32,
     from: NodeId,
     to: NodeId,
@@ -189,12 +198,16 @@ fn send_over_link(
     stats.values += values as u64;
     let Some(loss) = loss.as_mut() else {
         let (fragments, total_bits) = sizes.fragment(payload_bits);
-        ledger.charge_tx(from, model.tx_energy(total_bits, range));
+        let tx = model.tx_energy(total_bits, range);
+        let rx = model.rx_energy(total_bits);
+        ledger.charge_tx(from, tx);
         // The receiver listens according to its schedule, so it pays for
         // the reception even if the message is corrupted.
-        ledger.charge(to, model.rx_energy(total_bits));
+        ledger.charge(to, rx);
         stats.messages += fragments;
         stats.bits += total_bits;
+        phases.charge(phase, fragments, total_bits, tx + rx);
+        audit.record(phase, TxKind::Data, from, to, fragments, total_bits, tx, rx);
         rel.delivered += 1;
         return true;
     };
@@ -203,10 +216,14 @@ fn send_over_link(
         let mut frag_arrived = false;
         let mut attempt = 0u32;
         loop {
-            ledger.charge_tx(from, model.tx_energy(frag_bits, range));
-            ledger.charge(to, model.rx_energy(frag_bits));
+            let tx = model.tx_energy(frag_bits, range);
+            let rx = model.rx_energy(frag_bits);
+            ledger.charge_tx(from, tx);
+            ledger.charge(to, rx);
             stats.messages += 1;
             stats.bits += frag_bits;
+            phases.charge(phase, 1, frag_bits, tx + rx);
+            audit.record(phase, TxKind::Data, from, to, 1, frag_bits, tx, rx);
             if attempt > 0 {
                 rel.retransmissions += 1;
             }
@@ -219,9 +236,23 @@ fn send_over_link(
             if arrived {
                 // Immediate ACK `to → from`. A lost ACK burns a retry on a
                 // harmless duplicate — the data is already through.
-                ledger.charge_tx(to, model.tx_energy(sizes.ack_bits, range));
-                ledger.charge(from, model.rx_energy(sizes.ack_bits));
+                let ack_tx = model.tx_energy(sizes.ack_bits, range);
+                let ack_rx = model.rx_energy(sizes.ack_bits);
+                ledger.charge_tx(to, ack_tx);
+                ledger.charge(from, ack_rx);
                 stats.bits += sizes.ack_bits;
+                // ACKs hit bits-on-air but not the data-message count.
+                phases.charge(phase, 0, sizes.ack_bits, ack_tx + ack_rx);
+                audit.record(
+                    phase,
+                    TxKind::Ack,
+                    to,
+                    from,
+                    1,
+                    sizes.ack_bits,
+                    ack_tx,
+                    ack_rx,
+                );
                 rel.acks += 1;
                 if !loss.lose() {
                     break;
@@ -247,6 +278,9 @@ impl Network {
     pub fn new(topo: Topology, tree: RoutingTree, model: RadioModel, sizes: MessageSizes) -> Self {
         let n = topo.len();
         assert_eq!(n, tree.len(), "tree and topology disagree on node count");
+        if let Err(e) = sizes.validate() {
+            panic!("invalid MessageSizes: {e}");
+        }
         Network {
             topo,
             tree,
@@ -260,8 +294,40 @@ impl Network {
             wave: WaveReport::default(),
             failures: None,
             alive: vec![true; n],
+            phase: Phase::default(),
+            phases: PhaseBreakdown::default(),
+            audit: AuditLog::default(),
             scratch: ScratchPool::default(),
         }
+    }
+
+    /// Sets the protocol phase that subsequent traffic is attributed to
+    /// (per-phase counters and audit events). Protocols call this at each
+    /// step boundary; the phase sticks until changed.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// The phase currently charged for traffic.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Per-phase traffic/energy attribution since construction.
+    pub fn phases(&self) -> &PhaseBreakdown {
+        &self.phases
+    }
+
+    /// Enables or disables transmission-event recording. Enable *before*
+    /// any traffic flows: [`crate::audit::EnergyAuditor::verify`] can only
+    /// reconcile a ledger whose every charge was witnessed.
+    pub fn set_audit(&mut self, on: bool) {
+        self.audit.set_enabled(on);
+    }
+
+    /// The transmission log (empty unless auditing is enabled).
+    pub fn audit_log(&self) -> &AuditLog {
+        &self.audit
     }
 
     /// Enables Bernoulli message loss (the §6 future-work extension).
@@ -398,9 +464,15 @@ impl Network {
         &self.stats
     }
 
-    /// Marks the end of a protocol round in the ledger.
+    /// Marks the end of a protocol round in the ledger (and, when auditing,
+    /// snapshots the per-node account so the auditor can reconcile every
+    /// round boundary, not just final totals).
     pub fn end_round(&mut self) {
         self.ledger.end_round();
+        self.audit.end_round(
+            self.ledger.consumed_per_node(),
+            self.ledger.consumed_tx_per_node(),
+        );
     }
 
     /// Charges one unicast transmission of `payload_bits` from `from` to its
@@ -419,6 +491,9 @@ impl Network {
             &mut self.stats,
             &mut self.rel_stats,
             &mut self.loss,
+            self.phase,
+            &mut self.phases,
+            &mut self.audit,
             self.reliability.max_retries,
             from,
             to,
@@ -467,9 +542,13 @@ impl Network {
             reliability,
             rel_stats,
             wave,
+            phase,
+            phases,
+            audit,
             ..
         } = self;
         let arq = reliability.max_retries;
+        let phase = *phase;
 
         // (holder, origin, payload): payloads that died on a link, stashed
         // at the last node that held them so the recovery passes can resume
@@ -513,6 +592,9 @@ impl Network {
                     stats,
                     rel_stats,
                     loss,
+                    phase,
+                    phases,
+                    audit,
                     arq,
                     u,
                     parent,
@@ -547,8 +629,23 @@ impl Network {
                 let mut at = start;
                 let delivered = loop {
                     let parent = tree.parent(at).expect("stranded below the root");
+                    // Recovery climbs are reliability traffic, whatever
+                    // phase stranded the payload.
                     let arrived = send_over_link(
-                        topo, model, sizes, ledger, stats, rel_stats, loss, arq, at, parent, bits,
+                        topo,
+                        model,
+                        sizes,
+                        ledger,
+                        stats,
+                        rel_stats,
+                        loss,
+                        Phase::Recovery,
+                        phases,
+                        audit,
+                        arq,
+                        at,
+                        parent,
+                        bits,
                         values,
                     );
                     if !arrived {
@@ -621,8 +718,12 @@ impl Network {
             loss,
             reliability,
             rel_stats,
+            phase,
+            phases,
+            audit,
             ..
         } = self;
+        let phase = *phase;
         for u in tree.top_down() {
             if !received[u.index()] || tree.is_leaf(u) {
                 continue;
@@ -631,11 +732,36 @@ impl Network {
             // pay because the schedule tells them when to listen). Broadcast
             // frames are unacknowledged, as in 802.15.4; reliability comes
             // from the repair passes below.
-            ledger.charge_tx(u, model.tx_energy(total_bits, topo.radio_range()));
+            let tx = model.tx_energy(total_bits, topo.radio_range());
+            ledger.charge_tx(u, tx);
             stats.messages += fragments;
             stats.bits += total_bits;
+            phases.charge(phase, fragments, total_bits, tx);
+            audit.record(
+                phase,
+                TxKind::BroadcastTx,
+                u,
+                u,
+                fragments,
+                total_bits,
+                tx,
+                0.0,
+            );
             for &c in tree.children(u) {
-                ledger.charge(c, model.rx_energy(total_bits));
+                let rx = model.rx_energy(total_bits);
+                ledger.charge(c, rx);
+                // Bits were already counted once at the transmitter.
+                phases.charge(phase, 0, 0, rx);
+                audit.record(
+                    phase,
+                    TxKind::BroadcastRx,
+                    u,
+                    c,
+                    fragments,
+                    total_bits,
+                    0.0,
+                    rx,
+                );
                 let arrived = match loss {
                     // Each 802.15.4 frame is lost independently and the
                     // child needs every fragment. No short-circuit: every
@@ -666,6 +792,7 @@ impl Network {
                         if received[c.index()] {
                             continue;
                         }
+                        // Repair re-offers are reliability traffic.
                         let arrived = send_over_link(
                             topo,
                             model,
@@ -674,6 +801,9 @@ impl Network {
                             stats,
                             rel_stats,
                             loss,
+                            Phase::Recovery,
+                            phases,
+                            audit,
                             arq,
                             u,
                             c,
@@ -996,5 +1126,94 @@ mod tests {
         // Further rounds are no-ops: everyone is already dead.
         assert_eq!(net.fail_round(), 0);
         assert_eq!(net.reliability_stats().repairs, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid MessageSizes")]
+    fn network_rejects_degenerate_sizes() {
+        let positions = (0..2).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        let topo = Topology::build(positions, 12.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        let sizes = MessageSizes {
+            value_bits: 0,
+            ..MessageSizes::default()
+        };
+        Network::new(topo, tree, RadioModel::default(), sizes);
+    }
+
+    #[test]
+    fn phase_breakdown_sums_to_global_stats() {
+        let mut net = line_network(5);
+        net.set_loss(Some(LossModel::new(0.3, 21)));
+        net.set_reliability(ReliabilityConfig::recovering(2, 3));
+        net.set_phase(Phase::Validation);
+        for _ in 0..50 {
+            net.convergecast(one_value);
+        }
+        net.set_phase(Phase::Refinement);
+        let mut buf = Vec::new();
+        for _ in 0..20 {
+            net.broadcast_into(64, &mut buf);
+        }
+        let b = *net.phases();
+        assert_eq!(b.messages().iter().sum::<u64>(), net.stats().messages);
+        assert_eq!(b.bits().iter().sum::<u64>(), net.stats().bits);
+        assert!(b.get(Phase::Validation).messages > 0);
+        assert!(b.get(Phase::Refinement).messages > 0);
+        assert_eq!(b.get(Phase::Init).messages, 0);
+        // Every joule the ledger saw is attributed to some phase.
+        let total: f64 = net.ledger().consumed_per_node().iter().sum();
+        assert!((b.total_joules() - total).abs() <= 1e-12 * total.max(1.0));
+    }
+
+    #[test]
+    fn audited_lossy_run_reconciles_bit_exactly() {
+        use crate::audit::EnergyAuditor;
+        let mut net = line_network(6);
+        net.set_audit(true);
+        net.set_loss(Some(LossModel::new(0.35, 13)));
+        net.set_reliability(ReliabilityConfig::recovering(3, 4));
+        net.set_failures(Some(FailureModel::new(0.01, 17)));
+        let mut buf = Vec::new();
+        for _ in 0..30 {
+            net.fail_round();
+            net.set_phase(Phase::Validation);
+            net.convergecast(one_value);
+            net.set_phase(Phase::Refinement);
+            net.broadcast_into(100, &mut buf);
+            net.end_round();
+        }
+        let report = EnergyAuditor::verify(&net);
+        assert!(report.is_clean(), "{:?}", report.discrepancies);
+        assert!(report.events > 0);
+        assert_eq!(report.rounds_checked, 30);
+        assert!(net
+            .audit_log()
+            .events()
+            .iter()
+            .any(|e| e.phase == Phase::Recovery));
+    }
+
+    #[test]
+    fn auditing_perturbs_neither_stats_nor_ledger() {
+        // The audit log must be a pure observer: it consumes no randomness
+        // and charges nothing, so an audited run is bit-identical to an
+        // unaudited one.
+        let mut plain = line_network(5);
+        plain.set_loss(Some(LossModel::new(0.3, 99)));
+        plain.set_reliability(ReliabilityConfig::recovering(2, 2));
+        let mut audited = plain.clone();
+        audited.set_audit(true);
+        for _ in 0..100 {
+            plain.convergecast(one_value);
+            audited.convergecast(one_value);
+        }
+        assert_eq!(plain.stats(), audited.stats());
+        for i in 0..plain.len() {
+            let id = NodeId(i as u32);
+            assert!(plain.ledger().consumed(id) == audited.ledger().consumed(id));
+        }
+        assert!(plain.audit_log().events().is_empty());
+        assert!(!audited.audit_log().events().is_empty());
     }
 }

@@ -23,6 +23,7 @@
 //! an incomplete wave and re-issue it instead of silently answering from
 //! corrupted counters.
 
+use crate::splitmix::SplitMix64;
 use crate::topology::NodeId;
 
 /// Link-layer reliability knobs. The default (`max_retries = 0`,
@@ -130,13 +131,13 @@ impl WaveReport {
 /// independently with probability `p`. Dead nodes never transmit, receive
 /// or recover (§6-style fail-stop; no babbling failures).
 ///
-/// The generator is the same self-contained splitmix64 as
-/// [`crate::loss::LossModel`], so failure schedules are reproducible from
-/// the seed alone.
+/// The generator is the same shared splitmix64 as
+/// [`crate::loss::LossModel`] ([`crate::splitmix::SplitMix64`]), so failure
+/// schedules are reproducible from the seed alone.
 #[derive(Debug, Clone)]
 pub struct FailureModel {
     p: f64,
-    state: u64,
+    stream: SplitMix64,
 }
 
 impl FailureModel {
@@ -146,7 +147,10 @@ impl FailureModel {
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn new(p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "failure probability out of range");
-        FailureModel { p, state: seed }
+        FailureModel {
+            p,
+            stream: SplitMix64::new(seed),
+        }
     }
 
     /// The per-round death probability.
@@ -162,17 +166,7 @@ impl FailureModel {
         if self.p >= 1.0 {
             return true;
         }
-        self.next_f64() < self.p
-    }
-
-    fn next_f64(&mut self) -> f64 {
-        // splitmix64 step (identical to LossModel's generator).
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^= z >> 31;
-        (z >> 11) as f64 / (1u64 << 53) as f64
+        self.stream.next_f64() < self.p
     }
 }
 

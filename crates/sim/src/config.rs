@@ -147,6 +147,11 @@ pub struct SimulationConfig {
     /// nodes, the paper's assumption). The routing tree is repaired after
     /// every failure.
     pub node_failure: Option<f64>,
+    /// Record every transmission and replay it through the energy auditor
+    /// after each run, asserting that the ledger's per-node per-round
+    /// charges reconcile bit-exactly with the recorded traffic. Costs
+    /// memory proportional to the traffic volume; off by default.
+    pub audit: bool,
     /// Dataset.
     pub dataset: DatasetSpec,
 }
@@ -167,6 +172,7 @@ impl Default for SimulationConfig {
             loss: None,
             reliability: ReliabilityConfig::default(),
             node_failure: None,
+            audit: false,
             dataset: DatasetSpec::Synthetic(SyntheticConfig::default()),
         }
     }

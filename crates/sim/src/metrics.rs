@@ -1,4 +1,7 @@
-//! The performance indicators of §5.1.5.
+//! The performance indicators of §5.1.5, plus the per-phase energy
+//! breakdown and audit counters of the transmission-audit layer.
+
+use wsn_net::Phase;
 
 /// Metrics of a single simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +38,17 @@ pub struct RunMetrics {
     pub peak_round_energy: f64,
     /// Sensors killed by the crash-stop failure process (0 without one).
     pub failed_nodes: u32,
+    /// Total energy charged per protocol phase (J), indexed by
+    /// [`Phase::index`] (init, validation, refinement, recovery, other).
+    pub phase_joules: [f64; Phase::COUNT],
+    /// Total bits on air per protocol phase, indexed like `phase_joules`.
+    pub phase_bits: [u64; Phase::COUNT],
+    /// Transmission events replayed by the energy auditor (0 when the run
+    /// was not audited).
+    pub audit_events: u64,
+    /// Ledger/replay mismatches the auditor found (always 0 on a healthy
+    /// build; any other value is a conservation bug).
+    pub audit_discrepancies: u32,
 }
 
 impl Default for RunMetrics {
@@ -54,6 +68,10 @@ impl Default for RunMetrics {
             retransmissions_per_round: 0.0,
             peak_round_energy: 0.0,
             failed_nodes: 0,
+            phase_joules: [0.0; Phase::COUNT],
+            phase_bits: [0; Phase::COUNT],
+            audit_events: 0,
+            audit_discrepancies: 0,
         }
     }
 }
@@ -101,6 +119,15 @@ pub struct AggregatedMetrics {
     pub peak_round_energy: f64,
     /// Mean sensors killed per run.
     pub failed_nodes: f64,
+    /// Mean per-run energy per protocol phase (J), indexed by
+    /// [`Phase::index`].
+    pub phase_joules: [f64; Phase::COUNT],
+    /// Mean per-run bits on air per protocol phase.
+    pub phase_bits: [f64; Phase::COUNT],
+    /// Transmission events audited across all runs.
+    pub audit_events: u64,
+    /// Auditor discrepancies across all runs (must be 0).
+    pub audit_discrepancies: u64,
 }
 
 impl AggregatedMetrics {
@@ -133,6 +160,10 @@ impl AggregatedMetrics {
             retransmissions_per_round: mean(&|r: &RunMetrics| r.retransmissions_per_round),
             peak_round_energy: mean(&|r: &RunMetrics| r.peak_round_energy),
             failed_nodes: mean(&|r: &RunMetrics| r.failed_nodes as f64),
+            phase_joules: std::array::from_fn(|p| mean(&|r: &RunMetrics| r.phase_joules[p])),
+            phase_bits: std::array::from_fn(|p| mean(&|r: &RunMetrics| r.phase_bits[p] as f64)),
+            audit_events: runs.iter().map(|r| r.audit_events).sum(),
+            audit_discrepancies: runs.iter().map(|r| r.audit_discrepancies as u64).sum(),
         }
     }
 }

@@ -164,6 +164,38 @@ pub fn render_ablation_with_error(title: &str, rows: &[crate::experiments::Ablat
     out
 }
 
+/// Renders the per-phase energy/traffic breakdown of an aggregated
+/// experiment (mean per run), plus the audit summary when the runs were
+/// audited.
+pub fn render_phase_breakdown(title: &str, m: &AggregatedMetrics) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{title} — energy by protocol phase\n{:<12}  {:>14}  {:>9}  {:>14}\n",
+        "phase", "energy [mJ]", "share [%]", "bits"
+    ));
+    out.push_str(&"-".repeat(57));
+    out.push('\n');
+    let total: f64 = m.phase_joules.iter().sum();
+    for phase in wsn_net::Phase::ALL {
+        let j = m.phase_joules[phase.index()];
+        let share = if total > 0.0 { j / total * 100.0 } else { 0.0 };
+        out.push_str(&format!(
+            "{:<12}  {:>14}  {:>9}  {:>14}\n",
+            phase.name(),
+            format_value(j * 1e3),
+            format_value(share),
+            format_value(m.phase_bits[phase.index()])
+        ));
+    }
+    if m.audit_events > 0 {
+        out.push_str(&format!(
+            "audit: {} events replayed, {} discrepancies\n",
+            m.audit_events, m.audit_discrepancies
+        ));
+    }
+    out
+}
+
 /// Renders the Figure-4 Ξ trace as a text series.
 pub fn render_xi_trace(trace: &[XiTraceRow]) -> String {
     let mut out = String::from(
@@ -266,6 +298,28 @@ mod tests {
             let t = render_table(&r, ind);
             assert!(t.contains(ind.label()));
         }
+    }
+
+    #[test]
+    fn phase_breakdown_renders_all_phases_and_audit_line() {
+        let mut run = RunMetrics {
+            phase_joules: [0.25, 0.5, 0.25, 0.0, 0.0],
+            phase_bits: [2500, 5000, 2500, 0, 0],
+            audit_events: 42,
+            audit_discrepancies: 0,
+            ..RunMetrics::default()
+        };
+        let agg = AggregatedMetrics::from_runs(&[run]);
+        let t = render_phase_breakdown("IQ", &agg);
+        for name in ["init", "validation", "refinement", "recovery", "other"] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+        assert!(t.contains("50.00"), "validation share, table was:\n{t}");
+        assert!(t.contains("42 events replayed, 0 discrepancies"));
+        // Without audited events the audit line disappears.
+        run.audit_events = 0;
+        let silent = render_phase_breakdown("IQ", &AggregatedMetrics::from_runs(&[run]));
+        assert!(!silent.contains("audit:"));
     }
 
     #[test]

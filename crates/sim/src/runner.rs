@@ -5,7 +5,7 @@ use wsn_data::som::som_placement;
 use wsn_data::walks::{RandomWalkDataset, RegimeDataset};
 use wsn_data::{Dataset, PressureDataset, Rng, SyntheticDataset};
 use wsn_net::loss::LossModel;
-use wsn_net::{FailureModel, Network, NodeId, Point, RoutingTree, Topology};
+use wsn_net::{EnergyAuditor, FailureModel, Network, NodeId, Point, RoutingTree, Topology};
 
 use crate::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 use crate::metrics::{AggregatedMetrics, RunMetrics};
@@ -126,6 +126,9 @@ pub fn run_once_with(
     let query = QueryConfig::phi(cfg.phi, n, dataset.range_min(), dataset.range_max());
     let mut alg = builder(query, &cfg.sizes);
     let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
+    // The audit log is a pure observer (no RNG draws, no charges), so
+    // enabling it cannot change any other metric.
+    net.set_audit(cfg.audit);
     if let Some(p) = cfg.loss {
         net.set_loss(Some(LossModel::new(p, rng.next_u64())));
     }
@@ -171,6 +174,18 @@ pub fn run_once_with(
         rank_error_sum += err;
     }
 
+    let (audit_events, audit_discrepancies) = if cfg.audit {
+        let report = EnergyAuditor::verify(&net);
+        debug_assert!(
+            report.is_clean(),
+            "energy audit failed: {:?}",
+            report.discrepancies
+        );
+        (report.events, report.discrepancies.len() as u32)
+    } else {
+        (0, 0)
+    };
+
     let rounds = cfg.rounds.max(1) as f64;
     let ledger = net.ledger();
     let hotspot = ledger.max_sensor_consumption() / rounds;
@@ -190,6 +205,10 @@ pub fn run_once_with(
         retransmissions_per_round: rel.retransmissions as f64 / rounds,
         peak_round_energy: ledger.max_round_sensor_consumption(),
         failed_nodes: rel.failed_nodes as u32,
+        phase_joules: net.phases().joules(),
+        phase_bits: net.phases().bits(),
+        audit_events,
+        audit_discrepancies,
     }
 }
 
@@ -464,6 +483,46 @@ mod tests {
         let a = run_once(&cfg, AlgorithmKind::Iq, 0);
         let b = run_once(&cfg, AlgorithmKind::Iq, 0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn audited_runs_are_clean_and_perturb_nothing() {
+        let plain_cfg = SimulationConfig {
+            loss: Some(0.3),
+            reliability: wsn_net::ReliabilityConfig::recovering(3, 4),
+            node_failure: Some(0.01),
+            ..tiny_cfg()
+        };
+        let audited_cfg = SimulationConfig {
+            audit: true,
+            ..plain_cfg.clone()
+        };
+        let plain = run_once(&plain_cfg, AlgorithmKind::Pos, 0);
+        let audited = run_once(&audited_cfg, AlgorithmKind::Pos, 0);
+        assert!(audited.audit_events > 0, "lossy run must log traffic");
+        assert_eq!(audited.audit_discrepancies, 0, "ledger must reconcile");
+        // Auditing is observation only: every other metric is bit-identical.
+        let neutralized = RunMetrics {
+            audit_events: 0,
+            ..audited
+        };
+        assert_eq!(neutralized, plain);
+    }
+
+    #[test]
+    fn phase_traffic_partitions_the_totals() {
+        let cfg = tiny_cfg();
+        let m = run_once(&cfg, AlgorithmKind::Hbc, 0);
+        let joules: f64 = m.phase_joules.iter().sum();
+        assert!(joules > 0.0, "phases must see the traffic");
+        let bits: u64 = m.phase_bits.iter().sum();
+        let total_bits = m.bits_per_round * cfg.rounds as f64;
+        assert!(
+            (bits as f64 - total_bits).abs() <= 1e-6 * total_bits,
+            "phase bits {bits} vs stats bits {total_bits}"
+        );
+        // HBC never runs wave recovery on reliable links.
+        assert_eq!(m.phase_bits[wsn_net::Phase::Recovery.index()], 0);
     }
 
     #[test]

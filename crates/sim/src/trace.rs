@@ -4,7 +4,7 @@
 
 use cqp_core::ContinuousQuantile;
 use wsn_data::Dataset;
-use wsn_net::Network;
+use wsn_net::{Network, Phase};
 
 use crate::Value;
 
@@ -29,6 +29,9 @@ pub struct RoundRecord {
     pub min: Value,
     /// Largest measurement this round.
     pub max: Value,
+    /// Bits on air in this round per protocol phase, indexed by
+    /// [`Phase::index`] (init, validation, refinement, recovery, other).
+    pub phase_bits: [u64; Phase::COUNT],
 }
 
 /// Runs `alg` over `dataset` for `rounds` rounds on `net`, recording every
@@ -46,12 +49,21 @@ pub fn trace_run(
     let mut out = Vec::with_capacity(rounds as usize);
     let mut prev_stats = *net.stats();
     let mut prev_hotspot = net.ledger().max_sensor_consumption();
+    let mut prev_phase_bits = net.phases().bits();
     for t in 0..rounds {
         dataset.sample_round(t, &mut values);
         let quantile = alg.round(net, &values);
         let truth = cqp_core::rank::kth_smallest(&values, k);
         let stats = *net.stats();
         let hotspot = net.ledger().max_sensor_consumption();
+        let phase_bits = net.phases().bits();
+        let mut delta = [0u64; Phase::COUNT];
+        for (d, (now, before)) in delta
+            .iter_mut()
+            .zip(phase_bits.iter().zip(prev_phase_bits.iter()))
+        {
+            *d = now - before;
+        }
         out.push(RoundRecord {
             round: t,
             quantile,
@@ -62,20 +74,24 @@ pub fn trace_run(
             hotspot_energy: hotspot - prev_hotspot,
             min: *values.iter().min().expect("non-empty network"),
             max: *values.iter().max().expect("non-empty network"),
+            phase_bits: delta,
         });
         prev_stats = stats;
         prev_hotspot = hotspot;
+        prev_phase_bits = phase_bits;
     }
     out
 }
 
 /// Renders a trace as CSV (with header), ready for external plotting.
 pub fn to_csv(trace: &[RoundRecord]) -> String {
-    let mut out =
-        String::from("round,quantile,truth,messages,values,bits,hotspot_energy_j,min,max\n");
+    let mut out = String::from(
+        "round,quantile,truth,messages,values,bits,hotspot_energy_j,min,max,\
+         bits_init,bits_validation,bits_refinement,bits_recovery,bits_other\n",
+    );
     for r in trace {
         out.push_str(&format!(
-            "{},{},{},{},{},{},{:.9e},{},{}\n",
+            "{},{},{},{},{},{},{:.9e},{},{},{},{},{},{},{}\n",
             r.round,
             r.quantile,
             r.truth,
@@ -84,7 +100,12 @@ pub fn to_csv(trace: &[RoundRecord]) -> String {
             r.bits,
             r.hotspot_energy,
             r.min,
-            r.max
+            r.max,
+            r.phase_bits[0],
+            r.phase_bits[1],
+            r.phase_bits[2],
+            r.phase_bits[3],
+            r.phase_bits[4]
         ));
     }
     out
@@ -141,6 +162,28 @@ mod tests {
             init_bits > later_max,
             "full collection ({init_bits}) must dominate update rounds ({later_max})"
         );
+    }
+
+    #[test]
+    fn phase_bits_partition_the_round_bits() {
+        let n = 80;
+        let (mut net, mut ds) = world(n);
+        let query = QueryConfig::median(n, ds.range_min(), ds.range_max());
+        let mut iq = Iq::new(query, IqConfig::default());
+        let trace = trace_run(&mut net, &mut iq, &mut ds, 15, query.k);
+        for r in &trace {
+            assert_eq!(
+                r.phase_bits.iter().sum::<u64>(),
+                r.bits,
+                "round {}",
+                r.round
+            );
+        }
+        // Round 0 is the initialization collection; afterwards IQ's traffic
+        // is validation (plus occasional refinements), never init again.
+        assert!(trace[0].phase_bits[Phase::Init.index()] > 0);
+        assert_eq!(trace[1].phase_bits[Phase::Init.index()], 0);
+        assert!(trace[1].phase_bits[Phase::Validation.index()] > 0);
     }
 
     #[test]

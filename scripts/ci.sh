@@ -24,4 +24,9 @@ echo "==> ext-reliability smoke (ARQ + wave recovery under 30% loss)"
 ./target/release/simulate --algorithm POS --nodes 80 --rounds 30 --runs 2 \
     --loss 0.3 --retries 3 --recovery 4 --seed 7 --threads 2
 
+echo "==> energy-audit smoke (--audit must reconcile bit-exactly, exit 0)"
+./target/release/simulate --algorithm IQ --nodes 60 --rounds 20 --runs 2 \
+    --loss 0.3 --retries 3 --recovery 4 --node-failures 0.01 \
+    --seed 11 --threads 2 --audit
+
 echo "ci.sh: all gates passed"
