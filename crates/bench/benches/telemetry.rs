@@ -1,0 +1,42 @@
+//! Cost of the observability layer: per-protocol wall-clock of a full
+//! simulation run with telemetry off (the default), with the span
+//! recorder on, and with the audit log + packet capture on — the numbers
+//! behind "disabled telemetry is free" in DESIGN.md.
+
+mod common;
+
+use common::bench_base;
+use wsn_bench::harness::Harness;
+use wsn_sim::config::{AlgorithmKind, SimulationConfig};
+use wsn_sim::runner::run_once;
+
+fn main() {
+    let mut h = Harness::from_args("telemetry_overhead");
+    let base = bench_base();
+    for alg in [AlgorithmKind::Tag, AlgorithmKind::Hbc, AlgorithmKind::Iq] {
+        let off = h.bench(&format!("{}/off", alg.name()), || {
+            run_once(&base, alg, 0).max_node_energy_per_round
+        });
+        let spans_cfg = SimulationConfig {
+            telemetry: true,
+            ..base.clone()
+        };
+        let spans = h.bench(&format!("{}/spans", alg.name()), || {
+            run_once(&spans_cfg, alg, 0).max_node_energy_per_round
+        });
+        let audit_cfg = SimulationConfig {
+            audit: true,
+            ..base.clone()
+        };
+        h.bench(&format!("{}/audit+capture", alg.name()), || {
+            run_once(&audit_cfg, alg, 0).max_node_energy_per_round
+        });
+        if let (Some(off), Some(spans)) = (off, spans) {
+            h.note(
+                &format!("{}/span_overhead_ratio", alg.name()),
+                spans.median_ns as f64 / off.median_ns.max(1) as f64,
+            );
+        }
+    }
+    h.finish();
+}

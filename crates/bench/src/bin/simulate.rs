@@ -7,6 +7,9 @@
 //! simulate --algorithm POS --loss 0.05
 //! simulate --algorithm IQ --csv trace.csv       # one traced run as CSV
 //! simulate --all --nodes 300                    # compare every protocol
+//! simulate --algorithm IQ --events run.trace.json --capture run.jsonl \
+//!          --metrics-out metrics.prom           # telemetry exporters
+//! simulate diff a.jsonl b.jsonl                 # first divergent frame
 //! ```
 
 use std::io::Write;
@@ -40,6 +43,9 @@ struct Args {
     seed: u64,
     csv: Option<String>,
     json: Option<String>,
+    events: Option<String>,
+    capture: Option<String>,
+    metrics_out: Option<String>,
     threads: usize,
 }
 
@@ -66,6 +72,9 @@ impl Default for Args {
             seed: 0xC0FFEE,
             csv: None,
             json: None,
+            events: None,
+            capture: None,
+            metrics_out: None,
             threads: wsn_sim::parallel::thread_count(),
         }
     }
@@ -183,6 +192,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => args.csv = Some(value(&argv, &mut i, "--csv")?),
             "--json" => args.json = Some(value(&argv, &mut i, "--json")?),
+            "--events" => args.events = Some(value(&argv, &mut i, "--events")?),
+            "--capture" => args.capture = Some(value(&argv, &mut i, "--capture")?),
+            "--metrics-out" => args.metrics_out = Some(value(&argv, &mut i, "--metrics-out")?),
             "--threads" => {
                 args.threads = value(&argv, &mut i, "--threads")?
                     .parse::<usize>()
@@ -211,12 +223,58 @@ fn print_usage() {
                 [--skip S] [--range optimistic|pessimistic]
                 [--loss P] [--retries R] [--recovery PASSES] [--node-failures P]
                 [--audit] [--seed S] [--csv FILE] [--json FILE] [--threads N]
+                [--events FILE] [--capture FILE] [--metrics-out FILE]
+       simulate diff A.jsonl B.jsonl
 
 --audit replays every recorded transmission through the energy auditor and
 prints the per-phase energy breakdown; any ledger discrepancy makes the
 process exit with status 1. --json additionally writes the aggregated
-metrics (including per-phase energy/bits and audit counters) to FILE."
+metrics (including per-phase energy/bits and audit counters) to FILE.
+
+Telemetry exporters (one traced run, like --csv): --events writes a
+Chrome-trace/Perfetto JSON span timeline, --capture writes a JSONL
+packet-level capture, --metrics-out writes a Prometheus-style text dump
+(with the full aggregated experiment instead when no traced-run flag is
+given). `simulate diff` compares two captures and reports the first
+divergent frame (exit 0 identical, 1 divergent, 2 on bad input)."
     );
+}
+
+/// `simulate diff a.jsonl b.jsonl` — parse two packet captures and report
+/// the first divergent frame, or "identical". Exit code 0 when identical,
+/// 1 on divergence, 2 on unreadable/malformed input.
+fn run_diff(paths: &[String]) -> ! {
+    use wsn_net::obs::capture::parse_jsonl;
+    let [path_a, path_b] = paths else {
+        eprintln!("error: diff takes exactly two capture files");
+        print_usage();
+        std::process::exit(2);
+    };
+    let load = |path: &String| -> Vec<wsn_net::obs::PacketRecord> {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(2);
+        });
+        parse_jsonl(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (a, b) = (load(path_a), load(path_b));
+    let d = wsn_net::obs::diff(&a, &b);
+    match d.divergence {
+        None => {
+            println!("identical: {} frames", d.len_a);
+            std::process::exit(0);
+        }
+        Some(div) => {
+            println!(
+                "captures diverge at frame {} (round {}, node {}): {} {} vs {}  [{} vs {} frames total]",
+                div.frame, div.round, div.node, div.field, div.a, div.b, d.len_a, d.len_b
+            );
+            std::process::exit(1);
+        }
+    }
 }
 
 fn build_config(args: &Args) -> Result<SimulationConfig, String> {
@@ -267,11 +325,25 @@ fn build_config(args: &Args) -> Result<SimulationConfig, String> {
     })
 }
 
-fn write_csv_trace(args: &Args, cfg: &SimulationConfig, path: &str) -> Result<(), String> {
+/// Writes `text` to `path`, mapping IO errors to a printable message.
+fn write_file(path: &str, text: &str) -> Result<(), String> {
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(text.as_bytes()))
+        .map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Runs one fully-instrumented run (the same world-building the runner
+/// does, retrying placement until connected) and emits whichever artifacts
+/// were requested: `--csv` per-round trace, `--events` Chrome-trace span
+/// timeline, `--capture` JSONL packet capture, `--metrics-out` Prometheus
+/// dump of the run's telemetry histograms and traffic totals.
+fn traced_run(args: &Args, cfg: &SimulationConfig) -> Result<(), String> {
     use wsn_data::{Dataset, PressureDataset, Rng, SyntheticDataset};
     use wsn_net::{Network, Point, RoutingTree, Topology};
 
-    let kind = args.algorithm.ok_or("--csv needs --algorithm")?;
+    let kind = args
+        .algorithm
+        .ok_or("--csv/--events/--capture need --algorithm")?;
     let mut rng = Rng::seed_from_u64(cfg.seed);
     // Build one world the same way the runner does (simplified: retry
     // placement until connected).
@@ -326,6 +398,10 @@ fn write_csv_trace(args: &Args, cfg: &SimulationConfig, path: &str) -> Result<()
             continue;
         };
         let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
+        // The packet capture rides on the audit log; spans need the
+        // recorder. Only pay for what was asked.
+        net.set_audit(cfg.audit || args.capture.is_some());
+        net.set_telemetry(cfg.telemetry || args.events.is_some());
         let query = cqp_core::QueryConfig::phi(
             cfg.phi,
             dataset.sensor_count(),
@@ -340,14 +416,66 @@ fn write_csv_trace(args: &Args, cfg: &SimulationConfig, path: &str) -> Result<()
             cfg.rounds,
             query.k,
         );
-        let csv = wsn_sim::trace::to_csv(&trace);
-        std::fs::File::create(path)
-            .and_then(|mut f| f.write_all(csv.as_bytes()))
-            .map_err(|e| format!("writing {path}: {e}"))?;
-        eprintln!("wrote {} rounds to {path}", trace.len());
+        if let Some(path) = &args.csv {
+            write_file(path, &wsn_sim::trace::to_csv(&trace))?;
+            eprintln!("wrote {} rounds to {path}", trace.len());
+        }
+        if let Some(path) = &args.events {
+            let events = net.recorder().events();
+            write_file(path, &wsn_net::obs::chrome_trace(events))?;
+            eprintln!("wrote {} span events to {path}", events.len());
+        }
+        if let Some(path) = &args.capture {
+            let frames = net.capture();
+            write_file(path, &wsn_net::obs::capture::to_jsonl(&frames))?;
+            eprintln!("wrote {} captured frames to {path}", frames.len());
+        }
+        if let Some(path) = &args.metrics_out {
+            let mut dump = wsn_net::obs::PromDump::new();
+            let labels = format!(r#"protocol="{}""#, kind.name());
+            let stats = net.stats();
+            dump.counter(
+                "wsn_rounds_total",
+                &labels,
+                "simulation rounds executed",
+                trace.len() as u64,
+            );
+            dump.counter(
+                "wsn_messages_total",
+                &labels,
+                "messages transmitted",
+                stats.messages,
+            );
+            dump.counter("wsn_bits_total", &labels, "bits on air", stats.bits);
+            prom_histograms(&mut dump, &labels, &net.histograms().total());
+            write_file(path, &dump.finish())?;
+            eprintln!("wrote telemetry metrics to {path}");
+        }
         return Ok(());
     }
     Err("could not find a connected placement".into())
+}
+
+/// Appends the four telemetry histograms of a [`wsn_net::obs::HistogramSet`] to a
+/// Prometheus dump under `wsn_<kind>` series names.
+fn prom_histograms(
+    dump: &mut wsn_net::obs::PromDump,
+    labels: &str,
+    hists: &wsn_net::obs::HistogramSet,
+) {
+    use wsn_net::obs::HistKind;
+    for kind in HistKind::ALL {
+        let (name, help) = match kind {
+            HistKind::MsgBits => (
+                "wsn_msg_bits",
+                "per-message bits on air (incl. retransmissions)",
+            ),
+            HistKind::HopDepth => ("wsn_hop_depth", "routing-tree depth of each transmitter"),
+            HistKind::Retries => ("wsn_retries", "ARQ retransmissions per link send"),
+            HistKind::FanIn => ("wsn_fan_in", "children merged per convergecast send"),
+        };
+        dump.histogram(name, labels, help, hists.get(kind));
+    }
 }
 
 /// Serializes an aggregate — the §5.1 indicators plus the per-phase
@@ -390,6 +518,10 @@ fn metrics_json(m: &AggregatedMetrics) -> Json {
 }
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("diff") {
+        run_diff(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
@@ -406,8 +538,8 @@ fn main() {
         }
     };
 
-    if let Some(path) = &args.csv {
-        if let Err(e) = write_csv_trace(&args, &cfg, path) {
+    if args.csv.is_some() || args.events.is_some() || args.capture.is_some() {
+        if let Err(e) = traced_run(&args, &cfg) {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
@@ -495,6 +627,63 @@ fn main() {
         }
         eprintln!(
             "wrote metrics for {} algorithm(s) to {path}",
+            collected.len()
+        );
+    }
+    if let Some(path) = &args.metrics_out {
+        let mut dump = wsn_net::obs::PromDump::new();
+        for (kind, m) in &collected {
+            let labels = format!(r#"protocol="{}""#, kind.name());
+            dump.gauge(
+                "wsn_max_node_energy_joules_per_round",
+                &labels,
+                "mean per-round energy of the hotspot sensor",
+                m.max_node_energy_per_round,
+            );
+            dump.gauge(
+                "wsn_lifetime_rounds",
+                &labels,
+                "network lifetime in rounds",
+                m.lifetime_rounds,
+            );
+            dump.gauge(
+                "wsn_messages_per_round",
+                &labels,
+                "messages transmitted per round",
+                m.messages_per_round,
+            );
+            dump.gauge(
+                "wsn_bits_per_round",
+                &labels,
+                "bits on air per round",
+                m.bits_per_round,
+            );
+            dump.gauge(
+                "wsn_exactness_ratio",
+                &labels,
+                "fraction of rounds answered exactly",
+                m.exactness,
+            );
+            dump.gauge(
+                "wsn_delivery_ratio",
+                &labels,
+                "fraction of payload hops delivered",
+                m.delivery_rate,
+            );
+            dump.counter(
+                "wsn_audit_events_total",
+                &labels,
+                "transmissions replayed by the energy auditor",
+                m.audit_events,
+            );
+            prom_histograms(&mut dump, &labels, &m.hists);
+        }
+        if let Err(e) = std::fs::write(path, dump.finish()) {
+            eprintln!("error: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "wrote Prometheus metrics for {} algorithm(s) to {path}",
             collected.len()
         );
     }

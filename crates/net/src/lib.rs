@@ -66,6 +66,9 @@ pub use network::{Aggregate, Network, TrafficStats};
 pub use reliability::{FailureModel, ReliabilityConfig, ReliabilityStats, WaveReport};
 pub use topology::{NodeId, Topology};
 pub use tree::RoutingTree;
+/// The telemetry substrate (`wsn-obs`), re-exported so downstream crates
+/// reach histogram/span/capture types through one dependency.
+pub use wsn_obs as obs;
 
 /// A sensor measurement. The paper works on an integer universe
 /// `[r_min, r_max]`; we use `i64` so that algorithms can form open-ended

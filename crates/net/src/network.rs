@@ -32,6 +32,7 @@ use crate::message::MessageSizes;
 use crate::reliability::{FailureModel, ReliabilityConfig, ReliabilityStats, WaveReport};
 use crate::topology::{NodeId, Topology};
 use crate::tree::RoutingTree;
+use wsn_obs::{HistKind, NodeHistograms, PacketRecord, Recorder, SpanStart};
 
 /// A mergeable convergecast payload.
 ///
@@ -160,6 +161,19 @@ pub struct Network {
     phases: PhaseBreakdown,
     audit: AuditLog,
     scratch: ScratchPool,
+    /// Per-node telemetry histograms (always on: recording is a fixed-size
+    /// array increment, allocated once here at construction).
+    hists: NodeHistograms,
+    /// Wall-clock span recorder (off by default; see
+    /// [`Network::set_telemetry`]).
+    recorder: Recorder,
+    /// Open span for the current round (null while telemetry is off).
+    round_start: SpanStart,
+    /// Open span for the current phase (null while telemetry is off).
+    phase_start: SpanStart,
+    /// Per-wave scratch: delivered-child-payload counts for the fan-in
+    /// histogram (cleared each convergecast; no steady-state allocation).
+    fanin: Vec<u32>,
 }
 
 /// Sends one logical payload over the single link `from → to`, charging
@@ -188,6 +202,8 @@ fn send_over_link(
     phase: Phase,
     phases: &mut PhaseBreakdown,
     audit: &mut AuditLog,
+    hists: &mut NodeHistograms,
+    rec: &mut Recorder,
     arq_retries: u32,
     from: NodeId,
     to: NodeId,
@@ -195,6 +211,8 @@ fn send_over_link(
     values: usize,
 ) -> bool {
     let range = topo.radio_range();
+    let span = rec.start();
+    let round = audit.round();
     stats.values += values as u64;
     let Some(loss) = loss.as_mut() else {
         let (fragments, total_bits) = sizes.fragment(payload_bits);
@@ -208,10 +226,16 @@ fn send_over_link(
         stats.bits += total_bits;
         phases.charge(phase, fragments, total_bits, tx + rx);
         audit.record(phase, TxKind::Data, from, to, fragments, total_bits, tx, rx);
+        for frag_bits in sizes.fragment_bits(payload_bits) {
+            hists.record(from.index(), HistKind::MsgBits, frag_bits);
+        }
+        hists.record(from.index(), HistKind::Retries, 0);
         rel.delivered += 1;
+        rec.end(phase.name(), from.0 + 1, round, span);
         return true;
     };
     let mut all_arrived = true;
+    let mut link_retries = 0u64;
     for frag_bits in sizes.fragment_bits(payload_bits) {
         let mut frag_arrived = false;
         let mut attempt = 0u32;
@@ -224,8 +248,11 @@ fn send_over_link(
             stats.bits += frag_bits;
             phases.charge(phase, 1, frag_bits, tx + rx);
             audit.record(phase, TxKind::Data, from, to, 1, frag_bits, tx, rx);
+            hists.record(from.index(), HistKind::MsgBits, frag_bits);
             if attempt > 0 {
                 rel.retransmissions += 1;
+                link_retries += 1;
+                rec.instant("arq_retry", from.0 + 1, round);
             }
             let arrived = !loss.lose();
             frag_arrived |= arrived;
@@ -265,11 +292,13 @@ fn send_over_link(
         }
         all_arrived &= frag_arrived;
     }
+    hists.record(from.index(), HistKind::Retries, link_retries);
     if all_arrived {
         rel.delivered += 1;
     } else {
         rel.dropped += 1;
     }
+    rec.end(phase.name(), from.0 + 1, round, span);
     all_arrived
 }
 
@@ -298,13 +327,24 @@ impl Network {
             phases: PhaseBreakdown::default(),
             audit: AuditLog::default(),
             scratch: ScratchPool::default(),
+            hists: NodeHistograms::new(n),
+            recorder: Recorder::default(),
+            round_start: SpanStart::default(),
+            phase_start: SpanStart::default(),
+            fanin: Vec::new(),
         }
     }
 
     /// Sets the protocol phase that subsequent traffic is attributed to
     /// (per-phase counters and audit events). Protocols call this at each
-    /// step boundary; the phase sticks until changed.
+    /// step boundary; the phase sticks until changed. With telemetry on, a
+    /// phase change closes the open phase span and opens the next.
     pub fn set_phase(&mut self, phase: Phase) {
+        if phase != self.phase && self.recorder.is_enabled() {
+            self.recorder
+                .end(self.phase.name(), 0, self.audit.round(), self.phase_start);
+            self.phase_start = self.recorder.start();
+        }
         self.phase = phase;
     }
 
@@ -328,6 +368,40 @@ impl Network {
     /// The transmission log (empty unless auditing is enabled).
     pub fn audit_log(&self) -> &AuditLog {
         &self.audit
+    }
+
+    /// Enables or disables wall-clock span recording (rounds, phases,
+    /// waves, per-link transmissions, ARQ retries). Off by default: a
+    /// disabled recorder costs one branch per tap point and never reads
+    /// the clock or allocates, so untelemetered runs stay bit-identical
+    /// and allocation-free. Enabling resets the span clock to now.
+    pub fn set_telemetry(&mut self, on: bool) {
+        self.recorder.set_enabled(on);
+        self.round_start = self.recorder.start();
+        self.phase_start = self.recorder.start();
+    }
+
+    /// Whether span recording is active.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.recorder.is_enabled()
+    }
+
+    /// The span recorder (its events feed [`wsn_obs::export::chrome_trace`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Per-node telemetry histograms: message bits, hop depth, ARQ
+    /// retries, convergecast fan-in. Always recorded (array increments on
+    /// the hot path, no allocation).
+    pub fn histograms(&self) -> &NodeHistograms {
+        &self.hists
+    }
+
+    /// The packet capture of the run so far (requires
+    /// [`Network::set_audit`] before traffic flows; empty otherwise).
+    pub fn capture(&self) -> Vec<PacketRecord> {
+        self.audit.capture()
     }
 
     /// Enables Bernoulli message loss (the §6 future-work extension).
@@ -466,13 +540,22 @@ impl Network {
 
     /// Marks the end of a protocol round in the ledger (and, when auditing,
     /// snapshots the per-node account so the auditor can reconcile every
-    /// round boundary, not just final totals).
+    /// round boundary, not just final totals). With telemetry on, closes
+    /// the round's phase and round spans and opens the next round's.
     pub fn end_round(&mut self) {
+        let round = self.audit.round();
         self.ledger.end_round();
         self.audit.end_round(
             self.ledger.consumed_per_node(),
             self.ledger.consumed_tx_per_node(),
         );
+        if self.recorder.is_enabled() {
+            self.recorder
+                .end(self.phase.name(), 0, round, self.phase_start);
+            self.recorder.end("round", 0, round, self.round_start);
+            self.round_start = self.recorder.start();
+            self.phase_start = self.recorder.start();
+        }
     }
 
     /// Charges one unicast transmission of `payload_bits` from `from` to its
@@ -494,6 +577,8 @@ impl Network {
             self.phase,
             &mut self.phases,
             &mut self.audit,
+            &mut self.hists,
+            &mut self.recorder,
             self.reliability.max_retries,
             from,
             to,
@@ -545,10 +630,17 @@ impl Network {
             phase,
             phases,
             audit,
+            hists,
+            recorder,
+            fanin,
             ..
         } = self;
         let arq = reliability.max_retries;
         let phase = *phase;
+        let wave_span = recorder.start();
+        let round = audit.round();
+        fanin.clear();
+        fanin.resize(n, 0);
 
         // (holder, origin, payload): payloads that died on a link, stashed
         // at the last node that held them so the recovery passes can resume
@@ -564,6 +656,7 @@ impl Network {
         for &u in tree.bottom_up() {
             let from_children = inbox[u.index()].take();
             let own = if u.is_root() { None } else { local(u) };
+            let merged_in = fanin[u.index()] as u64 + own.is_some() as u64;
             let combined = match (from_children, own) {
                 (Some(mut a), Some(b)) => {
                     a.merge(b);
@@ -582,6 +675,8 @@ impl Network {
             if let Some(mut payload) = combined {
                 prune(u, &mut payload);
                 wave.senders += 1;
+                hists.record(u.index(), HistKind::HopDepth, tree.depth(u) as u64);
+                hists.record(u.index(), HistKind::FanIn, merged_in);
                 let bits = payload.payload_bits(sizes);
                 let parent = tree.parent(u).expect("non-root");
                 let arrived = send_over_link(
@@ -595,6 +690,8 @@ impl Network {
                     phase,
                     phases,
                     audit,
+                    hists,
+                    recorder,
                     arq,
                     u,
                     parent,
@@ -602,6 +699,7 @@ impl Network {
                     payload.value_count(),
                 );
                 if arrived {
+                    fanin[parent.index()] += 1;
                     let slot = &mut inbox[parent.index()];
                     match slot {
                         Some(existing) => existing.merge(payload),
@@ -642,6 +740,8 @@ impl Network {
                         Phase::Recovery,
                         phases,
                         audit,
+                        hists,
+                        recorder,
                         arq,
                         at,
                         parent,
@@ -671,6 +771,8 @@ impl Network {
         for (_, origin, _) in &stranded {
             wave.dropped_roots.push(*origin);
         }
+
+        recorder.end("convergecast", 0, round, wave_span);
 
         // The root applies its prune exactly once, after recovery merged in
         // the late arrivals (it applies the same logic when consuming the
@@ -721,9 +823,13 @@ impl Network {
             phase,
             phases,
             audit,
+            hists,
+            recorder,
             ..
         } = self;
         let phase = *phase;
+        let wave_span = recorder.start();
+        let round = audit.round();
         for u in tree.top_down() {
             if !received[u.index()] || tree.is_leaf(u) {
                 continue;
@@ -737,6 +843,10 @@ impl Network {
             stats.messages += fragments;
             stats.bits += total_bits;
             phases.charge(phase, fragments, total_bits, tx);
+            for frag_bits in sizes.fragment_bits(payload_bits) {
+                hists.record(u.index(), HistKind::MsgBits, frag_bits);
+            }
+            hists.record(u.index(), HistKind::HopDepth, tree.depth(u) as u64);
             audit.record(
                 phase,
                 TxKind::BroadcastTx,
@@ -804,6 +914,8 @@ impl Network {
                             Phase::Recovery,
                             phases,
                             audit,
+                            hists,
+                            recorder,
                             arq,
                             u,
                             c,
@@ -822,6 +934,7 @@ impl Network {
                 }
             }
         }
+        recorder.end("broadcast", 0, round, wave_span);
     }
 }
 
@@ -1192,6 +1305,46 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.phase == Phase::Recovery));
+    }
+
+    #[test]
+    fn telemetry_observes_without_perturbing() {
+        // Histograms are always-on and the recorder is a pure observer:
+        // a fully telemetered run must be bit-identical to a bare one.
+        let mut plain = line_network(5);
+        plain.set_loss(Some(LossModel::new(0.3, 5)));
+        plain.set_reliability(ReliabilityConfig::arq(2));
+        plain.set_phase(Phase::Validation);
+        let mut telem = plain.clone();
+        telem.set_audit(true);
+        telem.set_telemetry(true);
+        for _ in 0..50 {
+            plain.convergecast(one_value);
+            telem.convergecast(one_value);
+            plain.end_round();
+            telem.end_round();
+        }
+        assert_eq!(plain.stats(), telem.stats());
+        assert_eq!(plain.histograms(), telem.histograms());
+        // Every data frame (retransmissions included, ACKs excluded) is a
+        // MsgBits sample, so the histogram count equals the message count.
+        let total = telem.histograms().total();
+        assert_eq!(
+            total.get(wsn_obs::HistKind::MsgBits).count(),
+            telem.stats().messages
+        );
+        assert_eq!(total.get(wsn_obs::HistKind::HopDepth).max(), 4);
+        let events = telem.recorder().events();
+        assert!(events.iter().any(|e| e.name == "round"));
+        assert!(events.iter().any(|e| e.name == "convergecast"));
+        assert!(events.iter().any(|e| e.name == "validation" && e.track > 0));
+        assert!(plain.recorder().events().is_empty());
+        let cap = telem.capture();
+        assert_eq!(cap.len(), telem.audit_log().events().len());
+        assert!(cap
+            .iter()
+            .any(|r| r.kind == "data" && r.phase == "validation"));
+        assert!(plain.capture().is_empty());
     }
 
     #[test]

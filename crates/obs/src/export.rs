@@ -1,0 +1,251 @@
+//! Exporters: Chrome-trace/Perfetto JSON for spans, Prometheus-style text
+//! for metrics and histograms.
+//!
+//! Both formats are deliberately boring — they open in tools people
+//! already have. A `--events out.trace.json` drops straight into
+//! `chrome://tracing` or <https://ui.perfetto.dev> with one track per node;
+//! a `--metrics-out metrics.prom` greps and plots like any node-exporter
+//! scrape.
+
+use crate::hist::LogHistogram;
+use crate::span::{SpanEvent, SpanKind};
+use std::fmt::Write as _;
+
+/// Human-readable label for a track id (track 0 is the engine, track
+/// `i + 1` is node `i`).
+fn track_label(track: u32) -> String {
+    if track == 0 {
+        "engine".to_string()
+    } else {
+        format!("node {}", track - 1)
+    }
+}
+
+/// Serializes recorded spans as a Chrome-trace (`chrome://tracing`,
+/// Perfetto) JSON document.
+///
+/// Every distinct track gets a `thread_name` metadata record so the viewer
+/// shows "engine", "node 0", … instead of bare tids; spans become `ph:"X"`
+/// complete events and instants become `ph:"i"` marks, both carrying the
+/// simulation round in `args`. Timestamps are microseconds (the format's
+/// unit) with sub-µs precision kept as decimals.
+pub fn chrome_trace(events: &[SpanEvent]) -> String {
+    let us = |ns: u64| -> String {
+        // Emit exact µs with up to three decimals, avoiding float rounding.
+        let whole = ns / 1_000;
+        let frac = ns % 1_000;
+        if frac == 0 {
+            format!("{whole}")
+        } else {
+            format!("{whole}.{frac:03}")
+        }
+    };
+    let mut tracks: Vec<u32> = events.iter().map(|e| e.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, item: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&item);
+    };
+    for t in &tracks {
+        push(
+            &mut out,
+            format!(
+                r#"{{"ph":"M","name":"thread_name","pid":1,"tid":{},"args":{{"name":"{}"}}}}"#,
+                t,
+                track_label(*t)
+            ),
+        );
+    }
+    for e in events {
+        let item = match e.kind {
+            SpanKind::Span => format!(
+                r#"{{"ph":"X","name":"{}","pid":1,"tid":{},"ts":{},"dur":{},"args":{{"round":{}}}}}"#,
+                e.name,
+                e.track,
+                us(e.start_ns),
+                us(e.dur_ns),
+                e.round
+            ),
+            SpanKind::Instant => format!(
+                r#"{{"ph":"i","name":"{}","pid":1,"tid":{},"ts":{},"s":"t","args":{{"round":{}}}}}"#,
+                e.name,
+                e.track,
+                us(e.start_ns),
+                e.round
+            ),
+        };
+        push(&mut out, item);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Incremental builder for a Prometheus text-exposition dump.
+///
+/// `# HELP` / `# TYPE` headers are emitted once per metric name (the first
+/// time it appears), so several label sets of the same metric — one per
+/// protocol, say — group under a single header as the format requires.
+#[derive(Debug, Default)]
+pub struct PromDump {
+    out: String,
+    seen: Vec<String>,
+}
+
+impl PromDump {
+    /// Empty dump.
+    pub fn new() -> Self {
+        PromDump::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        if self.seen.iter().any(|s| s == name) {
+            return;
+        }
+        self.seen.push(name.to_string());
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn labelled(name: &str, labels: &str, suffix: &str, extra: Option<&str>) -> String {
+        let mut inner = String::new();
+        if !labels.is_empty() {
+            inner.push_str(labels);
+        }
+        if let Some(e) = extra {
+            if !inner.is_empty() {
+                inner.push(',');
+            }
+            inner.push_str(e);
+        }
+        if inner.is_empty() {
+            format!("{name}{suffix}")
+        } else {
+            format!("{name}{suffix}{{{inner}}}")
+        }
+    }
+
+    /// Appends one gauge sample. `labels` is the raw label body, e.g.
+    /// `protocol="cqp"` (empty for none).
+    pub fn gauge(&mut self, name: &str, labels: &str, help: &str, value: f64) {
+        self.header(name, "gauge", help);
+        let series = PromDump::labelled(name, labels, "", None);
+        let _ = writeln!(self.out, "{series} {value}");
+    }
+
+    /// Appends one counter sample.
+    pub fn counter(&mut self, name: &str, labels: &str, help: &str, value: u64) {
+        self.header(name, "counter", help);
+        let series = PromDump::labelled(name, labels, "", None);
+        let _ = writeln!(self.out, "{series} {value}");
+    }
+
+    /// Appends a [`LogHistogram`] in Prometheus histogram exposition:
+    /// cumulative `_bucket{le="…"}` lines at each non-empty bucket's upper
+    /// bound, a `+Inf` bucket, then `_sum` and `_count`.
+    pub fn histogram(&mut self, name: &str, labels: &str, help: &str, hist: &LogHistogram) {
+        self.header(name, "histogram", help);
+        let mut cumulative = 0u64;
+        for i in 0..LogHistogram::BUCKETS {
+            let c = hist.bucket_count(i);
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let (_, hi) = LogHistogram::bucket_range(i);
+            let le = if hi == u64::MAX {
+                "+Inf".to_string()
+            } else {
+                hi.to_string()
+            };
+            let series =
+                PromDump::labelled(name, labels, "_bucket", Some(&format!(r#"le="{le}""#)));
+            let _ = writeln!(self.out, "{series} {cumulative}");
+        }
+        let inf = PromDump::labelled(name, labels, "_bucket", Some(r#"le="+Inf""#));
+        let _ = writeln!(self.out, "{inf} {}", hist.count());
+        let sum = PromDump::labelled(name, labels, "_sum", None);
+        let _ = writeln!(self.out, "{sum} {}", hist.sum());
+        let count = PromDump::labelled(name, labels, "_count", None);
+        let _ = writeln!(self.out, "{count} {}", hist.count());
+    }
+
+    /// The accumulated text dump.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Recorder;
+
+    #[test]
+    fn chrome_trace_emits_metadata_spans_and_instants() {
+        let mut rec = Recorder::default();
+        rec.set_enabled(true);
+        let t = rec.start();
+        rec.end("validation", 3, 2, t);
+        rec.instant("arq_retry", 3, 2);
+        let t = rec.start();
+        rec.end("round", 0, 2, t);
+        let json = chrome_trace(rec.events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json
+            .contains(r#""ph":"M","name":"thread_name","pid":1,"tid":0,"args":{"name":"engine"}"#));
+        assert!(json.contains(r#""args":{"name":"node 2"}"#));
+        assert!(json.contains(r#""ph":"X","name":"validation""#));
+        assert!(json.contains(r#""ph":"i","name":"arq_retry""#));
+        assert!(json.contains(r#""args":{"round":2}"#));
+    }
+
+    #[test]
+    fn chrome_trace_of_nothing_is_still_a_document() {
+        assert_eq!(chrome_trace(&[]), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn prom_dump_groups_headers_once_per_name() {
+        let mut dump = PromDump::new();
+        dump.gauge("wsn_energy_joules", r#"protocol="cqp""#, "energy", 1.5);
+        dump.gauge("wsn_energy_joules", r#"protocol="naive""#, "energy", 4.0);
+        let text = dump.finish();
+        assert_eq!(text.matches("# HELP wsn_energy_joules").count(), 1);
+        assert_eq!(text.matches("# TYPE wsn_energy_joules gauge").count(), 1);
+        assert!(text.contains(r#"wsn_energy_joules{protocol="cqp"} 1.5"#));
+        assert!(text.contains(r#"wsn_energy_joules{protocol="naive"} 4"#));
+    }
+
+    #[test]
+    fn prom_histogram_is_cumulative_with_inf_sum_count() {
+        let mut h = LogHistogram::default();
+        for v in [3, 3, 100] {
+            h.record(v);
+        }
+        let mut dump = PromDump::new();
+        dump.histogram("wsn_msg_bits", r#"node="0""#, "frame sizes", &h);
+        let text = dump.finish();
+        assert!(text.contains(r#"wsn_msg_bits_bucket{node="0",le="3"} 2"#));
+        assert!(text.contains(r#"wsn_msg_bits_bucket{node="0",le="127"} 3"#));
+        assert!(text.contains(r#"wsn_msg_bits_bucket{node="0",le="+Inf"} 3"#));
+        assert!(text.contains(r#"wsn_msg_bits_sum{node="0"} 106"#));
+        assert!(text.contains(r#"wsn_msg_bits_count{node="0"} 3"#));
+    }
+
+    #[test]
+    fn unlabelled_series_have_no_braces() {
+        let mut dump = PromDump::new();
+        dump.counter("wsn_rounds_total", "", "rounds", 42);
+        let text = dump.finish();
+        assert!(text.contains("wsn_rounds_total 42"));
+        assert!(!text.contains("wsn_rounds_total{"));
+    }
+}

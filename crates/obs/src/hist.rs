@@ -1,0 +1,357 @@
+//! Fixed-size log-bucketed histograms.
+//!
+//! Shrivastava et al.'s q-digest and every hierarchical-aggregation study
+//! since motivate *distributions*, not just means: a per-node histogram of
+//! message sizes separates the one 40-fragment initialization burst from
+//! ten thousand 3-byte counters that average to the same number. The
+//! histograms here are built for the simulator's hot path:
+//!
+//! * **fixed size** — [`LogHistogram`] is a `Copy` array of
+//!   [`LogHistogram::BUCKETS`] counters; recording is two integer ops and
+//!   an array increment, never an allocation;
+//! * **log-bucketed** — bucket `i` covers `[2^(i-1), 2^i)` (bucket 0 is
+//!   exactly zero), so the 1-bit-to-gigabit range fits 32 buckets;
+//! * **mergeable** — bucket-wise addition aggregates nodes into networks
+//!   and runs into experiments without losing the shape.
+
+/// One log-bucketed histogram over `u64` samples.
+///
+/// Bucket 0 counts exact zeros; bucket `i ≥ 1` counts samples whose
+/// highest set bit is `i - 1`, i.e. values in `[2^(i-1), 2^i - 1]`. The
+/// last bucket absorbs everything too large.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; LogHistogram::BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram {
+            counts: [0; LogHistogram::BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl LogHistogram {
+    /// Number of buckets. 32 buckets cover zero plus `[1, 2^31)` with the
+    /// last bucket absorbing larger samples — sensor frames, hop depths,
+    /// retries and fan-ins all fit with room to spare.
+    pub const BUCKETS: usize = 32;
+
+    /// The bucket a sample falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros() as usize).min(LogHistogram::BUCKETS - 1)
+        }
+    }
+
+    /// Inclusive `(lo, hi)` sample range of bucket `i` (the last bucket is
+    /// open-ended and reports `u64::MAX`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            _ if i >= LogHistogram::BUCKETS - 1 => (1 << (LogHistogram::BUCKETS - 2), u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample. Never allocates.
+    pub fn record(&mut self, value: u64) {
+        self.counts[LogHistogram::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Samples in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Upper bound (inclusive) of the bucket containing the `q`-quantile
+    /// of the recorded samples, `q ∈ [0, 1]`. `None` when empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(LogHistogram::bucket_range(i).1);
+            }
+        }
+        Some(LogHistogram::bucket_range(LogHistogram::BUCKETS - 1).1)
+    }
+
+    /// Bucket-wise accumulation of `other` into `self`.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The quantities the network engine histograms per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistKind {
+    /// Bits of each transmitted data frame (fragments individually).
+    MsgBits,
+    /// Routing-tree depth of the transmitter at each wave transmission.
+    HopDepth,
+    /// ARQ data-frame retransmissions spent per link payload.
+    Retries,
+    /// Child payloads merged per convergecast transmission (subtree
+    /// fan-in of the node's inbox).
+    FanIn,
+}
+
+impl HistKind {
+    /// Number of histogram kinds.
+    pub const COUNT: usize = 4;
+
+    /// Every kind, in display order.
+    pub const ALL: [HistKind; HistKind::COUNT] = [
+        HistKind::MsgBits,
+        HistKind::HopDepth,
+        HistKind::Retries,
+        HistKind::FanIn,
+    ];
+
+    /// Dense index into per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            HistKind::MsgBits => 0,
+            HistKind::HopDepth => 1,
+            HistKind::Retries => 2,
+            HistKind::FanIn => 3,
+        }
+    }
+
+    /// Snake-case display name (doubles as the metric name stem).
+    pub fn name(self) -> &'static str {
+        match self {
+            HistKind::MsgBits => "msg_bits",
+            HistKind::HopDepth => "hop_depth",
+            HistKind::Retries => "retries",
+            HistKind::FanIn => "fan_in",
+        }
+    }
+}
+
+/// One histogram per [`HistKind`] — the full telemetry of one node (or,
+/// merged, of a whole network or experiment). `Copy`, so it can ride on
+/// plain-old-data metrics structs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSet {
+    hists: [LogHistogram; HistKind::COUNT],
+}
+
+impl HistogramSet {
+    /// Records a sample under `kind`.
+    pub fn record(&mut self, kind: HistKind, value: u64) {
+        self.hists[kind.index()].record(value);
+    }
+
+    /// The histogram of one kind.
+    pub fn get(&self, kind: HistKind) -> &LogHistogram {
+        &self.hists[kind.index()]
+    }
+
+    /// Accumulates `other` into `self`, histogram by histogram.
+    pub fn merge(&mut self, other: &HistogramSet) {
+        for (a, b) in self.hists.iter_mut().zip(other.hists.iter()) {
+            a.merge(b);
+        }
+    }
+
+    /// True iff no kind recorded anything.
+    pub fn is_empty(&self) -> bool {
+        self.hists.iter().all(LogHistogram::is_empty)
+    }
+}
+
+/// Per-node histogram sets, allocated once at network construction (the
+/// recording path only increments fixed-size arrays).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeHistograms {
+    nodes: Vec<HistogramSet>,
+}
+
+impl NodeHistograms {
+    /// Allocates empty histograms for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        NodeHistograms {
+            nodes: vec![HistogramSet::default(); n],
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Records a sample for `node` (silently ignores out-of-range ids, so
+    /// callers need no bounds logic on repaired/shrunk trees).
+    #[inline]
+    pub fn record(&mut self, node: usize, kind: HistKind, value: u64) {
+        if let Some(set) = self.nodes.get_mut(node) {
+            set.record(kind, value);
+        }
+    }
+
+    /// One node's histograms.
+    pub fn node(&self, node: usize) -> &HistogramSet {
+        &self.nodes[node]
+    }
+
+    /// Network-wide totals: every node's histograms merged.
+    pub fn total(&self) -> HistogramSet {
+        let mut out = HistogramSet::default();
+        for set in &self.nodes {
+            out.merge(set);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(7), 3);
+        assert_eq!(LogHistogram::bucket_of(8), 4);
+        assert_eq!(LogHistogram::bucket_of(1023), 10);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), LogHistogram::BUCKETS - 1);
+        for i in 0..LogHistogram::BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_range(i);
+            assert!(lo <= hi);
+            assert_eq!(LogHistogram::bucket_of(lo), i, "lo of bucket {i}");
+            if i < LogHistogram::BUCKETS - 1 {
+                assert_eq!(LogHistogram::bucket_of(hi), i, "hi of bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let mut h = LogHistogram::default();
+        for v in [0, 1, 3, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1012);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.bucket_count(4), 1);
+        assert_eq!(h.bucket_count(10), 1);
+        assert!((h.mean() - 202.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_bound_walks_cumulative_counts() {
+        let mut h = LogHistogram::default();
+        assert_eq!(h.quantile_bound(0.5), None);
+        for _ in 0..90 {
+            h.record(5); // bucket 3, hi = 7
+        }
+        for _ in 0..10 {
+            h.record(1000); // bucket 10, hi = 1023
+        }
+        assert_eq!(h.quantile_bound(0.5), Some(7));
+        assert_eq!(h.quantile_bound(0.9), Some(7));
+        assert_eq!(h.quantile_bound(0.95), Some(1023));
+        assert_eq!(h.quantile_bound(1.0), Some(1023));
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = LogHistogram::default();
+        let mut b = LogHistogram::default();
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_count(2), 2);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.sum(), 106);
+    }
+
+    #[test]
+    fn node_histograms_ignore_out_of_range_and_total() {
+        let mut nh = NodeHistograms::new(3);
+        nh.record(0, HistKind::MsgBits, 128);
+        nh.record(2, HistKind::MsgBits, 256);
+        nh.record(99, HistKind::MsgBits, 512); // silently dropped
+        let total = nh.total();
+        assert_eq!(total.get(HistKind::MsgBits).count(), 2);
+        assert_eq!(total.get(HistKind::MsgBits).sum(), 384);
+        assert_eq!(nh.node(1).get(HistKind::MsgBits).count(), 0);
+        assert!(nh.node(1).is_empty());
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_named() {
+        for (i, k) in HistKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert!(!k.name().is_empty());
+        }
+    }
+}

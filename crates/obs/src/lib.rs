@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # wsn-obs — runtime telemetry for the WSN simulator
+//!
+//! The evaluation of the paper (§5) lives and dies on *where* bits and
+//! rounds go: validation vs. refinement traffic, hotspot load, per-round
+//! behaviour. This crate is the observability substrate the rest of the
+//! workspace taps into:
+//!
+//! * [`hist`] — fixed-size log-bucketed histograms ([`LogHistogram`]) and
+//!   per-node collections of them ([`NodeHistograms`]): message size, hop
+//!   depth, ARQ retries and subtree fan-in, with **no heap allocation in
+//!   the recording path** (a bucket increment is an array write);
+//! * [`span`] — an allocation-free-when-disabled span/event [`Recorder`]
+//!   with wall-clock timing: rounds, protocol phases,
+//!   convergecast/broadcast waves, ARQ retries;
+//! * [`capture`] — packet-level capture records ([`PacketRecord`]), a JSONL
+//!   wire format, and a replaying differ ([`capture::diff`]) that reports
+//!   the first divergent (round, node, frame) between two captures;
+//! * [`export`] — Chrome-trace/Perfetto JSON for spans and a
+//!   Prometheus-style text dump for metrics and histograms.
+//!
+//! The crate is deliberately a leaf: **zero dependencies**, not even on
+//! `wsn-net`. The network engine depends on *it* and feeds it plain
+//! integers, so every layer of the stack (network, protocols, runner, CLI)
+//! can share one vocabulary of telemetry types without cycles.
+
+pub mod capture;
+pub mod export;
+pub mod hist;
+pub mod span;
+
+pub use capture::{diff, CaptureDiff, Divergence, PacketRecord};
+pub use export::{chrome_trace, PromDump};
+pub use hist::{HistKind, HistogramSet, LogHistogram, NodeHistograms};
+pub use span::{Recorder, SpanEvent, SpanKind, SpanStart};

@@ -1,0 +1,185 @@
+//! Allocation-free-when-disabled span/event recording with wall-clock
+//! timing.
+//!
+//! The simulator's logical time is rounds; its *cost* is wall-clock. The
+//! [`Recorder`] bridges the two: every span carries both the simulation
+//! round it belongs to and the real nanoseconds it took, so a Chrome-trace
+//! export shows where the engine actually spends its time — initialization
+//! collections dwarfing validation counters, ARQ storms stretching a wave.
+//!
+//! Disabled (the default) the recorder is inert: [`Recorder::start`]
+//! returns a null token without reading the clock and every record call is
+//! a single branch — no allocation, no `Instant::now`, nothing that could
+//! perturb a benchmarked hot path.
+
+use std::time::Instant;
+
+/// What a [`SpanEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A duration: `start_ns .. start_ns + dur_ns`.
+    Span,
+    /// A point event (`dur_ns` is zero).
+    Instant,
+}
+
+/// One recorded span or instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// Static label ("round", "convergecast", a phase name, …).
+    pub name: &'static str,
+    /// Track the event belongs to — 0 is the engine-level track, node `i`
+    /// records on track `i + 1`.
+    pub track: u32,
+    /// Simulation round the event happened in.
+    pub round: u32,
+    /// Nanoseconds since the recorder was enabled.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Span or instant.
+    pub kind: SpanKind,
+}
+
+/// A timestamp token from [`Recorder::start`]; `None` means the recorder
+/// was disabled when the span began, so its end is dropped too.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpanStart(Option<Instant>);
+
+/// The span/event recorder. One per network; disabled by default.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    enabled: bool,
+    epoch: Instant,
+    events: Vec<SpanEvent>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder {
+            enabled: false,
+            epoch: Instant::now(),
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Recorder {
+    /// Turns recording on or off. Enabling resets the epoch (timestamps
+    /// count from here) and clears previously recorded events.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.epoch = Instant::now();
+        self.events.clear();
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Begins a span. Free (no clock read) when disabled.
+    #[inline]
+    pub fn start(&self) -> SpanStart {
+        if self.enabled {
+            SpanStart(Some(Instant::now()))
+        } else {
+            SpanStart(None)
+        }
+    }
+
+    /// Ends a span begun with [`Recorder::start`]. A span whose start was
+    /// taken while disabled is silently dropped, so toggling mid-flight
+    /// never records half-timed garbage.
+    #[inline]
+    pub fn end(&mut self, name: &'static str, track: u32, round: u32, start: SpanStart) {
+        let (Some(begin), true) = (start.0, self.enabled) else {
+            return;
+        };
+        let start_ns = begin.saturating_duration_since(self.epoch).as_nanos() as u64;
+        let dur_ns = begin.elapsed().as_nanos() as u64;
+        self.events.push(SpanEvent {
+            name,
+            track,
+            round,
+            start_ns,
+            dur_ns,
+            kind: SpanKind::Span,
+        });
+    }
+
+    /// Records a point event (one branch when disabled).
+    #[inline]
+    pub fn instant(&mut self, name: &'static str, track: u32, round: u32) {
+        if !self.enabled {
+            return;
+        }
+        let start_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.events.push(SpanEvent {
+            name,
+            track,
+            round,
+            start_ns,
+            dur_ns: 0,
+            kind: SpanKind::Instant,
+        });
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut rec = Recorder::default();
+        let t = rec.start();
+        rec.end("x", 0, 0, t);
+        rec.instant("y", 1, 0);
+        assert!(rec.events().is_empty());
+        assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn enabled_recorder_times_spans() {
+        let mut rec = Recorder::default();
+        rec.set_enabled(true);
+        let t = rec.start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        rec.end("work", 3, 7, t);
+        rec.instant("mark", 0, 7);
+        assert_eq!(rec.events().len(), 2);
+        let span = rec.events()[0];
+        assert_eq!(span.name, "work");
+        assert_eq!(span.track, 3);
+        assert_eq!(span.round, 7);
+        assert_eq!(span.kind, SpanKind::Span);
+        let mark = rec.events()[1];
+        assert_eq!(mark.kind, SpanKind::Instant);
+        assert_eq!(mark.dur_ns, 0);
+        assert!(mark.start_ns >= span.start_ns);
+    }
+
+    #[test]
+    fn span_started_while_disabled_is_dropped() {
+        let mut rec = Recorder::default();
+        let t = rec.start(); // disabled: null token
+        rec.set_enabled(true);
+        rec.end("late", 0, 0, t);
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn re_enabling_clears_history() {
+        let mut rec = Recorder::default();
+        rec.set_enabled(true);
+        rec.instant("a", 0, 0);
+        rec.set_enabled(true);
+        assert!(rec.events().is_empty());
+    }
+}

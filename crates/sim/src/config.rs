@@ -152,6 +152,11 @@ pub struct SimulationConfig {
     /// charges reconcile bit-exactly with the recorded traffic. Costs
     /// memory proportional to the traffic volume; off by default.
     pub audit: bool,
+    /// Record wall-clock spans (rounds, phases, waves, per-link sends)
+    /// during each run. Off by default: a disabled recorder costs one
+    /// branch per tap point and keeps the hot path allocation-free.
+    /// Telemetry histograms are always on regardless of this flag.
+    pub telemetry: bool,
     /// Dataset.
     pub dataset: DatasetSpec,
 }
@@ -173,6 +178,7 @@ impl Default for SimulationConfig {
             reliability: ReliabilityConfig::default(),
             node_failure: None,
             audit: false,
+            telemetry: false,
             dataset: DatasetSpec::Synthetic(SyntheticConfig::default()),
         }
     }

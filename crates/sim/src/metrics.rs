@@ -1,6 +1,7 @@
 //! The performance indicators of §5.1.5, plus the per-phase energy
 //! breakdown and audit counters of the transmission-audit layer.
 
+use wsn_net::obs::HistogramSet;
 use wsn_net::Phase;
 
 /// Metrics of a single simulation run.
@@ -49,6 +50,10 @@ pub struct RunMetrics {
     /// Ledger/replay mismatches the auditor found (always 0 on a healthy
     /// build; any other value is a conservation bug).
     pub audit_discrepancies: u32,
+    /// Network-wide telemetry histograms (message bits, hop depth, ARQ
+    /// retries, convergecast fan-in): every node's always-on histograms
+    /// merged. Fixed-size (`Copy`), so the run metrics stay plain data.
+    pub hists: HistogramSet,
 }
 
 impl Default for RunMetrics {
@@ -72,6 +77,7 @@ impl Default for RunMetrics {
             phase_bits: [0; Phase::COUNT],
             audit_events: 0,
             audit_discrepancies: 0,
+            hists: HistogramSet::default(),
         }
     }
 }
@@ -128,6 +134,9 @@ pub struct AggregatedMetrics {
     pub audit_events: u64,
     /// Auditor discrepancies across all runs (must be 0).
     pub audit_discrepancies: u64,
+    /// Telemetry histograms of every run merged (bucket-wise sums, not
+    /// means: counts stay counts).
+    pub hists: HistogramSet,
 }
 
 impl AggregatedMetrics {
@@ -164,6 +173,10 @@ impl AggregatedMetrics {
             phase_bits: std::array::from_fn(|p| mean(&|r: &RunMetrics| r.phase_bits[p] as f64)),
             audit_events: runs.iter().map(|r| r.audit_events).sum(),
             audit_discrepancies: runs.iter().map(|r| r.audit_discrepancies as u64).sum(),
+            hists: runs.iter().fold(HistogramSet::default(), |mut acc, r| {
+                acc.merge(&r.hists);
+                acc
+            }),
         }
     }
 }

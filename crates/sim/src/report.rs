@@ -323,6 +323,42 @@ mod tests {
     }
 
     #[test]
+    fn render_table_golden_output() {
+        // Golden output: the exact table bytes, alignment included, so any
+        // formatting drift (widths, separators, scaling) is caught rather
+        // than just "contains the right numbers".
+        let t = render_table(&dummy_results(), Indicator::MaxEnergy);
+        let expected = "Test sweep — max per-node energy [mJ/round]\n\
+                        algorithm  |N|=10  |N|=20\n\
+                        -------------------------\n\
+                        \u{20}      IQ  0.0010  0.0020\n\
+                        \u{20}     TAG  0.0050       —\n";
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn render_phase_breakdown_golden_output() {
+        let run = RunMetrics {
+            phase_joules: [0.25, 0.5, 0.25, 0.0, 0.0],
+            phase_bits: [2500, 5000, 2500, 0, 0],
+            audit_events: 42,
+            audit_discrepancies: 0,
+            ..RunMetrics::default()
+        };
+        let t = render_phase_breakdown("IQ", &AggregatedMetrics::from_runs(&[run]));
+        let expected = "IQ — energy by protocol phase\n\
+             phase            energy [mJ]  share [%]            bits\n\
+             ---------------------------------------------------------\n\
+             init                     250      25.00            2500\n\
+             validation               500      50.00            5000\n\
+             refinement               250      25.00            2500\n\
+             recovery                   0          0               0\n\
+             other                      0          0               0\n\
+             audit: 42 events replayed, 0 discrepancies\n";
+        assert_eq!(t, expected);
+    }
+
+    #[test]
     fn xi_trace_renders_refinement_marker() {
         let trace = vec![crate::experiments::XiTraceRow {
             round: 0,

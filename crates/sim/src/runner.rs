@@ -127,8 +127,10 @@ pub fn run_once_with(
     let mut alg = builder(query, &cfg.sizes);
     let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
     // The audit log is a pure observer (no RNG draws, no charges), so
-    // enabling it cannot change any other metric.
+    // enabling it cannot change any other metric; likewise the span
+    // recorder, which only reads the wall clock.
     net.set_audit(cfg.audit);
+    net.set_telemetry(cfg.telemetry);
     if let Some(p) = cfg.loss {
         net.set_loss(Some(LossModel::new(p, rng.next_u64())));
     }
@@ -209,6 +211,7 @@ pub fn run_once_with(
         phase_bits: net.phases().bits(),
         audit_events,
         audit_discrepancies,
+        hists: net.histograms().total(),
     }
 }
 

@@ -29,4 +29,16 @@ echo "==> energy-audit smoke (--audit must reconcile bit-exactly, exit 0)"
     --loss 0.3 --retries 3 --recovery 4 --node-failures 0.01 \
     --seed 11 --threads 2 --audit
 
+echo "==> telemetry smoke (exporters + self-diff must report identical)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/simulate --algorithm IQ --nodes 60 --rounds 10 --runs 1 \
+    --seed 13 --events "$tmp/run.trace.json" --capture "$tmp/a.jsonl" \
+    --metrics-out "$tmp/metrics.prom"
+./target/release/simulate --algorithm IQ --nodes 60 --rounds 10 --runs 1 \
+    --seed 13 --capture "$tmp/b.jsonl"
+./target/release/simulate diff "$tmp/a.jsonl" "$tmp/b.jsonl" | grep -q '^identical'
+grep -q 'wsn_msg_bits_count' "$tmp/metrics.prom"
+grep -q '"traceEvents"' "$tmp/run.trace.json"
+
 echo "ci.sh: all gates passed"
