@@ -10,6 +10,8 @@
 //! simulate --algorithm IQ --events run.trace.json --capture run.jsonl \
 //!          --metrics-out metrics.prom           # telemetry exporters
 //! simulate diff a.jsonl b.jsonl                 # first divergent frame
+//! simulate fuzz --scenarios 1000 --seed 42      # invariant fuzz campaign
+//! simulate fuzz --repro '{"seed":4807,...}'     # replay one repro line
 //! ```
 
 use std::io::Write;
@@ -225,6 +227,8 @@ fn print_usage() {
                 [--audit] [--seed S] [--csv FILE] [--json FILE] [--threads N]
                 [--events FILE] [--capture FILE] [--metrics-out FILE]
        simulate diff A.jsonl B.jsonl
+       simulate fuzz [--scenarios N] [--seed S] [--threads N]
+                     [--corpus FILE] [--repro LINE]
 
 --audit replays every recorded transmission through the energy auditor and
 prints the per-phase energy breakdown; any ledger discrepancy makes the
@@ -236,7 +240,15 @@ Chrome-trace/Perfetto JSON span timeline, --capture writes a JSONL
 packet-level capture, --metrics-out writes a Prometheus-style text dump
 (with the full aggregated experiment instead when no traced-run flag is
 given). `simulate diff` compares two captures and reports the first
-divergent frame (exit 0 identical, 1 divergent, 2 on bad input)."
+divergent frame (exit 0 identical, 1 divergent, 2 on bad input).
+
+`simulate fuzz` runs the wsn-check invariant fuzzer: N seeded scenarios
+(default 100, seed 42), every paper protocol, checked against the
+centralized oracle, the energy-audit replay, telemetry reconciliation,
+thread parity and metamorphic properties; failures are shrunk to one-line
+repros. --corpus replays a pinned corpus first and appends new shrunk
+repros to it; --repro replays one repro line. Exit 0 clean, 1 on any
+violation, 2 on bad input."
     );
 }
 
@@ -275,6 +287,139 @@ fn run_diff(paths: &[String]) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+/// `simulate fuzz` — the deterministic invariant fuzz campaign of the
+/// `wsn-check` crate. Exit code 0 when every scenario (and every corpus
+/// entry) passes the battery, 1 on any violation, 2 on bad usage or
+/// unparsable input.
+///
+/// `--repro '<line>'` replays a single repro line instead of fuzzing.
+/// `--corpus FILE` replays every pinned line before the campaign and
+/// appends the shrunk repro of any new failure to the file.
+fn run_fuzz(argv: &[String]) -> ! {
+    let mut scenarios: u64 = 100;
+    let mut seed: u64 = 42;
+    let mut threads: usize = wsn_sim::parallel::thread_count();
+    let mut corpus: Option<String> = None;
+    let mut repro: Option<String> = None;
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        print_usage();
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            match argv.get(*i) {
+                Some(v) => v.clone(),
+                None => fail(format!("{flag} needs a value")),
+            }
+        };
+        match argv[i].as_str() {
+            "--scenarios" => {
+                scenarios = match value(&mut i, "--scenarios").parse() {
+                    Ok(n) => n,
+                    Err(e) => fail(format!("--scenarios: {e}")),
+                }
+            }
+            "--seed" => {
+                seed = match value(&mut i, "--seed").parse() {
+                    Ok(n) => n,
+                    Err(e) => fail(format!("--seed: {e}")),
+                }
+            }
+            "--threads" => {
+                threads = match value(&mut i, "--threads").parse::<usize>() {
+                    Ok(n) => n.max(1),
+                    Err(e) => fail(format!("--threads: {e}")),
+                }
+            }
+            "--corpus" => corpus = Some(value(&mut i, "--corpus")),
+            "--repro" => repro = Some(value(&mut i, "--repro")),
+            other => fail(format!("unknown fuzz argument {other}")),
+        }
+        i += 1;
+    }
+
+    // Violations are *reported*, not crashed on: silence the default
+    // panic printer so caught protocol panics do not spray backtraces
+    // over the deterministic summary.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    if let Some(line) = repro {
+        let scenario = match wsn_check::parse_line(&line) {
+            Ok(s) => s,
+            Err(e) => fail(format!("--repro: {e}")),
+        };
+        let report = wsn_check::check(&scenario);
+        if report.violations.is_empty() {
+            println!("repro: clean");
+            std::process::exit(0);
+        }
+        println!("repro: {} violation(s)", report.violations.len());
+        for v in &report.violations {
+            println!("  {v}");
+        }
+        std::process::exit(1);
+    }
+
+    let mut exit_code = 0;
+    if let Some(path) = &corpus {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => fail(format!("reading {path}: {e}")),
+        };
+        let entries = match wsn_check::corpus_entries(&text) {
+            Ok(e) => e,
+            Err(e) => fail(format!("{path}: {e}")),
+        };
+        let mut regressed = 0usize;
+        for (line, scenario) in &entries {
+            let report = wsn_check::check(scenario);
+            if !report.violations.is_empty() {
+                regressed += 1;
+                println!("corpus line {line} REGRESSED:");
+                for v in &report.violations {
+                    println!("  {v}");
+                }
+            }
+        }
+        println!("corpus: {} entries, {} regressed", entries.len(), regressed);
+        if regressed > 0 {
+            exit_code = 1;
+        }
+    }
+
+    let report = wsn_check::fuzz(seed, scenarios, threads);
+    print!("{}", report.summary());
+    if !report.is_clean() {
+        exit_code = 1;
+        if let Some(path) = &corpus {
+            let mut add = String::new();
+            for f in &report.failures {
+                add.push_str(&format!(
+                    "# found by fuzz: seed={} index={}\n{}\n",
+                    seed,
+                    f.index,
+                    wsn_check::to_line(&f.shrunk)
+                ));
+            }
+            let appended = std::fs::OpenOptions::new()
+                .append(true)
+                .open(path)
+                .and_then(|mut file| file.write_all(add.as_bytes()));
+            match appended {
+                Ok(()) => eprintln!(
+                    "appended {} shrunk repro(s) to {path}",
+                    report.failures.len()
+                ),
+                Err(e) => eprintln!("error: appending to {path}: {e}"),
+            }
+        }
+    }
+    std::process::exit(exit_code);
 }
 
 fn build_config(args: &Args) -> Result<SimulationConfig, String> {
@@ -338,122 +483,75 @@ fn write_file(path: &str, text: &str) -> Result<(), String> {
 /// timeline, `--capture` JSONL packet capture, `--metrics-out` Prometheus
 /// dump of the run's telemetry histograms and traffic totals.
 fn traced_run(args: &Args, cfg: &SimulationConfig) -> Result<(), String> {
-    use wsn_data::{Dataset, PressureDataset, Rng, SyntheticDataset};
-    use wsn_net::{Network, Point, RoutingTree, Topology};
+    use wsn_data::Rng;
+    use wsn_net::Network;
 
     let kind = args
         .algorithm
         .ok_or("--csv/--events/--capture need --algorithm")?;
-    let mut rng = Rng::seed_from_u64(cfg.seed);
-    // Build one world the same way the runner does (simplified: retry
-    // placement until connected).
-    for _ in 0..200 {
-        let (mut dataset, positions): (Box<dyn Dataset>, Vec<Point>) = match &cfg.dataset {
-            DatasetSpec::Synthetic(s) => {
-                let raw = wsn_data::placement::uniform(cfg.sensor_count, 200.0, 200.0, &mut rng);
-                let pos: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
-                let ds = SyntheticDataset::generate(s.clone(), &raw[1..], &mut rng);
-                (Box::new(ds), pos)
-            }
-            DatasetSpec::Pressure(p) => {
-                let ds = PressureDataset::generate(p.clone(), &mut rng);
-                let firsts = ds.first_measurements();
-                let sensor_pos = wsn_data::som::som_placement(&firsts, 200.0, 200.0, &mut rng);
-                let mut pos = vec![Point::new(100.0, 100.0)];
-                pos.extend(sensor_pos.iter().map(|&(x, y)| Point::new(x, y)));
-                (Box::new(ds), pos)
-            }
-            DatasetSpec::RandomWalk { range_size, step } => {
-                let raw = wsn_data::placement::uniform(cfg.sensor_count, 200.0, 200.0, &mut rng);
-                let pos: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
-                let ds = wsn_data::walks::RandomWalkDataset::new(
-                    cfg.sensor_count,
-                    0,
-                    *range_size as i64 - 1,
-                    *step,
-                    &mut rng,
-                );
-                (Box::new(ds), pos)
-            }
-            DatasetSpec::Regime {
-                range_size,
-                phase_len,
-                drift,
-            } => {
-                let raw = wsn_data::placement::uniform(cfg.sensor_count, 200.0, 200.0, &mut rng);
-                let pos: Vec<Point> = raw.iter().map(|&(x, y)| Point::new(x, y)).collect();
-                let ds = wsn_data::walks::RegimeDataset::new(
-                    cfg.sensor_count,
-                    0,
-                    *range_size as i64 - 1,
-                    *phase_len,
-                    *drift,
-                    &mut rng,
-                );
-                (Box::new(ds), pos)
-            }
-        };
-        let topo = Topology::build(positions, cfg.radio_range);
-        let Ok(tree) = RoutingTree::shortest_path_tree(&topo) else {
-            continue;
-        };
-        let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
-        // The packet capture rides on the audit log; spans need the
-        // recorder. Only pay for what was asked.
-        net.set_audit(cfg.audit || args.capture.is_some());
-        net.set_telemetry(cfg.telemetry || args.events.is_some());
-        let query = cqp_core::QueryConfig::phi(
-            cfg.phi,
-            dataset.sensor_count(),
-            dataset.range_min(),
-            dataset.range_max(),
-        );
-        let mut alg = kind.build(query, &cfg.sizes);
-        let trace = wsn_sim::trace::trace_run(
-            &mut net,
-            alg.as_mut(),
-            dataset.as_mut(),
-            cfg.rounds,
-            query.k,
-        );
-        if let Some(path) = &args.csv {
-            write_file(path, &wsn_sim::trace::to_csv(&trace))?;
-            eprintln!("wrote {} rounds to {path}", trace.len());
-        }
-        if let Some(path) = &args.events {
-            let events = net.recorder().events();
-            write_file(path, &wsn_net::obs::chrome_trace(events))?;
-            eprintln!("wrote {} span events to {path}", events.len());
-        }
-        if let Some(path) = &args.capture {
-            let frames = net.capture();
-            write_file(path, &wsn_net::obs::capture::to_jsonl(&frames))?;
-            eprintln!("wrote {} captured frames to {path}", frames.len());
-        }
-        if let Some(path) = &args.metrics_out {
-            let mut dump = wsn_net::obs::PromDump::new();
-            let labels = format!(r#"protocol="{}""#, kind.name());
-            let stats = net.stats();
-            dump.counter(
-                "wsn_rounds_total",
-                &labels,
-                "simulation rounds executed",
-                trace.len() as u64,
-            );
-            dump.counter(
-                "wsn_messages_total",
-                &labels,
-                "messages transmitted",
-                stats.messages,
-            );
-            dump.counter("wsn_bits_total", &labels, "bits on air", stats.bits);
-            prom_histograms(&mut dump, &labels, &net.histograms().total());
-            write_file(path, &dump.finish())?;
-            eprintln!("wrote telemetry metrics to {path}");
-        }
-        return Ok(());
+    // Replay exactly run 0 of the experiment the runner would execute:
+    // same (seed, run-index) mixing, same placement-retry loop, same
+    // world — `runner::build_world` is the single implementation.
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 1);
+    let (mut dataset, topo, tree) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        wsn_sim::runner::build_world(cfg, &mut rng)
+    }))
+    .map_err(|_| "could not find a connected placement".to_string())?;
+    let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
+    // The packet capture rides on the audit log; spans need the
+    // recorder. Only pay for what was asked.
+    net.set_audit(cfg.audit || args.capture.is_some());
+    net.set_telemetry(cfg.telemetry || args.events.is_some());
+    let query = cqp_core::QueryConfig::phi(
+        cfg.phi,
+        dataset.sensor_count(),
+        dataset.range_min(),
+        dataset.range_max(),
+    );
+    let mut alg = kind.build(query, &cfg.sizes);
+    let trace = wsn_sim::trace::trace_run(
+        &mut net,
+        alg.as_mut(),
+        dataset.as_mut(),
+        cfg.rounds,
+        query.k,
+    );
+    if let Some(path) = &args.csv {
+        write_file(path, &wsn_sim::trace::to_csv(&trace))?;
+        eprintln!("wrote {} rounds to {path}", trace.len());
     }
-    Err("could not find a connected placement".into())
+    if let Some(path) = &args.events {
+        let events = net.recorder().events();
+        write_file(path, &wsn_net::obs::chrome_trace(events))?;
+        eprintln!("wrote {} span events to {path}", events.len());
+    }
+    if let Some(path) = &args.capture {
+        let frames = net.capture();
+        write_file(path, &wsn_net::obs::capture::to_jsonl(&frames))?;
+        eprintln!("wrote {} captured frames to {path}", frames.len());
+    }
+    if let Some(path) = &args.metrics_out {
+        let mut dump = wsn_net::obs::PromDump::new();
+        let labels = format!(r#"protocol="{}""#, kind.name());
+        let stats = net.stats();
+        dump.counter(
+            "wsn_rounds_total",
+            &labels,
+            "simulation rounds executed",
+            trace.len() as u64,
+        );
+        dump.counter(
+            "wsn_messages_total",
+            &labels,
+            "messages transmitted",
+            stats.messages,
+        );
+        dump.counter("wsn_bits_total", &labels, "bits on air", stats.bits);
+        prom_histograms(&mut dump, &labels, &net.histograms().total());
+        write_file(path, &dump.finish())?;
+        eprintln!("wrote telemetry metrics to {path}");
+    }
+    Ok(())
 }
 
 /// Appends the four telemetry histograms of a [`wsn_net::obs::HistogramSet`] to a
@@ -521,6 +619,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("diff") {
         run_diff(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("fuzz") {
+        run_fuzz(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

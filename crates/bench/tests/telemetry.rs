@@ -89,6 +89,114 @@ fn capture_diff_localizes_a_seeded_divergence() {
     assert_eq!(div.field, "bits");
 }
 
+/// Runs the real `simulate` binary with `args` in `dir` and returns
+/// `(exit code, stdout)`.
+fn simulate(dir: &std::path::Path, args: &[&str]) -> (i32, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("simulate binary must run");
+    (
+        out.status.code().expect("no signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Scratch directory for binary-level tests, unique per test name.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wsn-telemetry-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Writes a packet capture with the real binary and returns its filename.
+fn capture_with_binary(dir: &std::path::Path, name: &str, seed: &str) {
+    let (code, _) = simulate(
+        dir,
+        &[
+            "--algorithm",
+            "IQ",
+            "--nodes",
+            "40",
+            "--rho",
+            "80",
+            "--rounds",
+            "5",
+            "--seed",
+            seed,
+            "--capture",
+            name,
+        ],
+    );
+    assert_eq!(code, 0, "capture run must succeed");
+    assert!(dir.join(name).exists(), "capture file must be written");
+}
+
+/// `simulate diff` through the real binary: identical captures (same
+/// seed) exit 0, divergent captures (different seed) exit 1, and every
+/// bad-input shape — missing file, malformed JSONL, wrong arg count —
+/// exits 2. This is the contract CI scripts rely on.
+#[test]
+fn diff_exit_codes_through_the_real_binary() {
+    let dir = scratch("diff");
+    capture_with_binary(&dir, "a.jsonl", "42");
+    capture_with_binary(&dir, "same.jsonl", "42");
+    capture_with_binary(&dir, "other.jsonl", "43");
+
+    let (code, out) = simulate(&dir, &["diff", "a.jsonl", "same.jsonl"]);
+    assert_eq!(code, 0, "same seed, same capture: {out}");
+    assert!(out.starts_with("identical:"), "{out}");
+
+    let (code, out) = simulate(&dir, &["diff", "a.jsonl", "other.jsonl"]);
+    assert_eq!(code, 1, "different seed must diverge: {out}");
+    assert!(out.contains("diverge"), "{out}");
+
+    let (code, _) = simulate(&dir, &["diff", "a.jsonl", "missing.jsonl"]);
+    assert_eq!(code, 2, "missing file is a usage error");
+
+    std::fs::write(dir.join("garbage.jsonl"), "{not json at all\n").unwrap();
+    let (code, _) = simulate(&dir, &["diff", "a.jsonl", "garbage.jsonl"]);
+    assert_eq!(code, 2, "malformed capture is a usage error");
+
+    let (code, _) = simulate(&dir, &["diff", "a.jsonl"]);
+    assert_eq!(code, 2, "diff takes exactly two files");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `simulate fuzz` through the real binary: a clean bounded campaign
+/// exits 0 with byte-identical output across invocations, a valid clean
+/// repro line exits 0, and unparsable input exits 2.
+#[test]
+fn fuzz_exit_codes_through_the_real_binary() {
+    let dir = scratch("fuzz");
+    let campaign = ["fuzz", "--scenarios", "6", "--seed", "5", "--threads", "2"];
+    let (code, first) = simulate(&dir, &campaign);
+    assert_eq!(code, 0, "{first}");
+    assert!(first.starts_with("fuzz: seed=5 scenarios=6"), "{first}");
+    let (code, second) = simulate(&dir, &campaign);
+    assert_eq!(code, 0);
+    assert_eq!(first, second, "fuzz summaries are byte-deterministic");
+
+    let clean_repro = r#"{"seed":1,"nodes":1,"range_milli":4000,"rounds":2,"runs":1,"phi_milli":500,"loss_milli":0,"retries":0,"recovery":0,"failure_milli":0,"source":"sinusoid","p1":8,"p2":0,"p3":0}"#;
+    let (code, out) = simulate(&dir, &["fuzz", "--repro", clean_repro]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("clean"), "{out}");
+
+    let (code, _) = simulate(&dir, &["fuzz", "--repro", "not a repro line"]);
+    assert_eq!(code, 2, "unparsable repro is a usage error");
+
+    let (code, _) = simulate(&dir, &["fuzz", "--scenarios", "many"]);
+    assert_eq!(code, 2, "non-numeric --scenarios is a usage error");
+
+    let (code, _) = simulate(&dir, &["fuzz", "--corpus", "no-such-corpus.txt"]);
+    assert_eq!(code, 2, "missing corpus file is a usage error");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn histograms_reconcile_with_traffic_stats() {
     let net = telemetered_run(7, 8);

@@ -1,0 +1,126 @@
+//! Seeded scenario generation.
+//!
+//! Every scenario is a pure function of `(master_seed, index)`: the pair
+//! is mixed splitmix-style into a per-scenario xoshiro256** stream (the
+//! same [`wsn_data::Rng`] the simulator itself uses), so fuzz runs are
+//! bit-for-bit reproducible across machines and thread counts, and any
+//! single scenario can be regenerated without replaying the campaign.
+//!
+//! The distributions deliberately over-weight the paper's operating point
+//! (reliable links, sinusoid data) while keeping every extension — loss up
+//! to total blackout, ARQ budgets, wave recovery, crash-stop failures, all
+//! four data sources — reachable within a few hundred scenarios.
+
+use wsn_data::Rng;
+use wsn_net::splitmix::GOLDEN_GAMMA;
+use wsn_sim::{DataSource, Scenario};
+
+/// Generates the `index`-th scenario of the campaign seeded by
+/// `master_seed`. Deterministic; independent of every other index.
+pub fn scenario(master_seed: u64, index: u64) -> Scenario {
+    // The same (seed, index) mixing convention as `runner::run_once`
+    // uses for (seed, run_index): golden-ratio stride, +1 so index 0
+    // still perturbs the master seed.
+    let mut rng =
+        Rng::seed_from_u64(master_seed ^ index.wrapping_mul(GOLDEN_GAMMA).wrapping_add(1));
+
+    let nodes = 1 + rng.below(40) as usize; // 1..=40, incl. the degenerate 1-node net
+    let range_milli = 2000 + rng.below(2001) as u32; // 2.0..=4.0 × mean spacing: connected
+    let rounds = 1 + rng.below(24) as u32; // 1..=24
+    let runs = 1 + rng.below(2) as u32; // 1..=2; 2 triggers the parity check
+    let phi_milli = 1 + rng.below(999) as u32; // full (0,1) incl. extreme ranks
+
+    // Loss classes: mostly the paper's reliable links, a light tail, a
+    // heavy tail, and the total-blackout edge the ARQ layer must survive.
+    let loss_milli = match rng.below(8) {
+        0..=4 => 0,
+        5 => 1 + rng.below(300) as u32,
+        6 => 300 + rng.below(500) as u32,
+        _ => 1000,
+    };
+    let retries = rng.below(5) as u32; // ARQ budget 0..=4
+    let recovery = rng.below(4) as u32; // wave-recovery passes 0..=3
+    let failure_milli = if rng.below(5) == 0 {
+        1 + rng.below(50) as u32 // up to 5% crash-stop per round
+    } else {
+        0
+    };
+
+    let source = match rng.below(8) {
+        0..=3 => DataSource::Sinusoid {
+            period: 1 + rng.below(64) as u32,
+            noise_permille: rng.below(501) as u32,
+        },
+        4..=5 => DataSource::Walk {
+            range_size: 2 + rng.below(2047),
+            step: 1 + rng.below(32) as i64,
+        },
+        6 => DataSource::Regime {
+            range_size: 2 + rng.below(2047),
+            phase_len: 1 + rng.below(12) as u32,
+            drift: rng.range_i64(-8, 8),
+        },
+        _ => DataSource::Pressure {
+            skip: 1 + rng.below(4) as u32,
+            pessimistic: rng.below(2) == 1,
+        },
+    };
+
+    Scenario {
+        seed: rng.next_u64(),
+        nodes,
+        range_milli,
+        rounds,
+        runs,
+        phi_milli,
+        loss_milli,
+        retries,
+        recovery,
+        failure_milli,
+        source,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for i in 0..64 {
+            assert_eq!(scenario(42, i), scenario(42, i), "index {i}");
+        }
+        assert_ne!(scenario(42, 0), scenario(42, 1));
+        assert_ne!(scenario(42, 0), scenario(43, 0));
+    }
+
+    #[test]
+    fn fields_stay_in_their_documented_ranges() {
+        for i in 0..512 {
+            let s = scenario(7, i);
+            assert!((1..=40).contains(&s.nodes), "{s:?}");
+            assert!((2000..=4000).contains(&s.range_milli), "{s:?}");
+            assert!((1..=24).contains(&s.rounds), "{s:?}");
+            assert!((1..=2).contains(&s.runs), "{s:?}");
+            assert!((1..=999).contains(&s.phi_milli), "{s:?}");
+            assert!(s.loss_milli <= 1000, "{s:?}");
+            assert!(s.retries <= 4 && s.recovery <= 3, "{s:?}");
+            assert!(s.failure_milli <= 50, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn every_scenario_class_is_reachable() {
+        let scenarios: Vec<Scenario> = (0..512).map(|i| scenario(42, i)).collect();
+        assert!(scenarios.iter().any(|s| s.is_reliable_world()));
+        assert!(scenarios.iter().any(|s| s.loss_milli == 1000), "blackout");
+        assert!(scenarios.iter().any(|s| s.failure_milli > 0), "failures");
+        assert!(scenarios.iter().any(|s| s.nodes == 1), "degenerate net");
+        for name in ["sinusoid", "walk", "regime", "pressure"] {
+            assert!(
+                scenarios.iter().any(|s| s.source.name() == name),
+                "no {name} scenario in 512 draws"
+            );
+        }
+    }
+}

@@ -1,0 +1,398 @@
+//! The invariant battery: everything one scenario is checked against.
+//!
+//! Each scenario expands to a [`wsn_sim::SimulationConfig`] (audit layer
+//! always on) and runs every protocol of the paper's §5 comparison set.
+//! The checks split by world class:
+//!
+//! * **Always** — no panics; the energy-audit replay reconciles
+//!   (`audit_discrepancies == 0`); the always-on message-size histogram
+//!   counts exactly the messages the traffic stats saw; the pure oracle
+//!   obeys its metamorphic properties.
+//! * **Reliable worlds** (`loss = 0`, no failures — the paper's operating
+//!   assumption) — every protocol answers the oracle's value every round
+//!   (`exactness == 1`, zero rank error), and the protocol-level
+//!   metamorphic runs (rotation, affine) agree with the identity run.
+//! * **Multi-run scenarios** — 1-thread and 2-thread execution of the same
+//!   experiment must aggregate bit-identically.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cqp_core::rank::{kth_equivariant_under_affine, kth_invariant_under_rotation, rank_of_phi};
+use wsn_data::Rng;
+use wsn_net::obs::HistKind;
+use wsn_sim::runner::run_experiment_threads;
+use wsn_sim::{AggregatedMetrics, AlgorithmKind, Scenario, Value};
+
+use crate::meta;
+
+/// One invariant violation, with enough context to read the failure
+/// without re-running anything.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A protocol (or the harness around it) panicked.
+    Panic {
+        /// Protocol display name.
+        algorithm: &'static str,
+        /// The panic payload.
+        message: String,
+    },
+    /// A reliable-world run answered inexactly.
+    Inexact {
+        /// Protocol display name.
+        algorithm: &'static str,
+        /// Fraction of exact rounds (must be 1.0).
+        exactness: f64,
+        /// Mean absolute rank error (must be 0.0).
+        mean_rank_error: f64,
+    },
+    /// The energy-audit replay did not reconcile with the ledger.
+    AuditDiscrepancy {
+        /// Protocol display name.
+        algorithm: &'static str,
+        /// Number of ledger/replay mismatches.
+        discrepancies: u64,
+    },
+    /// The message-size histogram disagrees with the traffic stats.
+    TelemetryMismatch {
+        /// Protocol display name.
+        algorithm: &'static str,
+        /// Messages counted by the `MsgBits` histogram.
+        histogram_count: u64,
+        /// Messages implied by the aggregated traffic stats.
+        expected: f64,
+    },
+    /// 1-thread and 2-thread execution aggregated differently.
+    ThreadParity {
+        /// Protocol display name.
+        algorithm: &'static str,
+    },
+    /// A pure-oracle metamorphic property failed.
+    OracleMetamorphic {
+        /// `"rotation"` or `"affine"`.
+        property: &'static str,
+    },
+    /// A protocol-level metamorphic run diverged from the identity run.
+    ProtocolMetamorphic {
+        /// Protocol display name.
+        algorithm: &'static str,
+        /// `"rotation"` or `"affine"`.
+        property: &'static str,
+        /// First diverging round.
+        round: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::Panic { algorithm, message } => {
+                write!(f, "{algorithm}: panic: {message}")
+            }
+            Violation::Inexact {
+                algorithm,
+                exactness,
+                mean_rank_error,
+            } => write!(
+                f,
+                "{algorithm}: inexact on reliable links (exactness={exactness}, mean_rank_error={mean_rank_error})"
+            ),
+            Violation::AuditDiscrepancy {
+                algorithm,
+                discrepancies,
+            } => write!(
+                f,
+                "{algorithm}: energy audit found {discrepancies} ledger/replay mismatches"
+            ),
+            Violation::TelemetryMismatch {
+                algorithm,
+                histogram_count,
+                expected,
+            } => write!(
+                f,
+                "{algorithm}: MsgBits histogram counted {histogram_count} messages, traffic stats imply {expected}"
+            ),
+            Violation::ThreadParity { algorithm } => {
+                write!(f, "{algorithm}: 1-thread and 2-thread aggregates differ")
+            }
+            Violation::OracleMetamorphic { property } => {
+                write!(f, "oracle: {property} metamorphic property failed")
+            }
+            Violation::ProtocolMetamorphic {
+                algorithm,
+                property,
+                round,
+            } => write!(
+                f,
+                "{algorithm}: {property} metamorphic run diverged at round {round}"
+            ),
+        }
+    }
+}
+
+/// Counts of checks *performed* (not violations), summed over scenarios
+/// for the fuzz summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Tally {
+    /// Protocol batteries executed (scenarios × paper-set protocols).
+    pub batteries: u64,
+    /// Energy-audit reconciliations.
+    pub audit: u64,
+    /// Histogram/traffic reconciliations.
+    pub telemetry: u64,
+    /// Reliable-world exactness checks.
+    pub exactness: u64,
+    /// 1-vs-2-thread parity checks.
+    pub parity: u64,
+    /// Metamorphic checks (oracle-level + protocol-level).
+    pub metamorphic: u64,
+}
+
+impl Tally {
+    /// Accumulates another tally into this one.
+    pub fn add(&mut self, other: &Tally) {
+        self.batteries += other.batteries;
+        self.audit += other.audit;
+        self.telemetry += other.telemetry;
+        self.exactness += other.exactness;
+        self.parity += other.parity;
+        self.metamorphic += other.metamorphic;
+    }
+}
+
+/// What checking one scenario produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Violations found (empty = scenario passed).
+    pub violations: Vec<Violation>,
+    /// Checks performed.
+    pub tally: Tally,
+}
+
+/// Extracts a readable message from a caught panic payload.
+pub fn panic_text(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn catch<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|e| panic_text(&*e))
+}
+
+/// Runs the full invariant battery against one scenario.
+pub fn check(scenario: &Scenario) -> ScenarioReport {
+    let mut violations = Vec::new();
+    let mut tally = Tally::default();
+    let cfg = scenario.to_config();
+
+    // Protocol batteries: run every paper protocol sequentially and check
+    // the per-run accounting invariants.
+    let mut aggs: Vec<(AlgorithmKind, AggregatedMetrics)> = Vec::new();
+    for kind in AlgorithmKind::PAPER_SET {
+        tally.batteries += 1;
+        match catch(|| run_experiment_threads(&cfg, kind, 1)) {
+            Err(message) => violations.push(Violation::Panic {
+                algorithm: kind.name(),
+                message,
+            }),
+            Ok(agg) => {
+                tally.audit += 1;
+                if agg.audit_discrepancies != 0 {
+                    violations.push(Violation::AuditDiscrepancy {
+                        algorithm: kind.name(),
+                        discrepancies: agg.audit_discrepancies,
+                    });
+                }
+                tally.telemetry += 1;
+                let expected = agg.messages_per_round * cfg.rounds as f64 * cfg.runs as f64;
+                let counted = agg.hists.get(HistKind::MsgBits).count();
+                if (counted as f64 - expected).abs() > 0.5 {
+                    violations.push(Violation::TelemetryMismatch {
+                        algorithm: kind.name(),
+                        histogram_count: counted,
+                        expected,
+                    });
+                }
+                if scenario.is_reliable_world() {
+                    tally.exactness += 1;
+                    if agg.exactness != 1.0 || agg.mean_rank_error != 0.0 {
+                        violations.push(Violation::Inexact {
+                            algorithm: kind.name(),
+                            exactness: agg.exactness,
+                            mean_rank_error: agg.mean_rank_error,
+                        });
+                    }
+                }
+                aggs.push((kind, agg));
+            }
+        }
+    }
+
+    // Parallel parity: multi-run scenarios re-run one protocol (chosen by
+    // the scenario seed) on two workers; the aggregate must be
+    // bit-identical to the sequential one.
+    if cfg.runs >= 2 && !aggs.is_empty() {
+        let (kind, sequential) = aggs[(scenario.seed % aggs.len() as u64) as usize];
+        tally.parity += 1;
+        match catch(|| run_experiment_threads(&cfg, kind, 2)) {
+            Err(message) => violations.push(Violation::Panic {
+                algorithm: kind.name(),
+                message,
+            }),
+            Ok(parallel) => {
+                if parallel != sequential {
+                    violations.push(Violation::ThreadParity {
+                        algorithm: kind.name(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Oracle-level metamorphic properties on a synthetic value multiset
+    // drawn from the scenario seed (cheap, so always checked).
+    tally.metamorphic += 1;
+    let mut rng = Rng::seed_from_u64(scenario.seed);
+    let n = scenario.nodes.max(1);
+    let values: Vec<Value> = (0..n).map(|_| rng.range_i64(-1024, 1024)).collect();
+    let k = rank_of_phi(scenario.phi(), n);
+    let rot = 1 + (scenario.seed % n as u64) as usize;
+    if !kth_invariant_under_rotation(&values, k, rot) {
+        violations.push(Violation::OracleMetamorphic {
+            property: "rotation",
+        });
+    }
+    if !kth_equivariant_under_affine(&values, k, 3, -7) {
+        violations.push(Violation::OracleMetamorphic { property: "affine" });
+    }
+
+    // Protocol-level metamorphic runs: reliable worlds only (the streams
+    // must be loss-randomness-free to be comparable), one protocol per
+    // scenario to bound cost.
+    if scenario.is_reliable_world() {
+        tally.metamorphic += 1;
+        let kind = AlgorithmKind::PAPER_SET
+            [(scenario.seed % AlgorithmKind::PAPER_SET.len() as u64) as usize];
+        let runs = (
+            meta::answers(scenario, kind, 1, 0, 0),
+            meta::answers(scenario, kind, 1, 0, rot),
+            meta::answers(scenario, kind, 3, 1000, 0),
+        );
+        match runs {
+            (Ok(identity), Ok(rotated), Ok(affine)) => {
+                if let Some(round) = (0..identity.len()).find(|&t| rotated[t] != identity[t]) {
+                    violations.push(Violation::ProtocolMetamorphic {
+                        algorithm: kind.name(),
+                        property: "rotation",
+                        round,
+                    });
+                }
+                if let Some(round) =
+                    (0..identity.len()).find(|&t| affine[t] != 3 * identity[t] + 1000)
+                {
+                    violations.push(Violation::ProtocolMetamorphic {
+                        algorithm: kind.name(),
+                        property: "affine",
+                        round,
+                    });
+                }
+            }
+            (a, b, c) => {
+                for message in [a.err(), b.err(), c.err()].into_iter().flatten() {
+                    violations.push(Violation::Panic {
+                        algorithm: kind.name(),
+                        message,
+                    });
+                }
+            }
+        }
+    }
+
+    ScenarioReport { violations, tally }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_sim::DataSource;
+
+    fn base() -> Scenario {
+        Scenario {
+            seed: 3,
+            nodes: 10,
+            range_milli: 3000,
+            rounds: 5,
+            runs: 2,
+            phi_milli: 500,
+            loss_milli: 0,
+            retries: 0,
+            recovery: 0,
+            failure_milli: 0,
+            source: DataSource::Sinusoid {
+                period: 16,
+                noise_permille: 100,
+            },
+        }
+    }
+
+    #[test]
+    fn a_reliable_scenario_passes_the_full_battery() {
+        let report = check(&base());
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.tally.batteries, 6);
+        assert_eq!(report.tally.exactness, 6);
+        assert_eq!(report.tally.parity, 1);
+        assert_eq!(report.tally.metamorphic, 2);
+    }
+
+    #[test]
+    fn a_lossy_scenario_skips_exactness_but_still_audits() {
+        let s = Scenario {
+            loss_milli: 400,
+            retries: 2,
+            recovery: 1,
+            runs: 1,
+            ..base()
+        };
+        let report = check(&s);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.tally.exactness, 0, "lossy worlds skip exactness");
+        assert_eq!(report.tally.audit, 6);
+        assert_eq!(report.tally.parity, 0, "single-run scenarios skip parity");
+    }
+
+    #[test]
+    fn total_blackout_terminates_cleanly() {
+        let s = Scenario {
+            loss_milli: 1000,
+            retries: 3,
+            recovery: 2,
+            runs: 1,
+            rounds: 3,
+            nodes: 6,
+            ..base()
+        };
+        let report = check(&s);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn violations_render_readably() {
+        let v = Violation::Inexact {
+            algorithm: "IQ",
+            exactness: 0.5,
+            mean_rank_error: 1.25,
+        };
+        assert_eq!(
+            v.to_string(),
+            "IQ: inexact on reliable links (exactness=0.5, mean_rank_error=1.25)"
+        );
+        let p = Violation::OracleMetamorphic { property: "affine" };
+        assert_eq!(p.to_string(), "oracle: affine metamorphic property failed");
+    }
+}

@@ -1,0 +1,157 @@
+//! Deterministic scenario fuzzer and differential oracle harness.
+//!
+//! This crate closes the loop between the protocol stack and its paper
+//! guarantees: a seeded generator ([`gen`]) draws whole simulated worlds —
+//! topology density, sink placement, data source, loss rate, ARQ budget,
+//! node-failure schedule, quantile φ — runs every paper protocol on each
+//! of them, and checks the invariant battery ([`invariants`]) against the
+//! centralized oracle:
+//!
+//! * **Exactness** — on reliable worlds every protocol's answer must equal
+//!   `cqp_core::rank::oracle` every round (Theorems 4.1/4.2 territory).
+//! * **Energy conservation** — the audit replay must reconcile with the
+//!   ledger bit-exactly, lossy or not.
+//! * **Telemetry reconciliation** — the always-on message-size histogram
+//!   must count exactly the messages the traffic stats saw.
+//! * **Parallel parity** — 1-thread and 2-thread experiment execution must
+//!   agree bit-for-bit.
+//! * **Metamorphic properties** — permuting sensor values across nodes
+//!   must not change any answer; the order-preserving map `v ↦ a·v + b`
+//!   must map every answer accordingly ([`meta`]).
+//!
+//! A failing scenario is shrunk ([`shrink()`]) to a greedy local minimum and
+//! emitted as a single-line repro ([`repro`]) that `simulate fuzz --repro`
+//! replays and `tests/fuzz_corpus.txt` pins forever.
+//!
+//! Everything is a pure function of the master seed: the same
+//! `(seed, count)` pair produces byte-identical [`FuzzReport::summary`]
+//! output on every machine and at every thread count.
+
+pub mod gen;
+pub mod invariants;
+pub mod meta;
+pub mod repro;
+pub mod shrink;
+
+use std::fmt::Write as _;
+
+use wsn_sim::parallel::map_indexed;
+use wsn_sim::Scenario;
+
+pub use invariants::{check, ScenarioReport, Tally, Violation};
+pub use repro::{parse_line, to_line};
+pub use shrink::shrink;
+
+/// One fuzz failure: the scenario as generated, its shrunk minimum, and
+/// the violations the minimum still exhibits.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Index of the scenario in the fuzz run (`gen::scenario(seed, index)`).
+    pub index: u64,
+    /// The scenario exactly as generated.
+    pub original: Scenario,
+    /// The greedy-shrunk minimal failing scenario.
+    pub shrunk: Scenario,
+    /// What the shrunk scenario still violates.
+    pub violations: Vec<Violation>,
+}
+
+/// Outcome of a whole fuzz run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// The master seed the run was derived from.
+    pub master_seed: u64,
+    /// Number of scenarios generated and checked.
+    pub scenarios: u64,
+    /// Checks performed, summed over all scenarios.
+    pub tally: Tally,
+    /// Failing scenarios, in generation order.
+    pub failures: Vec<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True iff no scenario violated any invariant.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Deterministic human-readable summary: same seed and count produce
+    /// byte-identical output (integers only, stable ordering).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fuzz: seed={} scenarios={} failures={}",
+            self.master_seed,
+            self.scenarios,
+            self.failures.len()
+        );
+        let t = &self.tally;
+        let _ = writeln!(
+            out,
+            "checks: batteries={} audit={} telemetry={} exactness={} parity={} metamorphic={}",
+            t.batteries, t.audit, t.telemetry, t.exactness, t.parity, t.metamorphic
+        );
+        for f in &self.failures {
+            let _ = writeln!(out, "FAIL scenario #{}:", f.index);
+            for v in &f.violations {
+                let _ = writeln!(out, "  {v}");
+            }
+            let _ = writeln!(out, "  repro: {}", repro::to_line(&f.shrunk));
+        }
+        out
+    }
+}
+
+/// Runs the full fuzz campaign: generates `count` scenarios from
+/// `master_seed`, checks each one's invariant battery on up to `threads`
+/// workers (scenario-level parallelism; each battery itself runs
+/// sequentially, so results are thread-count independent), and shrinks
+/// every failure to a minimal repro.
+pub fn fuzz(master_seed: u64, count: u64, threads: usize) -> FuzzReport {
+    let checked = map_indexed(count as usize, threads.max(1), |i| {
+        let s = gen::scenario(master_seed, i as u64);
+        let report = invariants::check(&s);
+        (s, report)
+    });
+
+    let mut tally = Tally::default();
+    let mut failures = Vec::new();
+    for (index, (scenario, report)) in checked.into_iter().enumerate() {
+        tally.add(&report.tally);
+        if report.violations.is_empty() {
+            continue;
+        }
+        let shrunk = shrink::shrink(scenario, |c| !invariants::check(c).violations.is_empty());
+        let violations = invariants::check(&shrunk).violations;
+        failures.push(FuzzFailure {
+            index: index as u64,
+            original: scenario,
+            shrunk,
+            violations,
+        });
+    }
+
+    FuzzReport {
+        master_seed,
+        scenarios: count,
+        tally,
+        failures,
+    }
+}
+
+/// Parses a corpus file: one repro line per non-empty, non-`#` line.
+/// Returns `(1-based line number, scenario)` pairs or the first parse
+/// error, prefixed with its line number.
+pub fn corpus_entries(text: &str) -> Result<Vec<(usize, Scenario)>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let s = repro::parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push((i + 1, s));
+    }
+    Ok(out)
+}

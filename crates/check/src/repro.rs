@@ -1,0 +1,181 @@
+//! Single-line repro encoding.
+//!
+//! A failing scenario is emitted as one flat JSON object per line — easy
+//! to copy out of CI logs into `simulate fuzz --repro '<line>'` or to
+//! append to `tests/fuzz_corpus.txt`. Every field is an integer (the
+//! [`Scenario`] encoding is all-integer by design), the data source is a
+//! kind string plus three positional parameters, and the writer emits keys
+//! in one fixed order, so `parse_line(to_line(s)) == s` holds exactly and
+//! corpus diffs stay minimal. The parser is a tiny scanner over this
+//! self-generated dialect, not a general JSON parser.
+
+use wsn_sim::{DataSource, Scenario};
+
+/// Serializes a scenario as one flat JSON line.
+///
+/// The `p1..p3` parameters depend on the source kind:
+/// `sinusoid: (period, noise_permille, 0)`, `walk: (range_size, step, 0)`,
+/// `regime: (range_size, phase_len, drift)`, `pressure: (skip, 0|1, 0)`.
+pub fn to_line(s: &Scenario) -> String {
+    let (p1, p2, p3): (i128, i128, i128) = match s.source {
+        DataSource::Sinusoid {
+            period,
+            noise_permille,
+        } => (period as i128, noise_permille as i128, 0),
+        DataSource::Walk { range_size, step } => (range_size as i128, step as i128, 0),
+        DataSource::Regime {
+            range_size,
+            phase_len,
+            drift,
+        } => (range_size as i128, phase_len as i128, drift as i128),
+        DataSource::Pressure { skip, pessimistic } => (skip as i128, pessimistic as i128, 0),
+    };
+    format!(
+        "{{\"seed\":{},\"nodes\":{},\"range_milli\":{},\"rounds\":{},\"runs\":{},\
+         \"phi_milli\":{},\"loss_milli\":{},\"retries\":{},\"recovery\":{},\
+         \"failure_milli\":{},\"source\":\"{}\",\"p1\":{},\"p2\":{},\"p3\":{}}}",
+        s.seed,
+        s.nodes,
+        s.range_milli,
+        s.rounds,
+        s.runs,
+        s.phi_milli,
+        s.loss_milli,
+        s.retries,
+        s.recovery,
+        s.failure_milli,
+        s.source.name(),
+        p1,
+        p2,
+        p3
+    )
+}
+
+/// Extracts the raw token after `"key":` (up to the next `,` or `}`).
+fn field<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .ok_or_else(|| format!("missing field `{key}`"))?
+        + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .ok_or_else(|| format!("unterminated field `{key}`"))?;
+    Ok(rest[..end].trim())
+}
+
+fn int(line: &str, key: &str) -> Result<i128, String> {
+    field(line, key)?
+        .parse::<i128>()
+        .map_err(|e| format!("field `{key}`: {e}"))
+}
+
+fn uint<T: TryFrom<i128>>(line: &str, key: &str) -> Result<T, String> {
+    T::try_from(int(line, key)?).map_err(|_| format!("field `{key}` out of range"))
+}
+
+/// Parses one repro line back into a scenario. Accepts exactly the
+/// dialect [`to_line`] produces; anything else is an `Err` naming the
+/// first offending field.
+pub fn parse_line(line: &str) -> Result<Scenario, String> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err("repro line must be a flat JSON object".to_string());
+    }
+    // u64 seeds can exceed i64, so go through i128 uniformly.
+    let seed: u64 = uint(line, "seed")?;
+    let nodes: usize = uint(line, "nodes")?;
+    let source_raw = field(line, "source")?;
+    let kind = source_raw
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| format!("field `source`: expected a quoted string, got `{source_raw}`"))?;
+    let p1 = int(line, "p1")?;
+    let p2 = int(line, "p2")?;
+    let p3 = int(line, "p3")?;
+    let source = match kind {
+        "sinusoid" => DataSource::Sinusoid {
+            period: p1 as u32,
+            noise_permille: p2 as u32,
+        },
+        "walk" => DataSource::Walk {
+            range_size: p1 as u64,
+            step: p2 as i64,
+        },
+        "regime" => DataSource::Regime {
+            range_size: p1 as u64,
+            phase_len: p2 as u32,
+            drift: p3 as i64,
+        },
+        "pressure" => DataSource::Pressure {
+            skip: p1 as u32,
+            pessimistic: p2 != 0,
+        },
+        other => return Err(format!("unknown source kind `{other}`")),
+    };
+    Ok(Scenario {
+        seed,
+        nodes,
+        range_milli: uint(line, "range_milli")?,
+        rounds: uint(line, "rounds")?,
+        runs: uint(line, "runs")?,
+        phi_milli: uint(line, "phi_milli")?,
+        loss_milli: uint(line, "loss_milli")?,
+        retries: uint(line, "retries")?,
+        recovery: uint(line, "recovery")?,
+        failure_milli: uint(line, "failure_milli")?,
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn round_trips_every_generated_scenario() {
+        for i in 0..256 {
+            let s = gen::scenario(0xFEED, i);
+            let line = to_line(&s);
+            assert_eq!(parse_line(&line).unwrap(), s, "{line}");
+        }
+    }
+
+    #[test]
+    fn round_trips_extreme_fields() {
+        let s = Scenario {
+            seed: u64::MAX,
+            nodes: 1,
+            range_milli: 4000,
+            rounds: 1,
+            runs: 1,
+            phi_milli: 999,
+            loss_milli: 1000,
+            retries: 0,
+            recovery: 0,
+            failure_milli: 0,
+            source: DataSource::Regime {
+                range_size: 2048,
+                phase_len: 3,
+                drift: -8,
+            },
+        };
+        assert_eq!(parse_line(&to_line(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"seed\":1}").is_err(), "missing fields");
+        let bad_kind = to_line(&gen::scenario(1, 0)).replace("sinusoid", "volcano");
+        if bad_kind.contains("volcano") {
+            assert!(parse_line(&bad_kind).is_err());
+        }
+        let s = gen::scenario(1, 0);
+        let negative = to_line(&s).replace(&format!("\"nodes\":{}", s.nodes), "\"nodes\":-3");
+        assert!(parse_line(&negative).is_err(), "negative counts rejected");
+    }
+}

@@ -1,0 +1,162 @@
+//! Greedy deterministic scenario shrinking.
+//!
+//! Given a failing scenario and a `fails` predicate, repeatedly tries a
+//! fixed, ordered list of simplifying moves and keeps the first one that
+//! still fails, restarting from the top after every acceptance. Every move
+//! is monotone toward a per-field floor (fewer rounds, fewer nodes, less
+//! loss, the canonical data source, the median, a denser radio), so the
+//! walk terminates at a local minimum without any fuel counter — the
+//! result is a small, deterministic repro, not a global minimum.
+
+use wsn_sim::{DataSource, Scenario};
+
+/// The canonical simplest data source shrinking converges toward.
+const SIMPLEST_SOURCE: DataSource = DataSource::Sinusoid {
+    period: 8,
+    noise_permille: 0,
+};
+
+/// All simplifying moves applicable to `s`, most aggressive first.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    if s.rounds > 1 {
+        out.push(Scenario {
+            rounds: s.rounds / 2,
+            ..*s
+        });
+        out.push(Scenario {
+            rounds: s.rounds - 1,
+            ..*s
+        });
+    }
+    if s.nodes > 1 {
+        out.push(Scenario {
+            nodes: s.nodes / 2,
+            ..*s
+        });
+        out.push(Scenario {
+            nodes: s.nodes - 1,
+            ..*s
+        });
+    }
+    if s.runs > 1 {
+        out.push(Scenario { runs: 1, ..*s });
+    }
+    if s.loss_milli > 0 {
+        out.push(Scenario {
+            loss_milli: 0,
+            ..*s
+        });
+        out.push(Scenario {
+            loss_milli: s.loss_milli / 2,
+            ..*s
+        });
+    }
+    if s.failure_milli > 0 {
+        out.push(Scenario {
+            failure_milli: 0,
+            ..*s
+        });
+    }
+    if s.retries > 0 {
+        out.push(Scenario { retries: 0, ..*s });
+    }
+    if s.recovery > 0 {
+        out.push(Scenario { recovery: 0, ..*s });
+    }
+    if s.source != SIMPLEST_SOURCE {
+        out.push(Scenario {
+            source: SIMPLEST_SOURCE,
+            ..*s
+        });
+    }
+    if s.phi_milli != 500 {
+        out.push(Scenario {
+            phi_milli: 500,
+            ..*s
+        });
+    }
+    if s.range_milli != 4000 {
+        out.push(Scenario {
+            range_milli: 4000,
+            ..*s
+        });
+    }
+    out
+}
+
+/// Shrinks `failing` to a greedy local minimum under `fails`. The caller
+/// guarantees `fails(&failing)` (debug-asserted); the result also fails.
+pub fn shrink(failing: Scenario, fails: impl Fn(&Scenario) -> bool) -> Scenario {
+    debug_assert!(fails(&failing), "shrink needs a failing scenario");
+    let mut current = failing;
+    loop {
+        let Some(next) = candidates(&current).into_iter().find(|c| fails(c)) else {
+            return current;
+        };
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big() -> Scenario {
+        Scenario {
+            seed: 99,
+            nodes: 40,
+            range_milli: 2500,
+            rounds: 24,
+            runs: 2,
+            phi_milli: 873,
+            loss_milli: 450,
+            retries: 4,
+            recovery: 3,
+            failure_milli: 20,
+            source: DataSource::Pressure {
+                skip: 3,
+                pessimistic: true,
+            },
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_predicate_boundary() {
+        // Synthetic failure: anything with ≥ 5 nodes and ≥ 3 rounds.
+        let min = shrink(big(), |s| s.nodes >= 5 && s.rounds >= 3);
+        assert_eq!(min.nodes, 5);
+        assert_eq!(min.rounds, 3);
+        // Everything irrelevant to the predicate lands on its floor.
+        assert_eq!(min.runs, 1);
+        assert_eq!(min.loss_milli, 0);
+        assert_eq!(min.failure_milli, 0);
+        assert_eq!(min.retries, 0);
+        assert_eq!(min.recovery, 0);
+        assert_eq!(min.phi_milli, 500);
+        assert_eq!(min.range_milli, 4000);
+        assert_eq!(min.source, SIMPLEST_SOURCE);
+        assert_eq!(min.seed, 99, "the seed is never shrunk");
+    }
+
+    #[test]
+    fn an_always_failing_scenario_reaches_the_global_floor() {
+        let min = shrink(big(), |_| true);
+        assert_eq!(min.nodes, 1);
+        assert_eq!(min.rounds, 1);
+        assert!(candidates(&min).is_empty(), "floor has no moves left");
+    }
+
+    #[test]
+    fn loss_dependent_failures_keep_their_loss() {
+        let min = shrink(big(), |s| s.loss_milli > 0);
+        assert_eq!(min.loss_milli, 1, "halving walks loss down to 1‰");
+        assert_eq!(min.nodes, 1);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let pred = |s: &Scenario| s.nodes * s.rounds as usize >= 30;
+        assert_eq!(shrink(big(), pred), shrink(big(), pred));
+    }
+}

@@ -1,0 +1,33 @@
+//! Replays every pinned scenario in `tests/fuzz_corpus.txt` (repository
+//! root) through the full invariant battery. The corpus holds scenarios
+//! that once failed plus hand-pinned edges; all of them must stay clean
+//! on every build.
+
+use wsn_check::{check, corpus_entries};
+
+fn corpus_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fuzz_corpus.txt");
+    std::fs::read_to_string(path).expect("tests/fuzz_corpus.txt must exist")
+}
+
+#[test]
+fn corpus_parses_and_is_not_empty() {
+    let entries = corpus_entries(&corpus_text()).expect("corpus must parse");
+    assert!(entries.len() >= 5, "corpus lost entries: {}", entries.len());
+}
+
+#[test]
+fn every_corpus_scenario_passes_the_battery() {
+    for (line, scenario) in corpus_entries(&corpus_text()).expect("corpus must parse") {
+        let report = check(&scenario);
+        assert!(
+            report.violations.is_empty(),
+            "corpus line {line} regressed:\n{}",
+            report
+                .violations
+                .iter()
+                .map(|v| format!("  {v}\n"))
+                .collect::<String>()
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! End-to-end fuzz smoke: a bounded campaign must be clean, and its
+//! summary byte-identical across repetitions and thread counts — the
+//! determinism contract the CI gate and the acceptance runs rely on.
+
+use wsn_check::fuzz;
+
+#[test]
+fn bounded_campaign_is_clean_and_byte_deterministic() {
+    let first = fuzz(42, 20, 4);
+    assert!(first.is_clean(), "violations:\n{}", first.summary());
+    assert_eq!(first.tally.batteries, 20 * 6);
+
+    let second = fuzz(42, 20, 4);
+    assert_eq!(first.summary(), second.summary(), "same seed, same bytes");
+
+    // Scenario-level parallelism must not leak into the results.
+    let sequential = fuzz(42, 20, 1);
+    assert_eq!(first.summary(), sequential.summary());
+}
+
+#[test]
+fn different_seeds_fuzz_different_scenarios() {
+    let a = fuzz(1, 4, 2);
+    let b = fuzz(2, 4, 2);
+    assert!(a.is_clean(), "{}", a.summary());
+    assert!(b.is_clean(), "{}", b.summary());
+    assert_eq!(a.scenarios, b.scenarios, "same campaign shape");
+    assert_ne!(
+        wsn_check::gen::scenario(1, 0),
+        wsn_check::gen::scenario(2, 0),
+        "the master seed drives the scenario stream"
+    );
+}

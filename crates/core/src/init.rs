@@ -117,11 +117,13 @@ pub fn quantile_from_sorted(sorted: &[Value], k: u64, fallback: Value) -> Value 
 
 /// IQ's initial half-width `ξ` from the collected distribution: the mean
 /// gap below the quantile, `ξ = c · (v_k − v_1)/k` (§4.2.1), rounded up so
-/// a non-degenerate interval survives integer truncation.
+/// a non-degenerate interval survives integer truncation. Floored at 1:
+/// with a single sensor (`k = 1`) or a constant prefix the span is 0, and
+/// a zero half-width would collapse IQ's interval Ξ to a point.
 pub fn initial_xi_mean_gap(sorted: &[Value], k: u64, c: f64) -> Value {
     assert!(k >= 1 && (k as usize) <= sorted.len());
     let span = (sorted[k as usize - 1] - sorted[0]) as f64;
-    (c * span / k as f64).ceil() as Value
+    ((c * span / k as f64).ceil() as Value).max(1)
 }
 
 /// IQ's outlier-robust alternative: the median gap between consecutive
@@ -143,6 +145,16 @@ pub fn initial_xi_median_gap(sorted: &[Value], k: u64) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wsn_net::{MessageSizes, Network, Point, RadioModel, RoutingTree, Topology};
+
+    fn line_net(sensors: usize) -> Network {
+        let positions = (0..=sensors)
+            .map(|i| Point::new(i as f64 * 8.0, 0.0))
+            .collect();
+        let topo = Topology::build(positions, 10.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        Network::new(topo, tree, RadioModel::default(), MessageSizes::default())
+    }
 
     #[test]
     fn mean_gap_xi() {
@@ -150,6 +162,42 @@ mod tests {
         let sorted: Vec<Value> = (0..10).collect();
         assert_eq!(initial_xi_mean_gap(&sorted, 5, 1.0), 1);
         assert_eq!(initial_xi_mean_gap(&sorted, 5, 3.0), 3);
+    }
+
+    #[test]
+    fn mean_gap_xi_survives_a_degenerate_span() {
+        // One sensor (k = 1) or a constant prefix: span 0 must not collapse
+        // IQ's interval to a point.
+        assert_eq!(initial_xi_mean_gap(&[42], 1, 1.0), 1);
+        assert_eq!(initial_xi_mean_gap(&[5, 5, 5, 9], 3, 1.0), 1);
+    }
+
+    #[test]
+    fn single_sensor_init_is_exact_under_both_strategies() {
+        // The 1-node network of the fuzzer's degenerate class: the sink has
+        // exactly one sensor below it, k = 1, and both init strategies must
+        // report that sensor's measurement.
+        let query = QueryConfig::phi(0.5, 1, 0, 1023);
+        for strategy in [InitStrategy::Tag, InitStrategy::BarySearch] {
+            let mut net = line_net(1);
+            let out = run_init(&mut net, &[77], query, strategy);
+            assert_eq!(out.quantile, 77, "{strategy:?}");
+            assert!(out.counts.is_valid_quantile(query.k), "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn empty_collection_falls_back_gracefully() {
+        // A sink-only network is rejected at `Topology::build` ("need a
+        // root and at least one sensor"), but message loss can still leave
+        // an init collection empty — the quantile helper must fall back
+        // instead of indexing.
+        assert_eq!(quantile_from_sorted(&[], 1, -1), -1);
+        assert_eq!(
+            quantile_from_sorted(&[8], 5, -1),
+            8,
+            "short collections clamp the rank"
+        );
     }
 
     #[test]

@@ -66,6 +66,53 @@ pub fn kth_smallest(values: &[Value], k: u64) -> Value {
     *v
 }
 
+/// The centralized oracle: the true φ-quantile of `values`, computed by
+/// brute force. This is the referee every protocol answer is judged
+/// against — exact by construction, independent of any in-network code
+/// path (`rank_of_phi` + [`kth_smallest`]).
+///
+/// # Panics
+/// Panics on an empty slice or φ outside `[0, 1]`.
+pub fn oracle(values: &[Value], phi: f64) -> Value {
+    kth_smallest(values, rank_of_phi(phi, values.len()))
+}
+
+/// Deterministic value permutation used by the metamorphic battery:
+/// rotation by `rot` positions. Any permutation preserves the multiset and
+/// therefore every order statistic; rotation is the cheapest one that
+/// still moves every element (for `rot ≠ 0 mod len`).
+pub fn rotated(values: &[Value], rot: usize) -> Vec<Value> {
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    (0..n).map(|i| values[(i + rot) % n]).collect()
+}
+
+/// Applies the order-preserving affine map `v ↦ a·v + b` (`a > 0`) to every
+/// value. Order statistics are equivariant under it:
+/// `kth(affine(V)) = a·kth(V) + b`.
+///
+/// # Panics
+/// Panics unless `a > 0` (a non-positive slope does not preserve order).
+pub fn affine(values: &[Value], a: Value, b: Value) -> Vec<Value> {
+    assert!(a > 0, "affine rank metamorphism needs a positive slope");
+    values.iter().map(|&v| a * v + b).collect()
+}
+
+/// Metamorphic property 1: the k-th smallest value is invariant under any
+/// permutation of the input. Returns `true` when it holds for the given
+/// rotation (the fuzzer's witness permutation).
+pub fn kth_invariant_under_rotation(values: &[Value], k: u64, rot: usize) -> bool {
+    kth_smallest(&rotated(values, rot), k) == kth_smallest(values, k)
+}
+
+/// Metamorphic property 2: the k-th smallest value is equivariant under
+/// the order-preserving affine map `v ↦ a·v + b` with `a > 0`.
+pub fn kth_equivariant_under_affine(values: &[Value], k: u64, a: Value, b: Value) -> bool {
+    kth_smallest(&affine(values, a, b), k) == a * kth_smallest(values, k) + b
+}
+
 /// Counts of values below / equal to / above a threshold — the POS state
 /// variables `l`, `e`, `g` (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -159,6 +206,49 @@ mod tests {
         // The paper's §1 example: {3,3,3,3,103} -> median 3, average 23.
         let values = vec![3, 3, 3, 3, 103];
         assert_eq!(kth_smallest(&values, rank_of_phi(0.5, 5)), 3);
+    }
+
+    #[test]
+    fn oracle_is_kth_of_phi() {
+        let values = vec![9, 1, 5, 3, 7];
+        // Definition 2.1: k = ⌊φ·n⌋ clamped to [1, n]; ⌊0.5·5⌋ = 2.
+        assert_eq!(oracle(&values, 0.5), 3);
+        assert_eq!(oracle(&values, 0.0), 1); // rank clamped up to 1
+        assert_eq!(oracle(&values, 1.0), 9);
+    }
+
+    #[test]
+    fn rotation_preserves_every_rank() {
+        let values = vec![4, 8, 15, 16, 23, 42];
+        for rot in 0..=6 {
+            for k in 1..=6 {
+                assert!(
+                    kth_invariant_under_rotation(&values, k, rot),
+                    "k={k} rot={rot}"
+                );
+            }
+        }
+        assert_eq!(rotated(&values, 2), vec![15, 16, 23, 42, 4, 8]);
+        assert!(rotated(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn affine_maps_are_rank_equivariant() {
+        let values = vec![-3, 0, 2, 2, 11];
+        for (a, b) in [(1, 0), (2, -5), (3, 1000)] {
+            for k in 1..=5 {
+                assert!(
+                    kth_equivariant_under_affine(&values, k, a, b),
+                    "k={k} a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive slope")]
+    fn affine_rejects_non_positive_slopes() {
+        let _ = affine(&[1, 2], 0, 3);
     }
 
     #[test]

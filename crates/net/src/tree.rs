@@ -69,6 +69,10 @@ impl RoutingTree {
         if !unreachable.is_empty() {
             return Err(unreachable);
         }
+        // Connectivity and the BFS order must agree — on a 1-sensor network
+        // this is the whole tree, so a mismatch would silently drop the
+        // only measurement.
+        debug_assert_eq!(order.len(), n, "BFS order must cover the connected graph");
 
         let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         for id in topo.node_ids().skip(1) {
@@ -379,6 +383,50 @@ mod tests {
         // Node 1 has children {3, 4}.
         assert_eq!(sizes[1], 3);
         assert_eq!(sizes[2], 1);
+    }
+
+    #[test]
+    fn single_sensor_tree() {
+        // The smallest legal network: the sink plus one sensor. The whole
+        // fuzz battery runs on this shape, so every accessor must behave.
+        let (_, tree) = line(2);
+        assert_eq!(tree.len(), 2);
+        assert_eq!(tree.parent(NodeId(1)), Some(NodeId::ROOT));
+        assert_eq!(tree.children(NodeId::ROOT), &[NodeId(1)]);
+        assert!(tree.is_leaf(NodeId(1)));
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.bottom_up(), &[NodeId(1), NodeId::ROOT]);
+        assert_eq!(tree.subtree_sizes(), vec![2, 1]);
+    }
+
+    #[test]
+    fn coincident_positions_collapse_to_a_star() {
+        // A degenerate "line" where every node sits on the same point:
+        // zero-length links everywhere and all tie-breaks are exact ties.
+        // BFS must still terminate with a depth-1 star (everyone hears the
+        // sink directly) and a deterministic parent assignment.
+        let positions = vec![Point::new(3.0, 3.0); 5];
+        let topo = Topology::build(positions, 1.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        for i in 1..5u32 {
+            assert_eq!(tree.parent(NodeId(i)), Some(NodeId::ROOT));
+            assert_eq!(tree.depth(NodeId(i)), 1);
+        }
+        assert_eq!(tree.height(), 1);
+    }
+
+    #[test]
+    fn line_at_exact_radio_range_stays_connected() {
+        // Nodes spaced exactly one radio range apart: the boundary case the
+        // fuzzer's density knob can hit. The disk graph treats `dist ==
+        // range` as connected, so the line must build, not partition.
+        let positions = (0..6).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect();
+        let topo = Topology::build(positions, 2.0);
+        let tree = RoutingTree::shortest_path_tree(&topo).unwrap();
+        assert_eq!(tree.height(), 5);
+        for i in 1..6u32 {
+            assert_eq!(tree.parent(NodeId(i)), Some(NodeId(i - 1)));
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`parallel`] — the deterministic std-only worker pool behind them,
 //! * [`trace`] — per-round instrumentation with CSV export,
 //! * [`multi`] — the §2 multi-measurement-node expansion,
+//! * [`scenario`] — flat integer scenario descriptions (the `wsn-check`
+//!   fuzzer's input language) and their expansion into configurations,
 //! * [`report`] — plain-text table rendering.
 
 pub mod config;
@@ -25,11 +27,13 @@ pub mod multi;
 pub mod parallel;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod trace;
 
 pub use config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 pub use metrics::{AggregatedMetrics, RunMetrics};
 pub use runner::{run_experiment, run_experiment_threads, run_once};
+pub use scenario::{DataSource, Scenario};
 
 /// A sensor measurement.
 pub type Value = wsn_net::Value;

@@ -15,10 +15,22 @@ use crate::Value;
 pub const AREA: f64 = 200.0;
 
 /// How often a disconnected random placement is re-drawn before giving up.
-const MAX_PLACEMENT_ATTEMPTS: u32 = 200;
+pub const MAX_PLACEMENT_ATTEMPTS: u32 = 200;
 
-/// Builds dataset + connected topology + routing tree for one run.
-fn build_world(cfg: &SimulationConfig, rng: &mut Rng) -> (Box<dyn Dataset>, Topology, RoutingTree) {
+/// Builds dataset + connected topology + routing tree for one run,
+/// re-drawing disconnected placements. Public so out-of-crate harnesses
+/// (the `simulate` traced-run path, the `wsn-check` metamorphic battery)
+/// replay *exactly* the world the runner would build for a given
+/// `(config, rng)` instead of approximating it.
+///
+/// # Panics
+/// Panics when no connected placement is found within
+/// [`MAX_PLACEMENT_ATTEMPTS`] draws — a sign the configuration's radio
+/// range is far too small for its node density.
+pub fn build_world(
+    cfg: &SimulationConfig,
+    rng: &mut Rng,
+) -> (Box<dyn Dataset>, Topology, RoutingTree) {
     for _ in 0..MAX_PLACEMENT_ATTEMPTS {
         let (dataset, positions): (Box<dyn Dataset>, Vec<Point>) = match &cfg.dataset {
             DatasetSpec::Synthetic(scfg) => {

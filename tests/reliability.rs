@@ -111,6 +111,64 @@ fn node_failures_inject_and_repair() {
     assert!(agg.mean_rank_error < 5.0, "got {}", agg.mean_rank_error);
 }
 
+/// Degenerate loss probability 0.0: enabling the loss model (and a full
+/// ARQ budget) must change nothing observable — every protocol stays
+/// exact, nothing is ever retransmitted, every hop is delivered, and the
+/// energy-audit replay reconciles the ledger bit-exactly.
+#[test]
+fn loss_probability_zero_is_indistinguishable_from_reliable_links() {
+    let cfg = SimulationConfig {
+        sensor_count: 80,
+        rounds: 20,
+        runs: 1,
+        loss: Some(0.0),
+        reliability: ReliabilityConfig::recovering(3, 2),
+        audit: true,
+        ..SimulationConfig::default()
+    };
+    for kind in [AlgorithmKind::Pos, AlgorithmKind::Hbc, AlgorithmKind::Iq] {
+        let m = run_once(&cfg, kind, 0);
+        assert_eq!(m.exactness(), 1.0, "{}", kind.name());
+        assert_eq!(m.retransmissions_per_round, 0.0, "{}", kind.name());
+        assert_eq!(m.delivery_rate, 1.0, "{}", kind.name());
+        assert!(m.audit_events > 0, "{}: audited traffic", kind.name());
+        assert_eq!(m.audit_discrepancies, 0, "{}", kind.name());
+    }
+}
+
+/// Degenerate loss probability 1.0 with a finite ARQ budget: the run must
+/// terminate (bounded retries, bounded recovery passes), deliver nothing,
+/// charge every futile retransmission — and the audit replay must still
+/// reconcile that energy bit-exactly against the recorded traffic.
+#[test]
+fn total_loss_with_finite_budget_terminates_and_accounts_its_energy() {
+    let cfg = SimulationConfig {
+        sensor_count: 50,
+        rounds: 8,
+        runs: 1,
+        loss: Some(1.0),
+        reliability: ReliabilityConfig::recovering(3, 2),
+        audit: true,
+        ..SimulationConfig::default()
+    };
+    for kind in [AlgorithmKind::Pos, AlgorithmKind::Iq] {
+        let m = run_once(&cfg, kind, 0);
+        assert_eq!(m.delivery_rate, 0.0, "{}: nothing arrives", kind.name());
+        assert!(
+            m.retransmissions_per_round > 0.0,
+            "{}: the budget is spent before giving up",
+            kind.name()
+        );
+        assert!(m.audit_events > 0, "{}", kind.name());
+        assert_eq!(
+            m.audit_discrepancies,
+            0,
+            "{}: wasted energy still reconciles",
+            kind.name()
+        );
+    }
+}
+
 /// The PR 1 determinism contract extends to the reliability layer:
 /// aggregates are bit-for-bit identical across worker counts.
 #[test]
