@@ -68,11 +68,11 @@ fn main() {
         warm.end_round();
         agg.map(|a| a.vals.len())
     });
-    let mut recv = Vec::new();
+    let mut recv = wsn_net::NodeBits::new();
     h.bench("broadcast_500_nodes_warm", || {
         warm.broadcast_into(64, &mut recv);
         warm.end_round();
-        recv.iter().filter(|&&r| r).count()
+        recv.count_ones()
     });
 
     // Datasets.

@@ -12,6 +12,7 @@
 //! simulate diff a.jsonl b.jsonl                 # first divergent frame
 //! simulate fuzz --scenarios 1000 --seed 42      # invariant fuzz campaign
 //! simulate fuzz --repro '{"seed":4807,...}'     # replay one repro line
+//! simulate scale --nodes 10000 --rounds 200     # engine throughput gate
 //! ```
 
 use std::io::Write;
@@ -49,6 +50,7 @@ struct Args {
     capture: Option<String>,
     metrics_out: Option<String>,
     threads: usize,
+    wave_threads: usize,
 }
 
 impl Default for Args {
@@ -78,6 +80,7 @@ impl Default for Args {
             capture: None,
             metrics_out: None,
             threads: wsn_sim::parallel::thread_count(),
+            wave_threads: 1,
         }
     }
 }
@@ -203,6 +206,12 @@ fn parse_args() -> Result<Args, String> {
                     .map(|n| n.max(1))
                     .map_err(|e| format!("--threads: {e}"))?
             }
+            "--wave-threads" => {
+                args.wave_threads = value(&argv, &mut i, "--wave-threads")?
+                    .parse::<usize>()
+                    .map(|n| n.max(1))
+                    .map_err(|e| format!("--wave-threads: {e}"))?
+            }
             "--help" | "-h" => {
                 print_usage();
                 std::process::exit(0);
@@ -225,10 +234,13 @@ fn print_usage() {
                 [--skip S] [--range optimistic|pessimistic]
                 [--loss P] [--retries R] [--recovery PASSES] [--node-failures P]
                 [--audit] [--seed S] [--csv FILE] [--json FILE] [--threads N]
+                [--wave-threads W]
                 [--events FILE] [--capture FILE] [--metrics-out FILE]
        simulate diff A.jsonl B.jsonl
        simulate fuzz [--scenarios N] [--seed S] [--threads N]
                      [--corpus FILE] [--repro LINE]
+       simulate scale [--nodes N] [--rounds R] [--wave-threads W]
+                      [--seed S] [--budget-secs T]
 
 --audit replays every recorded transmission through the energy auditor and
 prints the per-phase energy breakdown; any ledger discrepancy makes the
@@ -248,7 +260,15 @@ centralized oracle, the energy-audit replay, telemetry reconciliation,
 thread parity and metamorphic properties; failures are shrunk to one-line
 repros. --corpus replays a pinned corpus first and appends new shrunk
 repros to it; --repro replays one repro line. Exit 0 clean, 1 on any
-violation, 2 on bad input."
+violation, 2 on bad input.
+
+`simulate scale` is the engine-throughput smoke gate: it runs R full HBC
+rounds on an N-node constant-density world (the `scale` bench workload)
+with W within-wave worker threads, prints the wall clock and per-round
+cost, and exits 1 when the run exceeds the --budget-secs wall-clock
+budget (default: no budget). --threads parallelizes across runs;
+--wave-threads parallelizes the waves *inside* one run — results are
+bit-identical at any setting of either."
     );
 }
 
@@ -422,6 +442,101 @@ fn run_fuzz(argv: &[String]) -> ! {
     std::process::exit(exit_code);
 }
 
+/// `simulate scale` — the struct-of-arrays engine throughput gate: time
+/// full HBC rounds on an n-node constant-density world (the same workload
+/// as the `scale` bench family) and fail when the wall clock exceeds the
+/// budget. Exit 0 within budget, 1 over budget, 2 on bad usage. CI wraps
+/// this in `timeout(1)` as a belt-and-suspenders hang guard.
+fn run_scale(argv: &[String]) -> ! {
+    use std::time::Instant;
+
+    let mut nodes: usize = 10_000;
+    let mut rounds: u32 = 200;
+    let mut wave_threads: usize = 1;
+    let mut seed: u64 = 0x5CA1E;
+    let mut budget_secs: Option<f64> = None;
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        print_usage();
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            match argv.get(*i) {
+                Some(v) => v.clone(),
+                None => fail(format!("{flag} needs a value")),
+            }
+        };
+        match argv[i].as_str() {
+            "--nodes" => {
+                nodes = match value(&mut i, "--nodes").parse() {
+                    Ok(n) => n,
+                    Err(e) => fail(format!("--nodes: {e}")),
+                }
+            }
+            "--rounds" => {
+                rounds = match value(&mut i, "--rounds").parse() {
+                    Ok(n) => n,
+                    Err(e) => fail(format!("--rounds: {e}")),
+                }
+            }
+            "--wave-threads" => {
+                wave_threads = match value(&mut i, "--wave-threads").parse::<usize>() {
+                    Ok(n) => n.max(1),
+                    Err(e) => fail(format!("--wave-threads: {e}")),
+                }
+            }
+            "--seed" => {
+                seed = match value(&mut i, "--seed").parse() {
+                    Ok(n) => n,
+                    Err(e) => fail(format!("--seed: {e}")),
+                }
+            }
+            "--budget-secs" => {
+                budget_secs = match value(&mut i, "--budget-secs").parse() {
+                    Ok(t) => Some(t),
+                    Err(e) => fail(format!("--budget-secs: {e}")),
+                }
+            }
+            other => fail(format!("unknown scale argument {other}")),
+        }
+        i += 1;
+    }
+    if nodes == 0 || rounds == 0 {
+        fail("scale needs --nodes >= 1 and --rounds >= 1".into());
+    }
+
+    let built = Instant::now();
+    let mut net = wsn_bench::scale::build_world(nodes, seed);
+    net.set_wave_workers(wave_threads);
+    eprintln!(
+        "scale: built {} nodes (avg degree target {}) in {:.2}s",
+        net.len(),
+        wsn_bench::scale::DEG,
+        built.elapsed().as_secs_f64()
+    );
+
+    let start = Instant::now();
+    let answer = wsn_bench::scale::hbc_rounds(&mut net, nodes, rounds);
+    let elapsed = start.elapsed().as_secs_f64();
+    println!(
+        "scale: n={nodes} rounds={rounds} wave-threads={wave_threads} \
+         wall={elapsed:.2}s round={:.3}ms ns/(node*round)={:.0} median={answer}",
+        elapsed * 1e3 / rounds as f64,
+        elapsed * 1e9 / (nodes as f64 * rounds as f64),
+    );
+    if let Some(budget) = budget_secs {
+        if elapsed > budget {
+            eprintln!("scale: FAILED — {elapsed:.2}s exceeds the {budget:.2}s budget");
+            std::process::exit(1);
+        }
+        eprintln!("scale: within the {budget:.2}s budget");
+    }
+    std::process::exit(0);
+}
+
 fn build_config(args: &Args) -> Result<SimulationConfig, String> {
     let dataset = match args.dataset.as_str() {
         "synthetic" => DatasetSpec::Synthetic(SyntheticConfig {
@@ -466,6 +581,7 @@ fn build_config(args: &Args) -> Result<SimulationConfig, String> {
         node_failure: args.node_failures,
         audit: args.audit,
         dataset,
+        wave_workers: args.wave_threads,
         ..SimulationConfig::default()
     })
 }
@@ -622,6 +738,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("fuzz") {
         run_fuzz(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("scale") {
+        run_scale(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -169,14 +169,16 @@ impl Harness {
         let mut root = load_results(&self.out_path);
         root.set(
             "_meta",
-            Json::Obj(vec![(
-                "cores".into(),
-                Json::int(
-                    std::thread::available_parallelism()
-                        .map(|n| n.get() as u64)
-                        .unwrap_or(1),
+            Json::Obj(vec![
+                ("cores".into(), Json::int(detect_cores())),
+                (
+                    "wsn_threads".into(),
+                    Json::int(resolve_threads(
+                        std::env::var("WSN_THREADS").ok().as_deref(),
+                        detect_cores(),
+                    )),
                 ),
-            )]),
+            ]),
         );
         root.set(&self.group, group);
         match std::fs::write(&self.out_path, root.pretty()) {
@@ -184,6 +186,35 @@ impl Harness {
             Err(e) => eprintln!("[{}] could not write {}: {e}", self.group, self.out_path),
         }
     }
+}
+
+/// Execution contexts actually available to this process, *measured*, never
+/// assumed: results files must say what hardware produced them.
+/// [`std::thread::available_parallelism`] first (it respects cgroup quotas
+/// and CPU affinity masks — what a containerized CI box really grants);
+/// falling back to counting `processor` entries in `/proc/cpuinfo`, then 1.
+pub fn detect_cores() -> u64 {
+    if let Ok(n) = std::thread::available_parallelism() {
+        return n.get() as u64;
+    }
+    if let Ok(text) = std::fs::read_to_string("/proc/cpuinfo") {
+        let n = text.lines().filter(|l| l.starts_with("processor")).count() as u64;
+        if n > 0 {
+            return n;
+        }
+    }
+    1
+}
+
+/// Worker threads the simulation layers will use: an explicit
+/// `WSN_THREADS` override wins (mirroring `wsn_sim::parallel`), otherwise
+/// the detected core count. Recorded in `_meta` so a results file states
+/// the parallelism it was measured under.
+fn resolve_threads(env_override: Option<&str>, cores: u64) -> u64 {
+    env_override
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(cores)
 }
 
 /// Default results path: `BENCH_results.json` at the workspace root.
@@ -268,6 +299,20 @@ mod tests {
         h.bench("drop/this", || 1);
         assert_eq!(h.results.len(), 1);
         assert_eq!(h.results[0].0, "keep/this");
+    }
+
+    #[test]
+    fn detected_cores_are_at_least_one() {
+        assert!(detect_cores() >= 1);
+    }
+
+    #[test]
+    fn thread_resolution_prefers_explicit_override() {
+        assert_eq!(resolve_threads(Some("8"), 2), 8);
+        assert_eq!(resolve_threads(Some(" 4 "), 2), 4);
+        assert_eq!(resolve_threads(Some("0"), 2), 1, "floor at one worker");
+        assert_eq!(resolve_threads(Some("not a number"), 3), 3);
+        assert_eq!(resolve_threads(None, 5), 5);
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub fn histogram_request(
 /// one descent performs no per-iteration heap allocation.
 #[derive(Debug, Default)]
 struct WaveScratch {
-    received: Vec<bool>,
+    received: wsn_net::NodeBits,
     contributions: Vec<Option<Histogram>>,
 }
 
@@ -84,7 +84,7 @@ fn histogram_request_reuse(
     scratch.contributions.clear();
     scratch.contributions.resize(n, None);
     for idx in 1..n {
-        if !scratch.received[idx] {
+        if !scratch.received.get(idx) {
             continue;
         }
         on_receive(idx, part.lo, part.hi);
@@ -92,8 +92,7 @@ fn histogram_request_reuse(
             scratch.contributions[idx] = Some(Histogram::unit(part.buckets, i));
         }
     }
-    let contributions = &mut scratch.contributions;
-    net.convergecast(|id| contributions[id.index()].take())
+    net.convergecast_slots(&mut scratch.contributions, |_, _| {})
         .unwrap_or_else(|| Histogram::zeros(part.buckets))
 }
 
@@ -182,7 +181,7 @@ pub fn descend(
         let mut cum = 0u64;
         let mut chosen = part.buckets - 1;
         for i in 0..part.buckets {
-            let c = hist.counts[i];
+            let c = hist.counts()[i];
             if cum + c >= rank_in {
                 chosen = i;
                 break;
@@ -194,7 +193,7 @@ pub fn descend(
         lo = s;
         hi = e;
         anchor = RankAnchor::BelowLo(below);
-        inside = Some(hist.counts[chosen]);
+        inside = Some(hist.counts()[chosen]);
     }
 }
 

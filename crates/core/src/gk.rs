@@ -50,7 +50,7 @@ pub struct Gk {
     last_iterations: u32,
     /// Reusable reception-flag buffer for the per-iteration broadcasts
     /// (scratch only, never observable state).
-    recv: Vec<bool>,
+    recv: wsn_net::NodeBits,
 }
 
 /// Hard cap on narrowing iterations per round.
@@ -67,7 +67,7 @@ impl Gk {
             capacity,
             last: None,
             last_iterations: 0,
-            recv: Vec::new(),
+            recv: wsn_net::NodeBits::new(),
         }
     }
 
@@ -94,7 +94,7 @@ impl Gk {
         let n = net.len();
         let mut contributions: Vec<Option<RankSummary>> = vec![None; n];
         for idx in 1..n {
-            if !self.recv[idx] {
+            if !self.recv.get(idx) {
                 continue;
             }
             let v = values[idx - 1];
@@ -126,7 +126,7 @@ impl Gk {
         let n = net.len();
         let mut contributions: Vec<Option<CountPair>> = vec![None; n];
         for idx in 1..n {
-            if !self.recv[idx] {
+            if !self.recv.get(idx) {
                 continue;
             }
             let v = values[idx - 1];
@@ -147,7 +147,7 @@ impl Gk {
                 contributions[idx] = Some(pair);
             }
         }
-        net.convergecast(|id| contributions[id.index()].take())
+        net.convergecast_slots(&mut contributions, |_, _| {})
             .unwrap_or_default()
     }
 }

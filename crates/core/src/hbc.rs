@@ -69,6 +69,10 @@ pub struct Hbc {
     node_lb: Vec<Value>,
     node_ub: Vec<Value>,
     prev: Vec<Value>,
+    /// Reusable per-node validation contribution slots (rebuilt each round
+    /// in place; the convergecast takes the payloads out again), so the
+    /// steady-state round performs no per-round heap allocation.
+    val_slots: Vec<Option<ValidationPayload>>,
     initialized: bool,
     last_refinements: u32,
 }
@@ -90,6 +94,7 @@ impl Hbc {
             node_lb: Vec::new(),
             node_ub: Vec::new(),
             prev: Vec::new(),
+            val_slots: Vec::new(),
             initialized: false,
             last_refinements: 0,
         }
@@ -137,12 +142,9 @@ impl Hbc {
         self.node_lb = vec![q; net.len()];
         self.node_ub = vec![q; net.len()];
         self.prev = values.to_vec();
-        let received = net.broadcast(net.sizes().value_bits);
-        for (i, ok) in received.iter().enumerate() {
-            if *ok {
-                self.node_lb[i] = q;
-                self.node_ub[i] = q;
-            }
+        for i in net.broadcast(net.sizes().value_bits).iter_ones() {
+            self.node_lb[i] = q;
+            self.node_ub[i] = q;
         }
         self.initialized = true;
         net.end_round();
@@ -219,12 +221,9 @@ impl Hbc {
         self.root_lb = q;
         self.root_ub = q;
         if changed {
-            let received = net.broadcast(net.sizes().value_bits);
-            for (i, ok) in received.iter().enumerate() {
-                if *ok {
-                    self.node_lb[i] = q;
-                    self.node_ub[i] = q;
-                }
+            for i in net.broadcast(net.sizes().value_bits).iter_ones() {
+                self.node_lb[i] = q;
+                self.node_ub[i] = q;
             }
         }
     }
@@ -248,23 +247,35 @@ impl ContinuousQuantile for Hbc {
 
         // --- Validation ---
         net.set_phase(wsn_net::Phase::Validation);
-        let mut contributions: Vec<Option<ValidationPayload>> = Vec::with_capacity(n);
-        contributions.push(None);
+        self.val_slots.clear();
+        self.val_slots.resize(n, None);
         for idx in 1..n {
-            contributions.push(node_validation_interval(
+            self.val_slots[idx] = node_validation_interval(
                 self.prev[idx - 1],
                 values[idx - 1],
                 self.node_lb[idx],
                 self.node_ub[idx],
                 HintStyle::MaxDiff,
                 None,
-            ));
+            );
         }
-        self.prev.copy_from_slice(values);
         // Incomplete validations corrupt the maintained counts; re-issue
-        // the wave for missing subtrees when wave recovery is enabled.
-        let validation =
-            recovery::collect_with_recovery(net, |id| contributions[id.index()].clone());
+        // the wave for missing subtrees when wave recovery is enabled. The
+        // re-issue closure regenerates a node's payload from the same
+        // inputs (`prev` only rolls forward afterwards).
+        let (prev, node_lb, node_ub) = (&self.prev, &self.node_lb, &self.node_ub);
+        let validation = recovery::collect_slots_with_recovery(net, &mut self.val_slots, |id| {
+            let idx = id.index();
+            node_validation_interval(
+                prev[idx - 1],
+                values[idx - 1],
+                node_lb[idx],
+                node_ub[idx],
+                HintStyle::MaxDiff,
+                None,
+            )
+        });
+        self.prev.copy_from_slice(values);
 
         if let Some(v) = &validation {
             let n_total = self.counts.n();

@@ -95,7 +95,10 @@ pub fn run_init(
 /// ascending. Charges the full convergecast cost.
 pub fn collect_all(net: &mut Network, values: &[Value]) -> Vec<Value> {
     let collected = net
-        .convergecast(|id| Some(ValueList::single(measurement(values, id))))
+        .convergecast_fill(
+            |id| Some(ValueList::single(measurement(values, id))),
+            |_, _| {},
+        )
         .map(|l: ValueList| l.vals)
         .unwrap_or_default();
     let mut sorted = collected;

@@ -90,7 +90,7 @@ pub struct Iq {
     last_a_size: usize,
     /// Reusable reception-flag buffer for broadcasts (scratch only, never
     /// observable state).
-    recv: Vec<bool>,
+    recv: wsn_net::NodeBits,
 }
 
 impl Iq {
@@ -111,7 +111,7 @@ impl Iq {
             initialized: false,
             last_refinements: 0,
             last_a_size: 0,
-            recv: Vec::new(),
+            recv: wsn_net::NodeBits::new(),
         }
     }
 
@@ -186,9 +186,9 @@ impl Iq {
         // Filter broadcast carries the tuple (v_k, ξ) (§4.2.1).
         let bits = PayloadSize::new(net.sizes()).values(2).bits();
         net.broadcast_into(bits, &mut self.recv);
-        for (i, ok) in self.recv.iter().enumerate() {
+        for i in 0..n {
             self.node_history[i].push_back(q);
-            if *ok {
+            if self.recv.get(i) {
                 self.node_filter[i] = q;
                 self.node_xi[i] = (-xi, xi);
             }
@@ -217,7 +217,7 @@ impl Iq {
         let n = net.len();
         let mut contributions: Vec<Option<ValueList>> = vec![None; n];
         for idx in 1..n {
-            if !self.recv[idx] {
+            if !self.recv.get(idx) {
                 continue;
             }
             let v = values[idx - 1];
@@ -272,11 +272,14 @@ impl Iq {
         if changed {
             net.broadcast_into(net.sizes().value_bits, &mut self.recv);
         } else {
-            self.recv.clear();
-            self.recv.resize(net.len(), true);
+            self.recv.set_all(net.len());
         }
-        for (i, &got_it) in self.recv.iter().enumerate() {
-            let node_q = if got_it { q } else { self.node_filter[i] };
+        for i in 0..self.node_filter.len() {
+            let node_q = if self.recv.get(i) {
+                q
+            } else {
+                self.node_filter[i]
+            };
             self.node_filter[i] = node_q;
             self.node_xi[i] =
                 Self::update_history(&mut self.node_history[i], self.config.m, node_q);

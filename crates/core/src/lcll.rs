@@ -114,11 +114,8 @@ impl Lcll {
         self.root_filter = q;
         self.node_filter = vec![q; net.len()];
         self.prev = values.to_vec();
-        let received = net.broadcast(net.sizes().value_bits);
-        for (i, ok) in received.iter().enumerate() {
-            if *ok {
-                self.node_filter[i] = q;
-            }
+        for i in net.broadcast(net.sizes().value_bits).iter_ones() {
+            self.node_filter[i] = q;
         }
         self.initialized = true;
         net.end_round();
@@ -169,11 +166,11 @@ impl Lcll {
                         let mut cum = 0u64;
                         let mut chosen = part.buckets - 1;
                         for i in 0..part.buckets {
-                            if cum + hist.counts[i] >= rank_in {
+                            if cum + hist.counts()[i] >= rank_in {
                                 chosen = i;
                                 break;
                             }
-                            cum += hist.counts[i];
+                            cum += hist.counts()[i];
                         }
                         let (s, e) = part.bounds(chosen);
                         let anchor = crate::retrieval::RankAnchor::BelowLo(below_window + cum);
@@ -184,7 +181,7 @@ impl Lcll {
                             s,
                             e,
                             anchor,
-                            Some(hist.counts[chosen]),
+                            Some(hist.counts()[chosen]),
                             &mut self.last_refinements,
                             |_, _, _| {},
                         );
@@ -219,11 +216,11 @@ impl Lcll {
                         let mut cum = 0u64;
                         let mut chosen = part.buckets - 1;
                         for i in 0..part.buckets {
-                            if cum + hist.counts[i] >= rank_in {
+                            if cum + hist.counts()[i] >= rank_in {
                                 chosen = i;
                                 break;
                             }
-                            cum += hist.counts[i];
+                            cum += hist.counts()[i];
                         }
                         let (s, e) = part.bounds(chosen);
                         let anchor = crate::retrieval::RankAnchor::BelowLo(at_most + cum);
@@ -234,7 +231,7 @@ impl Lcll {
                             s,
                             e,
                             anchor,
-                            Some(hist.counts[chosen]),
+                            Some(hist.counts()[chosen]),
                             &mut self.last_refinements,
                             |_, _, _| {},
                         );
@@ -279,10 +276,10 @@ impl Lcll {
                         let rank_in = k - below_window;
                         let mut cum = 0u64;
                         for i in 0..part.buckets {
-                            if cum + hist.counts[i] >= rank_in {
+                            if cum + hist.counts()[i] >= rank_in {
                                 let q = lo + i as Value;
                                 let l = below_window + cum;
-                                let e = hist.counts[i];
+                                let e = hist.counts()[i];
                                 self.counts = Counts {
                                     l,
                                     e,
@@ -290,7 +287,7 @@ impl Lcll {
                                 };
                                 return q;
                             }
-                            cum += hist.counts[i];
+                            cum += hist.counts()[i];
                         }
                         return self.root_filter; // loss inconsistency
                     }
@@ -314,10 +311,10 @@ impl Lcll {
                         let rank_in = k - at_most;
                         let mut cum = 0u64;
                         for i in 0..part.buckets {
-                            if cum + hist.counts[i] >= rank_in {
+                            if cum + hist.counts()[i] >= rank_in {
                                 let q = lo + i as Value;
                                 let l = at_most + cum;
-                                let e = hist.counts[i];
+                                let e = hist.counts()[i];
                                 self.counts = Counts {
                                     l,
                                     e,
@@ -325,7 +322,7 @@ impl Lcll {
                                 };
                                 return q;
                             }
-                            cum += hist.counts[i];
+                            cum += hist.counts()[i];
                         }
                         return self.root_filter;
                     }
@@ -398,11 +395,8 @@ impl ContinuousQuantile for Lcll {
 
         if result != self.root_filter {
             self.root_filter = result;
-            let received = net.broadcast(net.sizes().value_bits);
-            for (i, ok) in received.iter().enumerate() {
-                if *ok {
-                    self.node_filter[i] = result;
-                }
+            for i in net.broadcast(net.sizes().value_bits).iter_ones() {
+                self.node_filter[i] = result;
             }
         }
         net.end_round();

@@ -182,11 +182,11 @@ impl LcllRange {
 
         let part = self.sub_partition(bucket);
         self.last_refinements += 1;
-        let received = net.broadcast(net.sizes().refinement_request_bits());
         let n = net.len();
+        let received = net.broadcast(net.sizes().refinement_request_bits());
         let mut contributions: Vec<Option<Histogram>> = vec![None; n];
         for idx in 1..n {
-            if !received[idx] {
+            if !received.get(idx) {
                 continue;
             }
             self.node_focus[idx] = bucket;
@@ -195,12 +195,12 @@ impl LcllRange {
             }
         }
         let hist = net
-            .convergecast(|id| contributions[id.index()].take())
+            .convergecast_slots(&mut contributions, |_, _| {})
             .unwrap_or_else(|| Histogram::zeros(part.buckets));
 
         self.focus = bucket;
         self.sub = part;
-        self.sub_counts = hist.counts;
+        self.sub_counts = hist.counts().to_vec();
 
         // Locate within the fresh sub histogram.
         let k = self.query.k;
@@ -268,11 +268,11 @@ impl LcllRange {
                 // over the focus bucket re-establishes the exact state.
                 let top = self.top;
                 self.last_refinements += 1;
-                let received = net.broadcast(net.sizes().refinement_request_bits());
                 let n = net.len();
+                let received = net.broadcast(net.sizes().refinement_request_bits());
                 let mut contributions: Vec<Option<Histogram>> = vec![None; n];
                 for idx in 1..n {
-                    if !received[idx] {
+                    if !received.get(idx) {
                         continue;
                     }
                     if let Some(j) = top.index_of(values[idx - 1]) {
@@ -280,9 +280,9 @@ impl LcllRange {
                     }
                 }
                 let hist = net
-                    .convergecast(|id| contributions[id.index()].take())
+                    .convergecast_slots(&mut contributions, |_, _| {})
                     .unwrap_or_else(|| Histogram::zeros(top.buckets));
-                self.top_counts = hist.counts;
+                self.top_counts = hist.counts().to_vec();
                 // Materialize focus from the known values (root-side
                 // bookkeeping only; focus histogram is fetched next).
                 self.focus = self.top.index_of(q).expect("in range");
@@ -301,11 +301,11 @@ impl LcllRange {
         // Focus announcement (bucket bounds) so every node can classify
         // itself; with the BarySearch path the refocus broadcast already
         // did this, but the TAG path needs it.
-        let received = net.broadcast(net.sizes().refinement_request_bits());
-        for (i, ok) in received.iter().enumerate() {
-            if *ok {
-                self.node_focus[i] = self.focus;
-            }
+        for i in net
+            .broadcast(net.sizes().refinement_request_bits())
+            .iter_ones()
+        {
+            self.node_focus[i] = self.focus;
         }
         self.initialized = true;
         net.end_round();
@@ -367,7 +367,7 @@ impl ContinuousQuantile for LcllRange {
             }));
         }
         self.prev.copy_from_slice(values);
-        if let Some(deltas) = net.convergecast(|id| contributions[id.index()].take()) {
+        if let Some(deltas) = net.convergecast_slots(&mut contributions, |_, _| {}) {
             let apply = |base: u64, d: i64| {
                 if d >= 0 {
                     base + d as u64

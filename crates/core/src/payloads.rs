@@ -118,18 +118,43 @@ impl Aggregate for MovementCounters {
     }
 }
 
+thread_local! {
+    /// Recycled bucket vectors for [`Histogram`]. A refinement wave builds
+    /// one histogram per tree node and consumes one per merge, so without
+    /// recycling the engine pays a malloc/free pair per node per wave —
+    /// the hottest allocation in the repository. Dropping a histogram
+    /// parks its vector here; [`Histogram::zeros`] revives one. Bounded:
+    /// beyond [`HIST_POOL_CAP`] entries, dropped vectors free normally.
+    static HIST_POOL: std::cell::RefCell<Vec<Vec<u64>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Upper bound on parked vectors per thread — ample for every node of the
+/// largest simulated network to be live at once, while keeping a runaway
+/// protocol from hoarding memory forever.
+const HIST_POOL_CAP: usize = 1 << 17;
+
 /// A histogram over `b` buckets, aggregated by per-bucket summation and
 /// transmitted in compressed form (empty buckets dropped, \[21\]).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The bucket vector is recycled through a thread-local pool (see
+/// `HIST_POOL`): construction and drop are pool pops/pushes in steady
+/// state, not heap traffic. The payload stays pointer-sized on the move,
+/// which keeps the network engine's dense per-slot scratch buffers small.
+#[derive(Debug, PartialEq, Eq)]
 pub struct Histogram {
-    /// Count per bucket.
-    pub counts: Vec<u64>,
+    /// Count per bucket (private so the pool owns the lifecycle; access
+    /// through [`Histogram::counts`] / [`Histogram::counts_mut`]).
+    counts: Vec<u64>,
 }
 
 impl Histogram {
     /// An all-zero histogram with `b` buckets.
     pub fn zeros(b: usize) -> Self {
-        Histogram { counts: vec![0; b] }
+        let mut v = HIST_POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+        v.clear();
+        v.resize(b, 0);
+        Histogram { counts: v }
     }
 
     /// A histogram with a single unit entry in bucket `i`.
@@ -137,6 +162,16 @@ impl Histogram {
         let mut h = Histogram::zeros(b);
         h.counts[i] = 1;
         h
+    }
+
+    /// Count per bucket.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count per bucket, mutable.
+    pub fn counts_mut(&mut self) -> &mut [u64] {
+        &mut self.counts
     }
 
     /// Number of non-empty buckets (what actually goes on the wire).
@@ -150,10 +185,32 @@ impl Histogram {
     }
 }
 
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        let mut h = Histogram::zeros(self.counts.len());
+        h.counts.copy_from_slice(&self.counts);
+        h
+    }
+}
+
+impl Drop for Histogram {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.counts);
+        if v.capacity() > 0 {
+            HIST_POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                if p.len() < HIST_POOL_CAP {
+                    p.push(v);
+                }
+            });
+        }
+    }
+}
+
 impl Aggregate for Histogram {
     fn merge(&mut self, other: Self) {
         debug_assert_eq!(self.counts.len(), other.counts.len());
-        for (a, b) in self.counts.iter_mut().zip(other.counts) {
+        for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
     }
@@ -284,12 +341,12 @@ mod tests {
     fn histogram_compressed_size_counts_nonempty() {
         let sizes = MessageSizes::default();
         let mut h = Histogram::zeros(8);
-        h.counts[2] = 3;
-        h.counts[5] = 1;
+        h.counts_mut()[2] = 3;
+        h.counts_mut()[5] = 1;
         assert_eq!(h.nonempty(), 2);
         assert_eq!(h.payload_bits(&sizes), 2 * (16 + 8));
         h.merge(Histogram::unit(8, 2));
-        assert_eq!(h.counts[2], 4);
+        assert_eq!(h.counts()[2], 4);
         assert_eq!(h.total(), 5);
     }
 

@@ -42,7 +42,7 @@ pub struct Pos {
     init: InitStrategy,
     /// Reusable reception-flag buffer for the probe/broadcast loop (scratch
     /// only, never observable state).
-    recv: Vec<bool>,
+    recv: wsn_net::NodeBits,
 }
 
 impl Pos {
@@ -58,7 +58,7 @@ impl Pos {
             last_refinements: 0,
             direct_retrieval: true,
             init: InitStrategy::default(),
-            recv: Vec::new(),
+            recv: wsn_net::NodeBits::new(),
         }
     }
 
@@ -89,10 +89,8 @@ impl Pos {
         self.prev = values.to_vec();
         // Filter broadcast: one value.
         net.broadcast_into(net.sizes().value_bits, &mut self.recv);
-        for (i, ok) in self.recv.iter().enumerate() {
-            if *ok {
-                self.node_filter[i] = q;
-            }
+        for i in self.recv.iter_ones() {
+            self.node_filter[i] = q;
         }
         self.initialized = true;
         net.end_round();
@@ -107,7 +105,7 @@ impl Pos {
         let n = net.len();
         let mut contributions: Vec<Option<MovementCounters>> = vec![None; n];
         for idx in 1..n {
-            if !self.recv[idx] {
+            if !self.recv.get(idx) {
                 continue; // node missed the probe; it cannot react
             }
             let old_thr = self.node_filter[idx];
@@ -131,7 +129,7 @@ impl Pos {
             }
         }
         let merged = net
-            .convergecast(|id| contributions[id.index()].take())
+            .convergecast_slots(&mut contributions, |_, _| {})
             .unwrap_or_default();
         let n_total = self.counts.n();
         let l = (self.counts.l + merged.into_lt).saturating_sub(merged.outof_lt);
@@ -157,7 +155,7 @@ impl Pos {
         let n = net.len();
         let mut contributions: Vec<Option<ValueList>> = vec![None; n];
         for idx in 1..n {
-            if !self.recv[idx] {
+            if !self.recv.get(idx) {
                 continue;
             }
             let v = values[idx - 1];
@@ -166,7 +164,7 @@ impl Pos {
             }
         }
         let collected = net
-            .convergecast(|id| contributions[id.index()].take())
+            .convergecast_slots(&mut contributions, |_, _| {})
             .map(|l: ValueList| l.vals)
             .unwrap_or_default();
 
@@ -197,10 +195,8 @@ impl Pos {
         // Final filter broadcast (§3.2: "with this improvement a final
         // broadcast becomes necessary").
         net.broadcast_into(net.sizes().value_bits, &mut self.recv);
-        for (i, ok) in self.recv.iter().enumerate() {
-            if *ok {
-                self.node_filter[i] = q;
-            }
+        for i in self.recv.iter_ones() {
+            self.node_filter[i] = q;
         }
         q
     }

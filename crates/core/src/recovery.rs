@@ -35,7 +35,47 @@ where
     T: Aggregate + Send + 'static,
     F: FnMut(NodeId) -> Option<T>,
 {
-    let mut result = net.convergecast(&mut contribute);
+    // Routed through the slot engine so within-run parallelism can engage
+    // (contributions are materialised in the exact sequential wave order;
+    // see `Network::convergecast_fill`).
+    let result = net.convergecast_fill(&mut contribute, |_, _| {});
+    reissue_incomplete(net, result, contribute)
+}
+
+/// [`collect_with_recovery`] over caller-materialised contribution slots
+/// (`slots[i]` is node `i`'s payload; the wave *takes* them). Steady-state
+/// loops that rebuild their contributions every round keep one reusable
+/// buffer this way instead of funnelling per-node clones through a closure.
+///
+/// `contribute` is only consulted for re-issued waves, to regenerate the
+/// payloads of nodes whose subtree dropped; it must reproduce exactly what
+/// the caller put in `slots`. With wave recovery disabled it is never
+/// called.
+pub fn collect_slots_with_recovery<T, F>(
+    net: &mut Network,
+    slots: &mut [Option<T>],
+    contribute: F,
+) -> Option<T>
+where
+    T: Aggregate + Send + 'static,
+    F: FnMut(NodeId) -> Option<T>,
+{
+    let result = net.convergecast_slots(slots, |_, _| {});
+    reissue_incomplete(net, result, contribute)
+}
+
+/// Shared re-issue loop: merges late contributions from the still-missing
+/// subtrees into `result` until the wave is complete or the budget is
+/// spent.
+fn reissue_incomplete<T, F>(
+    net: &mut Network,
+    mut result: Option<T>,
+    mut contribute: F,
+) -> Option<T>
+where
+    T: Aggregate + Send + 'static,
+    F: FnMut(NodeId) -> Option<T>,
+{
     if net.reliability().recovery_passes == 0 || net.last_wave().is_complete() {
         return result;
     }
@@ -140,6 +180,33 @@ mod tests {
             assert_eq!(a, b);
         }
         assert_eq!(plain.stats(), gated.stats());
+    }
+
+    #[test]
+    fn slot_and_closure_collection_are_identical() {
+        // The slot-based entry point must replay the closure-based one bit
+        // for bit: same traffic, same results, same recovery behaviour.
+        let mut by_closure = line_network(8);
+        by_closure.set_loss(Some(LossModel::new(0.3, 99)));
+        by_closure.set_reliability(ReliabilityConfig::recovering(2, 2));
+        let mut by_slots = by_closure.clone();
+        let mut slots: Vec<Option<Count>> = Vec::new();
+        for _ in 0..100 {
+            let a = collect_with_recovery(&mut by_closure, |_| Some(Count(1)));
+            slots.clear();
+            slots.resize(by_slots.len(), None);
+            for s in slots.iter_mut().skip(1) {
+                *s = Some(Count(1));
+            }
+            let b = collect_slots_with_recovery(&mut by_slots, &mut slots, |_| Some(Count(1)));
+            assert_eq!(a, b);
+        }
+        assert_eq!(by_closure.stats(), by_slots.stats());
+        assert_eq!(
+            by_closure.ledger().consumed_per_node(),
+            by_slots.ledger().consumed_per_node(),
+            "bit-identical energy trace"
+        );
     }
 
     #[test]

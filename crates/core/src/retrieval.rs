@@ -43,11 +43,11 @@ pub fn direct_retrieval(
     n_total: u64,
     anchor: RankAnchor,
 ) -> Retrieved {
-    let received = net.broadcast(net.sizes().refinement_request_bits());
     let n = net.len();
+    let received = net.broadcast(net.sizes().refinement_request_bits());
     let mut contributions: Vec<Option<ValueList>> = vec![None; n];
     for idx in 1..n {
-        if !received[idx] {
+        if !received.get(idx) {
             continue;
         }
         let v = values[idx - 1];
@@ -56,7 +56,7 @@ pub fn direct_retrieval(
         }
     }
     let collected = net
-        .convergecast(|id| contributions[id.index()].take())
+        .convergecast_slots(&mut contributions, |_, _| {})
         .map(|l: ValueList| l.vals)
         .unwrap_or_default();
 

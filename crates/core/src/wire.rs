@@ -94,7 +94,7 @@ impl WireContext {
     /// Encodes a compressed [`Histogram`] as (index, count) pairs.
     pub fn encode_histogram(&self, h: &Histogram) -> Vec<u8> {
         let mut w = BitWriter::new();
-        for (i, &c) in h.counts.iter().enumerate() {
+        for (i, &c) in h.counts().iter().enumerate() {
             if c > 0 {
                 w.put(i as u64, self.sizes.bucket_index_bits as u32);
                 self.put_counter(&mut w, c);
@@ -114,7 +114,7 @@ impl WireContext {
             if i >= b {
                 return None;
             }
-            h.counts[i] = c;
+            h.counts_mut()[i] = c;
         }
         Some(h)
     }
@@ -253,8 +253,8 @@ mod tests {
     fn histogram_roundtrip_and_compressed_size() {
         let c = ctx();
         let mut h = Histogram::zeros(11);
-        h.counts[0] = 9;
-        h.counts[7] = 123;
+        h.counts_mut()[0] = 9;
+        h.counts_mut()[7] = 123;
         let bytes = c.encode_histogram(&h);
         let decoded = c.decode_histogram(&bytes, 11, h.nonempty()).unwrap();
         assert_eq!(decoded, h);

@@ -40,12 +40,25 @@ impl Default for RadioModel {
 impl RadioModel {
     /// Energy to transmit `bits` over distance/range `range` meters.
     pub fn tx_energy(&self, bits: u64, range: f64) -> f64 {
-        bits as f64 * (self.alpha + self.beta * range.powf(self.path_loss))
+        bits as f64 * self.tx_coef(range)
+    }
+
+    /// Per-bit transmit cost at `range`: `tx_energy(b, r)` is exactly
+    /// `b as f64 * tx_coef(r)`, with the same parenthesisation, so hot
+    /// loops may hoist the coefficient (and its `powf`) out of a wave
+    /// without changing a single result bit.
+    pub fn tx_coef(&self, range: f64) -> f64 {
+        self.alpha + self.beta * range.powf(self.path_loss)
     }
 
     /// Energy to receive `bits`.
     pub fn rx_energy(&self, bits: u64) -> f64 {
         bits as f64 * self.recv
+    }
+
+    /// Per-bit receive cost; `rx_energy(b)` is exactly `b as f64 * rx_coef()`.
+    pub fn rx_coef(&self) -> f64 {
+        self.recv
     }
 }
 

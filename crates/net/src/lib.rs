@@ -47,6 +47,7 @@
 //! ```
 
 pub mod audit;
+pub mod bitset;
 pub mod codec;
 pub mod energy;
 pub mod geometry;
@@ -59,6 +60,7 @@ pub mod topology;
 pub mod tree;
 
 pub use audit::{AuditLog, AuditReport, EnergyAuditor, Phase, PhaseBreakdown, TxEvent, TxKind};
+pub use bitset::NodeBits;
 pub use energy::{EnergyLedger, RadioModel};
 pub use geometry::Point;
 pub use message::{MessageSizes, PayloadSize};

@@ -26,6 +26,7 @@
 use std::any::{Any, TypeId};
 
 use crate::audit::{AuditLog, Phase, PhaseBreakdown, TxKind};
+use crate::bitset::NodeBits;
 use crate::energy::{EnergyLedger, RadioModel};
 use crate::loss::LossModel;
 use crate::message::MessageSizes;
@@ -80,47 +81,60 @@ impl TrafficStats {
 }
 
 /// Reusable per-wave scratch buffers, so the convergecast/broadcast hot
-/// path performs no heap allocation in steady state. Convergecast inboxes
+/// path performs no heap allocation in steady state. Convergecast buffers
 /// are generic over the payload type, so they are stored type-erased and
-/// recycled per payload type: the first wave of each `T` allocates, every
-/// later wave reuses that buffer.
+/// recycled per `(payload type, role)`: the first wave of each combination
+/// allocates, every later wave reuses that buffer.
 ///
 /// Scratch holds no observable state — clearing (or cloning to empty) never
 /// changes simulation results, only allocation behaviour.
 #[derive(Default)]
 struct ScratchPool {
-    /// One recycled `Vec<Option<T>>` inbox per convergecast payload type.
-    inboxes: Vec<(TypeId, Box<dyn Any + Send>)>,
+    /// One recycled `Vec<Option<T>>` per `(payload type, role)` pair.
+    bufs: Vec<((TypeId, u8), Box<dyn Any + Send>)>,
+}
+
+/// Scratch roles: the same payload type can need several live buffers in
+/// one wave (inbox + caller slots, or the parallel engine's own/acc/out).
+mod scratch_role {
+    /// Sequential convergecast inbox / parallel per-node accumulator.
+    pub const INBOX: u8 = 0;
+    /// [`super::Network::convergecast_fill`] contribution slots.
+    pub const FILL: u8 = 1;
+    /// Parallel engine: prefetched own contributions, group-major.
+    pub const OWN: u8 = 2;
+    /// Parallel engine: one delivered-to-root payload per subtree group.
+    pub const GROUP_OUT: u8 = 3;
 }
 
 impl ScratchPool {
-    /// Takes the recycled inbox for payload type `T` (empty on first use),
-    /// cleared and resized to `n` empty slots.
-    fn take_inbox<T: Send + 'static>(&mut self, n: usize) -> Vec<Option<T>> {
-        let tid = TypeId::of::<Vec<Option<T>>>();
-        let mut inbox = self
-            .inboxes
+    /// Takes the recycled buffer for payload type `T` in `role` (empty on
+    /// first use), cleared and resized to `n` empty slots.
+    fn take_buf<T: Send + 'static>(&mut self, n: usize, role: u8) -> Vec<Option<T>> {
+        let key = (TypeId::of::<Vec<Option<T>>>(), role);
+        let mut buf = self
+            .bufs
             .iter_mut()
-            .find(|(t, _)| *t == tid)
+            .find(|(k, _)| *k == key)
             .and_then(|(_, b)| b.downcast_mut::<Vec<Option<T>>>())
             .map(std::mem::take)
             .unwrap_or_default();
-        inbox.clear();
-        inbox.resize_with(n, || None);
-        inbox
+        buf.clear();
+        buf.resize_with(n, || None);
+        buf
     }
 
-    /// Returns an inbox to the pool for later reuse.
-    fn put_inbox<T: Send + 'static>(&mut self, mut inbox: Vec<Option<T>>) {
-        inbox.clear();
-        let tid = TypeId::of::<Vec<Option<T>>>();
-        match self.inboxes.iter_mut().find(|(t, _)| *t == tid) {
+    /// Returns a buffer to the pool for later reuse.
+    fn put_buf<T: Send + 'static>(&mut self, mut buf: Vec<Option<T>>, role: u8) {
+        buf.clear();
+        let key = (TypeId::of::<Vec<Option<T>>>(), role);
+        match self.bufs.iter_mut().find(|(k, _)| *k == key) {
             Some((_, b)) => {
                 if let Some(slot) = b.downcast_mut::<Vec<Option<T>>>() {
-                    *slot = inbox;
+                    *slot = buf;
                 }
             }
-            None => self.inboxes.push((tid, Box::new(inbox))),
+            None => self.bufs.push((key, Box::new(buf))),
         }
     }
 }
@@ -128,7 +142,7 @@ impl ScratchPool {
 impl std::fmt::Debug for ScratchPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ScratchPool")
-            .field("inboxes", &self.inboxes.len())
+            .field("bufs", &self.bufs.len())
             .finish()
     }
 }
@@ -162,8 +176,26 @@ pub struct Network {
     audit: AuditLog,
     scratch: ScratchPool,
     /// Per-node telemetry histograms (always on: recording is a fixed-size
-    /// array increment, allocated once here at construction).
+    /// array increment, allocated once here at construction). Stored in
+    /// *wave-slot* order — `hists` slot `s` belongs to the node at
+    /// `tree.bottom_up()[s]` — so the convergecast/broadcast engines touch
+    /// the 1.1 kB histogram blocks in exactly their iteration order instead
+    /// of scattering over node-id order. [`Network::histograms`] assembles
+    /// the id-ordered view.
     hists: NodeHistograms,
+    /// Node id → histogram storage slot (see `hists`). Tree nodes map to
+    /// their `bottom_up` position; nodes outside the routing tree (dead or
+    /// orphaned) are packed after them in ascending id order. Rebuilt, with
+    /// a matching storage permutation, whenever `fail_round` repairs the
+    /// tree.
+    hist_slot: Vec<u32>,
+    /// Histogram hot cache: one run-length [`HistDelta`] cell per
+    /// `(wave slot, HistKind)`, slot-major. The wave engines record through
+    /// these cells ([`record_hot`]) so repeated per-node samples touch 16
+    /// bytes instead of the full histogram block; [`Network::histograms`]
+    /// folds pending runs into its snapshot and [`Network::fail_round`]
+    /// flushes them before re-permuting slots.
+    hist_hot: Vec<HistDelta>,
     /// Wall-clock span recorder (off by default; see
     /// [`Network::set_telemetry`]).
     recorder: Recorder,
@@ -174,6 +206,19 @@ pub struct Network {
     /// Per-wave scratch: delivered-child-payload counts for the fan-in
     /// histogram (cleared each convergecast; no steady-state allocation).
     fanin: Vec<u32>,
+    /// Parallel-wave scratch (group-major): payload bits each sender put on
+    /// air, recorded by the workers and replayed sequentially.
+    wave_bits: Vec<u64>,
+    /// Parallel-wave scratch (group-major): value counts per sender.
+    wave_vals: Vec<u32>,
+    /// Parallel-wave scratch (group-major): which nodes sent at all.
+    wave_sent: Vec<bool>,
+    /// Worker threads for within-run wave parallelism (see
+    /// [`Network::set_wave_workers`]); `1` = sequential.
+    wave_workers: usize,
+    /// Reusable reception mask for [`Network::broadcast`]; steady-state
+    /// broadcasts perform no heap allocation.
+    bcast_recv: NodeBits,
 }
 
 /// Sends one logical payload over the single link `from → to`, charging
@@ -203,9 +248,13 @@ fn send_over_link(
     phases: &mut PhaseBreakdown,
     audit: &mut AuditLog,
     hists: &mut NodeHistograms,
+    hot: &mut [HistDelta],
     rec: &mut Recorder,
     arq_retries: u32,
     from: NodeId,
+    // Histogram storage slot of `from` (histograms live in wave-slot
+    // order; see `Network::hists`).
+    from_slot: usize,
     to: NodeId,
     payload_bits: u64,
     values: usize,
@@ -227,9 +276,9 @@ fn send_over_link(
         phases.charge(phase, fragments, total_bits, tx + rx);
         audit.record(phase, TxKind::Data, from, to, fragments, total_bits, tx, rx);
         for frag_bits in sizes.fragment_bits(payload_bits) {
-            hists.record(from.index(), HistKind::MsgBits, frag_bits);
+            record_hot(hot, hists, from_slot, HistKind::MsgBits, frag_bits);
         }
-        hists.record(from.index(), HistKind::Retries, 0);
+        record_hot(hot, hists, from_slot, HistKind::Retries, 0);
         rel.delivered += 1;
         rec.end(phase.name(), from.0 + 1, round, span);
         return true;
@@ -248,7 +297,7 @@ fn send_over_link(
             stats.bits += frag_bits;
             phases.charge(phase, 1, frag_bits, tx + rx);
             audit.record(phase, TxKind::Data, from, to, 1, frag_bits, tx, rx);
-            hists.record(from.index(), HistKind::MsgBits, frag_bits);
+            record_hot(hot, hists, from_slot, HistKind::MsgBits, frag_bits);
             if attempt > 0 {
                 rel.retransmissions += 1;
                 link_retries += 1;
@@ -292,7 +341,7 @@ fn send_over_link(
         }
         all_arrived &= frag_arrived;
     }
-    hists.record(from.index(), HistKind::Retries, link_retries);
+    record_hot(hot, hists, from_slot, HistKind::Retries, link_retries);
     if all_arrived {
         rel.delivered += 1;
     } else {
@@ -300,6 +349,65 @@ fn send_over_link(
     }
     rec.end(phase.name(), from.0 + 1, round, span);
     all_arrived
+}
+
+/// Builds the node-id → histogram-slot map for `tree` (see
+/// [`Network::histograms`]): tree nodes take their `bottom_up` position,
+/// everyone else is packed afterwards in ascending id order.
+fn hist_slots(tree: &RoutingTree, n: usize) -> Vec<u32> {
+    let mut slot = vec![u32::MAX; n];
+    for (pos, &u) in tree.bottom_up().iter().enumerate() {
+        slot[u.index()] = pos as u32;
+    }
+    let mut next = tree.tree_size() as u32;
+    for s in slot.iter_mut() {
+        if *s == u32::MAX {
+            *s = next;
+            next += 1;
+        }
+    }
+    slot
+}
+
+/// One run-length cell of the histogram hot cache: `repeat` pending samples
+/// of `value`, not yet applied to the 1.1 kB per-node [`NodeHistograms`]
+/// block. `repeat == 0` means empty.
+///
+/// Wave traffic records the *same* value per (node, kind) almost every wave
+/// — hop depth and fan-in are topology constants, fragment sizes repeat per
+/// payload type, retries are 0 on a perfect channel — so coalescing runs
+/// here shrinks the engines' per-wave histogram traffic from the full
+/// per-node block to one 16-byte cell (the node's four cells share a cache
+/// line). Deferral is exact: histogram counters are plain integers, so
+/// applying a run later via [`NodeHistograms::record_n`] yields bit-identical
+/// state to recording each sample eagerly.
+#[derive(Debug, Clone, Copy, Default)]
+struct HistDelta {
+    value: u64,
+    repeat: u64,
+}
+
+/// Records one histogram sample through the hot cache: extends the cell's
+/// run when the value repeats, otherwise flushes the old run into `hists`
+/// and starts a new one. `hot` is slot-major — the four kinds of wave slot
+/// `s` live at `s * HistKind::COUNT ..`, matching `hists` slot order.
+#[inline(always)]
+fn record_hot(
+    hot: &mut [HistDelta],
+    hists: &mut NodeHistograms,
+    slot: usize,
+    kind: HistKind,
+    value: u64,
+) {
+    let cell = &mut hot[slot * HistKind::COUNT + kind.index()];
+    if cell.repeat != 0 && cell.value == value {
+        cell.repeat += 1;
+    } else {
+        if cell.repeat != 0 {
+            hists.record_n(slot, kind, cell.value, cell.repeat);
+        }
+        *cell = HistDelta { value, repeat: 1 };
+    }
 }
 
 impl Network {
@@ -310,6 +418,7 @@ impl Network {
         if let Err(e) = sizes.validate() {
             panic!("invalid MessageSizes: {e}");
         }
+        let hist_slot = hist_slots(&tree, n);
         Network {
             topo,
             tree,
@@ -328,11 +437,34 @@ impl Network {
             audit: AuditLog::default(),
             scratch: ScratchPool::default(),
             hists: NodeHistograms::new(n),
+            hist_slot,
+            hist_hot: vec![HistDelta::default(); n * HistKind::COUNT],
             recorder: Recorder::default(),
             round_start: SpanStart::default(),
             phase_start: SpanStart::default(),
             fanin: Vec::new(),
+            wave_bits: Vec::new(),
+            wave_vals: Vec::new(),
+            wave_sent: Vec::new(),
+            wave_workers: 1,
+            bcast_recv: NodeBits::new(),
         }
+    }
+
+    /// Sets the number of worker threads used *within* convergecast waves:
+    /// disjoint root subtrees are aggregated concurrently and every
+    /// ledger/stats/audit/histogram update is then replayed in the exact
+    /// sequential wave order, so results are **bit-identical at any worker
+    /// count**. Parallelism only engages on lossless waves driven through
+    /// [`Network::convergecast_slots`] with the span recorder off; all
+    /// other paths fall back to the (identical) sequential engine.
+    pub fn set_wave_workers(&mut self, workers: usize) {
+        self.wave_workers = workers.max(1);
+    }
+
+    /// The configured within-wave worker count.
+    pub fn wave_workers(&self) -> usize {
+        self.wave_workers
     }
 
     /// Sets the protocol phase that subsequent traffic is attributed to
@@ -393,9 +525,25 @@ impl Network {
 
     /// Per-node telemetry histograms: message bits, hop depth, ARQ
     /// retries, convergecast fan-in. Always recorded (array increments on
-    /// the hot path, no allocation).
-    pub fn histograms(&self) -> &NodeHistograms {
-        &self.hists
+    /// the hot path, no allocation). Internally the sets live in wave-slot
+    /// order for locality; this assembles an id-ordered copy (index `i` =
+    /// node `i`), so call it per run, not per round.
+    pub fn histograms(&self) -> NodeHistograms {
+        let mut out = self.hists.clone();
+        // Fold the hot cache's pending runs into the snapshot (the live
+        // cells stay put — this is a read). Exact: see [`HistDelta`].
+        for (i, cell) in self.hist_hot.iter().enumerate() {
+            if cell.repeat != 0 {
+                out.record_n(
+                    i / HistKind::COUNT,
+                    HistKind::ALL[i % HistKind::COUNT],
+                    cell.value,
+                    cell.repeat,
+                );
+            }
+        }
+        out.reindex(|id| self.hist_slot[id] as usize);
+        out
     }
 
     /// The packet capture of the run so far (requires
@@ -486,6 +634,29 @@ impl Network {
         if newly > 0 {
             self.rel_stats.failed_nodes += newly as u64;
             let (tree, orphans) = RoutingTree::spanning_alive(&self.topo, &self.alive);
+            // Histograms live in wave-slot order, and the repaired tree has
+            // a new wave order: re-permute the storage so every node keeps
+            // its own history under the new slot map.
+            let n = self.len();
+            // Flush the hot cache first: its cells are keyed by the *old*
+            // wave slots, which the permutation below is about to re-map.
+            for (i, cell) in self.hist_hot.iter_mut().enumerate() {
+                if cell.repeat != 0 {
+                    self.hists.record_n(
+                        i / HistKind::COUNT,
+                        HistKind::ALL[i % HistKind::COUNT],
+                        cell.value,
+                        cell.repeat,
+                    );
+                    *cell = HistDelta::default();
+                }
+            }
+            let old = std::mem::replace(&mut self.hist_slot, hist_slots(&tree, n));
+            let mut id_of_slot = vec![0u32; n];
+            for (id, &s) in self.hist_slot.iter().enumerate() {
+                id_of_slot[s as usize] = id as u32;
+            }
+            self.hists.reindex(|s| old[id_of_slot[s] as usize] as usize);
             self.tree = tree;
             self.rel_stats.orphaned_nodes = orphans.len() as u64;
             self.rel_stats.repairs += 1;
@@ -566,6 +737,10 @@ impl Network {
             .tree
             .parent(from)
             .expect("root has no parent to send to");
+        let from_slot = self
+            .tree
+            .wave_slot(from)
+            .expect("sender with a parent is in the tree");
         send_over_link(
             &self.topo,
             &self.model,
@@ -578,9 +753,11 @@ impl Network {
             &mut self.phases,
             &mut self.audit,
             &mut self.hists,
+            &mut self.hist_hot,
             &mut self.recorder,
             self.reliability.max_retries,
             from,
+            from_slot,
             to,
             payload_bits,
             values,
@@ -610,8 +787,8 @@ impl Network {
     ) -> Option<T> {
         self.stats.convergecasts += 1;
         self.wave.clear();
-        let n = self.len();
-        let mut inbox = self.scratch.take_inbox::<T>(n);
+        let tsize = self.tree.tree_size();
+        let mut inbox = self.scratch.take_buf::<T>(tsize, scratch_role::INBOX);
 
         // Split field borrows: the traversal reads the tree while the
         // charging mutates ledger/stats/loss, so the wave walks
@@ -631,6 +808,7 @@ impl Network {
             phases,
             audit,
             hists,
+            hist_hot,
             recorder,
             fanin,
             ..
@@ -640,7 +818,21 @@ impl Network {
         let wave_span = recorder.start();
         let round = audit.round();
         fanin.clear();
-        fanin.resize(n, 0);
+        fanin.resize(tsize, 0);
+
+        let order = tree.bottom_up();
+        let parent_slot = tree.parent_slots();
+        let level_offsets = tree.level_offsets();
+        // Hoisted per-bit energy coefficients: bit-exact against
+        // `tx_energy`/`rx_energy` (see [`RadioModel::tx_coef`]), so the
+        // `powf` leaves the per-sender path.
+        let tx_coef = model.tx_coef(topo.radio_range());
+        let rx_coef = model.rx_coef();
+        // On a perfect channel with the span recorder off, every link send
+        // is the same straight-line accounting sequence: inline it and keep
+        // `send_over_link` for the lossy/telemetered cases. The inlined
+        // block below mirrors its lossless branch statement for statement.
+        let fast = loss.is_none() && !recorder.is_enabled();
 
         // (holder, origin, payload): payloads that died on a link, stashed
         // at the last node that held them so the recovery passes can resume
@@ -650,60 +842,96 @@ impl Network {
         // origins are exactly the unaccounted nodes, with no overlap).
         let mut stranded: Vec<(NodeId, NodeId, T)> = Vec::new();
 
-        // bottom_up() is children-before-parents, so by the time we reach a
-        // node its inbox already holds the merged payloads of its children.
-        let mut result = None;
-        for &u in tree.bottom_up() {
-            let from_children = inbox[u.index()].take();
-            let own = if u.is_root() { None } else { local(u) };
-            let merged_in = fanin[u.index()] as u64 + own.is_some() as u64;
-            let combined = match (from_children, own) {
-                (Some(mut a), Some(b)) => {
-                    a.merge(b);
-                    Some(a)
-                }
-                (Some(a), None) => Some(a),
-                (None, Some(b)) => Some(b),
-                (None, None) => None,
-            };
-
-            if u.is_root() {
-                result = combined;
-                break;
-            }
-
-            if let Some(mut payload) = combined {
+        // Level-batched waves over the struct-of-arrays order: each run of
+        // `bottom_up` is one tree level (deepest first, children before
+        // parents), so by the time a run starts, every inbox in it already
+        // holds the merged payloads of its children, written by the
+        // previous (denser) run. Depth is constant per run; inbox, fan-in
+        // and histograms are indexed by wave slot, i.e. walked densely in
+        // exactly this order. The final run is the root alone — its inbox
+        // is collected after the loop.
+        for lvl in 0..tree.levels().saturating_sub(1) {
+            let start = level_offsets[lvl] as usize;
+            let end = level_offsets[lvl + 1] as usize;
+            let depth = tree.depth(order[start]) as u64;
+            for pos in start..end {
+                let u = order[pos];
+                let from_children = inbox[pos].take();
+                let own = local(u);
+                let merged_in = fanin[pos] as u64 + own.is_some() as u64;
+                let combined = match (from_children, own) {
+                    (Some(mut a), Some(b)) => {
+                        a.merge(b);
+                        Some(a)
+                    }
+                    (Some(a), None) => Some(a),
+                    (None, Some(b)) => Some(b),
+                    (None, None) => None,
+                };
+                let Some(mut payload) = combined else {
+                    continue;
+                };
                 prune(u, &mut payload);
                 wave.senders += 1;
-                hists.record(u.index(), HistKind::HopDepth, tree.depth(u) as u64);
-                hists.record(u.index(), HistKind::FanIn, merged_in);
+                record_hot(hist_hot, hists, pos, HistKind::HopDepth, depth);
+                record_hot(hist_hot, hists, pos, HistKind::FanIn, merged_in);
                 let bits = payload.payload_bits(sizes);
-                let parent = tree.parent(u).expect("non-root");
-                let arrived = send_over_link(
-                    topo,
-                    model,
-                    sizes,
-                    ledger,
-                    stats,
-                    rel_stats,
-                    loss,
-                    phase,
-                    phases,
-                    audit,
-                    hists,
-                    recorder,
-                    arq,
-                    u,
-                    parent,
-                    bits,
-                    payload.value_count(),
-                );
+                let pslot = parent_slot[pos] as usize;
+                let parent = order[pslot];
+                let arrived = if fast {
+                    stats.values += payload.value_count() as u64;
+                    let (fragments, total_bits) = sizes.fragment(bits);
+                    let tx = total_bits as f64 * tx_coef;
+                    let rx = total_bits as f64 * rx_coef;
+                    ledger.charge_tx(u, tx);
+                    ledger.charge(parent, rx);
+                    stats.messages += fragments;
+                    stats.bits += total_bits;
+                    phases.charge(phase, fragments, total_bits, tx + rx);
+                    audit.record(
+                        phase,
+                        TxKind::Data,
+                        u,
+                        parent,
+                        fragments,
+                        total_bits,
+                        tx,
+                        rx,
+                    );
+                    for frag_bits in sizes.fragment_bits(bits) {
+                        record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
+                    }
+                    record_hot(hist_hot, hists, pos, HistKind::Retries, 0);
+                    rel_stats.delivered += 1;
+                    true
+                } else {
+                    send_over_link(
+                        topo,
+                        model,
+                        sizes,
+                        ledger,
+                        stats,
+                        rel_stats,
+                        loss,
+                        phase,
+                        phases,
+                        audit,
+                        hists,
+                        hist_hot,
+                        recorder,
+                        arq,
+                        u,
+                        pos,
+                        parent,
+                        bits,
+                        payload.value_count(),
+                    )
+                };
                 if arrived {
-                    fanin[parent.index()] += 1;
-                    let slot = &mut inbox[parent.index()];
-                    match slot {
+                    fanin[pslot] += 1;
+                    match &mut inbox[pslot] {
                         Some(existing) => existing.merge(payload),
-                        None => *slot = Some(payload),
+                        None => inbox[pslot] = Some(payload),
                     }
                 } else if reliability.recovery_passes > 0 {
                     stranded.push((u, u, payload));
@@ -712,6 +940,8 @@ impl Network {
                 }
             }
         }
+        // The root is always the last wave slot (the only depth-0 node).
+        let mut result = inbox[tsize - 1].take();
 
         // Recovery passes: stranded payloads resume their climb towards the
         // root hop by hop, each hop a fresh (ARQ-protected) transmission.
@@ -727,6 +957,7 @@ impl Network {
                 let mut at = start;
                 let delivered = loop {
                     let parent = tree.parent(at).expect("stranded below the root");
+                    let at_slot = tree.wave_slot(at).expect("stranded node is in the tree");
                     // Recovery climbs are reliability traffic, whatever
                     // phase stranded the payload.
                     let arrived = send_over_link(
@@ -741,9 +972,11 @@ impl Network {
                         phases,
                         audit,
                         hists,
+                        hist_hot,
                         recorder,
                         arq,
                         at,
+                        at_slot,
                         parent,
                         bits,
                         values,
@@ -780,7 +1013,291 @@ impl Network {
         if let Some(p) = result.as_mut() {
             prune(NodeId::ROOT, p);
         }
-        self.scratch.put_inbox(inbox);
+        self.scratch.put_buf(inbox, scratch_role::INBOX);
+        result
+    }
+
+    /// Runs a convergecast whose contributions are already materialised in
+    /// a per-node slot array: `contributions[i]` is node `i`'s payload,
+    /// taken by the engine (slots of nodes outside the routing tree are
+    /// left in place). Behaves exactly like [`Network::convergecast_with`]
+    /// with a take-from-slot closure — but this is the entry point where
+    /// within-run parallelism engages (see [`Network::set_wave_workers`]):
+    /// on a lossless channel, with the span recorder off and at least two
+    /// root subtrees, disjoint subtrees are aggregated concurrently and
+    /// every ledger/stats/audit/histogram update is replayed in the exact
+    /// sequential wave order afterwards, so results are **bit-identical at
+    /// any worker count**.
+    ///
+    /// `prune` must be a pure per-payload transformation (hence the `Fn +
+    /// Sync` bound): the parallel path applies it from worker threads, in
+    /// a different global order than the sequential wave.
+    pub fn convergecast_slots<T: Aggregate + Send + 'static>(
+        &mut self,
+        contributions: &mut [Option<T>],
+        prune: impl Fn(NodeId, &mut T) + Sync,
+    ) -> Option<T> {
+        assert_eq!(contributions.len(), self.len(), "one slot per node");
+        let parallel = self.wave_workers > 1
+            && self.loss.is_none()
+            && !self.recorder.is_enabled()
+            && self.tree.groups() >= 2;
+        if !parallel {
+            return self.convergecast_with(|u| contributions[u.index()].take(), prune);
+        }
+        self.convergecast_parallel(contributions, &prune)
+    }
+
+    /// Runs a convergecast whose contributions come from a closure, like
+    /// [`Network::convergecast_with`], but routed through
+    /// [`Network::convergecast_slots`] so within-run parallelism can
+    /// engage: `fill` is first materialised into a recycled per-node slot
+    /// buffer (called once per tree node, in the exact sequential wave
+    /// order), then the slots are aggregated. `fill` must not rely on
+    /// being interleaved with the wave's sends — true for every protocol
+    /// in this repository, whose contributions are pure reads of per-node
+    /// state.
+    pub fn convergecast_fill<T: Aggregate + Send + 'static>(
+        &mut self,
+        mut fill: impl FnMut(NodeId) -> Option<T>,
+        prune: impl Fn(NodeId, &mut T) + Sync,
+    ) -> Option<T> {
+        let n = self.len();
+        let mut slots = self.scratch.take_buf::<T>(n, scratch_role::FILL);
+        for &u in self.tree.bottom_up() {
+            if !u.is_root() {
+                slots[u.index()] = fill(u);
+            }
+        }
+        let result = self.convergecast_slots(&mut slots, prune);
+        self.scratch.put_buf(slots, scratch_role::FILL);
+        result
+    }
+
+    /// The parallel wave engine behind [`Network::convergecast_slots`].
+    ///
+    /// **Phase A** assigns contiguous runs of whole root subtrees
+    /// ("groups", balanced by node count) to scoped worker threads. Each
+    /// worker aggregates its groups in group-major order — within a group
+    /// that is exactly the sequential `bottom_up` order, so every parent's
+    /// inbox receives its children's payloads in the sequential merge
+    /// order and the resulting payloads are bit-identical. Workers touch
+    /// only disjoint slices and record per-sender wire sizes; they never
+    /// see the ledger, stats, audit log, or histograms.
+    ///
+    /// **Phase B** replays the accounting of every send sequentially in
+    /// wave-slot order — the exact order the sequential engine charges in,
+    /// which pins the floating-point addition order bit for bit. Finally
+    /// the root merges the per-group results in *reverse* group order:
+    /// level-1 of `bottom_up` visits the root's children in reverse
+    /// `children(root)` order, so that is the order their payloads reached
+    /// the root's inbox sequentially.
+    fn convergecast_parallel<T: Aggregate + Send + 'static>(
+        &mut self,
+        contributions: &mut [Option<T>],
+        prune: &(impl Fn(NodeId, &mut T) + Sync),
+    ) -> Option<T> {
+        self.stats.convergecasts += 1;
+        self.wave.clear();
+        let tsize = self.tree.tree_size();
+        let gsize = tsize - 1;
+        let groups = self.tree.groups();
+        let workers = self.wave_workers.min(groups);
+        let mut own = self.scratch.take_buf::<T>(gsize, scratch_role::OWN);
+        let mut acc = self.scratch.take_buf::<T>(gsize, scratch_role::INBOX);
+        let mut group_out = self.scratch.take_buf::<T>(groups, scratch_role::GROUP_OUT);
+
+        let Network {
+            tree,
+            topo,
+            model,
+            sizes,
+            ledger,
+            stats,
+            rel_stats,
+            wave,
+            phase,
+            phases,
+            audit,
+            hists,
+            hist_hot,
+            fanin,
+            wave_bits,
+            wave_vals,
+            wave_sent,
+            ..
+        } = self;
+        let phase = *phase;
+        let go = tree.group_order();
+        let offs = tree.group_offsets();
+        let gparent = tree.group_parent();
+
+        // Prefetch contributions into group-major order (sequential: the
+        // slot array is exclusively borrowed) and zero the send records.
+        for (j, &u) in go.iter().enumerate() {
+            own[j] = contributions[u.index()].take();
+        }
+        fanin.clear();
+        fanin.resize(gsize, 0);
+        wave_bits.clear();
+        wave_bits.resize(gsize, 0);
+        wave_vals.clear();
+        wave_vals.resize(gsize, 0);
+        wave_sent.clear();
+        wave_sent.resize(gsize, false);
+
+        // Chunk boundaries: worker `k` starts at the first group whose
+        // node offset reaches `k/workers` of the nodes, so chunks are
+        // contiguous runs of whole groups with balanced node counts.
+        let bounds: Vec<usize> = (0..=workers)
+            .map(|k| offs.partition_point(|&o| (o as usize) < k * gsize / workers))
+            .collect();
+
+        std::thread::scope(|s| {
+            let mut own_rest = &mut own[..];
+            let mut acc_rest = &mut acc[..];
+            let mut fan_rest = &mut fanin[..];
+            let mut bits_rest = &mut wave_bits[..];
+            let mut vals_rest = &mut wave_vals[..];
+            let mut sent_rest = &mut wave_sent[..];
+            let mut gout_rest = &mut group_out[..];
+            for w in 0..workers {
+                let (g0, g1) = (bounds[w], bounds[w + 1]);
+                if g0 == g1 {
+                    continue;
+                }
+                let base = offs[g0] as usize;
+                let len = offs[g1] as usize - base;
+                let (own_c, r) = own_rest.split_at_mut(len);
+                own_rest = r;
+                let (acc_c, r) = acc_rest.split_at_mut(len);
+                acc_rest = r;
+                let (fan_c, r) = fan_rest.split_at_mut(len);
+                fan_rest = r;
+                let (bits_c, r) = bits_rest.split_at_mut(len);
+                bits_rest = r;
+                let (vals_c, r) = vals_rest.split_at_mut(len);
+                vals_rest = r;
+                let (sent_c, r) = sent_rest.split_at_mut(len);
+                sent_rest = r;
+                let (gout_c, r) = gout_rest.split_at_mut(g1 - g0);
+                gout_rest = r;
+                let ids = &go[base..base + len];
+                let gp = &gparent[base..base + len];
+                let goffs = &offs[g0..=g1];
+                let sizes: &MessageSizes = sizes;
+                s.spawn(move || {
+                    let mut g_local = 0usize;
+                    for j in 0..len {
+                        // Group tops are each group's last node, so the
+                        // current group advances at run boundaries.
+                        while base + j >= goffs[g_local + 1] as usize {
+                            g_local += 1;
+                        }
+                        let from_children = acc_c[j].take();
+                        let own_p = own_c[j].take();
+                        let merged_in = fan_c[j] + own_p.is_some() as u32;
+                        let combined = match (from_children, own_p) {
+                            (Some(mut a), Some(b)) => {
+                                a.merge(b);
+                                Some(a)
+                            }
+                            (Some(a), None) => Some(a),
+                            (None, Some(b)) => Some(b),
+                            (None, None) => None,
+                        };
+                        let Some(mut payload) = combined else {
+                            continue;
+                        };
+                        prune(ids[j], &mut payload);
+                        bits_c[j] = payload.payload_bits(sizes);
+                        vals_c[j] = payload.value_count() as u32;
+                        fan_c[j] = merged_in;
+                        sent_c[j] = true;
+                        let p = gp[j];
+                        if p == u32::MAX {
+                            // Parent is the root: this is the group top.
+                            gout_c[g_local] = Some(payload);
+                        } else {
+                            let pl = p as usize - base;
+                            fan_c[pl] += 1;
+                            match &mut acc_c[pl] {
+                                Some(existing) => existing.merge(payload),
+                                None => acc_c[pl] = Some(payload),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+
+        // Phase B: sequential replay of every send's accounting, in exact
+        // wave-slot order (the root run is last and sends nothing).
+        let order = tree.bottom_up();
+        let parent_slot = tree.parent_slots();
+        let level_offsets = tree.level_offsets();
+        let w2g = tree.wave_to_group();
+        let tx_coef = model.tx_coef(topo.radio_range());
+        let rx_coef = model.rx_coef();
+        for lvl in 0..tree.levels() - 1 {
+            let start = level_offsets[lvl] as usize;
+            let end = level_offsets[lvl + 1] as usize;
+            let depth = tree.depth(order[start]) as u64;
+            for pos in start..end {
+                let j = w2g[pos] as usize;
+                if !wave_sent[j] {
+                    continue;
+                }
+                let u = order[pos];
+                wave.senders += 1;
+                record_hot(hist_hot, hists, pos, HistKind::HopDepth, depth);
+                record_hot(hist_hot, hists, pos, HistKind::FanIn, fanin[j] as u64);
+                let bits = wave_bits[j];
+                let parent = order[parent_slot[pos] as usize];
+                stats.values += wave_vals[j] as u64;
+                let (fragments, total_bits) = sizes.fragment(bits);
+                let tx = total_bits as f64 * tx_coef;
+                let rx = total_bits as f64 * rx_coef;
+                ledger.charge_tx(u, tx);
+                ledger.charge(parent, rx);
+                stats.messages += fragments;
+                stats.bits += total_bits;
+                phases.charge(phase, fragments, total_bits, tx + rx);
+                audit.record(
+                    phase,
+                    TxKind::Data,
+                    u,
+                    parent,
+                    fragments,
+                    total_bits,
+                    tx,
+                    rx,
+                );
+                for frag_bits in sizes.fragment_bits(bits) {
+                    record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
+                }
+                record_hot(hist_hot, hists, pos, HistKind::Retries, 0);
+                rel_stats.delivered += 1;
+            }
+        }
+
+        // Root merge in reverse group order (see the method docs), then
+        // the root's single prune, as in the sequential engine.
+        let mut result: Option<T> = None;
+        for g in (0..groups).rev() {
+            if let Some(payload) = group_out[g].take() {
+                match result.as_mut() {
+                    Some(existing) => existing.merge(payload),
+                    None => result = Some(payload),
+                }
+            }
+        }
+        if let Some(p) = result.as_mut() {
+            prune(NodeId::ROOT, p);
+        }
+        self.scratch.put_buf(own, scratch_role::OWN);
+        self.scratch.put_buf(acc, scratch_role::INBOX);
+        self.scratch.put_buf(group_out, scratch_role::GROUP_OUT);
         result
     }
 
@@ -788,24 +1305,28 @@ impl Network {
     /// Returns the set of nodes that actually received it (all of them
     /// without loss; possibly a subtree-prefix with loss enabled).
     ///
-    /// Allocates the result vector; loops that broadcast repeatedly should
-    /// prefer [`Network::broadcast_into`] with a reused buffer.
-    pub fn broadcast(&mut self, payload_bits: u64) -> Vec<bool> {
-        let mut received = Vec::new();
+    /// The mask lives in a reusable scratch bitset owned by the network, so
+    /// repeated broadcasts perform no heap allocation. Callers that need to
+    /// keep the mask across further network calls should use
+    /// [`Network::broadcast_into`] with their own buffer instead.
+    pub fn broadcast(&mut self, payload_bits: u64) -> &NodeBits {
+        // Detach the scratch mask so the wave engine's split field borrows
+        // stay disjoint, then park it back and hand out a shared view.
+        let mut received = std::mem::take(&mut self.bcast_recv);
         self.broadcast_into(payload_bits, &mut received);
-        received
+        self.bcast_recv = received;
+        &self.bcast_recv
     }
 
     /// [`Network::broadcast`] writing the per-node reception flags into a
-    /// caller-owned buffer (cleared and resized in place), so repeated
+    /// caller-owned bitset (cleared and resized in place), so repeated
     /// waves perform no heap allocation.
-    pub fn broadcast_into(&mut self, payload_bits: u64, received: &mut Vec<bool>) {
+    pub fn broadcast_into(&mut self, payload_bits: u64, received: &mut NodeBits) {
         self.stats.broadcasts += 1;
         let n = self.len();
         let (fragments, total_bits) = self.sizes.fragment(payload_bits);
-        received.clear();
-        received.resize(n, false);
-        received[NodeId::ROOT.index()] = true;
+        received.reset(n);
+        received.set(NodeId::ROOT.index());
 
         // Split field borrows, as in `convergecast_with`: traversal and
         // child lookups read the tree in place while the ledger/stats/loss
@@ -824,29 +1345,45 @@ impl Network {
             phases,
             audit,
             hists,
+            hist_hot,
             recorder,
             ..
         } = self;
         let phase = *phase;
         let wave_span = recorder.start();
         let round = audit.round();
-        for u in tree.top_down() {
-            if !received[u.index()] || tree.is_leaf(u) {
+        let order = tree.bottom_up();
+        // Every transmitter sends the same payload over the same range, so
+        // the per-link energies are wave constants — hoisting them (and the
+        // `powf` inside `tx_energy`) is bit-exact.
+        let tx = model.tx_energy(total_bits, topo.radio_range());
+        let rx = model.rx_energy(total_bits);
+        // Walk the wave slots in reverse (parents before children, the
+        // top-down order): histogram blocks and CSR child lists are then
+        // visited in storage order.
+        for pos in (0..order.len()).rev() {
+            let u = order[pos];
+            if !received.get(u.index()) || tree.is_leaf(u) {
                 continue;
             }
             // One radio transmission reaches all children (§5.1.4: receivers
             // pay because the schedule tells them when to listen). Broadcast
             // frames are unacknowledged, as in 802.15.4; reliability comes
             // from the repair passes below.
-            let tx = model.tx_energy(total_bits, topo.radio_range());
             ledger.charge_tx(u, tx);
             stats.messages += fragments;
             stats.bits += total_bits;
             phases.charge(phase, fragments, total_bits, tx);
             for frag_bits in sizes.fragment_bits(payload_bits) {
-                hists.record(u.index(), HistKind::MsgBits, frag_bits);
+                record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
             }
-            hists.record(u.index(), HistKind::HopDepth, tree.depth(u) as u64);
+            record_hot(
+                hist_hot,
+                hists,
+                pos,
+                HistKind::HopDepth,
+                tree.depth(u) as u64,
+            );
             audit.record(
                 phase,
                 TxKind::BroadcastTx,
@@ -858,7 +1395,6 @@ impl Network {
                 0.0,
             );
             for &c in tree.children(u) {
-                let rx = model.rx_energy(total_bits);
                 ledger.charge(c, rx);
                 // Bits were already counted once at the transmitter.
                 phases.charge(phase, 0, 0, rx);
@@ -880,7 +1416,7 @@ impl Network {
                     None => true,
                 };
                 if arrived {
-                    received[c.index()] = true;
+                    received.set(c.index());
                 }
             }
         }
@@ -894,12 +1430,13 @@ impl Network {
             let arq = reliability.max_retries;
             for _ in 0..reliability.recovery_passes {
                 let mut repaired_any = false;
-                for u in tree.top_down() {
-                    if !received[u.index()] || tree.is_leaf(u) {
+                for pos in (0..order.len()).rev() {
+                    let u = order[pos];
+                    if !received.get(u.index()) || tree.is_leaf(u) {
                         continue;
                     }
                     for &c in tree.children(u) {
-                        if received[c.index()] {
+                        if received.get(c.index()) {
                             continue;
                         }
                         // Repair re-offers are reliability traffic.
@@ -915,15 +1452,17 @@ impl Network {
                             phases,
                             audit,
                             hists,
+                            hist_hot,
                             recorder,
                             arq,
                             u,
+                            pos,
                             c,
                             payload_bits,
                             0,
                         );
                         if arrived {
-                            received[c.index()] = true;
+                            received.set(c.index());
                             rel_stats.recovered += 1;
                             repaired_any = true;
                         }
@@ -1043,7 +1582,7 @@ mod tests {
     fn broadcast_reaches_everyone_and_charges_tx_per_internal_node() {
         let mut net = line_network(4);
         let received = net.broadcast(16);
-        assert!(received.iter().all(|&r| r));
+        assert!(received.all());
         // Internal nodes 0,1,2 each transmit once.
         assert_eq!(net.stats().messages, 3);
         assert_eq!(net.stats().broadcasts, 1);
@@ -1178,7 +1717,7 @@ mod tests {
         assert_eq!(mask, vec![false, true, true, true]);
         // Broadcast under total loss terminates too (repair passes give up).
         let received = net.broadcast(16);
-        assert!(!received[1] && !received[2] && !received[3]);
+        assert!(!received.get(1) && !received.get(2) && !received.get(3));
     }
 
     #[test]
@@ -1207,10 +1746,10 @@ mod tests {
         net.set_reliability(ReliabilityConfig::recovering(6, 6));
         let mut all = 0;
         let waves = 200;
-        let mut received = Vec::new();
+        let mut received = NodeBits::new();
         for _ in 0..waves {
             net.broadcast_into(64, &mut received);
-            if received.iter().all(|&r| r) {
+            if received.all() {
                 all += 1;
             }
         }
@@ -1264,7 +1803,7 @@ mod tests {
             net.convergecast(one_value);
         }
         net.set_phase(Phase::Refinement);
-        let mut buf = Vec::new();
+        let mut buf = NodeBits::new();
         for _ in 0..20 {
             net.broadcast_into(64, &mut buf);
         }
@@ -1287,7 +1826,7 @@ mod tests {
         net.set_loss(Some(LossModel::new(0.35, 13)));
         net.set_reliability(ReliabilityConfig::recovering(3, 4));
         net.set_failures(Some(FailureModel::new(0.01, 17)));
-        let mut buf = Vec::new();
+        let mut buf = NodeBits::new();
         for _ in 0..30 {
             net.fail_round();
             net.set_phase(Phase::Validation);

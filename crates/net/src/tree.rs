@@ -10,14 +10,48 @@
 use crate::topology::{NodeId, Topology};
 
 /// A routing tree over a [`Topology`], rooted at [`NodeId::ROOT`].
+///
+/// Beyond the parent/children pointers, the tree precomputes the
+/// struct-of-arrays wave index the network engine runs on (DESIGN.md
+/// §3.3g): children in one flat CSR array (each parent's children
+/// contiguous), the bottom-up order with its equal-depth runs delimited by
+/// [`RoutingTree::level_offsets`], the id → wave-position permutation, and
+/// a root-subtree grouping that within-wave worker threads use to claim
+/// disjoint contiguous ranges. All of it is derived once per tree build;
+/// the wave engines never chase `Vec<Vec<…>>` pointers.
 #[derive(Debug, Clone)]
 pub struct RoutingTree {
     parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
+    /// CSR children: the children of `id` are
+    /// `children_flat[child_offsets[id] .. child_offsets[id + 1]]`, in the
+    /// same per-parent order the nested representation had.
+    children_flat: Vec<NodeId>,
+    child_offsets: Vec<u32>,
     depth: Vec<u32>,
     /// Nodes ordered children-before-parents (reverse BFS); iterating this
-    /// order performs a convergecast, the reverse a broadcast.
+    /// order performs a convergecast, the reverse a broadcast. Each
+    /// routing-tree level is one contiguous run (deepest level first, the
+    /// root alone at the end).
     bottom_up: Vec<NodeId>,
+    /// id → position in `bottom_up` (`u32::MAX` for nodes outside the
+    /// tree: dead or orphaned after a repair).
+    wave_slot: Vec<u32>,
+    /// Boundaries of the equal-depth runs of `bottom_up`: run `k` is
+    /// `bottom_up[level_offsets[k] .. level_offsets[k + 1]]`.
+    level_offsets: Vec<u32>,
+    /// Wave position of each node's parent, aligned with `bottom_up`
+    /// (`u32::MAX` for the root's own entry).
+    parent_slot: Vec<u32>,
+    /// Non-root tree nodes regrouped so each root subtree is contiguous
+    /// (groups in `children(root)` order, bottom-up order within a group).
+    group_order: Vec<NodeId>,
+    /// Group `g` is `group_order[group_offsets[g] .. group_offsets[g + 1]]`.
+    group_offsets: Vec<u32>,
+    /// Wave position (into `bottom_up[..len - 1]`) → `group_order` index.
+    wave_to_group: Vec<u32>,
+    /// `group_order` index → parent's `group_order` index (`u32::MAX` when
+    /// the parent is the root — the node is its group's subtree root).
+    group_parent: Vec<u32>,
 }
 
 impl RoutingTree {
@@ -83,12 +117,7 @@ impl RoutingTree {
         let mut bottom_up = order;
         bottom_up.reverse();
 
-        Ok(RoutingTree {
-            parent,
-            children,
-            depth,
-            bottom_up,
-        })
+        Ok(RoutingTree::finish(parent, children, depth, bottom_up))
     }
 
     /// Rebuilds the shortest-path tree over the *surviving* disk graph
@@ -163,12 +192,7 @@ impl RoutingTree {
         bottom_up.reverse();
 
         (
-            RoutingTree {
-                parent,
-                children,
-                depth,
-                bottom_up,
-            },
+            RoutingTree::finish(parent, children, depth, bottom_up),
             orphans,
         )
     }
@@ -223,12 +247,116 @@ impl RoutingTree {
         }
         let mut bottom_up = order;
         bottom_up.reverse();
-        Ok(RoutingTree {
+        Ok(RoutingTree::finish(parent, children, depth, bottom_up))
+    }
+
+    /// Flattens the constructor state into the struct-of-arrays form every
+    /// wave runs on: CSR children, the id → wave-slot permutation, level
+    /// runs, per-position parent slots, and the root-subtree grouping.
+    /// Shared by all three constructors so the invariants hold for built,
+    /// repaired, and hand-made trees alike.
+    fn finish(
+        parent: Vec<Option<NodeId>>,
+        children: Vec<Vec<NodeId>>,
+        depth: Vec<u32>,
+        bottom_up: Vec<NodeId>,
+    ) -> RoutingTree {
+        let n = parent.len();
+
+        let mut child_offsets = Vec::with_capacity(n + 1);
+        let mut children_flat = Vec::with_capacity(n.saturating_sub(1));
+        for kids in &children {
+            child_offsets.push(children_flat.len() as u32);
+            children_flat.extend_from_slice(kids);
+        }
+        child_offsets.push(children_flat.len() as u32);
+
+        let mut wave_slot = vec![u32::MAX; n];
+        for (pos, &u) in bottom_up.iter().enumerate() {
+            wave_slot[u.index()] = pos as u32;
+        }
+
+        // bottom_up is reversed BFS, so depth is weakly decreasing along
+        // it: the levels are exactly its maximal equal-depth runs.
+        let mut level_offsets = vec![0u32];
+        for pos in 1..bottom_up.len() {
+            if depth[bottom_up[pos].index()] != depth[bottom_up[pos - 1].index()] {
+                level_offsets.push(pos as u32);
+            }
+        }
+        level_offsets.push(bottom_up.len() as u32);
+
+        let parent_slot: Vec<u32> = bottom_up
+            .iter()
+            .map(|&u| parent[u.index()].map_or(u32::MAX, |p| wave_slot[p.index()]))
+            .collect();
+
+        // Root-subtree grouping: group g = the subtree of children(root)[g].
+        // Every non-root tree node inherits its parent's group (parents
+        // come earlier in top-down order, so one pass settles it).
+        let roots = &children[0];
+        let g_count = roots.len();
+        let mut group_of = vec![u32::MAX; n];
+        for (g, &c) in roots.iter().enumerate() {
+            group_of[c.index()] = g as u32;
+        }
+        for &u in bottom_up.iter().rev().skip(1) {
+            if group_of[u.index()] == u32::MAX {
+                let p = parent[u.index()].expect("non-root tree node has parent");
+                group_of[u.index()] = group_of[p.index()];
+            }
+        }
+
+        // Counting sort by group, stable in bottom-up order: each group is
+        // contiguous and internally children-before-parents, so a worker
+        // owning a group range can aggregate it independently while the
+        // within-group merge order stays exactly the sequential one.
+        let gsize = bottom_up.len().saturating_sub(1);
+        let mut group_offsets = vec![0u32; g_count + 1];
+        for &u in &bottom_up[..gsize] {
+            group_offsets[group_of[u.index()] as usize + 1] += 1;
+        }
+        for g in 0..g_count {
+            group_offsets[g + 1] += group_offsets[g];
+        }
+        let mut cursor: Vec<u32> = group_offsets[..g_count].to_vec();
+        let mut group_order = vec![NodeId::ROOT; gsize];
+        let mut wave_to_group = vec![0u32; gsize];
+        let mut group_slot = vec![u32::MAX; n];
+        for (pos, &u) in bottom_up[..gsize].iter().enumerate() {
+            let g = group_of[u.index()] as usize;
+            let j = cursor[g];
+            cursor[g] += 1;
+            group_order[j as usize] = u;
+            wave_to_group[pos] = j;
+            group_slot[u.index()] = j;
+        }
+        let group_parent: Vec<u32> = group_order
+            .iter()
+            .map(|&u| {
+                let p = parent[u.index()].expect("grouped node has parent");
+                if p.is_root() {
+                    u32::MAX
+                } else {
+                    group_slot[p.index()]
+                }
+            })
+            .collect();
+
+        RoutingTree {
             parent,
-            children,
+            children_flat,
+            child_offsets,
             depth,
             bottom_up,
-        })
+            wave_slot,
+            level_offsets,
+            parent_slot,
+            group_order,
+            group_offsets,
+            wave_to_group,
+            group_parent,
+        }
     }
 
     /// Number of nodes in the tree (root included).
@@ -248,7 +376,8 @@ impl RoutingTree {
 
     /// Children of `id` in the routing tree.
     pub fn children(&self, id: NodeId) -> &[NodeId] {
-        &self.children[id.index()]
+        let i = id.index();
+        &self.children_flat[self.child_offsets[i] as usize..self.child_offsets[i + 1] as usize]
     }
 
     /// Hop distance from the root (`u32::MAX` for nodes outside a repaired
@@ -273,20 +402,85 @@ impl RoutingTree {
         while let Some(u) = stack.pop() {
             if !mask[u.index()] {
                 mask[u.index()] = true;
-                stack.extend_from_slice(&self.children[u.index()]);
+                stack.extend_from_slice(self.children(u));
             }
         }
     }
 
     /// True iff `id` has no children.
     pub fn is_leaf(&self, id: NodeId) -> bool {
-        self.children[id.index()].is_empty()
+        self.child_offsets[id.index()] == self.child_offsets[id.index() + 1]
     }
 
     /// Nodes in children-before-parents order (ends at the root).
     /// Processing nodes in this order implements a convergecast wave.
     pub fn bottom_up(&self) -> &[NodeId] {
         &self.bottom_up
+    }
+
+    /// Number of nodes actually in the tree (excluding dead/orphaned
+    /// slots): the length of [`RoutingTree::bottom_up`].
+    pub fn tree_size(&self) -> usize {
+        self.bottom_up.len()
+    }
+
+    /// Position of `id` in [`RoutingTree::bottom_up`] (its *wave slot*),
+    /// or `None` for nodes outside the tree.
+    pub fn wave_slot(&self, id: NodeId) -> Option<usize> {
+        let s = self.wave_slot[id.index()];
+        (s != u32::MAX).then_some(s as usize)
+    }
+
+    /// Number of equal-depth runs of [`RoutingTree::bottom_up`] (the tree
+    /// height plus one; the deepest level is run 0, the root run last).
+    pub fn levels(&self) -> usize {
+        self.level_offsets.len() - 1
+    }
+
+    /// Boundaries of the equal-depth runs of [`RoutingTree::bottom_up`]:
+    /// level run `k` is `bottom_up[offsets[k] .. offsets[k + 1]]`. Always
+    /// `levels() + 1` entries, first `0`, last `tree_size()`.
+    pub fn level_offsets(&self) -> &[u32] {
+        &self.level_offsets
+    }
+
+    /// Wave slot of each node's parent, aligned with
+    /// [`RoutingTree::bottom_up`] (`u32::MAX` for the root's entry). Lets
+    /// the wave engine deliver to parent-indexed scratch without chasing
+    /// `parent()` and re-permuting per node.
+    pub(crate) fn parent_slots(&self) -> &[u32] {
+        &self.parent_slot
+    }
+
+    /// Number of root subtrees (= `children(root).len()`): the unit of
+    /// within-wave parallelism.
+    pub(crate) fn groups(&self) -> usize {
+        self.group_offsets.len() - 1
+    }
+
+    /// Non-root tree nodes, each root subtree contiguous, bottom-up order
+    /// within a subtree. Group `g` spans
+    /// `group_order[group_offsets[g] .. group_offsets[g + 1]]`.
+    pub(crate) fn group_order(&self) -> &[NodeId] {
+        &self.group_order
+    }
+
+    /// Group boundaries into [`RoutingTree::group_order`].
+    pub(crate) fn group_offsets(&self) -> &[u32] {
+        &self.group_offsets
+    }
+
+    /// Wave position → group-order index, aligned with
+    /// `bottom_up[..tree_size() - 1]`.
+    pub(crate) fn wave_to_group(&self) -> &[u32] {
+        &self.wave_to_group
+    }
+
+    /// Group-order index → parent's group-order index (`u32::MAX` when the
+    /// parent is the root). Parents live in the same group as their
+    /// children, so workers owning whole groups never write across ranges.
+    pub(crate) fn group_parent(&self) -> &[u32] {
+        &self.group_parent
     }
 
     /// Nodes in parents-before-children order (starts at the root).
@@ -528,6 +722,115 @@ mod tests {
         assert_eq!(mask, vec![false, true, true, false]);
         tree.mark_subtree(NodeId(3), &mut mask);
         assert_eq!(mask, vec![false, true, true, true]);
+    }
+
+    /// Exhaustively checks the struct-of-arrays index invariants the wave
+    /// engine relies on (DESIGN.md §3.3g).
+    fn assert_soa_invariants(tree: &RoutingTree) {
+        let t = tree.tree_size();
+        let bu = tree.bottom_up();
+        // wave_slot is the inverse of bottom_up.
+        for (pos, &u) in bu.iter().enumerate() {
+            assert_eq!(tree.wave_slot(u), Some(pos));
+        }
+        // Levels partition bottom_up into weakly-shallower runs; the root
+        // run is last and holds exactly the root.
+        let lo = tree.level_offsets();
+        assert_eq!(lo[0], 0);
+        assert_eq!(*lo.last().unwrap() as usize, t);
+        for k in 0..tree.levels() {
+            let run = &bu[lo[k] as usize..lo[k + 1] as usize];
+            let d = tree.depth(run[0]);
+            assert!(run.iter().all(|&u| tree.depth(u) == d));
+            if k + 1 < tree.levels() {
+                assert!(tree.depth(bu[lo[k + 1] as usize]) < d);
+            }
+        }
+        assert_eq!(bu[t - 1], NodeId::ROOT);
+        // parent_slots points each wave position at its parent's position.
+        let ps = tree.parent_slots();
+        for (pos, &u) in bu.iter().enumerate() {
+            match tree.parent(u) {
+                Some(p) => assert_eq!(ps[pos] as usize, tree.wave_slot(p).unwrap()),
+                None => assert_eq!(ps[pos], u32::MAX),
+            }
+        }
+        // Groups partition the non-root nodes by root subtree, each group
+        // contiguous, children-before-parents within a group, groups in
+        // children(root) order.
+        let go = tree.group_order();
+        let offs = tree.group_offsets();
+        assert_eq!(tree.groups(), tree.children(NodeId::ROOT).len());
+        assert_eq!(go.len(), t.saturating_sub(1));
+        let mut seen = vec![false; tree.len()];
+        for (g, &top) in tree.children(NodeId::ROOT).iter().enumerate() {
+            let range = offs[g] as usize..offs[g + 1] as usize;
+            let mut mask = vec![false; tree.len()];
+            tree.mark_subtree(top, &mut mask);
+            assert_eq!(
+                range.len(),
+                mask.iter().filter(|&&b| b).count(),
+                "group {g} must cover exactly its subtree"
+            );
+            for &u in &go[range] {
+                assert!(mask[u.index()], "node {u} leaked into group {g}");
+                for &c in tree.children(u) {
+                    assert!(seen[c.index()], "child {c} after parent {u} in group");
+                }
+                seen[u.index()] = true;
+            }
+        }
+        // wave_to_group and group_parent are consistent cross-indexes.
+        let wg = tree.wave_to_group();
+        for (pos, &u) in bu[..t - 1].iter().enumerate() {
+            assert_eq!(go[wg[pos] as usize], u);
+        }
+        let gp = tree.group_parent();
+        for (j, &u) in go.iter().enumerate() {
+            let p = tree.parent(u).unwrap();
+            if p.is_root() {
+                assert_eq!(gp[j], u32::MAX);
+            } else {
+                assert_eq!(go[gp[j] as usize], p);
+            }
+        }
+    }
+
+    #[test]
+    fn soa_indexes_hold_on_built_trees() {
+        // A branching random-ish placement, a line, and the minimal tree.
+        let mut positions = vec![Point::new(0.0, 0.0)];
+        for i in 0..40u32 {
+            let a = i as f64 * 0.7;
+            let r = 0.6 + (i % 7) as f64 * 0.45;
+            positions.push(Point::new(a.cos() * r, a.sin() * r));
+        }
+        let topo = Topology::build(positions, 1.1);
+        if let Ok(tree) = RoutingTree::shortest_path_tree(&topo) {
+            assert_soa_invariants(&tree);
+        }
+        let (_, line_tree) = line(9);
+        assert_soa_invariants(&line_tree);
+        let (_, tiny) = line(2);
+        assert_soa_invariants(&tiny);
+    }
+
+    #[test]
+    fn soa_indexes_hold_on_repaired_and_custom_trees() {
+        let (topo, _) = line(6);
+        let alive = vec![true, true, true, false, true, true];
+        let (repaired, _) = RoutingTree::spanning_alive(&topo, &alive);
+        assert_soa_invariants(&repaired);
+        let custom = RoutingTree::from_parents(vec![
+            None,
+            Some(NodeId(0)),
+            Some(NodeId(1)),
+            Some(NodeId(0)),
+            Some(NodeId(3)),
+            Some(NodeId(1)),
+        ])
+        .unwrap();
+        assert_soa_invariants(&custom);
     }
 
     #[test]

@@ -116,7 +116,7 @@ proptest! {
         };
         let mut net = Network::new(topo, tree, RadioModel::default(), MessageSizes::default());
         let received = net.broadcast(payload);
-        prop_assert!(received.iter().all(|&r| r));
+        prop_assert!(received.all());
     }
 
     #[test]

@@ -71,6 +71,20 @@ impl LogHistogram {
         self.max = self.max.max(value);
     }
 
+    /// Records the same sample `times` times. All four counters are plain
+    /// integer accumulators, so this is exactly equivalent to calling
+    /// [`record`](Self::record) `times` times — engines may coalesce runs
+    /// of identical samples without changing any observable state.
+    pub fn record_n(&mut self, value: u64, times: u64) {
+        if times == 0 {
+            return;
+        }
+        self.counts[LogHistogram::bucket_of(value)] += times;
+        self.count += times;
+        self.sum += value * times;
+        self.max = self.max.max(value);
+    }
+
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.count
@@ -194,6 +208,12 @@ impl HistogramSet {
         self.hists[kind.index()].record(value);
     }
 
+    /// Records the same sample `times` times under `kind` (see
+    /// [`LogHistogram::record_n`] for the exactness argument).
+    pub fn record_n(&mut self, kind: HistKind, value: u64, times: u64) {
+        self.hists[kind.index()].record_n(value, times);
+    }
+
     /// The histogram of one kind.
     pub fn get(&self, kind: HistKind) -> &LogHistogram {
         &self.hists[kind.index()]
@@ -246,9 +266,33 @@ impl NodeHistograms {
         }
     }
 
+    /// Records the same sample `times` times for `node` — the bulk form of
+    /// [`record`](Self::record), equivalent to `times` individual calls.
+    /// Lets engines buffer runs of identical samples in a small hot cache
+    /// and flush them here without touching the per-node blocks per sample.
+    #[inline]
+    pub fn record_n(&mut self, node: usize, kind: HistKind, value: u64, times: u64) {
+        if let Some(set) = self.nodes.get_mut(node) {
+            set.record_n(kind, value, times);
+        }
+    }
+
     /// One node's histograms.
     pub fn node(&self, node: usize) -> &HistogramSet {
         &self.nodes[node]
+    }
+
+    /// Rearranges the slots in place so that slot `new` afterwards holds
+    /// what slot `map(new)` held before. `map` must be a permutation of
+    /// `0..len`. This is how the network engine keeps its histograms in
+    /// wave order (contiguous along the convergecast hot path) while still
+    /// presenting node-id order at its API boundary — and re-keys them when
+    /// a tree repair changes the wave order.
+    pub fn reindex(&mut self, map: impl Fn(usize) -> usize) {
+        let old = self.nodes.clone();
+        for (new, set) in self.nodes.iter_mut().enumerate() {
+            *set = old[map(new)];
+        }
     }
 
     /// Network-wide totals: every node's histograms merged.
@@ -305,6 +349,28 @@ mod tests {
     }
 
     #[test]
+    fn record_n_equals_repeated_record() {
+        for (value, times) in [(0u64, 3u64), (1, 1), (7, 5), (1000, 17), (1 << 40, 2)] {
+            let mut bulk = LogHistogram::default();
+            let mut single = LogHistogram::default();
+            bulk.record_n(value, times);
+            for _ in 0..times {
+                single.record(value);
+            }
+            assert_eq!(bulk, single, "value={value} times={times}");
+        }
+        let mut h = LogHistogram::default();
+        h.record_n(42, 0);
+        assert_eq!(h, LogHistogram::default());
+        let mut nh = NodeHistograms::new(2);
+        nh.record_n(1, HistKind::FanIn, 3, 4);
+        nh.record_n(99, HistKind::FanIn, 3, 4); // silently dropped
+        assert_eq!(nh.node(1).get(HistKind::FanIn).count(), 4);
+        assert_eq!(nh.node(1).get(HistKind::FanIn).sum(), 12);
+        assert!(nh.node(0).is_empty());
+    }
+
+    #[test]
     fn quantile_bound_walks_cumulative_counts() {
         let mut h = LogHistogram::default();
         assert_eq!(h.quantile_bound(0.5), None);
@@ -345,6 +411,20 @@ mod tests {
         assert_eq!(total.get(HistKind::MsgBits).sum(), 384);
         assert_eq!(nh.node(1).get(HistKind::MsgBits).count(), 0);
         assert!(nh.node(1).is_empty());
+    }
+
+    #[test]
+    fn reindex_permutes_slots() {
+        let mut nh = NodeHistograms::new(3);
+        nh.record(0, HistKind::MsgBits, 1);
+        nh.record(1, HistKind::MsgBits, 2);
+        nh.record(2, HistKind::MsgBits, 4);
+        // Rotate: new slot i takes old slot (i + 1) % 3.
+        nh.reindex(|i| (i + 1) % 3);
+        assert_eq!(nh.node(0).get(HistKind::MsgBits).sum(), 2);
+        assert_eq!(nh.node(1).get(HistKind::MsgBits).sum(), 4);
+        assert_eq!(nh.node(2).get(HistKind::MsgBits).sum(), 1);
+        assert_eq!(nh.total().get(HistKind::MsgBits).count(), 3);
     }
 
     #[test]

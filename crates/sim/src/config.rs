@@ -157,6 +157,12 @@ pub struct SimulationConfig {
     /// branch per tap point and keeps the hot path allocation-free.
     /// Telemetry histograms are always on regardless of this flag.
     pub telemetry: bool,
+    /// Worker threads *within* each run's convergecast waves (on top of the
+    /// per-run parallelism of [`crate::parallel`]): disjoint root subtrees
+    /// are aggregated concurrently and all accounting is replayed in the
+    /// sequential wave order, so results are bit-identical at any value.
+    /// `1` (the default) runs waves on the caller's thread.
+    pub wave_workers: usize,
     /// Dataset.
     pub dataset: DatasetSpec,
 }
@@ -179,6 +185,7 @@ impl Default for SimulationConfig {
             node_failure: None,
             audit: false,
             telemetry: false,
+            wave_workers: 1,
             dataset: DatasetSpec::Synthetic(SyntheticConfig::default()),
         }
     }

@@ -14,6 +14,7 @@
 //! * [`metrics`] — the measured indicators,
 //! * [`experiments`] — the pre-configured sweeps behind every figure,
 //! * [`parallel`] — the deterministic std-only worker pool behind them,
+//! * [`parity`] — byte-exact engine digests for the refactor-parity suite,
 //! * [`trace`] — per-round instrumentation with CSV export,
 //! * [`multi`] — the §2 multi-measurement-node expansion,
 //! * [`scenario`] — flat integer scenario descriptions (the `wsn-check`
@@ -25,6 +26,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod multi;
 pub mod parallel;
+pub mod parity;
 pub mod report;
 pub mod runner;
 pub mod scenario;

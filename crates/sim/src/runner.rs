@@ -125,6 +125,17 @@ pub fn run_once_with(
     builder: ProtocolBuilder<'_>,
     run_index: u32,
 ) -> RunMetrics {
+    run_once_capture(cfg, builder, run_index).0
+}
+
+/// [`run_once_with`] that also hands back the final [`Network`], so parity
+/// harnesses can digest state the metrics summarize (the full audit log,
+/// per-node histograms, per-round ledger snapshots) byte for byte.
+pub fn run_once_capture(
+    cfg: &SimulationConfig,
+    builder: ProtocolBuilder<'_>,
+    run_index: u32,
+) -> (RunMetrics, Network) {
     let mut rng = Rng::seed_from_u64(
         cfg.seed
             ^ (run_index as u64)
@@ -143,6 +154,7 @@ pub fn run_once_with(
     // recorder, which only reads the wall clock.
     net.set_audit(cfg.audit);
     net.set_telemetry(cfg.telemetry);
+    net.set_wave_workers(cfg.wave_workers);
     if let Some(p) = cfg.loss {
         net.set_loss(Some(LossModel::new(p, rng.next_u64())));
     }
@@ -205,7 +217,7 @@ pub fn run_once_with(
     let hotspot = ledger.max_sensor_consumption() / rounds;
     let stats = net.stats();
     let rel = net.reliability_stats();
-    RunMetrics {
+    let metrics = RunMetrics {
         max_node_energy_per_round: hotspot,
         lifetime_rounds: ledger.estimated_lifetime_rounds(net.model()),
         messages_per_round: stats.messages as f64 / rounds,
@@ -224,7 +236,8 @@ pub fn run_once_with(
         audit_events,
         audit_discrepancies,
         hists: net.histograms().total(),
-    }
+    };
+    (metrics, net)
 }
 
 /// Literal network-lifetime measurement: replays dataset rounds (cycling
@@ -250,6 +263,7 @@ pub fn run_until_death(
     let query = QueryConfig::phi(cfg.phi, n, dataset.range_min(), dataset.range_max());
     let mut alg = kind.build(query, &cfg.sizes);
     let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
+    net.set_wave_workers(cfg.wave_workers);
     if let Some(p) = cfg.loss {
         net.set_loss(Some(LossModel::new(p, rng.next_u64())));
     }

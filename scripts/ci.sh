@@ -45,4 +45,12 @@ echo "==> fuzz smoke (corpus replay + 100 fresh scenarios, must be clean)"
 ./target/release/simulate fuzz --scenarios 100 --seed 42 \
     --corpus tests/fuzz_corpus.txt
 
+echo "==> scale smoke (10k-node HBC throughput under a wall-clock budget)"
+# The internal budget catches throughput regressions (~0.6 s on the
+# 1-core reference box; 60 s is ~100x headroom for slow CI hardware);
+# the outer timeout(1) additionally converts a hang into a hard failure.
+timeout --signal=KILL 120 \
+    ./target/release/simulate scale --nodes 10000 --rounds 200 \
+    --wave-threads 2 --budget-secs 60
+
 echo "ci.sh: all gates passed"

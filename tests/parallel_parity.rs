@@ -157,7 +157,7 @@ fn scratch_buffer_reuse_does_not_change_network_accounting() {
         let agg = reused.convergecast(|id| Some(Sum(id.index() as i64)));
         reused_answers.push(agg.map(|a| a.0));
         let received = reused.broadcast(64);
-        assert!(received.iter().all(|&r| r));
+        assert!(received.all());
         reused.end_round();
     }
 
@@ -170,7 +170,7 @@ fn scratch_buffer_reuse_does_not_change_network_accounting() {
         let agg = net.convergecast(|id| Some(Sum(id.index() as i64)));
         fresh_answers.push(agg.map(|a| a.0));
         let received = net.broadcast(64);
-        assert!(received.iter().all(|&r| r));
+        assert!(received.all());
         net.end_round();
         fresh_energy += total_energy(&net);
         fresh_stats.0 += net.stats().messages;
