@@ -23,6 +23,11 @@ fn main() {
         AlgorithmKind::Iq,
         AlgorithmKind::Adaptive,
         AlgorithmKind::Gk,
+        AlgorithmKind::QDigest { eps_milli: 100 },
+        AlgorithmKind::GkSink {
+            eps_milli: 100,
+            capacity: 0,
+        },
     ] {
         h.bench(&format!("{}/150n40r", alg.name()), || {
             run_once(&cfg, alg, 0).max_node_energy_per_round

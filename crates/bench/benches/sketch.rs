@@ -1,0 +1,59 @@
+//! Energy/accuracy frontier: the approximate sketch protocols (QD, GKS)
+//! against the exact continuous battery (HBC, IQ) on one matched workload
+//! — same |N|, same radio range ρ, same rounds, same data.
+//!
+//! The workload is fast-drifting (period-8, 50 %-noise sinusoid shifting
+//! the whole population together), the regime where exact continuous
+//! refinement spawns extra waves every round while the q-digest always
+//! costs exactly one convergecast. Each protocol contributes one timing
+//! sample plus five frontier scalars: network-wide joules per round (the
+//! deployment's battery drain — the frontier's energy axis), hotspot
+//! joules per round, bits on air per round, the worst observed rank
+//! error, and the rank tolerance the protocol certified (the frontier's
+//! error axis: 0 for the exact battery, `⌊ε·n⌋` for the sketches).
+
+mod common;
+
+use wsn_bench::harness::Harness;
+use wsn_data::synthetic::SyntheticConfig;
+use wsn_sim::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+use wsn_sim::runner::run_once;
+
+fn main() {
+    let mut h = Harness::from_args("sketch_frontier");
+    let cfg = SimulationConfig {
+        sensor_count: 300,
+        rounds: 40,
+        runs: 1,
+        ..SimulationConfig::default()
+    }
+    .with_dataset(DatasetSpec::Synthetic(SyntheticConfig {
+        period: 8,
+        noise_percent: 50.0,
+        ..SyntheticConfig::default()
+    }));
+
+    for alg in [
+        AlgorithmKind::Hbc,
+        AlgorithmKind::Iq,
+        AlgorithmKind::QDigest { eps_milli: 100 },
+        AlgorithmKind::GkSink {
+            eps_milli: 100,
+            capacity: 0,
+        },
+    ] {
+        let name = alg.name();
+        h.bench(&format!("{name}/300n40r"), || run_once(&cfg, alg, 0));
+        let m = run_once(&cfg, alg, 0);
+        let net_joules: f64 = m.phase_joules.iter().sum::<f64>() / m.total_rounds as f64;
+        h.note(&format!("{name}/net_joules_per_round"), net_joules);
+        h.note(
+            &format!("{name}/hotspot_joules_per_round"),
+            m.max_node_energy_per_round,
+        );
+        h.note(&format!("{name}/bits_per_round"), m.bits_per_round);
+        h.note(&format!("{name}/max_rank_error"), m.max_rank_error as f64);
+        h.note(&format!("{name}/rank_tolerance"), m.rank_tolerance as f64);
+    }
+    h.finish();
+}

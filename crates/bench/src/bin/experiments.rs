@@ -18,7 +18,7 @@ use wsn_sim::report::{
 fn print_usage() {
     eprintln!(
         "usage: experiments [--quick] [--threads N] \
-                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|reliability|adaptive|phi|lcllcmp|exactcmp|sampling|ablation]"
+                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|reliability|adaptive|phi|lcllcmp|exactcmp|sketch|sampling|ablation]"
     );
 }
 
@@ -79,6 +79,7 @@ fn main() {
             "phi".into(),
             "lcllcmp".into(),
             "exactcmp".into(),
+            "sketch".into(),
             "sampling".into(),
             "ablation".into(),
         ],
@@ -146,6 +147,10 @@ fn main() {
             if id == "loss" {
                 println!("{}", render_table(&results, Indicator::RankError));
                 println!("{}", render_table(&results, Indicator::Exactness));
+            }
+            if id == "sketch" {
+                println!("{}", render_table(&results, Indicator::RankError));
+                println!("{}", render_table(&results, Indicator::MaxRankError));
             }
             if id == "reliability" {
                 println!("{}", render_table(&results, Indicator::RankError));

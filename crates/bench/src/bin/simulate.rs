@@ -97,6 +97,13 @@ fn algorithm_by_name(name: &str) -> Option<AlgorithmKind> {
         AlgorithmKind::Iq,
         AlgorithmKind::Adaptive,
         AlgorithmKind::Gk,
+        // Sketch family at the default ε = 0.1 and derived capacity; pick
+        // other operating points through the library API.
+        AlgorithmKind::QDigest { eps_milli: 100 },
+        AlgorithmKind::GkSink {
+            eps_milli: 100,
+            capacity: 0,
+        },
     ];
     all.into_iter()
         .find(|a| a.name().eq_ignore_ascii_case(name))
@@ -228,7 +235,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn print_usage() {
     eprintln!(
-        "usage: simulate (--algorithm TAG|POS|LCLL-H|LCLL-S|LCLL-R|HBC|HBC-nb|IQ|Adaptive|GK | --all)
+        "usage: simulate (--algorithm TAG|POS|LCLL-H|LCLL-S|LCLL-R|HBC|HBC-nb|IQ|Adaptive|GK|QD|GKS | --all)
                 [--nodes N] [--rounds R] [--runs K] [--phi F] [--rho M]
                 [--dataset synthetic|pressure|walk|regime] [--period T] [--noise PSI]
                 [--skip S] [--range optimistic|pessimistic]
@@ -255,10 +262,11 @@ given). `simulate diff` compares two captures and reports the first
 divergent frame (exit 0 identical, 1 divergent, 2 on bad input).
 
 `simulate fuzz` runs the wsn-check invariant fuzzer: N seeded scenarios
-(default 100, seed 42), every paper protocol, checked against the
-centralized oracle, the energy-audit replay, telemetry reconciliation,
-thread parity and metamorphic properties; failures are shrunk to one-line
-repros. --corpus replays a pinned corpus first and appends new shrunk
+(default 100, seed 42), the 8-protocol battery (every paper protocol plus
+the QD/GKS sketches at the scenario's ε, held to their advertised ⌊ε·n⌋
+rank tolerance), checked against the centralized oracle, the energy-audit
+replay, telemetry reconciliation, thread parity and metamorphic
+properties; failures are shrunk to one-line repros. --corpus replays a pinned corpus first and appends new shrunk
 repros to it; --repro replays one repro line. Exit 0 clean, 1 on any
 violation, 2 on bad input.
 
@@ -778,6 +786,11 @@ fn main() {
             AlgorithmKind::Iq,
             AlgorithmKind::Adaptive,
             AlgorithmKind::Gk,
+            AlgorithmKind::QDigest { eps_milli: 100 },
+            AlgorithmKind::GkSink {
+                eps_milli: 100,
+                capacity: 0,
+            },
         ]
     } else {
         vec![args.algorithm.expect("validated")]

@@ -66,6 +66,21 @@ pub fn scenario(master_seed: u64, index: u64) -> Scenario {
         },
     };
 
+    // Sketch-family knobs: mostly moderate tolerances around the default
+    // 10 %, with the exact-degenerate ε = 0 and coarse tails reachable;
+    // GKS capacity usually derived from the payload budget (0), sometimes
+    // pinned to a small explicit summary.
+    let eps_milli = match rng.below(5) {
+        0 => 0,
+        1..=3 => 1 + rng.below(250) as u32,
+        _ => 251 + rng.below(750) as u32,
+    };
+    let capacity = if rng.below(4) == 0 {
+        2 + rng.below(31) as u32 // 2..=32 entries
+    } else {
+        0
+    };
+
     Scenario {
         seed: rng.next_u64(),
         nodes,
@@ -77,6 +92,8 @@ pub fn scenario(master_seed: u64, index: u64) -> Scenario {
         retries,
         recovery,
         failure_milli,
+        eps_milli,
+        capacity,
         source,
     }
 }
@@ -106,6 +123,8 @@ mod tests {
             assert!(s.loss_milli <= 1000, "{s:?}");
             assert!(s.retries <= 4 && s.recovery <= 3, "{s:?}");
             assert!(s.failure_milli <= 50, "{s:?}");
+            assert!(s.eps_milli <= 1000, "{s:?}");
+            assert!(s.capacity == 0 || (2..=32).contains(&s.capacity), "{s:?}");
         }
     }
 
@@ -116,6 +135,15 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.loss_milli == 1000), "blackout");
         assert!(scenarios.iter().any(|s| s.failure_milli > 0), "failures");
         assert!(scenarios.iter().any(|s| s.nodes == 1), "degenerate net");
+        assert!(
+            scenarios.iter().any(|s| s.eps_milli == 0),
+            "exact-degenerate ε"
+        );
+        assert!(scenarios.iter().any(|s| s.eps_milli > 250), "coarse ε tail");
+        assert!(
+            scenarios.iter().any(|s| s.capacity > 0),
+            "pinned GKS capacity"
+        );
         for name in ["sinusoid", "walk", "regime", "pressure"] {
             assert!(
                 scenarios.iter().any(|s| s.source.name() == name),

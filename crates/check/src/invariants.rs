@@ -46,6 +46,17 @@ pub enum Violation {
         /// Mean absolute rank error (must be 0.0).
         mean_rank_error: f64,
     },
+    /// An approximate protocol exceeded its advertised rank tolerance on a
+    /// reliable world (ε-tolerant oracle mode: the sketch family may be
+    /// inexact, but never by more than the `⌊ε·n⌋` ranks it certifies).
+    ToleranceExceeded {
+        /// Protocol display name.
+        algorithm: &'static str,
+        /// Worst observed rank error across all rounds and runs.
+        max_rank_error: u64,
+        /// The tolerance the protocol advertised.
+        rank_tolerance: u64,
+    },
     /// The energy-audit replay did not reconcile with the ledger.
     AuditDiscrepancy {
         /// Protocol display name.
@@ -96,6 +107,14 @@ impl std::fmt::Display for Violation {
             } => write!(
                 f,
                 "{algorithm}: inexact on reliable links (exactness={exactness}, mean_rank_error={mean_rank_error})"
+            ),
+            Violation::ToleranceExceeded {
+                algorithm,
+                max_rank_error,
+                rank_tolerance,
+            } => write!(
+                f,
+                "{algorithm}: rank error {max_rank_error} exceeds the advertised tolerance {rank_tolerance}"
             ),
             Violation::AuditDiscrepancy {
                 algorithm,
@@ -190,10 +209,11 @@ pub fn check(scenario: &Scenario) -> ScenarioReport {
     let mut tally = Tally::default();
     let cfg = scenario.to_config();
 
-    // Protocol batteries: run every paper protocol sequentially and check
+    // Protocol batteries: run every paper protocol plus the two sketch
+    // protocols (at the scenario's ε and capacity) sequentially and check
     // the per-run accounting invariants.
     let mut aggs: Vec<(AlgorithmKind, AggregatedMetrics)> = Vec::new();
-    for kind in AlgorithmKind::PAPER_SET {
+    for kind in AlgorithmKind::battery(scenario.eps_milli, scenario.capacity) {
         tally.batteries += 1;
         match catch(|| run_experiment_threads(&cfg, kind, 1)) {
             Err(message) => violations.push(Violation::Panic {
@@ -220,7 +240,17 @@ pub fn check(scenario: &Scenario) -> ScenarioReport {
                 }
                 if scenario.is_reliable_world() {
                     tally.exactness += 1;
-                    if agg.exactness != 1.0 || agg.mean_rank_error != 0.0 {
+                    if kind.is_approximate() {
+                        // ε-tolerant oracle mode: the sketch family must
+                        // stay within the rank tolerance it advertised.
+                        if agg.max_rank_error > agg.rank_tolerance {
+                            violations.push(Violation::ToleranceExceeded {
+                                algorithm: kind.name(),
+                                max_rank_error: agg.max_rank_error,
+                                rank_tolerance: agg.rank_tolerance,
+                            });
+                        }
+                    } else if agg.exactness != 1.0 || agg.mean_rank_error != 0.0 {
                         violations.push(Violation::Inexact {
                             algorithm: kind.name(),
                             exactness: agg.exactness,
@@ -333,6 +363,8 @@ mod tests {
             retries: 0,
             recovery: 0,
             failure_milli: 0,
+            eps_milli: 100,
+            capacity: 0,
             source: DataSource::Sinusoid {
                 period: 16,
                 noise_permille: 100,
@@ -344,8 +376,8 @@ mod tests {
     fn a_reliable_scenario_passes_the_full_battery() {
         let report = check(&base());
         assert!(report.violations.is_empty(), "{:?}", report.violations);
-        assert_eq!(report.tally.batteries, 6);
-        assert_eq!(report.tally.exactness, 6);
+        assert_eq!(report.tally.batteries, 8, "paper set + QD + GKS");
+        assert_eq!(report.tally.exactness, 8);
         assert_eq!(report.tally.parity, 1);
         assert_eq!(report.tally.metamorphic, 2);
     }
@@ -362,7 +394,7 @@ mod tests {
         let report = check(&s);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert_eq!(report.tally.exactness, 0, "lossy worlds skip exactness");
-        assert_eq!(report.tally.audit, 6);
+        assert_eq!(report.tally.audit, 8);
         assert_eq!(report.tally.parity, 0, "single-run scenarios skip parity");
     }
 
@@ -394,5 +426,27 @@ mod tests {
         );
         let p = Violation::OracleMetamorphic { property: "affine" };
         assert_eq!(p.to_string(), "oracle: affine metamorphic property failed");
+        let t = Violation::ToleranceExceeded {
+            algorithm: "QD",
+            max_rank_error: 9,
+            rank_tolerance: 4,
+        };
+        assert_eq!(
+            t.to_string(),
+            "QD: rank error 9 exceeds the advertised tolerance 4"
+        );
+    }
+
+    #[test]
+    fn exact_degenerate_epsilon_holds_the_sketches_to_exactness() {
+        // ε = 0 makes rank_tolerance 0 for QD and GKS, so the ε-tolerant
+        // branch degenerates to the same zero-error bar as the exact set.
+        let report = check(&Scenario {
+            eps_milli: 0,
+            runs: 1,
+            ..base()
+        });
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.tally.batteries, 8);
     }
 }

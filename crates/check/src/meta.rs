@@ -81,6 +81,8 @@ mod tests {
             retries: 0,
             recovery: 0,
             failure_milli: 0,
+            eps_milli: 100,
+            capacity: 0,
             source: DataSource::Sinusoid {
                 period: 16,
                 noise_permille: 200,

@@ -33,7 +33,8 @@ pub fn to_line(s: &Scenario) -> String {
     format!(
         "{{\"seed\":{},\"nodes\":{},\"range_milli\":{},\"rounds\":{},\"runs\":{},\
          \"phi_milli\":{},\"loss_milli\":{},\"retries\":{},\"recovery\":{},\
-         \"failure_milli\":{},\"source\":\"{}\",\"p1\":{},\"p2\":{},\"p3\":{}}}",
+         \"failure_milli\":{},\"eps_milli\":{},\"capacity\":{},\
+         \"source\":\"{}\",\"p1\":{},\"p2\":{},\"p3\":{}}}",
         s.seed,
         s.nodes,
         s.range_milli,
@@ -44,6 +45,8 @@ pub fn to_line(s: &Scenario) -> String {
         s.retries,
         s.recovery,
         s.failure_milli,
+        s.eps_milli,
+        s.capacity,
         s.source.name(),
         p1,
         p2,
@@ -73,6 +76,18 @@ fn int(line: &str, key: &str) -> Result<i128, String> {
 
 fn uint<T: TryFrom<i128>>(line: &str, key: &str) -> Result<T, String> {
     T::try_from(int(line, key)?).map_err(|_| format!("field `{key}` out of range"))
+}
+
+/// Like [`uint`], but a *missing* key falls back to `default`. Used for
+/// fields added after the corpus format was first pinned (`eps_milli`,
+/// `capacity`), so pre-sketch corpus lines keep parsing — and keep
+/// expanding to the same worlds they always did. A present-but-malformed
+/// value is still an error.
+fn uint_or<T: TryFrom<i128>>(line: &str, key: &str, default: T) -> Result<T, String> {
+    if field(line, key).is_err() {
+        return Ok(default);
+    }
+    uint(line, key)
 }
 
 /// Parses one repro line back into a scenario. Accepts exactly the
@@ -125,6 +140,8 @@ pub fn parse_line(line: &str) -> Result<Scenario, String> {
         retries: uint(line, "retries")?,
         recovery: uint(line, "recovery")?,
         failure_milli: uint(line, "failure_milli")?,
+        eps_milli: uint_or(line, "eps_milli", 100)?,
+        capacity: uint_or(line, "capacity", 0)?,
         source,
     })
 }
@@ -156,6 +173,8 @@ mod tests {
             retries: 0,
             recovery: 0,
             failure_milli: 0,
+            eps_milli: 1000,
+            capacity: 32,
             source: DataSource::Regime {
                 range_size: 2048,
                 phase_len: 3,
@@ -163,6 +182,22 @@ mod tests {
             },
         };
         assert_eq!(parse_line(&to_line(&s)).unwrap(), s);
+    }
+
+    #[test]
+    fn pre_sketch_lines_parse_with_default_tolerances() {
+        // A corpus line from before the sketch fields existed: no
+        // `eps_milli`/`capacity` keys. Must parse to the documented
+        // defaults, not fail.
+        let old = "{\"seed\":9,\"nodes\":5,\"range_milli\":2500,\"rounds\":3,\"runs\":1,\
+                   \"phi_milli\":500,\"loss_milli\":0,\"retries\":0,\"recovery\":0,\
+                   \"failure_milli\":0,\"source\":\"sinusoid\",\"p1\":16,\"p2\":100,\"p3\":0}";
+        let s = parse_line(old).unwrap();
+        assert_eq!(s.eps_milli, 100);
+        assert_eq!(s.capacity, 0);
+        // A present-but-malformed value is still rejected.
+        let bad = old.replace("\"failure_milli\":0", "\"failure_milli\":0,\"eps_milli\":x");
+        assert!(parse_line(&bad).is_err());
     }
 
     #[test]

@@ -70,6 +70,15 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
             ..*s
         });
     }
+    if s.eps_milli != 100 {
+        out.push(Scenario {
+            eps_milli: 100,
+            ..*s
+        });
+    }
+    if s.capacity != 0 {
+        out.push(Scenario { capacity: 0, ..*s });
+    }
     if s.phi_milli != 500 {
         out.push(Scenario {
             phi_milli: 500,
@@ -114,6 +123,8 @@ mod tests {
             retries: 4,
             recovery: 3,
             failure_milli: 20,
+            eps_milli: 750,
+            capacity: 17,
             source: DataSource::Pressure {
                 skip: 3,
                 pessimistic: true,
@@ -134,6 +145,8 @@ mod tests {
         assert_eq!(min.retries, 0);
         assert_eq!(min.recovery, 0);
         assert_eq!(min.phi_milli, 500);
+        assert_eq!(min.eps_milli, 100, "ε lands on the default tolerance");
+        assert_eq!(min.capacity, 0, "capacity falls back to derived");
         assert_eq!(min.range_milli, 4000);
         assert_eq!(min.source, SIMPLEST_SOURCE);
         assert_eq!(min.seed, 99, "the seed is never shrunk");

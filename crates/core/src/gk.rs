@@ -60,7 +60,7 @@ impl Gk {
     /// Creates a GK query; the summary capacity is whatever fits one
     /// payload (entries cost one value plus two counters).
     pub fn new(query: QueryConfig, sizes: &MessageSizes) -> Self {
-        let entry_bits = sizes.value_bits + 2 * sizes.counter_bits;
+        let entry_bits = sizes.summary_entry_bits();
         let capacity = ((sizes.max_payload_bits - sizes.counter_bits) / entry_bits).max(4) as usize;
         Gk {
             query,

@@ -13,11 +13,16 @@
 //! | [`iq`] | **IQ** — interval heuristic, ≤ 1 refinement | paper §4.2 |
 //! | [`adaptive`] | HBC↔IQ runtime switching | paper §4.2 / §6 future work |
 //! | [`cost_model`] | optimal bucket count via Lambert W | prior work \[21\], §4.1 |
+//! | [`qdigest`] | **QD** — q-digest mergeable sketch (approximate) | Shrivastava et al., extension |
+//! | [`gk_sink`] | **GKS** — ε-tolerant GK sink summary (approximate) | Greenwald–Khanna, extension |
 //!
-//! All protocols are *exact*: the value returned each round equals the true
-//! k-th smallest measurement (asserted against an oracle throughout the test
-//! suite). They differ only in how much communication — and therefore
-//! energy — they spend to learn it.
+//! The paper's protocols are *exact*: the value returned each round equals
+//! the true k-th smallest measurement (asserted against an oracle
+//! throughout the test suite). They differ only in how much communication
+//! — and therefore energy — they spend to learn it. The sketch family
+//! (QD, GKS) instead certifies a bounded rank error `⌊ε·n⌋`, advertised
+//! through [`ContinuousQuantile::rank_tolerance`] and enforced by the same
+//! differential oracle at that tolerance.
 //!
 //! Protocols speak to the network exclusively through
 //! [`wsn_net::Network`] convergecast/broadcast primitives; all energy
@@ -47,6 +52,7 @@ pub mod buckets;
 pub mod cost_model;
 pub mod descent;
 pub mod gk;
+pub mod gk_sink;
 pub mod hbc;
 pub mod init;
 pub mod iq;
@@ -55,6 +61,7 @@ pub mod lcll_range;
 pub mod payloads;
 pub mod pos;
 pub mod protocol;
+pub mod qdigest;
 pub mod rank;
 pub mod recovery;
 pub mod retrieval;
@@ -67,12 +74,14 @@ pub mod wire;
 
 pub use adaptive::Adaptive;
 pub use gk::Gk;
+pub use gk_sink::GkSinkQuantile;
 pub use hbc::{Hbc, HbcConfig};
 pub use iq::{Iq, IqConfig};
 pub use lcll::{Lcll, RefiningStrategy};
 pub use lcll_range::LcllRange;
 pub use pos::Pos;
 pub use protocol::{ContinuousQuantile, QueryConfig};
+pub use qdigest::{QDigest, QDigestQuantile};
 pub use sampled::SampledQuantile;
 pub use tag::Tag;
 

@@ -45,8 +45,11 @@ impl QueryConfig {
 /// `t = 0`; subsequent calls are update rounds. `values[i]` is the current
 /// measurement of sensor `NodeId(i+1)` (the root measures nothing).
 ///
-/// Every implementation in this crate is **exact**: absent message loss,
-/// the returned value equals `kth_smallest(values, k)` each round.
+/// The paper's protocols are **exact**: absent message loss, the returned
+/// value equals `kth_smallest(values, k)` each round. The sketch family
+/// ([`crate::QDigestQuantile`], [`crate::GkSinkQuantile`]) instead
+/// guarantees a bounded rank error, advertised via
+/// [`ContinuousQuantile::rank_tolerance`].
 pub trait ContinuousQuantile {
     /// Short identifier used in reports ("TAG", "POS", "HBC", …).
     fn name(&self) -> &'static str;
@@ -54,6 +57,16 @@ pub trait ContinuousQuantile {
     /// Executes one query round over the given measurements and returns the
     /// quantile as determined at the root node.
     fn round(&mut self, net: &mut Network, values: &[Value]) -> Value;
+
+    /// Largest rank error (distance of the answer's true rank span from
+    /// `k`) this protocol may commit on a reliable network over `n`
+    /// values. Exact protocols return 0 (the default); approximate ones
+    /// return their certified bound, e.g. `⌊ε·n⌋`. The differential
+    /// oracle holds every protocol to exactly this bound.
+    fn rank_tolerance(&self, n: u64) -> u64 {
+        let _ = n;
+        0
+    }
 }
 
 /// The measurement of sensor `id` in a round's value slice.

@@ -42,10 +42,27 @@ pub fn side_interval(v: Value, lb: Value, ub: Value) -> Side {
 
 /// The rank `k` of a φ-quantile over `n` values (Definition 2.1:
 /// `k = ⌊φ·|N|⌋`, clamped to `[1, n]` so it is a valid 1-based rank).
+///
+/// # Panics
+/// Panics if `φ ∉ [0, 1]` or `n == 0` — no 1-based rank exists over an
+/// empty value set, and without the guard the clamp would be `clamp(1, 0)`
+/// (which trips std's `min <= max` assertion with a much less useful
+/// message). Callers that can legitimately see empty sets — e.g. the
+/// sketch sink paths aggregating empty partial summaries — should use
+/// [`try_rank_of_phi`] instead.
 pub fn rank_of_phi(phi: f64, n: usize) -> u64 {
     assert!((0.0..=1.0).contains(&phi), "φ must be in [0,1]");
-    assert!(n > 0, "need at least one value");
+    assert!(n > 0, "rank_of_phi: no rank exists over an empty value set");
     ((phi * n as f64).floor() as u64).clamp(1, n as u64)
+}
+
+/// Non-panicking [`rank_of_phi`]: `None` when no valid rank exists, i.e.
+/// `n == 0` (nothing to rank) or `φ ∉ [0, 1]`.
+pub fn try_rank_of_phi(phi: f64, n: usize) -> Option<u64> {
+    if n == 0 || !(0.0..=1.0).contains(&phi) {
+        return None;
+    }
+    Some(rank_of_phi(phi, n))
 }
 
 /// The k-th smallest value (1-based), computed centrally — the ground
@@ -72,8 +89,13 @@ pub fn kth_smallest(values: &[Value], k: u64) -> Value {
 /// path (`rank_of_phi` + [`kth_smallest`]).
 ///
 /// # Panics
-/// Panics on an empty slice or φ outside `[0, 1]`.
+/// Panics on an empty slice (no quantile exists — an empty partial
+/// summary must be handled by the caller) or φ outside `[0, 1]`.
 pub fn oracle(values: &[Value], phi: f64) -> Value {
+    assert!(
+        !values.is_empty(),
+        "rank::oracle: no quantile exists over an empty value set"
+    );
     kth_smallest(values, rank_of_phi(phi, values.len()))
 }
 
@@ -189,6 +211,28 @@ mod tests {
         assert_eq!(rank_of_phi(0.5, 5), 2);
         assert_eq!(rank_of_phi(0.0, 10), 1); // clamped up
         assert_eq!(rank_of_phi(1.0, 10), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value set")]
+    fn rank_of_phi_rejects_empty_sets() {
+        let _ = rank_of_phi(0.5, 0);
+    }
+
+    #[test]
+    fn try_rank_of_phi_signals_degenerate_inputs() {
+        assert_eq!(try_rank_of_phi(0.5, 0), None, "empty set");
+        assert_eq!(try_rank_of_phi(-0.1, 10), None, "φ below range");
+        assert_eq!(try_rank_of_phi(1.5, 10), None, "φ above range");
+        assert_eq!(try_rank_of_phi(0.5, 1000), Some(500));
+        assert_eq!(try_rank_of_phi(0.0, 10), Some(1));
+        assert_eq!(try_rank_of_phi(1.0, 10), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "no quantile exists over an empty value set")]
+    fn oracle_rejects_empty_slices_with_a_clear_message() {
+        let _ = oracle(&[], 0.5);
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl SampledQuantile {
             let mut z = state;
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+            // Divide by 2^64 (not u64::MAX) so the uniform is strictly in
+            // [0, 1): with /u64::MAX the draw could be exactly 1.0 and
+            // `next() < p` would exclude a sensor even at p = 1.0.
+            (z ^ (z >> 31)) as f64 / (u64::MAX as f64 + 1.0)
         };
         let mut member: Vec<bool> = (0..n).map(|_| next() < p).collect();
         if !member.iter().any(|&m| m) {
@@ -164,6 +167,20 @@ mod tests {
         );
         // And the sample moved far fewer values.
         assert!(net_s.stats().values < net_t.stats().values / 2);
+    }
+
+    #[test]
+    fn full_probability_includes_every_sensor() {
+        // p = 1.0 must make the layer the whole network for *any* seed:
+        // the membership uniform is strictly in [0, 1), so `next() < 1.0`
+        // can never exclude a sensor.
+        for seed in 0..64u64 {
+            for n in [1usize, 7, 100] {
+                let query = QueryConfig::median(n, 0, 1023);
+                let alg = SampledQuantile::new(query, 0.5, n, 1.0, seed);
+                assert_eq!(alg.sample_size(), n, "seed={seed} n={n}");
+            }
+        }
     }
 
     #[test]

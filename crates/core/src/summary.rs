@@ -134,7 +134,21 @@ impl RankSummary {
             let idx = s * (n - 1) / (capacity - 1);
             kept.push(self.entries[idx]);
         }
-        kept.dedup_by(|a, b| a.value == b.value && a.rmin == b.rmin && a.rmax == b.rmax);
+        // Collapse equal-value runs to the *hull* of their bounds. Even
+        // spacing can pick several entries with the same value whose bounds
+        // drifted apart across merge→prune cycles; keeping only exact
+        // triple-duplicates (the old behavior) retained stale overlapping
+        // bounds for the same value. The hull (min rmin, max rmax) is
+        // conservative: it can only widen the admissible rank span, so
+        // every `enclosing_interval` derived from it stays sound.
+        kept.dedup_by(|next, prev| {
+            if next.value != prev.value {
+                return false;
+            }
+            prev.rmin = prev.rmin.min(next.rmin);
+            prev.rmax = prev.rmax.max(next.rmax);
+            true
+        });
         self.entries = kept;
     }
 
@@ -174,7 +188,7 @@ impl Aggregate for RankSummary {
     /// Wire size: per entry one value and two counters (rmin, rmax), plus
     /// one counter for the total count.
     fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
-        sizes.counter_bits + self.entries.len() as u64 * (sizes.value_bits + 2 * sizes.counter_bits)
+        sizes.counter_bits + self.entries.len() as u64 * sizes.summary_entry_bits()
     }
     fn value_count(&self) -> usize {
         self.entries.len()
@@ -284,6 +298,92 @@ mod tests {
         let s = build_tree_merge(&values, 8);
         assert_valid(&s, &values);
         assert_eq!(s.enclosing_interval(25), Some((7, 7)));
+    }
+
+    #[test]
+    fn prune_collapses_equal_values_to_the_bound_hull() {
+        // Same-value entries with diverged (stale, overlapping) bounds, as
+        // repeated merge→prune cycles can produce. Even spacing at
+        // capacity 3 keeps indices 0, 1, 3 — two entries of value 5 with
+        // different bounds — which must collapse to one entry carrying the
+        // union of the bounds.
+        let mut s = RankSummary {
+            entries: vec![
+                Entry {
+                    value: 5,
+                    rmin: 2,
+                    rmax: 4,
+                },
+                Entry {
+                    value: 5,
+                    rmin: 3,
+                    rmax: 6,
+                },
+                Entry {
+                    value: 5,
+                    rmin: 1,
+                    rmax: 5,
+                },
+                Entry {
+                    value: 9,
+                    rmin: 7,
+                    rmax: 8,
+                },
+            ],
+            count: 8,
+        };
+        s.prune(3);
+        assert_eq!(
+            s.entries,
+            vec![
+                Entry {
+                    value: 5,
+                    rmin: 2,
+                    rmax: 6,
+                },
+                Entry {
+                    value: 9,
+                    rmin: 7,
+                    rmax: 8,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn repeated_merge_prune_cycles_keep_intervals_sound() {
+        // Heavy-duplicate data maximizes equal-value collisions in prune.
+        // Stress many rounds of "merge a fresh batch, prune hard" — the
+        // lifecycle of a long-lived sink summary — and require that every
+        // rank's enclosing interval still contains the true k-th value.
+        let mut all: Vec<Value> = Vec::new();
+        let mut s = RankSummary::empty();
+        let mut x = 9u64; // splitmix-ish scramble, deterministic
+        for round in 0..40 {
+            let batch: Vec<Value> = (0..17)
+                .map(|_| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((x >> 33) % 12) as Value // only 12 distinct values
+                })
+                .collect();
+            let incoming = build_tree_merge(&batch, 5);
+            s.merge_summary(&incoming);
+            s.prune(7);
+            all.extend_from_slice(&batch);
+            assert_valid(&s, &all);
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            for k in [1u64, all.len() as u64 / 2, all.len() as u64] {
+                let truth = sorted[k as usize - 1];
+                let (lo, hi) = s.enclosing_interval(k).unwrap();
+                assert!(
+                    lo <= truth && truth <= hi,
+                    "round {round} k={k}: [{lo},{hi}] vs {truth}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@ use wsn_net::codec::{BitReader, BitWriter};
 use wsn_net::MessageSizes;
 
 use crate::payloads::{DeltaHistogram, Histogram, MovementCounters, ValueList};
+use crate::qdigest::QDigest;
+use crate::summary::{Entry, RankSummary};
 use crate::validation::{HintStyle, ValidationPayload};
 use crate::Value;
 
@@ -146,6 +148,82 @@ impl WireContext {
         Some(d)
     }
 
+    /// Encodes a [`QDigest`]: the total count, then one `(heap node id,
+    /// count)` pair per live entry. Node ids over a `2^value_bits`
+    /// universe span `[1, 2^(value_bits+1))`, hence the extra bit in
+    /// [`MessageSizes::sketch_entry_bits`]. Counters saturate at field
+    /// capacity (lossless for the paper's ≤ 65535-node setting).
+    pub fn encode_sketch(&self, d: &QDigest) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        self.put_counter(&mut w, d.count());
+        for &(id, c) in d.entries() {
+            w.put(id, self.sizes.value_bits as u32 + 1);
+            self.put_counter(&mut w, c);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a [`QDigest`] with `n_entries` entries on the wire, for the
+    /// query universe `[range_min, range_max]` and compression parameter
+    /// `k`. The digest's count is re-derived from the entries (the leading
+    /// count field is redundant on a lossless link and is only
+    /// sanity-checked against the sum modulo counter saturation).
+    pub fn decode_sketch(
+        &self,
+        bytes: &[u8],
+        n_entries: usize,
+        range_max: Value,
+        k: u64,
+    ) -> Option<QDigest> {
+        let mut r = BitReader::new(bytes);
+        let wire_count = r.get(self.sizes.counter_bits as u32)?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let id = r.get(self.sizes.value_bits as u32 + 1)?;
+            let c = r.get(self.sizes.counter_bits as u32)?;
+            entries.push((id, c));
+        }
+        let d = QDigest::from_entries(self.range_min, range_max, k, entries)?;
+        let width = self.sizes.counter_bits as u32;
+        let saturated = if width >= 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
+        (wire_count == d.count().min(saturated)).then_some(d)
+    }
+
+    /// Encodes a [`RankSummary`]: the total count, then one
+    /// `(value, rmin, rmax)` triple per entry — see
+    /// [`MessageSizes::summary_entry_bits`].
+    pub fn encode_summary(&self, s: &RankSummary) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        self.put_counter(&mut w, s.count);
+        for e in &s.entries {
+            self.put_value(&mut w, e.value);
+            self.put_counter(&mut w, e.rmin);
+            self.put_counter(&mut w, e.rmax);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a [`RankSummary`] with `n_entries` entries on the wire.
+    pub fn decode_summary(&self, bytes: &[u8], n_entries: usize) -> Option<RankSummary> {
+        let mut r = BitReader::new(bytes);
+        let count = r.get(self.sizes.counter_bits as u32)?;
+        let mut entries = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            let value = self.get_value(&mut r)?;
+            let rmin = r.get(self.sizes.counter_bits as u32)?;
+            let rmax = r.get(self.sizes.counter_bits as u32)?;
+            if rmin > rmax {
+                return None;
+            }
+            entries.push(Entry { value, rmin, rmax });
+        }
+        Some(RankSummary { entries, count })
+    }
+
     /// Encodes a [`ValidationPayload`]: four counters, the hint field(s),
     /// then the Ξ values.
     pub fn encode_validation(&self, p: &ValidationPayload, filter: Value) -> Vec<u8> {
@@ -271,6 +349,37 @@ mod tests {
         let decoded = c.decode_deltas(&bytes, 66, d.nonzero()).unwrap();
         assert_eq!(decoded, d);
         assert_eq!(bytes.len() as u64 * 8, d.payload_bits(&c.sizes));
+    }
+
+    #[test]
+    fn sketch_roundtrip_and_size_matches_charge() {
+        let c = ctx();
+        let mut d = QDigest::singleton(0, 1023, 8, 5);
+        for v in [5, 5, 17, 900, 1023, 0, 512, 300] {
+            d.merge(QDigest::singleton(0, 1023, 8, v));
+        }
+        let bytes = c.encode_sketch(&d);
+        let decoded = c.decode_sketch(&bytes, d.len(), 1023, 8).unwrap();
+        assert_eq!(decoded, d);
+        assert_eq!(bytes.len() as u64, d.payload_bits(&c.sizes).div_ceil(8));
+        // A corrupted count field is rejected.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        assert!(c.decode_sketch(&bad, d.len(), 1023, 8).is_none());
+    }
+
+    #[test]
+    fn summary_roundtrip_and_size_matches_charge() {
+        let c = ctx();
+        let mut s = RankSummary::singleton(42);
+        for v in [7, 9000, 42, 65535, 0] {
+            s.merge(RankSummary::singleton(v));
+        }
+        s.prune(4);
+        let bytes = c.encode_summary(&s);
+        let decoded = c.decode_summary(&bytes, s.entries.len()).unwrap();
+        assert_eq!(decoded, s);
+        assert_eq!(bytes.len() as u64, s.payload_bits(&c.sizes).div_ceil(8));
     }
 
     #[test]

@@ -81,6 +81,19 @@ impl MessageSizes {
         2 * self.value_bits
     }
 
+    /// Wire size of one q-digest sketch entry: a heap node id plus a
+    /// count. A node id over a `2^value_bits`-leaf universe needs
+    /// `value_bits + 1` bits (ids run from 1 to `2·σ − 1`).
+    pub fn sketch_entry_bits(&self) -> u64 {
+        self.value_bits + 1 + self.counter_bits
+    }
+
+    /// Wire size of one rank-summary entry: a value plus the two rank
+    /// bounds `rmin`/`rmax` (GK-style summaries, `cqp_core::summary`).
+    pub fn summary_entry_bits(&self) -> u64 {
+        self.value_bits + 2 * self.counter_bits
+    }
+
     /// How many measurements fit into a single payload. 64 with the paper's
     /// defaults (§5.1.6: POS sends values directly when they fit one
     /// message).
@@ -183,6 +196,8 @@ mod tests {
         assert_eq!(s.values_per_message(), 64);
         assert_eq!(s.refinement_request_bits(), 32);
         assert_eq!(s.ack_bits, 88);
+        assert_eq!(s.sketch_entry_bits(), 16 + 1 + 16);
+        assert_eq!(s.summary_entry_bits(), 16 + 32);
     }
 
     #[test]

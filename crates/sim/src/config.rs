@@ -3,7 +3,10 @@
 use cqp_core::hbc::HbcConfig;
 use cqp_core::iq::IqConfig;
 use cqp_core::lcll::RefiningStrategy;
-use cqp_core::{Adaptive, ContinuousQuantile, Gk, Hbc, Iq, Lcll, LcllRange, Pos, QueryConfig, Tag};
+use cqp_core::{
+    Adaptive, ContinuousQuantile, Gk, GkSinkQuantile, Hbc, Iq, Lcll, LcllRange, Pos,
+    QDigestQuantile, QueryConfig, Tag,
+};
 use wsn_data::pressure::PressureConfig;
 use wsn_data::synthetic::SyntheticConfig;
 use wsn_net::{MessageSizes, RadioModel, ReliabilityConfig};
@@ -31,6 +34,21 @@ pub enum AlgorithmKind {
     Adaptive,
     /// Summary-based exact snapshot method (§3.1, \[10\]).
     Gk,
+    /// Q-digest mergeable sketch (approximate, `⌊ε·n⌋` rank error;
+    /// extension). `eps_milli` is ε in thousandths.
+    QDigest {
+        /// Error budget ε in thousandths (e.g. 100 = 10 %).
+        eps_milli: u32,
+    },
+    /// GK-style ε-tolerant incremental sink summary (approximate;
+    /// extension). `capacity` 0 derives the per-message entry budget
+    /// from the payload size.
+    GkSink {
+        /// Error budget ε in thousandths.
+        eps_milli: u32,
+        /// Summary entries per message (0 = derived from payload size).
+        capacity: u32,
+    },
 }
 
 impl AlgorithmKind {
@@ -43,6 +61,34 @@ impl AlgorithmKind {
         AlgorithmKind::Hbc,
         AlgorithmKind::Iq,
     ];
+
+    /// The full differential-oracle battery: the paper set plus the two
+    /// approximate sketch protocols at the given ε/capacity operating
+    /// point (8 protocols; `crates/check` runs every scenario through it).
+    pub fn battery(eps_milli: u32, capacity: u32) -> [AlgorithmKind; 8] {
+        [
+            AlgorithmKind::Tag,
+            AlgorithmKind::Pos,
+            AlgorithmKind::LcllH,
+            AlgorithmKind::LcllS,
+            AlgorithmKind::Hbc,
+            AlgorithmKind::Iq,
+            AlgorithmKind::QDigest { eps_milli },
+            AlgorithmKind::GkSink {
+                eps_milli,
+                capacity,
+            },
+        ]
+    }
+
+    /// True for the approximate sketch protocols (non-zero certified
+    /// rank tolerance); the exact battery returns false.
+    pub fn is_approximate(&self) -> bool {
+        matches!(
+            self,
+            AlgorithmKind::QDigest { .. } | AlgorithmKind::GkSink { .. }
+        )
+    }
 
     /// Display name matching the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -57,6 +103,8 @@ impl AlgorithmKind {
             AlgorithmKind::Iq => "IQ",
             AlgorithmKind::Adaptive => "Adaptive",
             AlgorithmKind::Gk => "GK",
+            AlgorithmKind::QDigest { .. } => "QD",
+            AlgorithmKind::GkSink { .. } => "GKS",
         }
     }
 
@@ -83,6 +131,13 @@ impl AlgorithmKind {
             AlgorithmKind::Iq => Box::new(Iq::new(query, IqConfig::default())),
             AlgorithmKind::Adaptive => Box::new(Adaptive::new(query, sizes)),
             AlgorithmKind::Gk => Box::new(Gk::new(query, sizes)),
+            AlgorithmKind::QDigest { eps_milli } => {
+                Box::new(QDigestQuantile::new(query, *eps_milli))
+            }
+            AlgorithmKind::GkSink {
+                eps_milli,
+                capacity,
+            } => Box::new(GkSinkQuantile::new(query, sizes, *eps_milli, *capacity)),
         }
     }
 }
@@ -229,10 +284,27 @@ mod tests {
             AlgorithmKind::Iq,
             AlgorithmKind::Adaptive,
             AlgorithmKind::Gk,
+            AlgorithmKind::QDigest { eps_milli: 100 },
+            AlgorithmKind::GkSink {
+                eps_milli: 100,
+                capacity: 0,
+            },
         ] {
             let alg = kind.build(q, &sizes);
             assert_eq!(alg.name(), kind.name());
         }
+    }
+
+    #[test]
+    fn battery_is_paper_set_plus_sketches() {
+        let battery = AlgorithmKind::battery(100, 0);
+        assert_eq!(battery.len(), 8);
+        assert_eq!(&battery[..6], &AlgorithmKind::PAPER_SET[..]);
+        assert!(battery[6].is_approximate());
+        assert!(battery[7].is_approximate());
+        assert_eq!(battery[6].name(), "QD");
+        assert_eq!(battery[7].name(), "GKS");
+        assert!(AlgorithmKind::PAPER_SET.iter().all(|k| !k.is_approximate()));
     }
 
     #[test]

@@ -496,6 +496,45 @@ pub fn phi(quick: bool) -> Sweep {
     }
 }
 
+/// Extension sweep: the approximate-sketch family (q-digest, GK sink
+/// summary) against the exact continuous protocols across network sizes —
+/// the energy/accuracy frontier. The sketches trade a certified `⌊ε·n⌋`
+/// rank tolerance for traffic; the exact set pins the zero-error end of
+/// the frontier.
+pub fn sketch(quick: bool) -> Sweep {
+    let b = base(quick);
+    let ns: &[usize] = if quick {
+        &[60, 150, 300]
+    } else {
+        &[250, 500, 1000, 2000]
+    };
+    let cells = ns
+        .iter()
+        .map(|&n| Cell {
+            label: format!("|N|={n}"),
+            config: SimulationConfig {
+                sensor_count: n,
+                ..b.clone()
+            },
+        })
+        .collect();
+    Sweep {
+        id: "sketch",
+        title: "Ext. — Approximate sketches (ε=0.1) vs exact continuous",
+        cells,
+        algorithms: vec![
+            AlgorithmKind::Hbc,
+            AlgorithmKind::Iq,
+            AlgorithmKind::QDigest { eps_milli: 100 },
+            AlgorithmKind::GkSink {
+                eps_milli: 100,
+                capacity: 0,
+            },
+        ],
+        skip: vec![],
+    }
+}
+
 /// One ablation row: a label and its aggregated metrics.
 pub type AblationRow = (String, AggregatedMetrics);
 
@@ -692,6 +731,7 @@ pub fn all_sweeps(quick: bool) -> Vec<Sweep> {
         phi(quick),
         lcllcmp(quick),
         exactcmp(quick),
+        sketch(quick),
     ]
 }
 
@@ -709,6 +749,7 @@ pub fn by_id(id: &str, quick: bool) -> Option<Sweep> {
         "phi" => Some(phi(quick)),
         "lcllcmp" => Some(lcllcmp(quick)),
         "exactcmp" => Some(exactcmp(quick)),
+        "sketch" => Some(sketch(quick)),
         _ => None,
     }
 }
@@ -801,7 +842,8 @@ mod tests {
                 "adaptive",
                 "phi",
                 "lcllcmp",
-                "exactcmp"
+                "exactcmp",
+                "sketch"
             ]
         );
         for id in ids {

@@ -26,6 +26,11 @@ pub struct RunMetrics {
     /// Mean absolute rank error of the answers (0 when always exact;
     /// meaningful under message loss, §6).
     pub mean_rank_error: f64,
+    /// Worst absolute rank error of any round (0 when always exact).
+    pub max_rank_error: u64,
+    /// Rank error the protocol certifies, `⌊ε·n⌋` for the sketch family
+    /// and 0 for the exact battery ([`cqp_core::ContinuousQuantile::rank_tolerance`]).
+    pub rank_tolerance: u64,
     /// Receive-energy fraction of the hotspot node (§5.2.1's analysis of
     /// where the energy goes as density grows).
     pub hotspot_rx_fraction: f64,
@@ -68,6 +73,8 @@ impl Default for RunMetrics {
             exact_rounds: 0,
             total_rounds: 0,
             mean_rank_error: 0.0,
+            max_rank_error: 0,
+            rank_tolerance: 0,
             hotspot_rx_fraction: 0.0,
             delivery_rate: 1.0,
             retransmissions_per_round: 0.0,
@@ -115,6 +122,11 @@ pub struct AggregatedMetrics {
     pub exactness: f64,
     /// Mean absolute rank error.
     pub mean_rank_error: f64,
+    /// Worst absolute rank error of any round in any run.
+    pub max_rank_error: u64,
+    /// Largest rank tolerance any run certified (identical across runs of
+    /// the same configuration; `max` keeps the aggregation conservative).
+    pub rank_tolerance: u64,
     /// Mean hotspot receive-energy fraction.
     pub hotspot_rx_fraction: f64,
     /// Mean payload-hop delivery rate.
@@ -164,6 +176,8 @@ impl AggregatedMetrics {
             bits_per_round: mean(&|r: &RunMetrics| r.bits_per_round),
             exactness: mean(&|r: &RunMetrics| r.exactness()),
             mean_rank_error: mean(&|r: &RunMetrics| r.mean_rank_error),
+            max_rank_error: runs.iter().map(|r| r.max_rank_error).max().unwrap_or(0),
+            rank_tolerance: runs.iter().map(|r| r.rank_tolerance).max().unwrap_or(0),
             hotspot_rx_fraction: mean(&|r: &RunMetrics| r.hotspot_rx_fraction),
             delivery_rate: mean(&|r: &RunMetrics| r.delivery_rate),
             retransmissions_per_round: mean(&|r: &RunMetrics| r.retransmissions_per_round),

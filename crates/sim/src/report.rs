@@ -25,6 +25,9 @@ pub enum Indicator {
     Delivery,
     /// Costliest single round of any sensor (mJ).
     PeakEnergy,
+    /// Worst absolute rank error of any round (the ε-tolerance axis of
+    /// the sketch frontier).
+    MaxRankError,
 }
 
 impl Indicator {
@@ -40,6 +43,7 @@ impl Indicator {
             Indicator::Retransmissions => "retransmissions/round",
             Indicator::Delivery => "delivered hops [%]",
             Indicator::PeakEnergy => "peak round energy [mJ]",
+            Indicator::MaxRankError => "max rank error",
         }
     }
 
@@ -55,6 +59,7 @@ impl Indicator {
             Indicator::Retransmissions => m.retransmissions_per_round,
             Indicator::Delivery => m.delivery_rate * 100.0,
             Indicator::PeakEnergy => m.peak_round_energy * 1e3, // J -> mJ
+            Indicator::MaxRankError => m.max_rank_error as f64,
         }
     }
 }

@@ -170,6 +170,7 @@ pub fn run_once_capture(
     let mut reachable = Vec::new();
     let mut exact_rounds = 0u32;
     let mut rank_error_sum = 0u64;
+    let mut max_rank_error = 0u64;
     for t in 0..cfg.rounds {
         net.fail_round();
         dataset.sample_round(t, &mut values);
@@ -198,6 +199,7 @@ pub fn run_once_capture(
             exact_rounds += 1;
         }
         rank_error_sum += err;
+        max_rank_error = max_rank_error.max(err);
     }
 
     let (audit_events, audit_discrepancies) = if cfg.audit {
@@ -226,6 +228,8 @@ pub fn run_once_capture(
         exact_rounds,
         total_rounds: cfg.rounds,
         mean_rank_error: rank_error_sum as f64 / rounds,
+        max_rank_error,
+        rank_tolerance: alg.rank_tolerance(n as u64),
         hotspot_rx_fraction: ledger.hotspot_rx_fraction(),
         delivery_rate: rel.delivery_rate(),
         retransmissions_per_round: rel.retransmissions as f64 / rounds,

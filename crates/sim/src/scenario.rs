@@ -94,6 +94,13 @@ pub struct Scenario {
     pub recovery: u32,
     /// Per-round crash-stop node-failure probability in thousandths.
     pub failure_milli: u32,
+    /// Sketch-family rank tolerance ε in thousandths (used by the QD/GKS
+    /// battery members; the exact battery ignores it). 100 = the default
+    /// 10 % rank error.
+    pub eps_milli: u32,
+    /// GKS summary capacity override in entries; 0 derives the capacity
+    /// from the configured maximum payload size.
+    pub capacity: u32,
     /// The measurement process.
     pub source: DataSource,
 }
@@ -212,6 +219,8 @@ mod tests {
             retries: 0,
             recovery: 0,
             failure_milli: 0,
+            eps_milli: 100,
+            capacity: 0,
             source: DataSource::Sinusoid {
                 period: 32,
                 noise_permille: 100,

@@ -41,7 +41,8 @@ trap 'rm -rf "$tmp"' EXIT
 grep -q 'wsn_msg_bits_count' "$tmp/metrics.prom"
 grep -q '"traceEvents"' "$tmp/run.trace.json"
 
-echo "==> fuzz smoke (corpus replay + 100 fresh scenarios, must be clean)"
+echo "==> fuzz smoke (corpus replay + 100 fresh scenarios, 8-protocol battery"
+echo "    incl. QD/GKS sketches under the eps-rank-tolerance oracle, must be clean)"
 ./target/release/simulate fuzz --scenarios 100 --seed 42 \
     --corpus tests/fuzz_corpus.txt
 
