@@ -18,7 +18,7 @@ use wsn_sim::report::{
 fn print_usage() {
     eprintln!(
         "usage: experiments [--quick] [--threads N] \
-                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|reliability|adaptive|phi|lcllcmp|exactcmp|sketch|sampling|ablation]"
+                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|reliability|adaptive|phi|lcllcmp|exactcmp|sketch|sampling|serve|ablation]"
     );
 }
 
@@ -81,6 +81,7 @@ fn main() {
             "exactcmp".into(),
             "sketch".into(),
             "sampling".into(),
+            "serve".into(),
             "ablation".into(),
         ],
     };
@@ -96,6 +97,29 @@ fn main() {
                     &experiments::sampling_tradeoff(quick)
                 )
             );
+        } else if id == "serve" {
+            eprintln!("running multi-query service trade-off …");
+            let rows = experiments::serve_tradeoff(quick);
+            let base = rows.last().map(|r| r.bits).unwrap_or(0);
+            println!(
+                "Ext. — Continuous multi-query service (§3.3i): one shared network vs 16 independent runs"
+            );
+            println!(
+                "{:<28} {:>12} {:>10} {:>11} {:>8} {:>9}",
+                "variant", "bits", "messages", "executions", "served", "vs indep"
+            );
+            for r in &rows {
+                let ratio = if base > 0 {
+                    r.bits as f64 / base as f64
+                } else {
+                    1.0
+                };
+                println!(
+                    "{:<28} {:>12} {:>10} {:>11} {:>8} {:>8.2}x",
+                    r.label, r.bits, r.messages, r.executions, r.served, ratio
+                );
+            }
+            println!();
         } else if id == "ablation" {
             eprintln!("running ablations …");
             println!(

@@ -248,6 +248,10 @@ fn print_usage() {
                      [--corpus FILE] [--repro LINE]
        simulate scale [--nodes N] [--rounds R] [--wave-threads W]
                       [--seed S] [--budget-secs T]
+       simulate serve [--queries Q] [--nodes N] [--rounds R] [--phi F]
+                      [--seed S] [--shared] [--wave-threads W] [--audit]
+                      [--admit ROUND:PHI_MILLI] [--retire ROUND:SLOT]
+                      [--digest] [--json FILE]
 
 --audit replays every recorded transmission through the energy auditor and
 prints the per-phase energy breakdown; any ledger discrepancy makes the
@@ -269,6 +273,14 @@ replay, telemetry reconciliation, thread parity and metamorphic
 properties; failures are shrunk to one-line repros. --corpus replays a pinned corpus first and appends new shrunk
 repros to it; --repro replays one repro line. Exit 0 clean, 1 on any
 violation, 2 on bad input.
+
+`simulate serve` runs the continuous multi-query service: Q concurrent
+queries (mixed protocols, φ including both boundaries, mixed epochs) over
+one shared network, compiled into per-round traffic plans with execution
+dedup and — under --shared — piggybacked frame packing. --admit/--retire
+change the query set mid-run; --audit prints the per-lane charge table;
+--digest prints the byte-exact parity digest (identical at any
+--wave-threads). Exit 0 clean, 1 on any audit discrepancy.
 
 `simulate scale` is the engine-throughput smoke gate: it runs R full HBC
 rounds on an N-node constant-density world (the `scale` bench workload)
@@ -739,10 +751,246 @@ fn metrics_json(m: &AggregatedMetrics) -> Json {
     ])
 }
 
+/// `simulate serve` — the continuous multi-query service: admits the
+/// standard `Scenario::workload` battery (mixed protocols, φ including
+/// both boundaries, mixed epochs) over one shared network, optionally
+/// applies admit/retire events mid-run, and prints per-query answers and
+/// lane charges plus the shared-plan aggregates. `--digest` prints the
+/// byte-exact parity digest instead (identical at any `--wave-threads`).
+/// Exit 0 clean, 1 on any audit discrepancy, 2 on bad usage.
+fn run_serve(argv: &[String]) -> ! {
+    use wsn_sim::{DataSource, Scenario, ServeEvent, ServeQuery};
+
+    let mut queries: u32 = 16;
+    let mut nodes: usize = 24;
+    let mut rounds: u32 = 12;
+    let mut phi_milli: u32 = 500;
+    let mut seed: u64 = 0x5EE5;
+    let mut shared = false;
+    let mut wave_threads: usize = 1;
+    let mut digest = false;
+    let mut audit_table = false;
+    let mut json: Option<String> = None;
+    let mut events: Vec<ServeEvent> = Vec::new();
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        print_usage();
+        std::process::exit(2);
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize, flag: &str| -> String {
+            *i += 1;
+            match argv.get(*i) {
+                Some(v) => v.clone(),
+                None => fail(format!("{flag} needs a value")),
+            }
+        };
+        let pair = |raw: &str, flag: &str| -> (u32, u32) {
+            match raw.split_once(':').map(|(a, b)| (a.parse(), b.parse())) {
+                Some((Ok(a), Ok(b))) => (a, b),
+                _ => fail(format!("{flag}: expected ROUND:VALUE, got `{raw}`")),
+            }
+        };
+        match argv[i].as_str() {
+            "--queries" => {
+                queries = match value(&mut i, "--queries").parse::<u32>() {
+                    Ok(n) if (1..=64).contains(&n) => n,
+                    Ok(n) => fail(format!("--queries: {n} outside 1..=64")),
+                    Err(e) => fail(format!("--queries: {e}")),
+                }
+            }
+            "--nodes" => {
+                nodes = match value(&mut i, "--nodes").parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => fail("--nodes needs a positive integer".into()),
+                }
+            }
+            "--rounds" => {
+                rounds = match value(&mut i, "--rounds").parse::<u32>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => fail("--rounds needs a positive integer".into()),
+                }
+            }
+            "--phi" => {
+                phi_milli = match value(&mut i, "--phi").parse::<f64>() {
+                    Ok(p) if (0.0..=1.0).contains(&p) => (p * 1000.0).round() as u32,
+                    _ => fail("--phi needs a fraction in [0, 1]".into()),
+                }
+            }
+            "--seed" => {
+                seed = match value(&mut i, "--seed").parse() {
+                    Ok(n) => n,
+                    Err(e) => fail(format!("--seed: {e}")),
+                }
+            }
+            "--wave-threads" => {
+                wave_threads = match value(&mut i, "--wave-threads").parse::<usize>() {
+                    Ok(n) => n.max(1),
+                    Err(e) => fail(format!("--wave-threads: {e}")),
+                }
+            }
+            "--shared" => shared = true,
+            "--digest" => digest = true,
+            "--audit" => audit_table = true,
+            "--json" => json = Some(value(&mut i, "--json")),
+            "--admit" => {
+                let (round, phi) = pair(&value(&mut i, "--admit"), "--admit");
+                if phi > 1000 {
+                    fail(format!("--admit: φ‰ {phi} outside 0..=1000"));
+                }
+                events.push(ServeEvent::Admit {
+                    round,
+                    query: ServeQuery {
+                        algorithm: AlgorithmKind::Tag,
+                        phi_milli: phi,
+                        epoch: 1,
+                    },
+                });
+            }
+            "--retire" => {
+                let (round, slot) = pair(&value(&mut i, "--retire"), "--retire");
+                events.push(ServeEvent::Retire { round, slot });
+            }
+            other => fail(format!("unknown serve argument {other}")),
+        }
+        i += 1;
+    }
+
+    let sc = Scenario {
+        seed,
+        nodes,
+        range_milli: 2500,
+        rounds,
+        runs: 1,
+        phi_milli,
+        loss_milli: 0,
+        retries: 0,
+        recovery: 0,
+        failure_milli: 0,
+        eps_milli: 100,
+        capacity: 0,
+        queries,
+        source: DataSource::Sinusoid {
+            period: 16,
+            noise_permille: 100,
+        },
+    };
+    let cfg = SimulationConfig {
+        wave_workers: wave_threads,
+        ..sc.to_config()
+    };
+    let workload = sc.workload();
+
+    if digest {
+        print!(
+            "{}",
+            wsn_sim::parity::serve_digest(&cfg, &workload, &events, shared)
+        );
+        std::process::exit(0);
+    }
+
+    let (report, _net) = wsn_sim::serve_capture(&cfg, &workload, &events, shared, 0);
+    println!(
+        "serve: {} queries over {} rounds on {} nodes ({} framing, {} wave thread{})",
+        report.queries.len(),
+        report.rounds,
+        nodes,
+        if shared { "shared" } else { "solo" },
+        wave_threads,
+        if wave_threads == 1 { "" } else { "s" },
+    );
+    println!(
+        "plan: {} executions for {} query-rounds served, cache {} hits / {} misses",
+        report.executions, report.served, report.plan_hits, report.plan_misses
+    );
+    println!(
+        "traffic: {} bits, {} messages | audit: {} events, {} discrepancies",
+        report.total_bits, report.total_messages, report.audit_events, report.audit_discrepancies
+    );
+    println!("slot alg     phi    epoch admit due  exact maxerr tol lane_bits");
+    for q in &report.queries {
+        let lane_bits: u64 = q.charges.bits().iter().sum();
+        println!(
+            "{:>4} {:<7} {:<6} {:>5} {:>5} {:>4} {:>5} {:>6} {:>3} {:>9}",
+            q.slot,
+            q.query.algorithm.name(),
+            q.query.phi_milli as f64 / 1000.0,
+            q.query.epoch,
+            q.admitted,
+            q.answers.len(),
+            q.exact_rounds,
+            q.max_rank_error,
+            q.rank_tolerance,
+            lane_bits,
+        );
+    }
+    if audit_table {
+        println!("lane breakdown (bits by phase: init/validation/refinement/recovery/other):");
+        for (lane, b) in report.lanes.iter().enumerate() {
+            let bits = b.bits();
+            println!(
+                "  lane {lane}: {} {} {} {} {}",
+                bits[0], bits[1], bits[2], bits[3], bits[4]
+            );
+        }
+    }
+    if let Some(path) = json {
+        let mut out = String::from("{\"queries\":[");
+        for (i, q) in report.queries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let lane_bits: u64 = q.charges.bits().iter().sum();
+            out.push_str(&format!(
+                "{{\"slot\":{},\"algorithm\":\"{}\",\"phi_milli\":{},\"epoch\":{},\
+                 \"admitted\":{},\"answered\":{},\"exact\":{},\"max_rank_error\":{},\
+                 \"rank_tolerance\":{},\"lane_bits\":{}}}",
+                q.slot,
+                q.query.algorithm.name(),
+                q.query.phi_milli,
+                q.query.epoch,
+                q.admitted,
+                q.answers.len(),
+                q.exact_rounds,
+                q.max_rank_error,
+                q.rank_tolerance,
+                lane_bits,
+            ));
+        }
+        out.push_str(&format!(
+            "],\"rounds\":{},\"total_bits\":{},\"total_messages\":{},\"executions\":{},\
+             \"served\":{},\"plan_hits\":{},\"plan_misses\":{},\"audit_events\":{},\
+             \"audit_discrepancies\":{}}}\n",
+            report.rounds,
+            report.total_bits,
+            report.total_messages,
+            report.executions,
+            report.served,
+            report.plan_hits,
+            report.plan_misses,
+            report.audit_events,
+            report.audit_discrepancies,
+        ));
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("error: --json {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    std::process::exit(if report.audit_discrepancies == 0 {
+        0
+    } else {
+        1
+    });
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("diff") {
         run_diff(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        run_serve(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("fuzz") {
         run_fuzz(&argv[1..]);

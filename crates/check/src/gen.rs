@@ -28,7 +28,14 @@ pub fn scenario(master_seed: u64, index: u64) -> Scenario {
     let range_milli = 2000 + rng.below(2001) as u32; // 2.0..=4.0 × mean spacing: connected
     let rounds = 1 + rng.below(24) as u32; // 1..=24
     let runs = 1 + rng.below(2) as u32; // 1..=2; 2 triggers the parity check
-    let phi_milli = 1 + rng.below(999) as u32; // full (0,1) incl. extreme ranks
+                                        // φ classes: the boundary ranks are legal and must be drawn — φ = 0
+                                        // (rank 1, the minimum) and φ = 1 (rank n, the maximum) are exactly
+                                        // where off-by-one bugs live — with the bulk in the open interval.
+    let phi_milli = match rng.below(8) {
+        0 => 0,
+        1 => 1000,
+        _ => 1 + rng.below(999) as u32,
+    };
 
     // Loss classes: mostly the paper's reliable links, a light tail, a
     // heavy tail, and the total-blackout edge the ARQ layer must survive.
@@ -81,6 +88,15 @@ pub fn scenario(master_seed: u64, index: u64) -> Scenario {
         0
     };
 
+    // Multi-query serve workloads: mostly the classic single query (the
+    // full per-protocol battery already runs on every scenario), with a
+    // tail of 2..=16-query workloads for the service-layer invariants.
+    let queries = if rng.below(4) == 0 {
+        2 + rng.below(15) as u32
+    } else {
+        1
+    };
+
     Scenario {
         seed: rng.next_u64(),
         nodes,
@@ -94,6 +110,7 @@ pub fn scenario(master_seed: u64, index: u64) -> Scenario {
         failure_milli,
         eps_milli,
         capacity,
+        queries,
         source,
     }
 }
@@ -119,7 +136,8 @@ mod tests {
             assert!((2000..=4000).contains(&s.range_milli), "{s:?}");
             assert!((1..=24).contains(&s.rounds), "{s:?}");
             assert!((1..=2).contains(&s.runs), "{s:?}");
-            assert!((1..=999).contains(&s.phi_milli), "{s:?}");
+            assert!(s.phi_milli <= 1000, "{s:?}");
+            assert!((1..=16).contains(&s.queries), "{s:?}");
             assert!(s.loss_milli <= 1000, "{s:?}");
             assert!(s.retries <= 4 && s.recovery <= 3, "{s:?}");
             assert!(s.failure_milli <= 50, "{s:?}");
@@ -140,6 +158,19 @@ mod tests {
             "exact-degenerate ε"
         );
         assert!(scenarios.iter().any(|s| s.eps_milli > 250), "coarse ε tail");
+        assert!(scenarios.iter().any(|s| s.phi_milli == 0), "φ = 0 boundary");
+        assert!(
+            scenarios.iter().any(|s| s.phi_milli == 1000),
+            "φ = 1 boundary"
+        );
+        assert!(
+            scenarios.iter().any(|s| s.queries > 1),
+            "multi-query workload"
+        );
+        assert!(
+            scenarios.iter().any(|s| s.queries == 16),
+            "full 16-query workload"
+        );
         assert!(
             scenarios.iter().any(|s| s.capacity > 0),
             "pinned GKS capacity"

@@ -20,9 +20,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use cqp_core::rank::{kth_equivariant_under_affine, kth_invariant_under_rotation, rank_of_phi};
 use wsn_data::Rng;
+use wsn_net::lane_breakdowns;
 use wsn_net::obs::HistKind;
 use wsn_sim::runner::run_experiment_threads;
-use wsn_sim::{AggregatedMetrics, AlgorithmKind, Scenario, Value};
+use wsn_sim::{serve, serve_capture, AggregatedMetrics, AlgorithmKind, Scenario, Value};
 
 use crate::meta;
 
@@ -92,6 +93,24 @@ pub enum Violation {
         /// First diverging round.
         round: usize,
     },
+    /// A query served by the multi-query engine answered differently from
+    /// a reference run of the same query.
+    ServeIdentity {
+        /// Service slot of the diverging query.
+        slot: u32,
+        /// Protocol display name.
+        algorithm: &'static str,
+        /// The reference that disagreed (`"solo"` = the query's own
+        /// singleton service, `"unshared"` = the same workload without
+        /// frame sharing).
+        against: &'static str,
+    },
+    /// The multi-query service's per-query accounting failed to
+    /// reconcile.
+    ServeAccounting {
+        /// What broke.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -145,6 +164,17 @@ impl std::fmt::Display for Violation {
                 f,
                 "{algorithm}: {property} metamorphic run diverged at round {round}"
             ),
+            Violation::ServeIdentity {
+                slot,
+                algorithm,
+                against,
+            } => write!(
+                f,
+                "serve: slot {slot} ({algorithm}) diverged from its {against} run"
+            ),
+            Violation::ServeAccounting { detail } => {
+                write!(f, "serve: {detail}")
+            }
         }
     }
 }
@@ -165,6 +195,9 @@ pub struct Tally {
     pub parity: u64,
     /// Metamorphic checks (oracle-level + protocol-level).
     pub metamorphic: u64,
+    /// Multi-query serve batteries (shared/unshared/solo identity plus
+    /// lane accounting).
+    pub serve: u64,
 }
 
 impl Tally {
@@ -176,6 +209,7 @@ impl Tally {
         self.exactness += other.exactness;
         self.parity += other.parity;
         self.metamorphic += other.metamorphic;
+        self.serve += other.serve;
     }
 }
 
@@ -343,6 +377,117 @@ pub fn check(scenario: &Scenario) -> ScenarioReport {
         }
     }
 
+    // Multi-query service battery (scenarios carrying a serve workload):
+    // the shared engine must answer every query exactly as the unshared
+    // engine (frame sharing is pure accounting); on reliable worlds every
+    // query must also match its own singleton service bit-for-bit and
+    // sketches must honor their advertised tolerance; frame sharing may
+    // only cheapen traffic; per-query lane charges must partition the
+    // global phase ledger and replay bit-exactly from the audit log.
+    if scenario.queries > 1 {
+        tally.serve += 1;
+        let workload = scenario.workload();
+        match catch(|| {
+            (
+                serve(&cfg, &workload, &[], false, 0),
+                serve_capture(&cfg, &workload, &[], true, 0),
+            )
+        }) {
+            Err(message) => violations.push(Violation::Panic {
+                algorithm: "serve",
+                message,
+            }),
+            Ok((unshared, (shared, net))) => {
+                for (mode, r) in [("unshared", &unshared), ("shared", &shared)] {
+                    if r.audit_discrepancies != 0 {
+                        violations.push(Violation::ServeAccounting {
+                            detail: format!(
+                                "{mode}: audit replay found {} mismatches",
+                                r.audit_discrepancies
+                            ),
+                        });
+                    }
+                    for qr in &r.queries {
+                        if qr.charges != r.lanes[qr.slot as usize] {
+                            violations.push(Violation::ServeAccounting {
+                                detail: format!(
+                                    "{mode}: slot {} charges diverge from its lane",
+                                    qr.slot
+                                ),
+                            });
+                        }
+                        if scenario.is_reliable_world() && qr.max_rank_error > qr.rank_tolerance {
+                            violations.push(Violation::ToleranceExceeded {
+                                algorithm: qr.query.algorithm.name(),
+                                max_rank_error: qr.max_rank_error,
+                                rank_tolerance: qr.rank_tolerance,
+                            });
+                        }
+                    }
+                }
+                if shared.total_bits > unshared.total_bits {
+                    violations.push(Violation::ServeAccounting {
+                        detail: format!(
+                            "frame sharing grew traffic: {} > {} bits",
+                            shared.total_bits, unshared.total_bits
+                        ),
+                    });
+                }
+                for (u, s) in unshared.queries.iter().zip(&shared.queries) {
+                    if u.answers != s.answers {
+                        violations.push(Violation::ServeIdentity {
+                            slot: u.slot,
+                            algorithm: u.query.algorithm.name(),
+                            against: "unshared",
+                        });
+                    }
+                }
+                // Lane attribution must replay bit-exactly from the event
+                // log (the in-process debug assertion is compiled out of
+                // release fuzz runs, so re-check here).
+                let replayed = lane_breakdowns(net.audit_log(), shared.lanes.len());
+                if replayed != shared.lanes {
+                    violations.push(Violation::ServeAccounting {
+                        detail: "lane replay diverged from live attribution".to_string(),
+                    });
+                }
+                let global = net.phases();
+                let lane_bits: u64 = shared
+                    .lanes
+                    .iter()
+                    .map(|l| l.bits().iter().sum::<u64>())
+                    .sum();
+                if lane_bits != global.bits().iter().sum::<u64>() {
+                    violations.push(Violation::ServeAccounting {
+                        detail: "lane charges do not partition the phase ledger".to_string(),
+                    });
+                }
+                // Solo identity: with no per-transmission loss randomness
+                // the multi-query engine is invisible — each query answers
+                // exactly as its own singleton service.
+                if scenario.is_reliable_world() {
+                    for (i, q) in workload.iter().enumerate() {
+                        match catch(|| serve(&cfg, std::slice::from_ref(q), &[], false, 0)) {
+                            Err(message) => violations.push(Violation::Panic {
+                                algorithm: q.algorithm.name(),
+                                message,
+                            }),
+                            Ok(solo) => {
+                                if solo.queries[0].answers != unshared.queries[i].answers {
+                                    violations.push(Violation::ServeIdentity {
+                                        slot: i as u32,
+                                        algorithm: q.algorithm.name(),
+                                        against: "solo",
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     ScenarioReport { violations, tally }
 }
 
@@ -365,6 +510,7 @@ mod tests {
             failure_milli: 0,
             eps_milli: 100,
             capacity: 0,
+            queries: 1,
             source: DataSource::Sinusoid {
                 period: 16,
                 noise_permille: 100,
@@ -380,6 +526,19 @@ mod tests {
         assert_eq!(report.tally.exactness, 8);
         assert_eq!(report.tally.parity, 1);
         assert_eq!(report.tally.metamorphic, 2);
+        assert_eq!(report.tally.serve, 0, "single-query scenarios skip serve");
+    }
+
+    #[test]
+    fn a_multi_query_scenario_passes_the_serve_battery() {
+        let s = Scenario {
+            queries: 16,
+            runs: 1,
+            ..base()
+        };
+        let report = check(&s);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.tally.serve, 1);
     }
 
     #[test]

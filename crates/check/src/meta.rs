@@ -83,6 +83,7 @@ mod tests {
             failure_milli: 0,
             eps_milli: 100,
             capacity: 0,
+            queries: 1,
             source: DataSource::Sinusoid {
                 period: 16,
                 noise_permille: 200,

@@ -33,7 +33,7 @@ pub fn to_line(s: &Scenario) -> String {
     format!(
         "{{\"seed\":{},\"nodes\":{},\"range_milli\":{},\"rounds\":{},\"runs\":{},\
          \"phi_milli\":{},\"loss_milli\":{},\"retries\":{},\"recovery\":{},\
-         \"failure_milli\":{},\"eps_milli\":{},\"capacity\":{},\
+         \"failure_milli\":{},\"eps_milli\":{},\"capacity\":{},\"queries\":{},\
          \"source\":\"{}\",\"p1\":{},\"p2\":{},\"p3\":{}}}",
         s.seed,
         s.nodes,
@@ -47,6 +47,7 @@ pub fn to_line(s: &Scenario) -> String {
         s.failure_milli,
         s.eps_milli,
         s.capacity,
+        s.queries,
         s.source.name(),
         p1,
         p2,
@@ -80,7 +81,7 @@ fn uint<T: TryFrom<i128>>(line: &str, key: &str) -> Result<T, String> {
 
 /// Like [`uint`], but a *missing* key falls back to `default`. Used for
 /// fields added after the corpus format was first pinned (`eps_milli`,
-/// `capacity`), so pre-sketch corpus lines keep parsing — and keep
+/// `capacity`, `queries`), so older corpus lines keep parsing — and keep
 /// expanding to the same worlds they always did. A present-but-malformed
 /// value is still an error.
 fn uint_or<T: TryFrom<i128>>(line: &str, key: &str, default: T) -> Result<T, String> {
@@ -142,6 +143,7 @@ pub fn parse_line(line: &str) -> Result<Scenario, String> {
         failure_milli: uint(line, "failure_milli")?,
         eps_milli: uint_or(line, "eps_milli", 100)?,
         capacity: uint_or(line, "capacity", 0)?,
+        queries: uint_or(line, "queries", 1)?,
         source,
     })
 }
@@ -175,6 +177,7 @@ mod tests {
             failure_milli: 0,
             eps_milli: 1000,
             capacity: 32,
+            queries: 16,
             source: DataSource::Regime {
                 range_size: 2048,
                 phase_len: 3,
@@ -195,6 +198,7 @@ mod tests {
         let s = parse_line(old).unwrap();
         assert_eq!(s.eps_milli, 100);
         assert_eq!(s.capacity, 0);
+        assert_eq!(s.queries, 1);
         // A present-but-malformed value is still rejected.
         let bad = old.replace("\"failure_milli\":0", "\"failure_milli\":0,\"eps_milli\":x");
         assert!(parse_line(&bad).is_err());

@@ -79,6 +79,13 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
     if s.capacity != 0 {
         out.push(Scenario { capacity: 0, ..*s });
     }
+    if s.queries > 1 {
+        out.push(Scenario { queries: 1, ..*s });
+        out.push(Scenario {
+            queries: s.queries / 2,
+            ..*s
+        });
+    }
     if s.phi_milli != 500 {
         out.push(Scenario {
             phi_milli: 500,
@@ -125,6 +132,7 @@ mod tests {
             failure_milli: 20,
             eps_milli: 750,
             capacity: 17,
+            queries: 13,
             source: DataSource::Pressure {
                 skip: 3,
                 pessimistic: true,
@@ -147,6 +155,7 @@ mod tests {
         assert_eq!(min.phi_milli, 500);
         assert_eq!(min.eps_milli, 100, "ε lands on the default tolerance");
         assert_eq!(min.capacity, 0, "capacity falls back to derived");
+        assert_eq!(min.queries, 1, "workload collapses to one query");
         assert_eq!(min.range_milli, 4000);
         assert_eq!(min.source, SIMPLEST_SOURCE);
         assert_eq!(min.seed, 99, "the seed is never shrunk");
@@ -164,6 +173,13 @@ mod tests {
     fn loss_dependent_failures_keep_their_loss() {
         let min = shrink(big(), |s| s.loss_milli > 0);
         assert_eq!(min.loss_milli, 1, "halving walks loss down to 1‰");
+        assert_eq!(min.nodes, 1);
+    }
+
+    #[test]
+    fn query_count_dependent_failures_keep_their_queries() {
+        let min = shrink(big(), |s| s.queries >= 3);
+        assert_eq!(min.queries, 3, "halving walks the workload down");
         assert_eq!(min.nodes, 1);
     }
 

@@ -9,6 +9,10 @@ fn bounded_campaign_is_clean_and_byte_deterministic() {
     let first = fuzz(42, 20, 4);
     assert!(first.is_clean(), "violations:\n{}", first.summary());
     assert_eq!(first.tally.batteries, 20 * 8, "paper set + QD + GKS");
+    assert!(
+        first.tally.serve > 0,
+        "a 20-scenario campaign must draw at least one multi-query workload"
+    );
 
     let second = fuzz(42, 20, 4);
     assert_eq!(first.summary(), second.summary(), "same seed, same bytes");

@@ -440,6 +440,32 @@ mod tests {
     }
 
     #[test]
+    fn boundary_ranks_have_no_off_by_one() {
+        // φ = 0 (rank 1, the minimum) and φ = 1 (rank n, the maximum) are
+        // where acceptance off-by-ones live: an interval test accepting
+        // rank 0 or n+1 would return a neighbor of the extremum. At ε = 0
+        // the answer must sit exactly at the boundary rank.
+        let n = 60;
+        for (phi, k) in [(0.0, 1u64), (1.0, n as u64)] {
+            let query = QueryConfig::phi(phi, n, 0, 4095);
+            assert_eq!(query.k, k, "phi={phi}");
+            for eps_milli in [0u32, 100] {
+                let mut net = line_net(n);
+                let mut alg = GkSinkQuantile::new(query, &MessageSizes::default(), eps_milli, 0);
+                let tol = alg.rank_tolerance(n as u64);
+                for t in 0..10u64 {
+                    let values = drifting_values(n, t, 4096);
+                    let ans = alg.round(&mut net, &values);
+                    assert!(
+                        rank_error(&values, ans, k) <= tol,
+                        "phi={phi} eps={eps_milli} t={t}: answer {ans}, tol {tol}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn answers_stay_within_the_advertised_tolerance() {
         let n = 80;
         let query = QueryConfig::median(n, 0, 1 << 14);

@@ -66,6 +66,7 @@ pub mod rank;
 pub mod recovery;
 pub mod retrieval;
 pub mod sampled;
+pub mod service;
 pub mod snapshot;
 pub mod summary;
 pub mod tag;
@@ -83,6 +84,7 @@ pub use pos::Pos;
 pub use protocol::{ContinuousQuantile, QueryConfig};
 pub use qdigest::{QDigest, QDigestQuantile};
 pub use sampled::SampledQuantile;
+pub use service::{ExecGroup, PlanCache, QuerySpec, Service, TrafficPlan};
 pub use tag::Tag;
 
 /// A sensor measurement (re-exported from `wsn-net`).

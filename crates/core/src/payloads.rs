@@ -118,6 +118,52 @@ impl Aggregate for MovementCounters {
     }
 }
 
+/// Per-query movement counters for a *shared* validation wave: one
+/// [`MovementCounters`] block per due query lane, concatenated in lane
+/// order. The service layer's multi-query optimization packs every due
+/// query's validation counters into this single payload so one
+/// convergecast serves the whole workload; the charged size is the exact
+/// concatenation (`lanes × 4 × counter_bits`), which is what the shared
+/// frame accounting in `wsn_net` amortizes across queries.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MultiCounters {
+    /// One counter block per due query, in plan (lane) order.
+    pub lanes: Vec<MovementCounters>,
+}
+
+impl MultiCounters {
+    /// A payload of `n` zeroed lanes.
+    pub fn zeros(n: usize) -> Self {
+        MultiCounters {
+            lanes: vec![MovementCounters::default(); n],
+        }
+    }
+
+    /// True iff no lane recorded any movement.
+    pub fn is_zero(&self) -> bool {
+        self.lanes.iter().all(MovementCounters::is_zero)
+    }
+}
+
+impl Aggregate for MultiCounters {
+    /// Lane-wise merge. Both sides must carry the same due-query set; a
+    /// shorter side is treated as zero-extended (a node that joined after
+    /// an admit).
+    fn merge(&mut self, other: Self) {
+        if other.lanes.len() > self.lanes.len() {
+            self.lanes
+                .resize(other.lanes.len(), MovementCounters::default());
+        }
+        for (mine, theirs) in self.lanes.iter_mut().zip(other.lanes) {
+            MovementCounters::merge(mine, &theirs);
+        }
+    }
+
+    fn payload_bits(&self, sizes: &MessageSizes) -> u64 {
+        self.lanes.len() as u64 * 4 * sizes.counter_bits
+    }
+}
+
 thread_local! {
     /// Recycled bucket vectors for [`Histogram`]. A refinement wave builds
     /// one histogram per tree node and consumes one per merge, so without
@@ -335,6 +381,26 @@ mod tests {
         assert_eq!(a.into_gt, 1);
         assert!(!a.is_zero());
         assert_eq!(a.payload_bits(&sizes), 64);
+    }
+
+    #[test]
+    fn multi_counters_merge_lanewise_and_charge_the_concatenation() {
+        let sizes = MessageSizes::default();
+        let mut a = MultiCounters::zeros(2);
+        a.lanes[0].outof_lt = 3;
+        let mut b = MultiCounters::zeros(3);
+        b.lanes[0].outof_lt = 1;
+        b.lanes[2].into_gt = 7;
+        a.merge(b);
+        assert_eq!(a.lanes.len(), 3, "shorter side zero-extends");
+        assert_eq!(a.lanes[0].outof_lt, 4);
+        assert_eq!(a.lanes[1], MovementCounters::default());
+        assert_eq!(a.lanes[2].into_gt, 7);
+        assert!(!a.is_zero());
+        // The charge is the exact concatenation of the solo payloads.
+        let solo = MovementCounters::default().payload_bits(&sizes);
+        assert_eq!(a.payload_bits(&sizes), 3 * solo);
+        assert_eq!(MultiCounters::zeros(0).payload_bits(&sizes), 0);
     }
 
     #[test]

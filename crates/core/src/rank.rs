@@ -211,6 +211,9 @@ mod tests {
         assert_eq!(rank_of_phi(0.5, 5), 2);
         assert_eq!(rank_of_phi(0.0, 10), 1); // clamped up
         assert_eq!(rank_of_phi(1.0, 10), 10);
+        // The single-value set: both boundaries collapse to rank 1.
+        assert_eq!(rank_of_phi(0.0, 1), 1);
+        assert_eq!(rank_of_phi(1.0, 1), 1);
     }
 
     #[test]

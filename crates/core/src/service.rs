@@ -1,0 +1,401 @@
+//! Multi-query service planning: query slots, per-round traffic plans and
+//! a plan cache.
+//!
+//! The paper frames the sink as serving a *single* continuous quantile
+//! query; a real deployment serves a workload — many concurrent continuous
+//! queries `{φ, ε, epoch, algorithm}` over one shared network. This module
+//! is the pure planning half of that service layer (the execution half,
+//! which owns protocols and a `Network`, lives in `wsn_sim::service`),
+//! modeled on the planner / plan-cache split of federated query routers:
+//!
+//! * a [`Service`] holds the registered queries in stable **slots** (the
+//!   slot index doubles as the audit *lane*, so per-query energy
+//!   attribution survives admits and retires of other queries);
+//! * [`Service::plan`] compiles the queries *due* in a round (those whose
+//!   `epoch` divides the round number) into a [`TrafficPlan`]: queries
+//!   with identical `(algorithm, φ, ε, epoch)` — whose certified intervals
+//!   coincide, the degenerate case of overlap — form one [`ExecGroup`]
+//!   whose **leader** executes protocol waves while **followers** reuse
+//!   the leader's refinement result at zero marginal traffic;
+//! * plans are cached keyed on `(topology epoch, due-set shape)`, so
+//!   admitting or retiring a query only invalidates the plans of rounds
+//!   where that query was actually due — every other cached plan keeps
+//!   hitting.
+
+/// One registered continuous query, in planner-opaque form: `algo` is a
+/// caller-chosen shape id for the protocol configuration (the simulator
+/// hashes its `AlgorithmKind`), so the planner dedups without knowing any
+/// protocol internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Opaque algorithm shape id (must capture every protocol parameter
+    /// that affects execution — two specs with equal fields must behave
+    /// identically when run solo).
+    pub algo: u64,
+    /// Quantile fraction in milli-units, `0..=1000` (`0` = minimum,
+    /// `1000` = maximum; rank clamping is the protocol's business).
+    pub phi_milli: u32,
+    /// Rank tolerance in milli-units (`0` = exact).
+    pub eps_milli: u32,
+    /// Reporting epoch in rounds: the query is due every `epoch`-th round
+    /// (`0` is treated as every round).
+    pub epoch: u32,
+}
+
+impl QuerySpec {
+    /// Whether this query must report in `round` (epoch-0 queries report
+    /// every round).
+    pub fn is_due(&self, round: u32) -> bool {
+        round.is_multiple_of(self.epoch.max(1))
+    }
+
+    /// The dedup key: two due queries sharing it answer identically when
+    /// run solo (same protocol shape, same rank target, same tolerance,
+    /// same *state evolution* — the epoch matters because a protocol's
+    /// state advances only on due rounds).
+    fn group_key(&self) -> (u64, u32, u32, u32) {
+        (self.algo, self.phi_milli, self.eps_milli, self.epoch.max(1))
+    }
+}
+
+/// One execution group of a [`TrafficPlan`]: the leader's protocol runs
+/// its waves, the followers copy its certified answer for free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecGroup {
+    /// Slot whose protocol instance executes.
+    pub leader: usize,
+    /// Slots that reuse the leader's result (same dedup key).
+    pub followers: Vec<usize>,
+}
+
+/// The compiled plan for one round: which slots are due, and which
+/// protocol instances actually execute.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrafficPlan {
+    /// Bitmask over slots (bit `s` = slot `s` is due this round).
+    pub due_mask: u64,
+    /// Execution groups in ascending leader-slot order — the canonical
+    /// execution order, which keeps multi-query runs deterministic.
+    pub groups: Vec<ExecGroup>,
+}
+
+impl TrafficPlan {
+    /// Number of protocol executions this plan performs.
+    pub fn executions(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of due queries served (executions + free riders).
+    pub fn served(&self) -> usize {
+        self.groups.iter().map(|g| 1 + g.followers.len()).sum()
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Cached compiled plans, keyed on `(topology epoch, due-set shape)`.
+/// Bounded FIFO: at most [`PlanCache::CAP`] entries, oldest evicted first.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    entries: Vec<((u64, u64), TrafficPlan)>,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+}
+
+impl PlanCache {
+    /// Maximum cached plans (a workload has at most one distinct due-set
+    /// shape per lcm of its epochs, so 32 covers realistic mixes).
+    pub const CAP: usize = 32;
+
+    fn get(&mut self, key: (u64, u64)) -> Option<TrafficPlan> {
+        match self.entries.iter().find(|(k, _)| *k == key) {
+            Some((_, plan)) => {
+                self.hits += 1;
+                Some(plan.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn put(&mut self, key: (u64, u64), plan: TrafficPlan) {
+        if self.entries.len() >= Self::CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, plan));
+    }
+
+    /// Cached plans currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The registered query set: stable slots plus the plan cache.
+#[derive(Debug, Clone, Default)]
+pub struct Service {
+    slots: Vec<Option<QuerySpec>>,
+    cache: PlanCache,
+}
+
+impl Service {
+    /// Maximum concurrently registered queries (the due mask is a `u64`).
+    pub const MAX_QUERIES: usize = 64;
+
+    /// An empty service.
+    pub fn new() -> Self {
+        Service::default()
+    }
+
+    /// Registers a query, reusing the lowest free slot, and returns its
+    /// slot index (= audit lane).
+    ///
+    /// # Panics
+    /// Panics when [`Service::MAX_QUERIES`] queries are already active.
+    pub fn admit(&mut self, spec: QuerySpec) -> usize {
+        if let Some(slot) = self.slots.iter().position(Option::is_none) {
+            self.slots[slot] = Some(spec);
+            return slot;
+        }
+        assert!(
+            self.slots.len() < Self::MAX_QUERIES,
+            "service is full ({} queries)",
+            Self::MAX_QUERIES
+        );
+        self.slots.push(Some(spec));
+        self.slots.len() - 1
+    }
+
+    /// Retires the query in `slot`, returning its spec (`None` when the
+    /// slot was already empty). The slot becomes reusable; cached plans
+    /// for due sets that never included this query keep hitting.
+    pub fn retire(&mut self, slot: usize) -> Option<QuerySpec> {
+        self.slots.get_mut(slot).and_then(Option::take)
+    }
+
+    /// The spec in `slot`, if any.
+    pub fn get(&self, slot: usize) -> Option<&QuerySpec> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Active `(slot, spec)` pairs in slot order.
+    pub fn active(&self) -> impl Iterator<Item = (usize, &QuerySpec)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, q)| q.as_ref().map(|q| (s, q)))
+    }
+
+    /// Number of active queries.
+    pub fn active_count(&self) -> usize {
+        self.slots.iter().filter(|q| q.is_some()).count()
+    }
+
+    /// Highest slot ever used + 1 (the lane-book width).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The plan cache (hit/miss counters for reports).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The shape hash of the queries due in `round`: FNV-1a over the due
+    /// `(slot, spec)` pairs in slot order. Two rounds with the same due
+    /// set — regardless of what *other* queries exist — share a shape, so
+    /// admits/retires only invalidate the plans they actually change.
+    fn due_shape(&self, round: u32) -> (u64, u64) {
+        let mut mask = 0u64;
+        let mut shape = FNV_OFFSET;
+        for (slot, spec) in self.active() {
+            if spec.is_due(round) {
+                mask |= 1u64 << slot;
+                shape = fnv(shape, slot as u64);
+                shape = fnv(shape, spec.algo);
+                shape = fnv(shape, spec.phi_milli as u64);
+                shape = fnv(shape, spec.eps_milli as u64);
+                shape = fnv(shape, spec.epoch as u64);
+            }
+        }
+        (mask, shape)
+    }
+
+    /// Compiles (or fetches from cache) the traffic plan for `round`.
+    /// `topology_epoch` is the network's repair counter: a repaired
+    /// routing tree invalidates every cached plan by changing the key.
+    pub fn plan(&mut self, round: u32, topology_epoch: u64) -> TrafficPlan {
+        let (due_mask, shape) = self.due_shape(round);
+        let key = (topology_epoch, shape);
+        if let Some(plan) = self.cache.get(key) {
+            debug_assert_eq!(plan.due_mask, due_mask);
+            return plan;
+        }
+        let mut groups: Vec<(u64, u32, u32, u32, ExecGroup)> = Vec::new();
+        for (slot, spec) in self.active() {
+            if !spec.is_due(round) {
+                continue;
+            }
+            let gk = spec.group_key();
+            match groups
+                .iter_mut()
+                .find(|(a, p, e, ep, _)| (*a, *p, *e, *ep) == gk)
+            {
+                Some((_, _, _, _, g)) => g.followers.push(slot),
+                None => groups.push((
+                    gk.0,
+                    gk.1,
+                    gk.2,
+                    gk.3,
+                    ExecGroup {
+                        leader: slot,
+                        followers: Vec::new(),
+                    },
+                )),
+            }
+        }
+        let plan = TrafficPlan {
+            due_mask,
+            groups: groups.into_iter().map(|(_, _, _, _, g)| g).collect(),
+        };
+        self.cache.put(key, plan.clone());
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(algo: u64, phi: u32, epoch: u32) -> QuerySpec {
+        QuerySpec {
+            algo,
+            phi_milli: phi,
+            eps_milli: 0,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn admit_reuses_the_lowest_free_slot() {
+        let mut svc = Service::new();
+        assert_eq!(svc.admit(spec(1, 500, 1)), 0);
+        assert_eq!(svc.admit(spec(2, 500, 1)), 1);
+        assert_eq!(svc.admit(spec(3, 500, 1)), 2);
+        assert_eq!(svc.retire(1), Some(spec(2, 500, 1)));
+        assert_eq!(svc.retire(1), None, "already empty");
+        assert_eq!(svc.admit(spec(4, 500, 1)), 1, "lowest free slot");
+        assert_eq!(svc.active_count(), 3);
+        assert_eq!(svc.slot_count(), 3);
+    }
+
+    #[test]
+    fn identical_specs_group_under_one_leader() {
+        let mut svc = Service::new();
+        svc.admit(spec(1, 500, 1)); // 0
+        svc.admit(spec(1, 500, 1)); // 1: duplicate of 0
+        svc.admit(spec(1, 250, 1)); // 2: different phi
+        svc.admit(spec(2, 500, 1)); // 3: different algorithm
+        svc.admit(spec(1, 500, 2)); // 4: different epoch — must NOT group
+        let plan = svc.plan(0, 0);
+        assert_eq!(plan.due_mask, 0b11111);
+        assert_eq!(plan.executions(), 4);
+        assert_eq!(plan.served(), 5);
+        assert_eq!(plan.groups[0].leader, 0);
+        assert_eq!(plan.groups[0].followers, vec![1]);
+        assert!(plan
+            .groups
+            .iter()
+            .all(|g| g.leader != 4 || g.followers.is_empty()));
+    }
+
+    #[test]
+    fn epochs_gate_dueness() {
+        let mut svc = Service::new();
+        svc.admit(spec(1, 500, 1)); // 0: every round
+        svc.admit(spec(1, 500, 2)); // 1: even rounds
+        svc.admit(spec(1, 500, 3)); // 2: every third round
+        svc.admit(spec(1, 500, 0)); // 3: epoch 0 = every round
+        assert_eq!(svc.plan(0, 0).due_mask, 0b1111, "round 0: all due");
+        assert_eq!(svc.plan(1, 0).due_mask, 0b1001);
+        assert_eq!(svc.plan(2, 0).due_mask, 0b1011);
+        assert_eq!(svc.plan(3, 0).due_mask, 0b1101);
+        assert_eq!(svc.plan(6, 0).due_mask, 0b1111);
+    }
+
+    #[test]
+    fn cache_hits_on_repeated_shapes_and_survives_unrelated_retires() {
+        let mut svc = Service::new();
+        svc.admit(spec(1, 500, 1)); // 0
+        svc.admit(spec(1, 250, 2)); // 1
+        svc.plan(0, 0); // miss: {0,1}
+        svc.plan(1, 0); // miss: {0}
+        svc.plan(2, 0); // hit: {0,1}
+        svc.plan(3, 0); // hit: {0}
+        assert_eq!(svc.cache().hits, 2);
+        assert_eq!(svc.cache().misses, 2);
+        // Retiring query 1 leaves the odd-round plan ({0} due) untouched:
+        // its shape never included slot 1.
+        svc.retire(1);
+        svc.plan(5, 0); // hit: same {0} shape as round 1
+        assert_eq!(svc.cache().hits, 3);
+        svc.plan(4, 0); // miss: {0,1} shrank to {0}... a new even-round shape?
+                        // No — {0} alone IS the round-1 shape, so it hits too.
+        assert_eq!(svc.cache().hits, 4, "even rounds now share the odd shape");
+        // A topology repair invalidates everything.
+        svc.plan(6, 1);
+        assert_eq!(svc.cache().misses, 3);
+    }
+
+    #[test]
+    fn cache_is_bounded_fifo() {
+        let mut svc = Service::new();
+        svc.admit(spec(1, 500, 1));
+        for epoch in 0..(PlanCache::CAP as u64 + 8) {
+            // Distinct topology epochs force distinct keys.
+            svc.plan(0, epoch);
+        }
+        assert_eq!(svc.cache().len(), PlanCache::CAP);
+        assert_eq!(svc.cache().misses, PlanCache::CAP as u64 + 8);
+    }
+
+    #[test]
+    fn due_is_epoch_division() {
+        let q = spec(1, 500, 4);
+        assert!(q.is_due(0));
+        assert!(!q.is_due(1));
+        assert!(!q.is_due(3));
+        assert!(q.is_due(4));
+        assert!(q.is_due(8));
+        assert!(spec(1, 500, 0).is_due(7), "epoch 0 reports every round");
+    }
+
+    #[test]
+    fn empty_service_plans_nothing() {
+        let mut svc = Service::new();
+        let plan = svc.plan(0, 0);
+        assert_eq!(plan.due_mask, 0);
+        assert!(plan.groups.is_empty());
+        assert_eq!(plan.served(), 0);
+    }
+}

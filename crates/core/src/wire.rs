@@ -12,7 +12,7 @@
 use wsn_net::codec::{BitReader, BitWriter};
 use wsn_net::MessageSizes;
 
-use crate::payloads::{DeltaHistogram, Histogram, MovementCounters, ValueList};
+use crate::payloads::{DeltaHistogram, Histogram, MovementCounters, MultiCounters, ValueList};
 use crate::qdigest::QDigest;
 use crate::summary::{Entry, RankSummary};
 use crate::validation::{HintStyle, ValidationPayload};
@@ -91,6 +91,35 @@ impl WireContext {
             outof_gt: r.get(width)?,
             into_gt: r.get(width)?,
         })
+    }
+
+    /// Encodes a [`MultiCounters`] shared-wave payload: the per-lane
+    /// counter blocks concatenated in lane order.
+    pub fn encode_multi_counters(&self, m: &MultiCounters) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        for c in &m.lanes {
+            for f in [c.outof_lt, c.into_lt, c.outof_gt, c.into_gt] {
+                self.put_counter(&mut w, f);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a [`MultiCounters`] payload of `n_lanes` counter blocks.
+    /// Rejects truncated and oversized buffers like the sketch decoders.
+    pub fn decode_multi_counters(&self, bytes: &[u8], n_lanes: usize) -> Option<MultiCounters> {
+        payload_fits(bytes, 0, n_lanes, 4 * self.sizes.counter_bits)?;
+        let mut r = BitReader::new(bytes);
+        let width = self.sizes.counter_bits as u32;
+        let mut m = MultiCounters::zeros(n_lanes);
+        for c in &mut m.lanes {
+            c.outof_lt = r.get(width)?;
+            c.into_lt = r.get(width)?;
+            c.outof_gt = r.get(width)?;
+            c.into_gt = r.get(width)?;
+        }
+        exactly_consumed(&mut r, bytes.len())?;
+        Some(m)
     }
 
     /// Encodes a compressed [`Histogram`] as (index, count) pairs.
@@ -175,6 +204,8 @@ impl WireContext {
         range_max: Value,
         k: u64,
     ) -> Option<QDigest> {
+        let entry_bits = self.sizes.value_bits + 1 + self.sizes.counter_bits;
+        payload_fits(bytes, self.sizes.counter_bits, n_entries, entry_bits)?;
         let mut r = BitReader::new(bytes);
         let wire_count = r.get(self.sizes.counter_bits as u32)?;
         let mut entries = Vec::with_capacity(n_entries);
@@ -183,6 +214,7 @@ impl WireContext {
             let c = r.get(self.sizes.counter_bits as u32)?;
             entries.push((id, c));
         }
+        exactly_consumed(&mut r, bytes.len())?;
         let d = QDigest::from_entries(self.range_min, range_max, k, entries)?;
         let width = self.sizes.counter_bits as u32;
         let saturated = if width >= 64 {
@@ -209,6 +241,8 @@ impl WireContext {
 
     /// Decodes a [`RankSummary`] with `n_entries` entries on the wire.
     pub fn decode_summary(&self, bytes: &[u8], n_entries: usize) -> Option<RankSummary> {
+        let entry_bits = self.sizes.value_bits + 2 * self.sizes.counter_bits;
+        payload_fits(bytes, self.sizes.counter_bits, n_entries, entry_bits)?;
         let mut r = BitReader::new(bytes);
         let count = r.get(self.sizes.counter_bits as u32)?;
         let mut entries = Vec::with_capacity(n_entries);
@@ -221,6 +255,7 @@ impl WireContext {
             }
             entries.push(Entry { value, rmin, rmax });
         }
+        exactly_consumed(&mut r, bytes.len())?;
         Some(RankSummary { entries, count })
     }
 
@@ -273,6 +308,28 @@ impl WireContext {
 
 fn list_bits(list: &ValueList, sizes: &MessageSizes) -> u64 {
     list.vals.len() as u64 * sizes.value_bits
+}
+
+/// Rejects a claimed entry count the buffer cannot physically hold —
+/// before any allocation sized by it — so truncated payloads fail fast
+/// and a hostile `n_entries` cannot drive `Vec::with_capacity` to
+/// arbitrary sizes.
+fn payload_fits(bytes: &[u8], header_bits: u64, n_entries: usize, entry_bits: u64) -> Option<()> {
+    let need = header_bits.checked_add((n_entries as u64).checked_mul(entry_bits)?)?;
+    (need <= bytes.len() as u64 * 8).then_some(())
+}
+
+/// Rejects an oversized buffer: after the declared entries, at most the
+/// final byte's zero padding may remain. Trailing garbage — extra bytes,
+/// or nonzero padding bits — means the sender and receiver disagree on
+/// the payload shape, so the decode must fail rather than silently drop
+/// data.
+fn exactly_consumed(r: &mut BitReader<'_>, total_bytes: usize) -> Option<()> {
+    let left = total_bytes as u64 * 8 - r.pos_bits();
+    if left >= 8 {
+        return None;
+    }
+    (left == 0 || r.get(left as u32) == Some(0)).then_some(())
 }
 
 #[cfg(test)]
@@ -380,6 +437,94 @@ mod tests {
         let decoded = c.decode_summary(&bytes, s.entries.len()).unwrap();
         assert_eq!(decoded, s);
         assert_eq!(bytes.len() as u64, s.payload_bits(&c.sizes).div_ceil(8));
+    }
+
+    #[test]
+    fn multi_counters_roundtrip_and_size() {
+        let c = ctx();
+        let mut m = MultiCounters::zeros(3);
+        m.lanes[0].outof_lt = 9;
+        m.lanes[2].into_gt = 65535;
+        let bytes = c.encode_multi_counters(&m);
+        assert_eq!(c.decode_multi_counters(&bytes, 3).unwrap(), m);
+        assert_eq!(bytes.len() as u64 * 8, m.payload_bits(&c.sizes));
+        // Wrong lane count, truncation and oversize all fail cleanly.
+        assert!(c.decode_multi_counters(&bytes, 4).is_none());
+        assert!(c
+            .decode_multi_counters(&bytes[..bytes.len() - 1], 3)
+            .is_none());
+        let mut fat = bytes.clone();
+        fat.push(0);
+        assert!(c.decode_multi_counters(&fat, 3).is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversized_payloads_fail_cleanly() {
+        let c = ctx();
+        let mut d = QDigest::singleton(0, 1023, 8, 5);
+        for v in [5, 17, 900, 1023, 0, 512, 300] {
+            d.merge(QDigest::singleton(0, 1023, 8, v));
+        }
+        let sketch = c.encode_sketch(&d);
+        let mut s = RankSummary::singleton(42);
+        for v in [7, 9000, 42, 65535, 0] {
+            s.merge(RankSummary::singleton(v));
+        }
+        let summary = c.encode_summary(&s);
+
+        // Every strict byte prefix is rejected as truncated.
+        for cut in 0..sketch.len() {
+            assert!(
+                c.decode_sketch(&sketch[..cut], d.len(), 1023, 8).is_none(),
+                "cut={cut}"
+            );
+        }
+        for cut in 0..summary.len() {
+            assert!(
+                c.decode_summary(&summary[..cut], s.entries.len()).is_none(),
+                "cut={cut}"
+            );
+        }
+
+        // Oversized buffers (trailing bytes) are rejected, zero or not.
+        for extra in [0u8, 0xFF] {
+            let mut fat = sketch.clone();
+            fat.push(extra);
+            assert!(c.decode_sketch(&fat, d.len(), 1023, 8).is_none());
+            let mut fat = summary.clone();
+            fat.push(extra);
+            assert!(c.decode_summary(&fat, s.entries.len()).is_none());
+        }
+
+        // Nonzero padding bits in the final byte are rejected.
+        let pad = sketch.len() as u64 * 8 - (c.sizes.counter_bits + d.len() as u64 * 33);
+        if pad > 0 {
+            let mut dirty = sketch.clone();
+            *dirty.last_mut().unwrap() |= 1;
+            assert!(c.decode_sketch(&dirty, d.len(), 1023, 8).is_none());
+        }
+
+        // Hostile entry counts fail fast without allocating.
+        for n in [d.len() + 1, 1 << 20, usize::MAX / 64, usize::MAX] {
+            assert!(c.decode_sketch(&sketch, n, 1023, 8).is_none());
+        }
+        for n in [s.entries.len() + 1, 1 << 20, usize::MAX] {
+            assert!(c.decode_summary(&summary, n).is_none());
+        }
+
+        // Byte-level corruption over round-tripped encodings never panics
+        // (it may decode to a different-but-valid payload or fail — both
+        // are clean outcomes).
+        for i in 0..sketch.len() {
+            let mut b = sketch.clone();
+            b[i] ^= 0xA5;
+            let _ = c.decode_sketch(&b, d.len(), 1023, 8);
+        }
+        for i in 0..summary.len() {
+            let mut b = summary.clone();
+            b[i] ^= 0xA5;
+            let _ = c.decode_summary(&b, s.entries.len());
+        }
     }
 
     #[test]

@@ -59,7 +59,10 @@ pub mod splitmix;
 pub mod topology;
 pub mod tree;
 
-pub use audit::{AuditLog, AuditReport, EnergyAuditor, Phase, PhaseBreakdown, TxEvent, TxKind};
+pub use audit::{
+    lane_breakdowns, AuditLog, AuditReport, EnergyAuditor, LaneBook, Phase, PhaseBreakdown,
+    PhaseCounters, TxEvent, TxKind,
+};
 pub use bitset::NodeBits;
 pub use energy::{EnergyLedger, RadioModel};
 pub use geometry::Point;

@@ -25,7 +25,7 @@
 
 use std::any::{Any, TypeId};
 
-use crate::audit::{AuditLog, Phase, PhaseBreakdown, TxKind};
+use crate::audit::{AuditLog, LaneBook, Phase, PhaseBreakdown, TxKind};
 use crate::bitset::NodeBits;
 use crate::energy::{EnergyLedger, RadioModel};
 use crate::loss::LossModel;
@@ -173,6 +173,20 @@ pub struct Network {
     /// [`Network::set_phase`]).
     phase: Phase,
     phases: PhaseBreakdown,
+    /// The service lane (query slot) currently charged for traffic (see
+    /// [`Network::set_lane`]); `0` outside multi-query service runs.
+    lane: u32,
+    /// Per-lane attribution mirroring every [`PhaseBreakdown::charge`], so
+    /// multi-query service runs get bit-exact per-query accounting.
+    lanes: LaneBook,
+    /// Per-round shared-frame state for multi-query rounds (see
+    /// [`Network::set_shared_frames`]). Off by default.
+    share: SharedWave,
+    /// When true, [`Network::end_round`] is deferred: protocol-internal
+    /// round boundaries become no-ops and the service runner closes the
+    /// real round with [`Network::finish_round`] once every due query has
+    /// executed — so shared frames span the whole multi-query round.
+    round_hold: bool,
     audit: AuditLog,
     scratch: ScratchPool,
     /// Per-node telemetry histograms (always on: recording is a fixed-size
@@ -246,6 +260,8 @@ fn send_over_link(
     loss: &mut Option<LossModel>,
     phase: Phase,
     phases: &mut PhaseBreakdown,
+    lane: u32,
+    lanes: &mut LaneBook,
     audit: &mut AuditLog,
     hists: &mut NodeHistograms,
     hot: &mut [HistDelta],
@@ -274,6 +290,7 @@ fn send_over_link(
         stats.messages += fragments;
         stats.bits += total_bits;
         phases.charge(phase, fragments, total_bits, tx + rx);
+        lanes.charge(lane, phase, fragments, total_bits, tx + rx);
         audit.record(phase, TxKind::Data, from, to, fragments, total_bits, tx, rx);
         for frag_bits in sizes.fragment_bits(payload_bits) {
             record_hot(hot, hists, from_slot, HistKind::MsgBits, frag_bits);
@@ -296,6 +313,7 @@ fn send_over_link(
             stats.messages += 1;
             stats.bits += frag_bits;
             phases.charge(phase, 1, frag_bits, tx + rx);
+            lanes.charge(lane, phase, 1, frag_bits, tx + rx);
             audit.record(phase, TxKind::Data, from, to, 1, frag_bits, tx, rx);
             record_hot(hot, hists, from_slot, HistKind::MsgBits, frag_bits);
             if attempt > 0 {
@@ -319,6 +337,7 @@ fn send_over_link(
                 stats.bits += sizes.ack_bits;
                 // ACKs hit bits-on-air but not the data-message count.
                 phases.charge(phase, 0, sizes.ack_bits, ack_tx + ack_rx);
+                lanes.charge(lane, phase, 0, sizes.ack_bits, ack_tx + ack_rx);
                 audit.record(
                     phase,
                     TxKind::Ack,
@@ -410,6 +429,60 @@ fn record_hot(
     }
 }
 
+/// Shared-frame state for multi-query service rounds: when enabled, the
+/// concurrent waves of one round pack their payloads into shared 802.15.4
+/// frames per link, so a link that already sent `b` payload bits this round
+/// charges a later `p`-bit payload only its *marginal* frames. The
+/// invariant (pinned in tests): after sends `p₁..pₖ` over one link in one
+/// round, the cumulative bits on air equal
+/// `MessageSizes::fragment(p₁ + … + pₖ)` — exactly what one concatenated
+/// payload would cost. The first send of a round reproduces the solo
+/// `fragment` cost bit for bit, so enabling sharing never *increases* any
+/// link's traffic and single-query rounds are unchanged.
+///
+/// Sharing applies only on lossless wave paths (the sequential fast path,
+/// the parallel engine's accounting replay, and lossless broadcasts);
+/// lossy/ARQ traffic keeps solo per-payload framing, which only
+/// over-approximates — the inequality "shared ≤ solo" still holds.
+#[derive(Debug, Clone, Default)]
+struct SharedWave {
+    enabled: bool,
+    /// Payload bits already framed this round per transmitter, upward
+    /// (convergecast sends to the parent; one parent per node).
+    up: Vec<u64>,
+    /// Same, downward (one broadcast transmission reaches all children).
+    down: Vec<u64>,
+}
+
+impl SharedWave {
+    /// Frames a `payload_bits` send over a link that already carried
+    /// `*accum` payload bits this round, advancing the accumulator.
+    /// Returns `(new_fragments, bits_on_air)` — the marginal cost.
+    #[inline]
+    fn frame(accum: &mut u64, payload_bits: u64, sizes: &MessageSizes) -> (u64, u64) {
+        let before = *accum;
+        *accum = before + payload_bits;
+        if before == 0 {
+            // First payload on this link this round: exactly the solo cost.
+            return sizes.fragment(payload_bits);
+        }
+        if payload_bits == 0 {
+            // Free piggyback on frames already on air.
+            return (0, 0);
+        }
+        let mp = sizes.max_payload_bits.max(1);
+        let frames = |p: u64| p.div_ceil(mp).max(1);
+        let new = frames(before + payload_bits) - frames(before);
+        (new, payload_bits + new * sizes.header_bits)
+    }
+
+    /// Clears the per-round accumulators (keeps capacity).
+    fn reset(&mut self) {
+        self.up.iter_mut().for_each(|b| *b = 0);
+        self.down.iter_mut().for_each(|b| *b = 0);
+    }
+}
+
 impl Network {
     /// Assembles a network from its parts.
     pub fn new(topo: Topology, tree: RoutingTree, model: RadioModel, sizes: MessageSizes) -> Self {
@@ -434,6 +507,16 @@ impl Network {
             alive: vec![true; n],
             phase: Phase::default(),
             phases: PhaseBreakdown::default(),
+            lane: 0,
+            lanes: {
+                let mut book = LaneBook::default();
+                // Pre-size lane 0 so default (single-lane) runs never
+                // allocate on the warm path.
+                book.charge(0, Phase::Other, 0, 0, 0.0);
+                book
+            },
+            share: SharedWave::default(),
+            round_hold: false,
             audit: AuditLog::default(),
             scratch: ScratchPool::default(),
             hists: NodeHistograms::new(n),
@@ -488,6 +571,69 @@ impl Network {
     /// Per-phase traffic/energy attribution since construction.
     pub fn phases(&self) -> &PhaseBreakdown {
         &self.phases
+    }
+
+    /// Sets the service lane (query slot) that subsequent traffic is
+    /// attributed to, in both the live [`LaneBook`] and the audit log's
+    /// events. Sticky until changed; `0` is the default lane. The service
+    /// runner sets this before executing each query's waves so per-query
+    /// charges stay bit-exact.
+    pub fn set_lane(&mut self, lane: u32) {
+        self.lane = lane;
+        self.audit.set_lane(lane);
+        // Pre-size the book outside the hot path, so switching lanes never
+        // allocates mid-wave.
+        self.lanes.charge(lane, Phase::Other, 0, 0, 0.0);
+    }
+
+    /// The lane currently charged for traffic.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Per-lane traffic/energy attribution since construction (lane 0
+    /// holds everything unless [`Network::set_lane`] was used).
+    pub fn lane_book(&self) -> &LaneBook {
+        &self.lanes
+    }
+
+    /// Enables or disables shared-frame packing for multi-query rounds
+    /// (the internal `SharedWave` accumulators): concurrent waves of one
+    /// round share 802.15.4
+    /// frames per link, so each extra payload pays only its marginal
+    /// frames. Applies to lossless wave traffic only; accumulators reset
+    /// at every [`Network::end_round`]. Off by default — the disabled path
+    /// is byte-identical to releases without this feature.
+    pub fn set_shared_frames(&mut self, on: bool) {
+        self.share.enabled = on;
+        let n = self.len();
+        if on {
+            self.share.up.resize(n, 0);
+            self.share.down.resize(n, 0);
+        }
+        self.share.reset();
+    }
+
+    /// Whether shared-frame packing is active.
+    pub fn shared_frames(&self) -> bool {
+        self.share.enabled
+    }
+
+    /// Holds or releases round boundaries. While held, protocol-internal
+    /// [`Network::end_round`] calls are no-ops; the caller closes each
+    /// real round with [`Network::finish_round`]. The multi-query service
+    /// runner holds rounds so that all due queries execute inside one
+    /// accounting round (one ledger snapshot, one shared-frame window).
+    pub fn set_round_hold(&mut self, on: bool) {
+        self.round_hold = on;
+    }
+
+    /// Closes the current round even while a round hold is active.
+    pub fn finish_round(&mut self) {
+        let hold = self.round_hold;
+        self.round_hold = false;
+        self.end_round();
+        self.round_hold = hold;
     }
 
     /// Enables or disables transmission-event recording. Enable *before*
@@ -714,7 +860,13 @@ impl Network {
     /// round boundary, not just final totals). With telemetry on, closes
     /// the round's phase and round spans and opens the next round's.
     pub fn end_round(&mut self) {
+        if self.round_hold {
+            return;
+        }
         let round = self.audit.round();
+        if self.share.enabled {
+            self.share.reset();
+        }
         self.ledger.end_round();
         self.audit.end_round(
             self.ledger.consumed_per_node(),
@@ -751,6 +903,8 @@ impl Network {
             &mut self.loss,
             self.phase,
             &mut self.phases,
+            self.lane,
+            &mut self.lanes,
             &mut self.audit,
             &mut self.hists,
             &mut self.hist_hot,
@@ -806,6 +960,9 @@ impl Network {
             wave,
             phase,
             phases,
+            lane,
+            lanes,
+            share,
             audit,
             hists,
             hist_hot,
@@ -815,6 +972,7 @@ impl Network {
         } = self;
         let arq = reliability.max_retries;
         let phase = *phase;
+        let lane = *lane;
         let wave_span = recorder.start();
         let round = audit.round();
         fanin.clear();
@@ -880,7 +1038,11 @@ impl Network {
                 let parent = order[pslot];
                 let arrived = if fast {
                     stats.values += payload.value_count() as u64;
-                    let (fragments, total_bits) = sizes.fragment(bits);
+                    let (fragments, total_bits) = if share.enabled {
+                        SharedWave::frame(&mut share.up[u.index()], bits, sizes)
+                    } else {
+                        sizes.fragment(bits)
+                    };
                     let tx = total_bits as f64 * tx_coef;
                     let rx = total_bits as f64 * rx_coef;
                     ledger.charge_tx(u, tx);
@@ -888,6 +1050,7 @@ impl Network {
                     stats.messages += fragments;
                     stats.bits += total_bits;
                     phases.charge(phase, fragments, total_bits, tx + rx);
+                    lanes.charge(lane, phase, fragments, total_bits, tx + rx);
                     audit.record(
                         phase,
                         TxKind::Data,
@@ -898,8 +1061,23 @@ impl Network {
                         tx,
                         rx,
                     );
-                    for frag_bits in sizes.fragment_bits(bits) {
-                        record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
+                    if share.enabled {
+                        // Marginal frames under sharing: one sample per new
+                        // frame (keeps the MsgBits-count == messages
+                        // invariant; sizes are the per-frame average).
+                        for _ in 0..fragments {
+                            record_hot(
+                                hist_hot,
+                                hists,
+                                pos,
+                                HistKind::MsgBits,
+                                total_bits / fragments.max(1),
+                            );
+                        }
+                    } else {
+                        for frag_bits in sizes.fragment_bits(bits) {
+                            record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
+                        }
                     }
                     record_hot(hist_hot, hists, pos, HistKind::Retries, 0);
                     rel_stats.delivered += 1;
@@ -915,6 +1093,8 @@ impl Network {
                         loss,
                         phase,
                         phases,
+                        lane,
+                        lanes,
                         audit,
                         hists,
                         hist_hot,
@@ -970,6 +1150,8 @@ impl Network {
                         loss,
                         Phase::Recovery,
                         phases,
+                        lane,
+                        lanes,
                         audit,
                         hists,
                         hist_hot,
@@ -1118,6 +1300,9 @@ impl Network {
             wave,
             phase,
             phases,
+            lane,
+            lanes,
+            share,
             audit,
             hists,
             hist_hot,
@@ -1128,6 +1313,7 @@ impl Network {
             ..
         } = self;
         let phase = *phase;
+        let lane = *lane;
         let go = tree.group_order();
         let offs = tree.group_offsets();
         let gparent = tree.group_parent();
@@ -1255,7 +1441,14 @@ impl Network {
                 let bits = wave_bits[j];
                 let parent = order[parent_slot[pos] as usize];
                 stats.values += wave_vals[j] as u64;
-                let (fragments, total_bits) = sizes.fragment(bits);
+                // Shared-frame state advances here, in the sequential
+                // accounting replay — never on worker threads — so worker
+                // counts cannot perturb it.
+                let (fragments, total_bits) = if share.enabled {
+                    SharedWave::frame(&mut share.up[u.index()], bits, sizes)
+                } else {
+                    sizes.fragment(bits)
+                };
                 let tx = total_bits as f64 * tx_coef;
                 let rx = total_bits as f64 * rx_coef;
                 ledger.charge_tx(u, tx);
@@ -1263,6 +1456,7 @@ impl Network {
                 stats.messages += fragments;
                 stats.bits += total_bits;
                 phases.charge(phase, fragments, total_bits, tx + rx);
+                lanes.charge(lane, phase, fragments, total_bits, tx + rx);
                 audit.record(
                     phase,
                     TxKind::Data,
@@ -1273,8 +1467,20 @@ impl Network {
                     tx,
                     rx,
                 );
-                for frag_bits in sizes.fragment_bits(bits) {
-                    record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
+                if share.enabled {
+                    for _ in 0..fragments {
+                        record_hot(
+                            hist_hot,
+                            hists,
+                            pos,
+                            HistKind::MsgBits,
+                            total_bits / fragments.max(1),
+                        );
+                    }
+                } else {
+                    for frag_bits in sizes.fragment_bits(bits) {
+                        record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
+                    }
                 }
                 record_hot(hist_hot, hists, pos, HistKind::Retries, 0);
                 rel_stats.delivered += 1;
@@ -1343,6 +1549,9 @@ impl Network {
             rel_stats,
             phase,
             phases,
+            lane,
+            lanes,
+            share,
             audit,
             hists,
             hist_hot,
@@ -1350,6 +1559,7 @@ impl Network {
             ..
         } = self;
         let phase = *phase;
+        let lane = *lane;
         let wave_span = recorder.start();
         let round = audit.round();
         let order = tree.bottom_up();
@@ -1358,6 +1568,9 @@ impl Network {
         // `powf` inside `tx_energy`) is bit-exact.
         let tx = model.tx_energy(total_bits, topo.radio_range());
         let rx = model.rx_energy(total_bits);
+        // Shared frames apply to lossless broadcasts only (per-fragment
+        // loss draws must see the solo fragment stream).
+        let sharing = share.enabled && loss.is_none();
         // Walk the wave slots in reverse (parents before children, the
         // top-down order): histogram blocks and CSR child lists are then
         // visited in storage order.
@@ -1366,6 +1579,19 @@ impl Network {
             if !received.get(u.index()) || tree.is_leaf(u) {
                 continue;
             }
+            // Per-transmitter marginal cost under sharing; the hoisted wave
+            // constants otherwise (the disabled path is byte-identical).
+            let (fragments, total_bits, tx, rx) = if sharing {
+                let (f, b) = SharedWave::frame(&mut share.down[u.index()], payload_bits, sizes);
+                (
+                    f,
+                    b,
+                    model.tx_energy(b, topo.radio_range()),
+                    model.rx_energy(b),
+                )
+            } else {
+                (fragments, total_bits, tx, rx)
+            };
             // One radio transmission reaches all children (§5.1.4: receivers
             // pay because the schedule tells them when to listen). Broadcast
             // frames are unacknowledged, as in 802.15.4; reliability comes
@@ -1374,8 +1600,21 @@ impl Network {
             stats.messages += fragments;
             stats.bits += total_bits;
             phases.charge(phase, fragments, total_bits, tx);
-            for frag_bits in sizes.fragment_bits(payload_bits) {
-                record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
+            lanes.charge(lane, phase, fragments, total_bits, tx);
+            if sharing {
+                for _ in 0..fragments {
+                    record_hot(
+                        hist_hot,
+                        hists,
+                        pos,
+                        HistKind::MsgBits,
+                        total_bits / fragments.max(1),
+                    );
+                }
+            } else {
+                for frag_bits in sizes.fragment_bits(payload_bits) {
+                    record_hot(hist_hot, hists, pos, HistKind::MsgBits, frag_bits);
+                }
             }
             record_hot(
                 hist_hot,
@@ -1398,6 +1637,7 @@ impl Network {
                 ledger.charge(c, rx);
                 // Bits were already counted once at the transmitter.
                 phases.charge(phase, 0, 0, rx);
+                lanes.charge(lane, phase, 0, 0, rx);
                 audit.record(
                     phase,
                     TxKind::BroadcastRx,
@@ -1450,6 +1690,8 @@ impl Network {
                             loss,
                             Phase::Recovery,
                             phases,
+                            lane,
+                            lanes,
                             audit,
                             hists,
                             hist_hot,
@@ -1480,6 +1722,7 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::audit::EnergyAuditor;
     use crate::geometry::Point;
 
     /// Payload: a sum plus a vector of values.
@@ -1907,5 +2150,126 @@ mod tests {
         }
         assert!(plain.audit_log().events().is_empty());
         assert!(!audited.audit_log().events().is_empty());
+    }
+
+    #[test]
+    fn shared_frames_cost_one_concatenated_payload_per_link() {
+        // Three identical waves in one round: under sharing each link must
+        // cost exactly fragment(sum of payloads), i.e. the payload bits of
+        // every wave plus ONE set of headers per link.
+        let mut solo = line_network(3);
+        let mut shared = line_network(3);
+        shared.set_shared_frames(true);
+        for _ in 0..3 {
+            solo.convergecast(one_value);
+            shared.convergecast(one_value);
+        }
+        // Node 2 sends 1 value (counter + value = 32 bits), node 1 merges
+        // and sends 2 values (48 bits); defaults: 128-bit header.
+        let link2 = 3 * 32 + 128;
+        let link1 = 3 * 48 + 128;
+        assert_eq!(shared.stats().bits, link2 + link1);
+        assert_eq!(solo.stats().bits, 3 * (32 + 128) + 3 * (48 + 128));
+        // Only the first wave opens frames; later waves piggyback.
+        assert_eq!(shared.stats().messages, 2);
+        // The MsgBits histogram still counts one sample per frame.
+        assert_eq!(
+            shared
+                .histograms()
+                .total()
+                .get(wsn_obs::HistKind::MsgBits)
+                .count(),
+            shared.stats().messages
+        );
+        // A round boundary resets the accumulators: the next wave pays the
+        // full solo cost again.
+        shared.end_round();
+        let before = shared.stats().bits;
+        shared.convergecast(one_value);
+        assert_eq!(shared.stats().bits - before, (32 + 128) + (48 + 128));
+    }
+
+    #[test]
+    fn shared_first_send_is_bit_identical_to_solo() {
+        // One wave per round: sharing never engages beyond the first
+        // payload, so everything (bits, energies, events) is unchanged.
+        let mut plain = line_network(5);
+        let mut shared = line_network(5);
+        plain.set_audit(true);
+        shared.set_audit(true);
+        shared.set_shared_frames(true);
+        for _ in 0..4 {
+            plain.convergecast(one_value);
+            plain.broadcast(64);
+            plain.end_round();
+            shared.convergecast(one_value);
+            shared.broadcast(64);
+            shared.end_round();
+        }
+        assert_eq!(plain.stats(), shared.stats());
+        assert_eq!(plain.audit_log().events(), shared.audit_log().events());
+        for i in 0..plain.len() {
+            let id = NodeId(i as u32);
+            assert!(plain.ledger().consumed(id) == shared.ledger().consumed(id));
+        }
+    }
+
+    #[test]
+    fn shared_broadcasts_pay_marginal_frames_only() {
+        let mut net = line_network(4);
+        net.set_shared_frames(true);
+        net.broadcast(64);
+        let first = net.stats().bits;
+        // 3 internal transmitters × (64 + 128).
+        assert_eq!(first, 3 * (64 + 128));
+        net.broadcast(64);
+        // Same round: the second broadcast rides the open frames.
+        assert_eq!(net.stats().bits - first, 3 * 64);
+        let report = EnergyAuditor::verify(&net);
+        assert!(report.is_clean() || net.audit_log().events().is_empty());
+    }
+
+    #[test]
+    fn lane_book_partitions_charges_and_replays_bit_exactly() {
+        let mut net = line_network(4);
+        net.set_audit(true);
+        net.set_shared_frames(true);
+        // Two lanes interleaved within one round, plus broadcast traffic.
+        for _ in 0..3 {
+            net.set_lane(0);
+            net.convergecast(one_value);
+            net.broadcast(32);
+            net.set_lane(1);
+            net.convergecast(one_value);
+            net.broadcast(32);
+            net.end_round();
+        }
+        let book = net.lane_book();
+        assert_eq!(book.len(), 2);
+        // Lanes partition the global breakdown exactly (integer fields).
+        let phases = *net.phases();
+        for phase in Phase::ALL {
+            let bits: u64 = book.breakdowns().iter().map(|b| b.get(phase).bits).sum();
+            let msgs: u64 = book
+                .breakdowns()
+                .iter()
+                .map(|b| b.get(phase).messages)
+                .sum();
+            assert_eq!(bits, phases.get(phase).bits, "{}", phase.name());
+            assert_eq!(msgs, phases.get(phase).messages, "{}", phase.name());
+        }
+        // Lane 1 piggybacks on lane 0's frames, so it is strictly cheaper.
+        assert!(
+            book.get(1).get(Phase::Other).bits < book.get(0).get(Phase::Other).bits,
+            "piggybacking lane must pay fewer bits"
+        );
+        // The audit-log replay reproduces the live book bit for bit.
+        let replayed = crate::audit::lane_breakdowns(net.audit_log(), book.len());
+        for (lane, b) in replayed.iter().enumerate() {
+            assert_eq!(*b, book.get(lane as u32), "lane {lane}");
+        }
+        // And the energy audit still reconciles under sharing.
+        let report = EnergyAuditor::verify(&net);
+        assert!(report.is_clean(), "{:?}", report.discrepancies);
     }
 }

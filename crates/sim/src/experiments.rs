@@ -717,6 +717,88 @@ pub fn sampling_tradeoff(quick: bool) -> Vec<AblationRow> {
     rows
 }
 
+/// One row of the multi-query service trade-off table.
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Row label.
+    pub label: String,
+    /// Total bits on air over the whole workload.
+    pub bits: u64,
+    /// Total data messages (fragments).
+    pub messages: u64,
+    /// Protocol executions performed (dedup group leaders).
+    pub executions: u64,
+    /// Query-rounds served (executions plus free riders).
+    pub served: u64,
+}
+
+/// The continuous-service trade-off (DESIGN.md §3.3i): the standard
+/// 16-query mixed-φ / mixed-epoch workload of [`Scenario::workload`] under
+/// the shared service — execution dedup plus piggybacked frame packing —
+/// against the same service with solo framing, and against the
+/// pre-service baseline of answering each query with its own independent
+/// network (16 solo runs, summed). The workload answers every query
+/// identically in all three columns; only the traffic differs.
+///
+/// [`Scenario::workload`]: crate::scenario::Scenario::workload
+pub fn serve_tradeoff(quick: bool) -> Vec<ServeRow> {
+    use crate::scenario::{DataSource, Scenario};
+    use crate::service::serve;
+
+    let sc = Scenario {
+        seed: 0x5E11CE,
+        nodes: if quick { 24 } else { 80 },
+        range_milli: 2500,
+        rounds: if quick { 8 } else { 48 },
+        runs: 1,
+        phi_milli: 500,
+        loss_milli: 0,
+        retries: 0,
+        recovery: 0,
+        failure_milli: 0,
+        eps_milli: 100,
+        capacity: 0,
+        queries: 16,
+        source: DataSource::Sinusoid {
+            period: 16,
+            noise_permille: 100,
+        },
+    };
+    let cfg = sc.to_config();
+    let workload = sc.workload();
+
+    let mut rows = Vec::new();
+    for (label, shared) in [
+        ("service, shared waves", true),
+        ("service, solo framing", false),
+    ] {
+        let r = serve(&cfg, &workload, &[], shared, 0);
+        rows.push(ServeRow {
+            label: label.to_string(),
+            bits: r.total_bits,
+            messages: r.total_messages,
+            executions: r.executions,
+            served: r.served,
+        });
+    }
+    let mut solo = ServeRow {
+        label: "16 independent runs (sum)".to_string(),
+        bits: 0,
+        messages: 0,
+        executions: 0,
+        served: 0,
+    };
+    for q in &workload {
+        let r = serve(&cfg, std::slice::from_ref(q), &[], false, 0);
+        solo.bits += r.total_bits;
+        solo.messages += r.total_messages;
+        solo.executions += r.executions;
+        solo.served += r.served;
+    }
+    rows.push(solo);
+    rows
+}
+
 /// Every sweep behind the evaluation.
 pub fn all_sweeps(quick: bool) -> Vec<Sweep> {
     vec![
@@ -870,6 +952,21 @@ mod tests {
         }
         // Ξ must not degenerate over the whole trace once a trend exists.
         assert!(trace[5..].iter().any(|r| r.xi_hi > r.xi_lo));
+    }
+
+    #[test]
+    fn serve_tradeoff_orders_shared_below_independent() {
+        let rows = serve_tradeoff(true);
+        assert_eq!(rows.len(), 3);
+        let (shared, solo_framing, independent) = (&rows[0], &rows[1], &rows[2]);
+        // Every column answers the same workload.
+        assert_eq!(shared.served, solo_framing.served);
+        assert_eq!(shared.executions, solo_framing.executions);
+        // Dedup alone halves the executions (the workload is two identical
+        // 8-query cycles); frame sharing then only cheapens the bits.
+        assert!(solo_framing.executions < independent.executions);
+        assert!(shared.bits <= solo_framing.bits);
+        assert!(solo_framing.bits < independent.bits);
     }
 
     #[test]

@@ -30,12 +30,14 @@ pub mod parity;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod service;
 pub mod trace;
 
 pub use config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 pub use metrics::{AggregatedMetrics, RunMetrics};
 pub use runner::{run_experiment, run_experiment_threads, run_once};
 pub use scenario::{DataSource, Scenario};
+pub use service::{serve, serve_capture, QueryReport, ServeEvent, ServeQuery, ServeReport};
 
 /// A sensor measurement.
 pub type Value = wsn_net::Value;

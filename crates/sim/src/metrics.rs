@@ -97,6 +97,29 @@ impl RunMetrics {
         }
         self.exact_rounds as f64 / self.total_rounds as f64
     }
+
+    /// The degenerate-world contract: every ratio metric is a *number* —
+    /// zero-traffic worlds (all sensors dead in round 0, or `rounds == 0`)
+    /// yield 0.0 (or `+∞` for the never-dies lifetime), never NaN. Each
+    /// ratio's producer guards its denominator
+    /// ([`wsn_net::EnergyLedger::hotspot_rx_fraction`],
+    /// [`wsn_net::ReliabilityStats::delivery_rate`], the runner's
+    /// `rounds.max(1)`); this check pins the contract at the metrics
+    /// boundary so a future unguarded ratio cannot slip through.
+    pub fn is_nan_free(&self) -> bool {
+        !(self.max_node_energy_per_round.is_nan()
+            || self.lifetime_rounds.is_nan()
+            || self.messages_per_round.is_nan()
+            || self.values_per_round.is_nan()
+            || self.bits_per_round.is_nan()
+            || self.mean_rank_error.is_nan()
+            || self.hotspot_rx_fraction.is_nan()
+            || self.delivery_rate.is_nan()
+            || self.retransmissions_per_round.is_nan()
+            || self.peak_round_energy.is_nan()
+            || self.exactness().is_nan()
+            || self.phase_joules.iter().any(|j| j.is_nan()))
+    }
 }
 
 /// Mean and standard deviation over simulation runs.
@@ -238,5 +261,27 @@ mod tests {
     #[should_panic(expected = "at least one run")]
     fn rejects_empty_aggregation() {
         let _ = AggregatedMetrics::from_runs(&[]);
+    }
+
+    #[test]
+    fn zero_traffic_run_has_no_nan_ratios() {
+        // The all-zero default is exactly what a world with no surviving
+        // traffic produces — every ratio must already be a clean number.
+        let dead = RunMetrics::default();
+        assert!(dead.is_nan_free());
+        assert_eq!(dead.hotspot_rx_fraction, 0.0);
+        assert_eq!(dead.exactness(), 1.0);
+        let agg = AggregatedMetrics::from_runs(&[dead]);
+        assert!(!agg.hotspot_rx_fraction.is_nan());
+        assert!(!agg.max_node_energy_std.is_nan());
+    }
+
+    #[test]
+    fn nan_detection_actually_fires() {
+        let bad = RunMetrics {
+            hotspot_rx_fraction: f64::NAN,
+            ..RunMetrics::default()
+        };
+        assert!(!bad.is_nan_free());
     }
 }

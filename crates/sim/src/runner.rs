@@ -91,7 +91,7 @@ pub fn build_world(
 
 /// Absolute rank error of answer `v` against the true rank `k` (0 when `v`
 /// is a value of rank k, i.e. `l < k ≤ l + e`).
-fn rank_error(values: &[Value], v: Value, k: u64) -> u64 {
+pub(crate) fn rank_error(values: &[Value], v: Value, k: u64) -> u64 {
     // Single fused pass over the measurements (this runs once per
     // simulated round, on every round).
     let (mut l, mut e) = (0u64, 0u64);
@@ -450,6 +450,36 @@ mod tests {
                 assert_eq!(m.exactness, 1.0, "{}", kind.name());
             }
         }
+    }
+
+    #[test]
+    fn degenerate_worlds_yield_numbers_not_nans() {
+        // Every sensor fails in round 0: essentially zero traffic, the
+        // worst case for every ratio denominator.
+        let all_fail = SimulationConfig {
+            node_failure: Some(1.0),
+            sensor_count: 12,
+            radio_range: 80.0,
+            rounds: 4,
+            runs: 1,
+            ..SimulationConfig::default()
+        };
+        for kind in [AlgorithmKind::Tag, AlgorithmKind::Iq, AlgorithmKind::Hbc] {
+            let m = run_once(&all_fail, kind, 0);
+            assert!(m.is_nan_free(), "{} produced a NaN: {m:?}", kind.name());
+            assert!(m.hotspot_rx_fraction >= 0.0);
+            assert!(m.mean_rank_error >= 0.0);
+        }
+        // A zero-round world never divides by its (absent) rounds.
+        let no_rounds = SimulationConfig {
+            rounds: 0,
+            ..all_fail
+        };
+        let m = run_once(&no_rounds, AlgorithmKind::Tag, 0);
+        assert!(m.is_nan_free());
+        assert_eq!(m.hotspot_rx_fraction, 0.0);
+        assert_eq!(m.bits_per_round, 0.0);
+        assert_eq!(m.exactness(), 1.0);
     }
 
     #[test]

@@ -14,8 +14,9 @@ use wsn_data::pressure::{PressureConfig, RangeSetting};
 use wsn_data::synthetic::SyntheticConfig;
 use wsn_net::ReliabilityConfig;
 
-use crate::config::{DatasetSpec, SimulationConfig};
+use crate::config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 use crate::runner::AREA;
+use crate::service::ServeQuery;
 
 /// Which measurement process drives the scenario. A discrete, integer-only
 /// mirror of [`DatasetSpec`] (which holds floats and nested configs).
@@ -83,7 +84,9 @@ pub struct Scenario {
     pub rounds: u32,
     /// Simulation runs (topology re-drawn between runs, ≥ 1).
     pub runs: u32,
-    /// Quantile parameter φ in thousandths, clamped to `[1, 999]`.
+    /// Quantile parameter φ in thousandths, clamped to `[0, 1000]` —
+    /// the boundaries are legal: φ = 0 targets rank 1 (the minimum) and
+    /// φ = 1 targets rank n (the maximum).
     pub phi_milli: u32,
     /// Bernoulli message-loss probability in thousandths (0 = reliable
     /// links, 1000 = every frame lost).
@@ -101,14 +104,40 @@ pub struct Scenario {
     /// GKS summary capacity override in entries; 0 derives the capacity
     /// from the configured maximum payload size.
     pub capacity: u32,
+    /// Concurrent continuous queries for serve-mode invariants (1 = the
+    /// classic single-query world; the multi-query workload is derived
+    /// deterministically by [`Scenario::workload`]).
+    pub queries: u32,
     /// The measurement process.
     pub source: DataSource,
 }
 
 impl Scenario {
-    /// The quantile parameter φ as a float in `(0, 1)`.
+    /// The quantile parameter φ as a float in `[0, 1]`. The closed
+    /// boundaries map to the extreme order statistics: `0` → rank 1,
+    /// `1000` → rank n ([`cqp_core::rank::rank_of_phi`] pins the clamp).
     pub fn phi(&self) -> f64 {
-        self.phi_milli.clamp(1, 999) as f64 / 1000.0
+        self.phi_milli.min(1000) as f64 / 1000.0
+    }
+
+    /// The deterministic multi-query workload of this scenario:
+    /// `queries` entries cycling through the full 8-protocol battery with
+    /// mixed φ (boundaries included) and mixed epochs, so a 16-query
+    /// workload covers every protocol twice — duplicated specs exercise
+    /// the service layer's dedup path.
+    pub fn workload(&self) -> Vec<ServeQuery> {
+        let battery = AlgorithmKind::battery(self.eps_milli, self.capacity);
+        let phi = self.phi_milli.min(1000);
+        (0..self.queries.max(1))
+            .map(|j| {
+                let m = (j % 8) as usize;
+                ServeQuery {
+                    algorithm: battery[m],
+                    phi_milli: [phi, 0, 1000, 250, 750, (phi * 3) % 1001, 900, 100][m],
+                    epoch: [1, 1, 2, 3, 1, 2, 4, 1][m],
+                }
+            })
+            .collect()
     }
 
     /// The radio range in meters: `range_milli/1000 ×` the mean node
@@ -221,6 +250,7 @@ mod tests {
             failure_milli: 0,
             eps_milli: 100,
             capacity: 0,
+            queries: 1,
             source: DataSource::Sinusoid {
                 period: 32,
                 noise_permille: 100,
@@ -300,22 +330,68 @@ mod tests {
     }
 
     #[test]
-    fn phi_is_clamped_into_the_open_interval() {
+    fn phi_boundaries_are_legal_and_out_of_range_clamps() {
+        // φ = 0 and φ = 1 are valid quantile parameters (rank 1 / rank n)
+        // and must survive the conversion untouched.
         assert_eq!(
             Scenario {
                 phi_milli: 0,
                 ..base()
             }
             .phi(),
-            0.001
+            0.0
         );
+        assert_eq!(
+            Scenario {
+                phi_milli: 1000,
+                ..base()
+            }
+            .phi(),
+            1.0
+        );
+        // Out-of-range encodings clamp to the maximum, not past it.
         assert_eq!(
             Scenario {
                 phi_milli: 5000,
                 ..base()
             }
             .phi(),
-            0.999
+            1.0
+        );
+    }
+
+    #[test]
+    fn workload_cycles_protocols_phis_and_epochs() {
+        let s = Scenario {
+            queries: 16,
+            ..base()
+        };
+        let w = s.workload();
+        assert_eq!(w.len(), 16);
+        // Two full battery cycles: entry j and j+8 are identical specs,
+        // which is exactly what exercises the dedup path.
+        for j in 0..8 {
+            assert_eq!(w[j], w[j + 8]);
+        }
+        // The boundary φ values are in the workload by construction.
+        assert!(w.iter().any(|q| q.phi_milli == 0));
+        assert!(w.iter().any(|q| q.phi_milli == 1000));
+        // Mixed epochs, including every-round queries.
+        assert!(w.iter().any(|q| q.epoch == 1));
+        assert!(w.iter().any(|q| q.epoch > 1));
+        // All 8 protocols appear.
+        let names: std::collections::BTreeSet<&str> =
+            w.iter().map(|q| q.algorithm.name()).collect();
+        assert_eq!(names.len(), 8);
+        // queries = 0 degrades to a single-query workload.
+        assert_eq!(
+            Scenario {
+                queries: 0,
+                ..base()
+            }
+            .workload()
+            .len(),
+            1
         );
     }
 }

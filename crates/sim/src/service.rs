@@ -1,0 +1,646 @@
+//! The multi-query continuous service runner: executes a *workload* of
+//! concurrent continuous quantile queries over one shared network.
+//!
+//! The paper's runner ([`crate::runner`]) drives a single query; this
+//! module drives many — each `{φ, epoch, algorithm}` query registers into
+//! a [`cqp_core::Service`] slot (which doubles as its audit *lane*), the
+//! planner compiles the due set of every round into a traffic plan, and
+//! the runner executes the plan's groups in deterministic slot order.
+//! Multi-query optimization happens at two levels:
+//!
+//! * **dedup / refinement reuse** — queries with identical
+//!   `(algorithm, φ, epoch, admission round)` share one protocol instance:
+//!   the group leader executes, followers copy the certified answer at
+//!   zero marginal traffic (the degenerate — always-sound — case of
+//!   overlapping certified intervals);
+//! * **shared frames** — with [`serve`]'s `shared` flag, all waves of one
+//!   round pack per-link 802.15.4 frames together
+//!   ([`wsn_net::Network::set_shared_frames`]), so each additional due
+//!   query pays only its marginal payload bits, not its own headers.
+//!
+//! Rounds are *held* ([`wsn_net::Network::set_round_hold`]) so every due
+//! query executes inside one accounting round; the runner closes each
+//! round with `finish_round`, giving one ledger snapshot and one
+//! shared-frame window per simulated round regardless of workload size.
+
+use cqp_core::protocol::QueryConfig;
+use cqp_core::service::{QuerySpec, Service};
+use cqp_core::ContinuousQuantile;
+use wsn_data::Rng;
+use wsn_net::loss::LossModel;
+use wsn_net::{
+    lane_breakdowns, EnergyAuditor, FailureModel, Network, NodeId, Phase, PhaseBreakdown,
+};
+
+use crate::config::{AlgorithmKind, SimulationConfig};
+use crate::runner::{build_world, rank_error};
+use crate::Value;
+
+/// One continuous query of a serve workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeQuery {
+    /// Protocol answering the query.
+    pub algorithm: AlgorithmKind,
+    /// Quantile fraction φ in thousandths (`0` = minimum, `1000` =
+    /// maximum).
+    pub phi_milli: u32,
+    /// Reporting epoch in rounds (due when `round % epoch == 0`; `0` acts
+    /// as every round).
+    pub epoch: u32,
+}
+
+impl ServeQuery {
+    /// The quantile parameter φ in `[0, 1]`.
+    pub fn phi(&self) -> f64 {
+        self.phi_milli.min(1000) as f64 / 1000.0
+    }
+}
+
+/// A scheduled change to the active query set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServeEvent {
+    /// Register a query at the start of `round` (before that round's
+    /// waves).
+    Admit {
+        /// Round the query becomes active.
+        round: u32,
+        /// The query.
+        query: ServeQuery,
+    },
+    /// Retire the query in `slot` at the start of `round`.
+    Retire {
+        /// Round the retirement takes effect.
+        round: u32,
+        /// Service slot to vacate (as assigned by admission order —
+        /// initial queries take slots `0..k` in order).
+        slot: u32,
+    },
+}
+
+/// Per-query results of a serve run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReport {
+    /// Service slot (= audit lane) the query occupied.
+    pub slot: u32,
+    /// The query.
+    pub query: ServeQuery,
+    /// Round the query was admitted.
+    pub admitted: u32,
+    /// `(round, answer)` for every due round while active — the identity
+    /// fuzzers compare against the query's solo run.
+    pub answers: Vec<(u32, Value)>,
+    /// Due rounds answered exactly (rank error 0 against the oracle).
+    pub exact_rounds: u32,
+    /// Sum of absolute rank errors over due rounds.
+    pub rank_error_sum: u64,
+    /// Worst absolute rank error of any due round.
+    pub max_rank_error: u64,
+    /// Certified rank tolerance (`⌊ε·n⌋` for sketches, 0 exact).
+    pub rank_tolerance: u64,
+    /// Energy/traffic charged to this query's lane while it was active,
+    /// by protocol phase. Followers of a dedup group honestly show zero —
+    /// their leader's lane carries the group's traffic.
+    pub charges: PhaseBreakdown,
+}
+
+impl QueryReport {
+    /// Fraction of this query's due rounds answered exactly.
+    pub fn exactness(&self) -> f64 {
+        if self.answers.is_empty() {
+            return 1.0;
+        }
+        self.exact_rounds as f64 / self.answers.len() as f64
+    }
+}
+
+/// Results of one serve run: per-query reports plus workload aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One report per admitted query, in admission order.
+    pub queries: Vec<QueryReport>,
+    /// Rounds simulated.
+    pub rounds: u32,
+    /// Total bits on air.
+    pub total_bits: u64,
+    /// Total data messages (fragments).
+    pub total_messages: u64,
+    /// Protocol executions performed (group leaders).
+    pub executions: u64,
+    /// Query-rounds served (executions + free riders).
+    pub served: u64,
+    /// Traffic-plan cache hits.
+    pub plan_hits: u64,
+    /// Traffic-plan cache misses (compilations).
+    pub plan_misses: u64,
+    /// Transmission events replayed by the auditor (0 when not audited).
+    pub audit_events: u64,
+    /// Auditor discrepancies (must be 0).
+    pub audit_discrepancies: u32,
+    /// Live per-lane breakdowns, indexed by slot. The replayed
+    /// (`lane_breakdowns`) view is asserted bit-identical when auditing.
+    pub lanes: Vec<PhaseBreakdown>,
+}
+
+/// A stable 64-bit shape id for an [`AlgorithmKind`] — every parameter
+/// that affects execution participates, so two queries dedup only when
+/// their protocols are interchangeable.
+fn algo_shape(kind: &AlgorithmKind) -> u64 {
+    let (idx, a, b) = match *kind {
+        AlgorithmKind::Tag => (0u64, 0u64, 0u64),
+        AlgorithmKind::Pos => (1, 0, 0),
+        AlgorithmKind::LcllH => (2, 0, 0),
+        AlgorithmKind::LcllS => (3, 0, 0),
+        AlgorithmKind::LcllR => (4, 0, 0),
+        AlgorithmKind::Hbc => (5, 0, 0),
+        AlgorithmKind::HbcNb => (6, 0, 0),
+        AlgorithmKind::Iq => (7, 0, 0),
+        AlgorithmKind::Adaptive => (8, 0, 0),
+        AlgorithmKind::Gk => (9, 0, 0),
+        AlgorithmKind::QDigest { eps_milli } => (10, eps_milli as u64, 0),
+        AlgorithmKind::GkSink {
+            eps_milli,
+            capacity,
+        } => (11, eps_milli as u64, capacity as u64),
+    };
+    let mut h = 0xcbf29ce484222325u64;
+    for word in [idx, a, b] {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// The planner spec of a query admitted at `admit_round`. The admission
+/// round is folded into the shape so only queries admitted *together*
+/// dedup — a later duplicate starts fresh protocol state and must run its
+/// own instance to match its solo run.
+fn spec_of(q: &ServeQuery, admit_round: u32) -> QuerySpec {
+    QuerySpec {
+        algo: algo_shape(&q.algorithm) ^ (admit_round as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        phi_milli: q.phi_milli,
+        eps_milli: 0,
+        epoch: q.epoch,
+    }
+}
+
+/// A live protocol instance shared by every slot whose spec matches.
+struct Instance {
+    spec: QuerySpec,
+    alg: Box<dyn ContinuousQuantile>,
+    /// Answer of the current round, if this instance already executed.
+    answer: Option<Value>,
+}
+
+struct SlotState {
+    query: ServeQuery,
+    report_index: usize,
+    baseline: PhaseCounters_Baseline,
+}
+
+/// Lane-charge snapshot at admission, so slot reuse still yields honest
+/// per-query deltas.
+#[derive(Clone, Copy, Default)]
+#[allow(non_camel_case_types)]
+struct PhaseCounters_Baseline {
+    messages: [u64; Phase::COUNT],
+    bits: [u64; Phase::COUNT],
+    joules: [f64; Phase::COUNT],
+}
+
+fn baseline_of(b: &PhaseBreakdown) -> PhaseCounters_Baseline {
+    PhaseCounters_Baseline {
+        messages: b.messages(),
+        bits: b.bits(),
+        joules: b.joules(),
+    }
+}
+
+fn delta_of(now: &PhaseBreakdown, base: &PhaseCounters_Baseline) -> PhaseBreakdown {
+    let mut out = PhaseBreakdown::default();
+    let (msgs, bits, joules) = (now.messages(), now.bits(), now.joules());
+    for (i, phase) in [
+        Phase::Init,
+        Phase::Validation,
+        Phase::Refinement,
+        Phase::Recovery,
+        Phase::Other,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        out.charge(
+            phase,
+            msgs[i] - base.messages[i],
+            bits[i] - base.bits[i],
+            joules[i] - base.joules[i],
+        );
+    }
+    out
+}
+
+/// Runs a serve workload: `initial` queries admitted at round 0 (slots in
+/// order), `events` applied at the start of their rounds (in the order
+/// given), `shared` enabling frame packing across the round's waves.
+/// World construction, seeding and the per-run RNG stream are identical
+/// to [`crate::runner::run_once_capture`], so a single-query workload
+/// replays exactly the world of a solo run.
+pub fn serve(
+    cfg: &SimulationConfig,
+    initial: &[ServeQuery],
+    events: &[ServeEvent],
+    shared: bool,
+    run_index: u32,
+) -> ServeReport {
+    serve_capture(cfg, initial, events, shared, run_index).0
+}
+
+/// [`serve`] that also hands back the final [`Network`] for parity
+/// digests and audits.
+pub fn serve_capture(
+    cfg: &SimulationConfig,
+    initial: &[ServeQuery],
+    events: &[ServeEvent],
+    shared: bool,
+    run_index: u32,
+) -> (ServeReport, Network) {
+    let mut rng = Rng::seed_from_u64(
+        cfg.seed
+            ^ (run_index as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(1),
+    );
+    let (mut dataset, topo, tree) = build_world(cfg, &mut rng);
+    let n = dataset.sensor_count();
+    let (range_min, range_max) = (dataset.range_min(), dataset.range_max());
+
+    let mut net = Network::new(topo, tree, cfg.radio, cfg.sizes);
+    net.set_audit(cfg.audit);
+    net.set_telemetry(cfg.telemetry);
+    net.set_wave_workers(cfg.wave_workers);
+    if let Some(p) = cfg.loss {
+        net.set_loss(Some(LossModel::new(p, rng.next_u64())));
+    }
+    net.set_reliability(cfg.reliability);
+    if let Some(pf) = cfg.node_failure {
+        net.set_failures(Some(FailureModel::new(pf, rng.next_u64())));
+    }
+    net.set_shared_frames(shared);
+    net.set_round_hold(true);
+
+    let mut svc = Service::new();
+    let mut instances: Vec<Instance> = Vec::new();
+    let mut slots: Vec<Option<SlotState>> = Vec::new();
+    let mut reports: Vec<QueryReport> = Vec::new();
+
+    let admit = |round: u32,
+                 q: ServeQuery,
+                 svc: &mut Service,
+                 instances: &mut Vec<Instance>,
+                 slots: &mut Vec<Option<SlotState>>,
+                 reports: &mut Vec<QueryReport>,
+                 net: &Network| {
+        let spec = spec_of(&q, round);
+        let slot = svc.admit(spec);
+        if !instances.iter().any(|i| i.spec == spec) {
+            let query = QueryConfig::phi(q.phi(), n, range_min, range_max);
+            instances.push(Instance {
+                spec,
+                alg: q.algorithm.build(query, &cfg.sizes),
+                answer: None,
+            });
+        }
+        let tolerance = instances
+            .iter()
+            .find(|i| i.spec == spec)
+            .map(|i| i.alg.rank_tolerance(n as u64))
+            .unwrap_or(0);
+        if slot >= slots.len() {
+            slots.resize_with(slot + 1, || None);
+        }
+        slots[slot] = Some(SlotState {
+            query: q,
+            report_index: reports.len(),
+            baseline: baseline_of(&net.lane_book().get(slot as u32)),
+        });
+        reports.push(QueryReport {
+            slot: slot as u32,
+            query: q,
+            admitted: round,
+            answers: Vec::new(),
+            exact_rounds: 0,
+            rank_error_sum: 0,
+            max_rank_error: 0,
+            rank_tolerance: tolerance,
+            charges: PhaseBreakdown::default(),
+        });
+    };
+
+    for &q in initial {
+        admit(
+            0,
+            q,
+            &mut svc,
+            &mut instances,
+            &mut slots,
+            &mut reports,
+            &net,
+        );
+    }
+
+    let mut values = vec![0 as Value; n];
+    let mut reachable: Vec<Value> = Vec::new();
+    let mut executions = 0u64;
+    let mut served = 0u64;
+
+    for t in 0..cfg.rounds {
+        for ev in events.iter().filter(|e| match e {
+            ServeEvent::Admit { round, .. } | ServeEvent::Retire { round, .. } => *round == t,
+        }) {
+            match *ev {
+                ServeEvent::Admit { query, .. } => {
+                    admit(
+                        t,
+                        query,
+                        &mut svc,
+                        &mut instances,
+                        &mut slots,
+                        &mut reports,
+                        &net,
+                    );
+                }
+                ServeEvent::Retire { slot, .. } => {
+                    let spec = svc.retire(slot as usize);
+                    if let Some(state) = slots.get_mut(slot as usize).and_then(Option::take) {
+                        let now = net.lane_book().get(slot);
+                        reports[state.report_index].charges = delta_of(&now, &state.baseline);
+                    }
+                    if let Some(spec) = spec {
+                        // Drop the instance only when no active slot
+                        // still references it (followers keep it alive).
+                        let orphaned = !svc.active().any(|(_, s)| *s == spec);
+                        if orphaned {
+                            instances.retain(|i| i.spec != spec);
+                        }
+                    }
+                }
+            }
+        }
+
+        net.fail_round();
+        dataset.sample_round(t, &mut values);
+        let plan = svc.plan(t, net.reliability_stats().repairs);
+
+        for inst in instances.iter_mut() {
+            inst.answer = None;
+        }
+        for group in &plan.groups {
+            let spec = *svc.get(group.leader).expect("planned slot is active");
+            net.set_lane(group.leader as u32);
+            let inst = instances
+                .iter_mut()
+                .find(|i| i.spec == spec)
+                .expect("active spec has an instance");
+            let answer = inst.alg.round(&mut net, &values);
+            inst.answer = Some(answer);
+            executions += 1;
+
+            for &slot in std::iter::once(&group.leader).chain(&group.followers) {
+                served += 1;
+                let Some(state) = slots[slot].as_ref() else {
+                    continue;
+                };
+                let report = &mut reports[state.report_index];
+                report.answers.push((t, answer));
+                let err = if cfg.node_failure.is_some() {
+                    reachable.clear();
+                    reachable.extend(
+                        (1..=n)
+                            .filter(|&i| net.is_reachable(NodeId(i as u32)))
+                            .map(|i| values[i - 1]),
+                    );
+                    let m = reachable.len() as u64;
+                    if m == 0 {
+                        0
+                    } else {
+                        let k = (state.query.phi() * m as f64).ceil() as u64;
+                        rank_error(&reachable, answer, k.clamp(1, m))
+                    }
+                } else {
+                    let query = QueryConfig::phi(state.query.phi(), n, range_min, range_max);
+                    rank_error(&values, answer, query.k)
+                };
+                if err == 0 {
+                    report.exact_rounds += 1;
+                }
+                report.rank_error_sum += err;
+                report.max_rank_error = report.max_rank_error.max(err);
+            }
+        }
+        net.finish_round();
+    }
+
+    // Close out still-active queries' lane deltas.
+    for (slot, entry) in slots.iter().enumerate() {
+        if let Some(state) = entry {
+            let now = net.lane_book().get(slot as u32);
+            reports[state.report_index].charges = delta_of(&now, &state.baseline);
+        }
+    }
+
+    let (audit_events, audit_discrepancies) = if cfg.audit {
+        let report = EnergyAuditor::verify(&net);
+        debug_assert!(
+            report.is_clean(),
+            "serve energy audit failed: {:?}",
+            report.discrepancies
+        );
+        // The lane replay must reproduce the live lane book bit-for-bit.
+        let live = net.lane_book();
+        let replayed = lane_breakdowns(net.audit_log(), live.len());
+        debug_assert_eq!(replayed.len(), live.len());
+        for (lane, replay) in replayed.iter().enumerate() {
+            debug_assert_eq!(
+                replay,
+                &live.get(lane as u32),
+                "lane {lane} replay diverged from live attribution"
+            );
+        }
+        (report.events, report.discrepancies.len() as u32)
+    } else {
+        (0, 0)
+    };
+
+    let stats = net.stats();
+    // Cover every admitted slot, not just charged lanes — a follower that
+    // free-rode for its whole life still gets an (all-zero) lane.
+    let lanes: Vec<PhaseBreakdown> = (0..net.lane_book().len().max(svc.slot_count()))
+        .map(|l| net.lane_book().get(l as u32))
+        .collect();
+    let report = ServeReport {
+        queries: reports,
+        rounds: cfg.rounds,
+        total_bits: stats.bits,
+        total_messages: stats.messages,
+        executions,
+        served,
+        plan_hits: svc.cache().hits,
+        plan_misses: svc.cache().misses,
+        audit_events,
+        audit_discrepancies,
+        lanes,
+    };
+    (report, net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_once_capture;
+
+    fn cfg() -> SimulationConfig {
+        SimulationConfig {
+            sensor_count: 16,
+            radio_range: 70.0,
+            rounds: 10,
+            runs: 1,
+            seed: 0xFEED,
+            audit: true,
+            ..SimulationConfig::default()
+        }
+    }
+
+    fn q(kind: AlgorithmKind, phi_milli: u32, epoch: u32) -> ServeQuery {
+        ServeQuery {
+            algorithm: kind,
+            phi_milli,
+            epoch,
+        }
+    }
+
+    #[test]
+    fn singleton_workload_matches_the_solo_runner_bit_for_bit() {
+        let cfg = cfg();
+        let (solo, solo_net) = run_once_capture(&cfg, &|qc, s| AlgorithmKind::Iq.build(qc, s), 0);
+        let (serve, serve_net) =
+            serve_capture(&cfg, &[q(AlgorithmKind::Iq, 500, 1)], &[], false, 0);
+        assert_eq!(serve.queries.len(), 1);
+        assert_eq!(serve.queries[0].answers.len(), 10);
+        assert_eq!(serve.queries[0].exact_rounds, solo.exact_rounds);
+        assert_eq!(serve_net.stats().bits, solo_net.stats().bits);
+        assert_eq!(serve_net.stats().messages, solo_net.stats().messages);
+        assert_eq!(serve.audit_discrepancies, 0);
+    }
+
+    #[test]
+    fn duplicate_queries_dedup_to_one_execution() {
+        let cfg = cfg();
+        let queries = [q(AlgorithmKind::Tag, 500, 1), q(AlgorithmKind::Tag, 500, 1)];
+        let (report, _) = serve_capture(&cfg, &queries, &[], false, 0);
+        assert_eq!(report.executions, 10, "one execution per round");
+        assert_eq!(report.served, 20, "both queries served every round");
+        assert_eq!(report.queries[0].answers, report.queries[1].answers);
+        // The follower's lane is honestly zero.
+        let follower = &report.queries[1].charges;
+        assert_eq!(follower.bits().iter().sum::<u64>(), 0);
+        // And the workload costs what one query costs.
+        let (single, _) = serve_capture(&cfg, &queries[..1], &[], false, 0);
+        assert_eq!(report.total_bits, single.total_bits);
+    }
+
+    #[test]
+    fn epochs_skip_rounds_and_shared_frames_only_cheapen() {
+        let cfg = cfg();
+        let queries = [
+            q(AlgorithmKind::Tag, 500, 1),
+            q(AlgorithmKind::Tag, 250, 2),
+            q(AlgorithmKind::Iq, 750, 3),
+        ];
+        let (plain, _) = serve_capture(&cfg, &queries, &[], false, 0);
+        assert_eq!(plain.queries[0].answers.len(), 10);
+        assert_eq!(plain.queries[1].answers.len(), 5);
+        assert_eq!(plain.queries[2].answers.len(), 4); // rounds 0,3,6,9
+        let (shared, _) = serve_capture(&cfg, &queries, &[], true, 0);
+        assert!(shared.total_bits <= plain.total_bits);
+        assert_eq!(shared.audit_discrepancies, 0);
+        // Sharing never changes any answer.
+        for (a, b) in plain.queries.iter().zip(&shared.queries) {
+            assert_eq!(a.answers, b.answers);
+        }
+        // Plan cache: 3 distinct due shapes (r0-type, odd, even-not-0 ...)
+        // — far fewer misses than rounds.
+        assert!(shared.plan_misses < 10);
+        assert!(shared.plan_hits + shared.plan_misses == 10);
+    }
+
+    #[test]
+    fn lane_charges_partition_the_global_breakdown() {
+        let cfg = cfg();
+        let queries = [
+            q(AlgorithmKind::Tag, 500, 1),
+            q(AlgorithmKind::Iq, 250, 1),
+            q(AlgorithmKind::Pos, 900, 2),
+        ];
+        let (report, net) = serve_capture(&cfg, &queries, &[], true, 0);
+        let global = net.phases();
+        let lane_bits: u64 = report
+            .lanes
+            .iter()
+            .map(|l| l.bits().iter().sum::<u64>())
+            .sum();
+        assert_eq!(lane_bits, global.bits().iter().sum::<u64>());
+        let lane_msgs: u64 = report
+            .lanes
+            .iter()
+            .map(|l| l.messages().iter().sum::<u64>())
+            .sum();
+        assert_eq!(lane_msgs, global.messages().iter().sum::<u64>());
+        // Every active query's delta-since-admit equals its live lane.
+        for qr in &report.queries {
+            assert_eq!(&qr.charges, &report.lanes[qr.slot as usize]);
+        }
+    }
+
+    #[test]
+    fn admit_and_retire_take_effect_at_their_rounds() {
+        let cfg = cfg();
+        let initial = [q(AlgorithmKind::Tag, 500, 1)];
+        let events = [
+            ServeEvent::Admit {
+                round: 3,
+                query: q(AlgorithmKind::Iq, 250, 1),
+            },
+            ServeEvent::Retire { round: 7, slot: 1 },
+        ];
+        let (report, _) = serve_capture(&cfg, &initial, &events, false, 0);
+        assert_eq!(report.queries.len(), 2);
+        let transient = &report.queries[1];
+        assert_eq!(transient.admitted, 3);
+        assert_eq!(
+            transient
+                .answers
+                .iter()
+                .map(|&(t, _)| t)
+                .collect::<Vec<_>>(),
+            vec![3, 4, 5, 6],
+            "active rounds 3..7 only"
+        );
+        // The survivor served every round.
+        assert_eq!(report.queries[0].answers.len(), 10);
+    }
+
+    #[test]
+    fn late_duplicate_does_not_join_the_original_instance() {
+        let cfg = cfg();
+        let initial = [q(AlgorithmKind::Iq, 500, 1)];
+        let events = [ServeEvent::Admit {
+            round: 4,
+            query: q(AlgorithmKind::Iq, 500, 1),
+        }];
+        let (report, _) = serve_capture(&cfg, &initial, &events, false, 0);
+        // Both run: the late duplicate starts fresh state, so the round-4
+        // executions are 2 (no dedup across admission rounds).
+        assert_eq!(report.executions, 10 + 6);
+    }
+}

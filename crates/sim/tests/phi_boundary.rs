@@ -1,0 +1,77 @@
+//! φ boundary convention, pinned end-to-end (DESIGN.md §2): φ = 0 asks
+//! for rank 1 (the minimum) and φ = 1 for rank n (the maximum), per
+//! `rank_of_phi`'s clamp of `⌊φ·n⌋` into `[1, n]`. Every protocol of the
+//! 8-way battery must answer those boundary queries against the central
+//! oracle — the exact six with zero rank error, the sketch pair within
+//! the tolerance it advertises (and exactly when ε = 0, so an acceptance
+//! test that is off by one at rank 1 or rank n cannot hide inside a
+//! nonzero tolerance).
+
+use wsn_sim::runner::run_experiment;
+use wsn_sim::{AlgorithmKind, SimulationConfig};
+
+fn cfg(phi: f64) -> SimulationConfig {
+    SimulationConfig {
+        sensor_count: 24,
+        radio_range: 150.0,
+        rounds: 8,
+        runs: 2,
+        phi,
+        seed: 0xB0DA,
+        audit: true,
+        ..SimulationConfig::default()
+    }
+}
+
+#[test]
+fn every_protocol_answers_the_boundary_quantiles() {
+    for phi in [0.0, 1.0] {
+        let cfg = cfg(phi);
+        // ε = 0 holds the sketch family to the same zero-error bar as the
+        // exact set, so the boundary ranks are pinned for all 8 protocols.
+        for kind in AlgorithmKind::battery(0, 0) {
+            let agg = run_experiment(&cfg, kind);
+            assert_eq!(
+                agg.audit_discrepancies,
+                0,
+                "{} at phi={phi}: audit failed",
+                kind.name()
+            );
+            assert_eq!(
+                agg.max_rank_error,
+                0,
+                "{} at phi={phi}: off-by-one at the boundary rank",
+                kind.name()
+            );
+            assert_eq!(
+                agg.exactness,
+                1.0,
+                "{} at phi={phi}: inexact rounds",
+                kind.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn sketches_honor_their_tolerance_at_the_boundaries() {
+    for phi in [0.0, 1.0] {
+        let cfg = cfg(phi);
+        for kind in [
+            AlgorithmKind::QDigest { eps_milli: 100 },
+            AlgorithmKind::GkSink {
+                eps_milli: 100,
+                capacity: 0,
+            },
+        ] {
+            let agg = run_experiment(&cfg, kind);
+            assert!(
+                agg.max_rank_error <= agg.rank_tolerance,
+                "{} at phi={phi}: rank error {} exceeds tolerance {}",
+                kind.name(),
+                agg.max_rank_error,
+                agg.rank_tolerance
+            );
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Multi-query service determinism (DESIGN.md §3.3i): the serve runner's
+//! full output — every query's answer stream, its per-lane phase charges,
+//! and the audit log — is byte-identical at any within-wave worker count,
+//! and a transient query (admitted then retired mid-run) leaves the
+//! surviving queries' answers and ledger charges bit-identical in solo
+//! framing (under shared framing the transient's piggybacked frames
+//! legitimately change the survivors' marginal accounting).
+
+use wsn_sim::parity::serve_digest;
+use wsn_sim::{
+    serve, AlgorithmKind, DataSource, Scenario, ServeEvent, ServeQuery, SimulationConfig,
+};
+
+fn scenario() -> Scenario {
+    Scenario {
+        seed: 0xD15C,
+        nodes: 16,
+        range_milli: 2500,
+        rounds: 10,
+        runs: 1,
+        phi_milli: 500,
+        loss_milli: 0,
+        retries: 0,
+        recovery: 0,
+        failure_milli: 0,
+        eps_milli: 100,
+        capacity: 0,
+        queries: 5,
+        source: DataSource::Sinusoid {
+            period: 16,
+            noise_permille: 100,
+        },
+    }
+}
+
+fn cfg(wave_workers: usize) -> SimulationConfig {
+    SimulationConfig {
+        wave_workers,
+        ..scenario().to_config()
+    }
+}
+
+fn transient_events() -> Vec<ServeEvent> {
+    vec![
+        ServeEvent::Admit {
+            round: 3,
+            query: ServeQuery {
+                algorithm: AlgorithmKind::Iq,
+                phi_milli: 300,
+                epoch: 1,
+            },
+        },
+        ServeEvent::Retire { round: 7, slot: 5 },
+    ]
+}
+
+#[test]
+fn serve_is_byte_identical_at_any_wave_worker_count() {
+    let workload = scenario().workload();
+    let events = transient_events();
+    for shared in [false, true] {
+        let golden = serve_digest(&cfg(1), &workload, &events, shared);
+        for workers in [2usize, 8] {
+            assert_eq!(
+                golden,
+                serve_digest(&cfg(workers), &workload, &events, shared),
+                "shared={shared}: digest diverged at {workers} wave workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_transient_query_leaves_the_survivors_bit_identical() {
+    let workload = scenario().workload();
+    let baseline = serve(&cfg(1), &workload, &[], false, 0);
+    let perturbed = serve(&cfg(1), &workload, &transient_events(), false, 0);
+
+    assert_eq!(perturbed.queries.len(), baseline.queries.len() + 1);
+    let transient = &perturbed.queries[workload.len()];
+    assert_eq!(transient.admitted, 3);
+    assert_eq!(transient.answers.len(), 4, "due rounds 3..=6");
+
+    for (b, p) in baseline.queries.iter().zip(&perturbed.queries) {
+        assert_eq!(b.answers, p.answers, "slot {}: answers changed", b.slot);
+        assert_eq!(
+            b.charges, p.charges,
+            "slot {}: lane charges changed",
+            b.slot
+        );
+        assert_eq!(b.exact_rounds, p.exact_rounds);
+        assert_eq!(b.max_rank_error, p.max_rank_error);
+    }
+    // The transient's own traffic is the only delta in the global ledger.
+    let transient_bits: u64 = transient.charges.bits().iter().sum();
+    assert_eq!(baseline.total_bits + transient_bits, perturbed.total_bits);
+    assert_eq!(baseline.audit_discrepancies, 0);
+    assert_eq!(perturbed.audit_discrepancies, 0);
+}

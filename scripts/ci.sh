@@ -42,9 +42,22 @@ grep -q 'wsn_msg_bits_count' "$tmp/metrics.prom"
 grep -q '"traceEvents"' "$tmp/run.trace.json"
 
 echo "==> fuzz smoke (corpus replay + 100 fresh scenarios, 8-protocol battery"
-echo "    incl. QD/GKS sketches under the eps-rank-tolerance oracle, must be clean)"
+echo "    incl. QD/GKS sketches under the eps-rank-tolerance oracle, boundary"
+echo "    phi draws and 1-16-query serve workloads with solo-identity + lane"
+echo "    accounting checks, must be clean)"
 ./target/release/simulate fuzz --scenarios 100 --seed 42 \
     --corpus tests/fuzz_corpus.txt
+
+echo "==> serve smoke (16-query continuous service + mid-run admit/retire:"
+echo "    audit must reconcile, digests byte-identical at 1 vs 4 wave threads)"
+./target/release/simulate serve --queries 16 --rounds 12 --seed 99 \
+    --admit 4:250 --retire 8:16 --audit
+./target/release/simulate serve --queries 16 --rounds 12 --seed 99 --shared \
+    --admit 4:250 --retire 8:16 --digest --wave-threads 1 > "$tmp/serve1.txt"
+./target/release/simulate serve --queries 16 --rounds 12 --seed 99 --shared \
+    --admit 4:250 --retire 8:16 --digest --wave-threads 4 > "$tmp/serve4.txt"
+cmp "$tmp/serve1.txt" "$tmp/serve4.txt"
+grep -q 'discrepancies=0$' "$tmp/serve1.txt"
 
 echo "==> scale smoke (10k-node HBC throughput under a wall-clock budget)"
 # The internal budget catches throughput regressions (~0.6 s on the
