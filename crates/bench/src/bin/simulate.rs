@@ -252,6 +252,9 @@ fn print_usage() {
                       [--seed S] [--shared] [--wave-threads W] [--audit]
                       [--admit ROUND:PHI_MILLI] [--retire ROUND:SLOT]
                       [--digest] [--json FILE]
+                      [--monitor] [--budget-mj X] [--health-json FILE]
+                      [--metrics-out FILE] [--status-every N]
+       simulate bench-diff BASELINE.json CURRENT.json [--tolerance X]
 
 --audit replays every recorded transmission through the energy auditor and
 prints the per-phase energy breakdown; any ledger discrepancy makes the
@@ -281,6 +284,17 @@ dedup and — under --shared — piggybacked frame packing. --admit/--retire
 change the query set mid-run; --audit prints the per-lane charge table;
 --digest prints the byte-exact parity digest (identical at any
 --wave-threads). Exit 0 clean, 1 on any audit discrepancy.
+
+Serve monitoring: any of --monitor/--budget-mj/--health-json/
+--metrics-out/--status-every attaches the observability monitor (never
+perturbs the digest). --budget-mj arms the per-query energy-budget
+watchdog at X millijoules; --status-every prints a one-line status every
+N rounds plus the final registry table; --health-json dumps the flight
+recorder and health events as JSONL (the post-mortem ring snapshot when
+a watchdog fired); --metrics-out writes per-query Prometheus series. A
+monitored serve exits 1 when any watchdog fired. `simulate bench-diff`
+compares two BENCH_results.json files and exits 1 when any shared cell's
+median slowed past the tolerance band (default 0.5 = 50%).
 
 `simulate scale` is the engine-throughput smoke gate: it runs R full HBC
 rounds on an N-node constant-density world (the `scale` bench workload)
@@ -327,6 +341,50 @@ fn run_diff(paths: &[String]) -> ! {
             std::process::exit(1);
         }
     }
+}
+
+/// `simulate bench-diff BASELINE CURRENT [--tolerance X]` — the bench
+/// regression gate: compare two `BENCH_results.json` files cell by cell
+/// and fail when any shared cell's median slowed past the tolerance band
+/// (default 50%). Exit 0 clean, 1 on regression, 2 on bad input.
+fn run_bench_diff(argv: &[String]) -> ! {
+    let fail = |msg: String| -> ! {
+        eprintln!("error: {msg}");
+        print_usage();
+        std::process::exit(2);
+    };
+    let mut tolerance = wsn_bench::regress::DEFAULT_TOLERANCE;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = match argv.get(i).map(|v| v.parse::<f64>()) {
+                    Some(Ok(t)) if t >= 0.0 => t,
+                    _ => fail("--tolerance needs a non-negative fraction".into()),
+                };
+            }
+            _ => paths.push(&argv[i]),
+        }
+        i += 1;
+    }
+    let [baseline_path, current_path] = paths[..] else {
+        fail("bench-diff takes exactly two results files".into());
+    };
+    let load = |path: &String| -> Json {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading {path}: {e}");
+            std::process::exit(2);
+        });
+        Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let cmp = wsn_bench::regress::compare(&load(baseline_path), &load(current_path), tolerance);
+    print!("{}", cmp.render(tolerance));
+    std::process::exit(if cmp.is_clean() { 0 } else { 1 });
 }
 
 /// `simulate fuzz` — the deterministic invariant fuzz campaign of the
@@ -771,6 +829,11 @@ fn run_serve(argv: &[String]) -> ! {
     let mut digest = false;
     let mut audit_table = false;
     let mut json: Option<String> = None;
+    let mut monitor_on = false;
+    let mut budget_mj: Option<f64> = None;
+    let mut health_json: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut status_every: u32 = 0;
     let mut events: Vec<ServeEvent> = Vec::new();
     let fail = |msg: String| -> ! {
         eprintln!("error: {msg}");
@@ -834,6 +897,21 @@ fn run_serve(argv: &[String]) -> ! {
             "--digest" => digest = true,
             "--audit" => audit_table = true,
             "--json" => json = Some(value(&mut i, "--json")),
+            "--monitor" => monitor_on = true,
+            "--budget-mj" => {
+                budget_mj = match value(&mut i, "--budget-mj").parse::<f64>() {
+                    Ok(mj) if mj > 0.0 => Some(mj),
+                    _ => fail("--budget-mj needs a positive number of millijoules".into()),
+                }
+            }
+            "--health-json" => health_json = Some(value(&mut i, "--health-json")),
+            "--metrics-out" => metrics_out = Some(value(&mut i, "--metrics-out")),
+            "--status-every" => {
+                status_every = match value(&mut i, "--status-every").parse::<u32>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => fail("--status-every needs a positive round interval".into()),
+                }
+            }
             "--admit" => {
                 let (round, phi) = pair(&value(&mut i, "--admit"), "--admit");
                 if phi > 1000 {
@@ -882,15 +960,39 @@ fn run_serve(argv: &[String]) -> ! {
     };
     let workload = sc.workload();
 
+    // Any monitoring flag attaches the monitor; the flight recorder is
+    // sized to the whole run so `--status-every` can replay every round.
+    let monitor_cfg = (monitor_on
+        || budget_mj.is_some()
+        || health_json.is_some()
+        || metrics_out.is_some()
+        || status_every > 0)
+        .then(|| wsn_net::obs::MonitorConfig {
+            budget_joules: budget_mj.map(|mj| mj * 1e-3),
+            recorder_capacity: rounds as usize,
+            ..wsn_net::obs::MonitorConfig::default()
+        });
+
     if digest {
-        print!(
-            "{}",
-            wsn_sim::parity::serve_digest(&cfg, &workload, &events, shared)
-        );
+        // With monitoring attached the digest comes from the *monitored*
+        // run, so CI can diff it against a monitor-off digest to prove
+        // the zero-perturbation contract on the release binary.
+        match &monitor_cfg {
+            Some(mc) => {
+                let (report, _, net) =
+                    wsn_sim::serve_monitored(&cfg, &workload, &events, shared, 0, Some(mc));
+                print!("{}", wsn_sim::parity::serve_report_digest(&report, &net));
+            }
+            None => print!(
+                "{}",
+                wsn_sim::parity::serve_digest(&cfg, &workload, &events, shared)
+            ),
+        }
         std::process::exit(0);
     }
 
-    let (report, _net) = wsn_sim::serve_capture(&cfg, &workload, &events, shared, 0);
+    let (report, monitor, _net) =
+        wsn_sim::serve_monitored(&cfg, &workload, &events, shared, 0, monitor_cfg.as_ref());
     println!(
         "serve: {} queries over {} rounds on {} nodes ({} framing, {} wave thread{})",
         report.queries.len(),
@@ -935,6 +1037,55 @@ fn run_serve(argv: &[String]) -> ! {
             );
         }
     }
+    if let Some(m) = &monitor {
+        if status_every > 0 {
+            for frame in m.recorder().frames() {
+                if (frame.round + 1) % status_every == 0 || frame.round + 1 == report.rounds {
+                    let answered = frame.slots.iter().filter(|s| s.answered).count();
+                    println!(
+                        "status round {:>3}: {}/{} slots answered, cache {}h/{}m, {} health event(s)",
+                        frame.round,
+                        answered,
+                        frame.slots.len(),
+                        frame.plan_hits,
+                        frame.plan_misses,
+                        frame.events.len(),
+                    );
+                }
+            }
+        }
+        println!(
+            "monitor: cache hit rate {:.1}%, {} health event(s)",
+            m.cache_hit_rate_milli() as f64 / 10.0,
+            m.events().len(),
+        );
+        print!("{}", m.status_table());
+        for e in m.events() {
+            let slot = e.slot.map_or_else(|| "-".into(), |s| s.to_string());
+            println!(
+                "health: round={} slot={} kind={}",
+                e.round,
+                slot,
+                e.kind.name()
+            );
+        }
+        if let Some(path) = &health_json {
+            if let Err(e) = std::fs::write(path, m.health_jsonl()) {
+                eprintln!("error: --health-json {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote flight-recorder dump to {path}");
+        }
+        if let Some(path) = &metrics_out {
+            let mut dump = wsn_net::obs::PromDump::new();
+            m.prom(&mut dump);
+            if let Err(e) = std::fs::write(path, dump.finish()) {
+                eprintln!("error: --metrics-out {path}: {e}");
+                std::process::exit(2);
+            }
+            eprintln!("wrote monitor metrics to {path}");
+        }
+    }
     if let Some(path) = json {
         let mut out = String::from("{\"queries\":[");
         for (i, q) in report.queries.iter().enumerate() {
@@ -977,7 +1128,11 @@ fn run_serve(argv: &[String]) -> ! {
             std::process::exit(2);
         }
     }
-    std::process::exit(if report.audit_discrepancies == 0 {
+    let unhealthy = monitor.as_ref().is_some_and(|m| m.is_unhealthy());
+    if unhealthy {
+        eprintln!("serve: UNHEALTHY — a watchdog fired (see the health lines above)");
+    }
+    std::process::exit(if report.audit_discrepancies == 0 && !unhealthy {
         0
     } else {
         1
@@ -988,6 +1143,9 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("diff") {
         run_diff(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("bench-diff") {
+        run_bench_diff(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("serve") {
         run_serve(&argv[1..]);

@@ -14,6 +14,7 @@
 
 pub mod harness;
 pub mod json;
+pub mod regress;
 pub mod scale;
 
 pub use wsn_sim::experiments;

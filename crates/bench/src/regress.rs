@@ -1,0 +1,227 @@
+//! Bench regression gate: diff a fresh `BENCH_results.json` against a
+//! checked-in baseline and fail when any cell's median slowed down past a
+//! tolerance band.
+//!
+//! Both files share the [`crate::harness`] layout — a top-level object of
+//! bench *groups*, each an object of *cells* carrying `median_ns` (plus
+//! `min_ns`/`mean_ns`/`iters`, which the gate ignores: medians are the
+//! stable statistic on shared CI hardware). Keys starting with `_` (the
+//! `_meta` block) are skipped. Cells present on only one side are
+//! reported but are not failures — benches come and go across PRs; only a
+//! *slowdown of a shared cell* gates.
+//!
+//! The comparison is `current > baseline * (1 + tolerance)`. The default
+//! band is deliberately wide (50%) because the baseline may have been
+//! recorded on different hardware; `scripts/bench_regress.sh` and the
+//! `simulate bench-diff` subcommand both take `--tolerance` to tighten it
+//! on a pinned runner.
+
+use crate::json::Json;
+
+/// Default tolerance band: a cell may be up to 50% slower than baseline.
+pub const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// One compared bench cell (`group/cell`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// `group/cell` path of the bench.
+    pub name: String,
+    /// Baseline median, ns.
+    pub baseline_ns: f64,
+    /// Current median, ns.
+    pub current_ns: f64,
+    /// `current / baseline` speed ratio (> 1 means slower).
+    pub ratio: f64,
+    /// True when the cell slowed past the tolerance band.
+    pub regressed: bool,
+}
+
+/// The full comparison: shared cells plus the cells unique to one side.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Every cell present in both files, in baseline order.
+    pub cells: Vec<CellDiff>,
+    /// Cells only in the baseline (removed benches).
+    pub only_baseline: Vec<String>,
+    /// Cells only in the current results (new benches, not gated).
+    pub only_current: Vec<String>,
+}
+
+impl Comparison {
+    /// True when no shared cell regressed.
+    pub fn is_clean(&self) -> bool {
+        self.cells.iter().all(|c| !c.regressed)
+    }
+
+    /// The regressed subset.
+    pub fn regressions(&self) -> impl Iterator<Item = &CellDiff> {
+        self.cells.iter().filter(|c| c.regressed)
+    }
+
+    /// Plain-text report: one line per shared cell, slowest ratio first
+    /// within each verdict, then the one-sided cells, then the verdict.
+    pub fn render(&self, tolerance: f64) -> String {
+        let mut out = String::new();
+        let mut sorted: Vec<&CellDiff> = self.cells.iter().collect();
+        sorted.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+        for c in &sorted {
+            out.push_str(&format!(
+                "{} {:<44} {:>12.0} -> {:>12.0} ns  ({:+.1}%)\n",
+                if c.regressed {
+                    "REGRESSED"
+                } else {
+                    "ok       "
+                },
+                c.name,
+                c.baseline_ns,
+                c.current_ns,
+                (c.ratio - 1.0) * 100.0,
+            ));
+        }
+        for name in &self.only_baseline {
+            out.push_str(&format!("removed   {name} (baseline only, not gated)\n"));
+        }
+        for name in &self.only_current {
+            out.push_str(&format!("new       {name} (current only, not gated)\n"));
+        }
+        let regressed = self.regressions().count();
+        out.push_str(&format!(
+            "bench-diff: {} shared cell(s), {} regressed (tolerance {:.0}%)\n",
+            self.cells.len(),
+            regressed,
+            tolerance * 100.0,
+        ));
+        out
+    }
+}
+
+/// Walks one results object into `(group/cell, median_ns)` pairs,
+/// skipping `_`-prefixed groups and cells without a numeric `median_ns`.
+fn medians(root: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Json::Obj(groups) = root else {
+        return out;
+    };
+    for (group, cells) in groups {
+        if group.starts_with('_') {
+            continue;
+        }
+        let Json::Obj(cells) = cells else { continue };
+        for (cell, fields) in cells {
+            if let Some(Json::Num(median)) = fields.get("median_ns") {
+                out.push((format!("{group}/{cell}"), *median));
+            }
+        }
+    }
+    out
+}
+
+/// Compares two parsed results files under a tolerance band.
+pub fn compare(baseline: &Json, current: &Json, tolerance: f64) -> Comparison {
+    let base = medians(baseline);
+    let cur = medians(current);
+    let mut cmp = Comparison::default();
+    for (name, baseline_ns) in &base {
+        match cur.iter().find(|(n, _)| n == name) {
+            Some((_, current_ns)) => {
+                let ratio = if *baseline_ns > 0.0 {
+                    current_ns / baseline_ns
+                } else {
+                    1.0
+                };
+                cmp.cells.push(CellDiff {
+                    name: name.clone(),
+                    baseline_ns: *baseline_ns,
+                    current_ns: *current_ns,
+                    ratio,
+                    regressed: *current_ns > baseline_ns * (1.0 + tolerance),
+                });
+            }
+            None => cmp.only_baseline.push(name.clone()),
+        }
+    }
+    for (name, _) in &cur {
+        if !base.iter().any(|(n, _)| n == name) {
+            cmp.only_current.push(name.clone());
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results(cells: &[(&str, f64)]) -> Json {
+        let group = Json::Obj(
+            cells
+                .iter()
+                .map(|(name, median)| {
+                    (
+                        name.to_string(),
+                        Json::Obj(vec![
+                            ("median_ns".into(), Json::Num(*median)),
+                            ("iters".into(), Json::int(10)),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            (
+                "_meta".into(),
+                Json::Obj(vec![("cores".into(), Json::int(1))]),
+            ),
+            ("grp".into(), group),
+        ])
+    }
+
+    #[test]
+    fn a_slowdown_past_the_band_regresses() {
+        let base = results(&[("a", 100.0), ("b", 100.0)]);
+        let cur = results(&[("a", 149.0), ("b", 151.0)]);
+        let cmp = compare(&base, &cur, 0.5);
+        assert!(!cmp.is_clean());
+        let names: Vec<&str> = cmp.regressions().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["grp/b"]);
+        assert!(cmp.render(0.5).contains("REGRESSED grp/b"));
+    }
+
+    #[test]
+    fn one_sided_cells_report_but_do_not_gate() {
+        let base = results(&[("gone", 100.0), ("kept", 100.0)]);
+        let cur = results(&[("kept", 90.0), ("fresh", 1e9)]);
+        let cmp = compare(&base, &cur, 0.1);
+        assert!(cmp.is_clean());
+        assert_eq!(cmp.only_baseline, ["grp/gone"]);
+        assert_eq!(cmp.only_current, ["grp/fresh"]);
+        assert_eq!(cmp.cells.len(), 1);
+    }
+
+    #[test]
+    fn meta_blocks_and_median_free_cells_are_skipped() {
+        let root = Json::Obj(vec![
+            (
+                "_meta".into(),
+                Json::Obj(vec![(
+                    "median_ns".into(),
+                    Json::Obj(vec![("median_ns".into(), Json::Num(1.0))]),
+                )]),
+            ),
+            (
+                "grp".into(),
+                Json::Obj(vec![("noisy".into(), Json::Obj(vec![]))]),
+            ),
+        ]);
+        assert!(medians(&root).is_empty());
+    }
+
+    #[test]
+    fn a_faster_run_is_clean_and_speedup_prints_negative() {
+        let base = results(&[("a", 200.0)]);
+        let cur = results(&[("a", 100.0)]);
+        let cmp = compare(&base, &cur, 0.0);
+        assert!(cmp.is_clean());
+        assert!(cmp.render(0.0).contains("(-50.0%)"));
+    }
+}

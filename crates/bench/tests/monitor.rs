@@ -1,0 +1,157 @@
+//! Binary-level tests of the serve monitoring plane and the bench
+//! regression gate: the exit-code contracts CI scripts rely on, and the
+//! flight-recorder JSONL round-tripping through our own JSON parser.
+
+use wsn_bench::json::Json;
+
+/// Runs the real `simulate` binary with `args` in `dir` and returns
+/// `(exit code, stdout)`.
+fn simulate(dir: &std::path::Path, args: &[&str]) -> (i32, String) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_simulate"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("simulate binary must run");
+    (
+        out.status.code().expect("no signal"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// Scratch directory for binary-level tests, unique per test name.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wsn-monitor-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+const SERVE: &[&str] = &[
+    "serve",
+    "--queries",
+    "4",
+    "--nodes",
+    "16",
+    "--rounds",
+    "8",
+    "--seed",
+    "9",
+];
+
+/// A healthy monitored serve exits 0 and prints the status table; a
+/// deliberately tiny energy budget trips the BudgetOverrun watchdog,
+/// flips the exit code to 1, and dumps a flight-recorder post-mortem
+/// whose every JSONL line parses with `wsn_bench::json`.
+#[test]
+fn monitored_serve_exit_codes_and_health_dump_through_the_real_binary() {
+    let dir = scratch("serve");
+
+    let healthy: Vec<&str> = [SERVE, &["--monitor", "--status-every", "4"]].concat();
+    let (code, out) = simulate(&dir, &healthy);
+    assert_eq!(code, 0, "healthy monitored serve: {out}");
+    assert!(out.contains("monitor: cache hit rate"), "{out}");
+    assert!(out.contains("status round"), "{out}");
+    assert!(out.contains("active"), "registry table present: {out}");
+
+    let overrun: Vec<&str> = [
+        SERVE,
+        &["--budget-mj", "0.000001", "--health-json", "health.jsonl"],
+    ]
+    .concat();
+    let (code, out) = simulate(&dir, &overrun);
+    assert_eq!(code, 1, "tiny budget must trip the watchdog: {out}");
+    assert!(out.contains("kind=budget_overrun"), "{out}");
+
+    let dump = std::fs::read_to_string(dir.join("health.jsonl")).expect("dump written");
+    let mut rounds = 0usize;
+    let mut overruns = 0usize;
+    for line in dump.lines().filter(|l| !l.is_empty()) {
+        let doc = Json::parse(line).expect("every JSONL line parses");
+        match doc.get("type") {
+            Some(Json::Str(t)) if t == "round" => rounds += 1,
+            Some(Json::Str(t)) if t == "health" => {
+                if matches!(doc.get("kind"), Some(Json::Str(k)) if k == "budget_overrun") {
+                    overruns += 1;
+                }
+                assert!(matches!(doc.get("round"), Some(Json::Num(_))), "{line}");
+            }
+            other => panic!("unexpected line type {other:?}: {line}"),
+        }
+    }
+    assert!(rounds > 0, "post-mortem carries ring frames");
+    assert!(overruns > 0, "post-mortem carries the overrun events");
+
+    // Monitoring must not perturb the digest (release-binary replica of
+    // the library-level zero-perturbation test).
+    let digest: Vec<&str> = [SERVE, &["--digest"]].concat();
+    let monitored_digest: Vec<&str> = [SERVE, &["--digest", "--monitor"]].concat();
+    let (code_a, plain) = simulate(&dir, &digest);
+    let (code_b, monitored) = simulate(&dir, &monitored_digest);
+    assert_eq!((code_a, code_b), (0, 0));
+    assert_eq!(plain, monitored, "monitoring changed the serve digest");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One results file in the harness layout with a single group.
+fn results_file(dir: &std::path::Path, name: &str, cells: &[(&str, u64)]) {
+    let mut group = Json::Obj(vec![]);
+    for (cell, median) in cells {
+        group.set(
+            cell,
+            Json::Obj(vec![
+                ("median_ns".into(), Json::int(*median)),
+                ("min_ns".into(), Json::int(*median)),
+                ("mean_ns".into(), Json::int(*median)),
+                ("iters".into(), Json::int(10)),
+            ]),
+        );
+    }
+    let mut root = Json::Obj(vec![(
+        "_meta".into(),
+        Json::Obj(vec![("cores".into(), Json::int(1))]),
+    )]);
+    root.set("grp", group);
+    std::fs::write(dir.join(name), root.pretty()).expect("write results file");
+}
+
+/// `simulate bench-diff` through the real binary: identical medians exit
+/// 0, a slowdown past the tolerance band exits 1 naming the cell, and
+/// every bad-input shape exits 2.
+#[test]
+fn bench_diff_exit_codes_through_the_real_binary() {
+    let dir = scratch("bench-diff");
+    results_file(&dir, "base.json", &[("a", 100), ("b", 100)]);
+    results_file(&dir, "same.json", &[("a", 100), ("b", 100)]);
+    results_file(&dir, "slow.json", &[("a", 100), ("b", 200)]);
+
+    let (code, out) = simulate(&dir, &["bench-diff", "base.json", "same.json"]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("0 regressed"), "{out}");
+
+    let (code, out) = simulate(&dir, &["bench-diff", "base.json", "slow.json"]);
+    assert_eq!(code, 1, "2x slowdown beats any sane band: {out}");
+    assert!(out.contains("REGRESSED grp/b"), "{out}");
+
+    let wide = ["bench-diff", "base.json", "slow.json", "--tolerance", "1.5"];
+    let (code, out) = simulate(&dir, &wide);
+    assert_eq!(code, 0, "a 150% band tolerates a 2x slowdown: {out}");
+
+    let (code, _) = simulate(&dir, &["bench-diff", "base.json", "missing.json"]);
+    assert_eq!(code, 2, "missing file is a usage error");
+
+    std::fs::write(dir.join("garbage.json"), "{broken").unwrap();
+    let (code, _) = simulate(&dir, &["bench-diff", "base.json", "garbage.json"]);
+    assert_eq!(code, 2, "malformed results file is a usage error");
+
+    let (code, _) = simulate(&dir, &["bench-diff", "base.json"]);
+    assert_eq!(code, 2, "bench-diff takes exactly two files");
+
+    let (code, _) = simulate(
+        &dir,
+        &["bench-diff", "base.json", "same.json", "--tolerance", "-1"],
+    );
+    assert_eq!(code, 2, "negative tolerance is a usage error");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

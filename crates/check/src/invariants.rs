@@ -20,10 +20,12 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use cqp_core::rank::{kth_equivariant_under_affine, kth_invariant_under_rotation, rank_of_phi};
 use wsn_data::Rng;
-use wsn_net::lane_breakdowns;
-use wsn_net::obs::HistKind;
+use wsn_net::obs::{HealthKind, HistKind, MonitorConfig};
+use wsn_net::{lane_breakdowns, lane_breakdowns_by_round};
 use wsn_sim::runner::run_experiment_threads;
-use wsn_sim::{serve, serve_capture, AggregatedMetrics, AlgorithmKind, Scenario, Value};
+use wsn_sim::{
+    serve, serve_capture, serve_monitored, AggregatedMetrics, AlgorithmKind, Scenario, Value,
+};
 
 use crate::meta;
 
@@ -198,6 +200,9 @@ pub struct Tally {
     /// Multi-query serve batteries (shared/unshared/solo identity plus
     /// lane accounting).
     pub serve: u64,
+    /// Watchdog-replay reconciliations (monitored serve runs checked for
+    /// zero perturbation and fire-iff budget events).
+    pub watchdog: u64,
 }
 
 impl Tally {
@@ -210,6 +215,7 @@ impl Tally {
         self.parity += other.parity;
         self.metamorphic += other.metamorphic;
         self.serve += other.serve;
+        self.watchdog += other.watchdog;
     }
 }
 
@@ -484,6 +490,61 @@ pub fn check(scenario: &Scenario) -> ScenarioReport {
                         }
                     }
                 }
+                // Watchdog replay (DESIGN.md §3.3j): monitoring is pure
+                // observation — the monitored run must reproduce the
+                // unmonitored report bit-for-bit — and the BudgetOverrun
+                // watchdog must fire exactly at the first round boundary
+                // where the lane energy replayed from the audit log
+                // crosses the budget (same round, same slot), and never
+                // otherwise. The 1 µJ budget makes most lanes overrun
+                // while follower lanes (honestly zero) never do, so both
+                // directions of the iff are exercised.
+                tally.watchdog += 1;
+                let mon_cfg = MonitorConfig {
+                    budget_joules: Some(1e-6),
+                    ..MonitorConfig::default()
+                };
+                match catch(|| serve_monitored(&cfg, &workload, &[], true, 0, Some(&mon_cfg))) {
+                    Err(message) => violations.push(Violation::Panic {
+                        algorithm: "serve-monitor",
+                        message,
+                    }),
+                    Ok((monitored, monitor, mnet)) => {
+                        if monitored != shared {
+                            violations.push(Violation::ServeAccounting {
+                                detail: "attaching a monitor perturbed the serve report"
+                                    .to_string(),
+                            });
+                        }
+                        let monitor = monitor.expect("a monitor config was attached");
+                        let budget = mon_cfg.budget_joules.expect("set above");
+                        let by_round = lane_breakdowns_by_round(
+                            mnet.audit_log(),
+                            monitored.lanes.len(),
+                            monitored.rounds,
+                        );
+                        for (slot, _lane) in monitored.lanes.iter().enumerate() {
+                            // Every slot admits at round 0 here, so its
+                            // baseline lane book is zero and the replayed
+                            // cumulative energy is the monitor's own view.
+                            let expected = (0..monitored.rounds)
+                                .find(|&r| by_round[r as usize][slot].total_joules() > budget);
+                            let actual = monitor.events().iter().find_map(|e| match e.kind {
+                                HealthKind::BudgetOverrun { .. } if e.slot == Some(slot as u32) => {
+                                    Some(e.round)
+                                }
+                                _ => None,
+                            });
+                            if expected != actual {
+                                violations.push(Violation::ServeAccounting {
+                                    detail: format!(
+                                        "slot {slot}: BudgetOverrun fired at {actual:?} but the audit replay says {expected:?}"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -539,6 +600,7 @@ mod tests {
         let report = check(&s);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
         assert_eq!(report.tally.serve, 1);
+        assert_eq!(report.tally.watchdog, 1);
     }
 
     #[test]

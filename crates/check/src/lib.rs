@@ -89,8 +89,9 @@ impl FuzzReport {
         let t = &self.tally;
         let _ = writeln!(
             out,
-            "checks: batteries={} audit={} telemetry={} exactness={} parity={} metamorphic={} serve={}",
-            t.batteries, t.audit, t.telemetry, t.exactness, t.parity, t.metamorphic, t.serve
+            "checks: batteries={} audit={} telemetry={} exactness={} parity={} metamorphic={} serve={} watchdog={}",
+            t.batteries, t.audit, t.telemetry, t.exactness, t.parity, t.metamorphic, t.serve,
+            t.watchdog
         );
         for f in &self.failures {
             let _ = writeln!(out, "FAIL scenario #{}:", f.index);

@@ -140,6 +140,22 @@ impl PlanCache {
         self.entries.push((key, plan));
     }
 
+    /// Total lookups served (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in milli-units (`1000` before any lookup — an untouched
+    /// cache has not thrashed). The monitoring plane's cache-thrash
+    /// watchdog compares this against its floor.
+    pub fn hit_rate_milli(&self) -> u32 {
+        if self.lookups() == 0 {
+            1000
+        } else {
+            (self.hits.saturating_mul(1000) / self.lookups()) as u32
+        }
+    }
+
     /// Cached plans currently held.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -365,6 +381,20 @@ mod tests {
         // A topology repair invalidates everything.
         svc.plan(6, 1);
         assert_eq!(svc.cache().misses, 3);
+    }
+
+    #[test]
+    fn hit_rate_is_milli_of_lookups() {
+        let mut svc = Service::new();
+        assert_eq!(svc.cache().hit_rate_milli(), 1000, "untouched cache");
+        svc.admit(spec(1, 500, 1));
+        svc.plan(0, 0); // miss
+        assert_eq!(svc.cache().lookups(), 1);
+        assert_eq!(svc.cache().hit_rate_milli(), 0);
+        svc.plan(1, 0); // hit
+        svc.plan(2, 0); // hit
+        assert_eq!(svc.cache().lookups(), 3);
+        assert_eq!(svc.cache().hit_rate_milli(), 666);
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub mod topology;
 pub mod tree;
 
 pub use audit::{
-    lane_breakdowns, AuditLog, AuditReport, EnergyAuditor, LaneBook, Phase, PhaseBreakdown,
-    PhaseCounters, TxEvent, TxKind,
+    lane_breakdowns, lane_breakdowns_by_round, AuditLog, AuditReport, EnergyAuditor, LaneBook,
+    Phase, PhaseBreakdown, PhaseCounters, TxEvent, TxKind,
 };
 pub use bitset::NodeBits;
 pub use energy::{EnergyLedger, RadioModel};

@@ -11,6 +11,23 @@ use crate::hist::LogHistogram;
 use crate::span::{SpanEvent, SpanKind};
 use std::fmt::Write as _;
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`. Apply
+/// to any value that is not a known-safe literal (protocol names, query
+/// parameters, anything user-influenced).
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// Human-readable label for a track id (track 0 is the engine, track
 /// `i + 1` is node `i`).
 fn track_label(track: u32) -> String {
@@ -238,6 +255,118 @@ mod tests {
         assert!(text.contains(r#"wsn_msg_bits_bucket{node="0",le="+Inf"} 3"#));
         assert!(text.contains(r#"wsn_msg_bits_sum{node="0"} 106"#));
         assert!(text.contains(r#"wsn_msg_bits_count{node="0"} 3"#));
+    }
+
+    /// One parsed exposition series line: name, `(label, value)` pairs
+    /// with escapes undone, and the sample.
+    type Series = (String, Vec<(String, String)>, f64);
+
+    /// Minimal exposition-format parser for the round-trip test.
+    fn parse_series(text: &str) -> Vec<Series> {
+        let mut out = Vec::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, sample) = line.rsplit_once(' ').expect("sample");
+            let (name, labels) = match series.split_once('{') {
+                None => (series.to_string(), Vec::new()),
+                Some((name, rest)) => {
+                    let body = rest.strip_suffix('}').expect("closing brace");
+                    let mut labels = Vec::new();
+                    let mut chars = body.chars().peekable();
+                    while chars.peek().is_some() {
+                        let mut key = String::new();
+                        for c in chars.by_ref() {
+                            if c == '=' {
+                                break;
+                            }
+                            key.push(c);
+                        }
+                        assert_eq!(chars.next(), Some('"'));
+                        let mut value = String::new();
+                        loop {
+                            match chars.next().expect("unterminated value") {
+                                '\\' => match chars.next().expect("escape") {
+                                    'n' => value.push('\n'),
+                                    c => value.push(c),
+                                },
+                                '"' => break,
+                                c => value.push(c),
+                            }
+                        }
+                        if chars.peek() == Some(&',') {
+                            chars.next();
+                        }
+                        labels.push((key, value));
+                    }
+                    (name.to_string(), labels)
+                }
+            };
+            out.push((name, labels, sample.parse::<f64>().expect("float sample")));
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_the_exposition_format() {
+        let hostile = "IQ\"v2\\beta\nline2";
+        let mut dump = PromDump::new();
+        dump.gauge(
+            "wsn_query_staleness_rounds",
+            &format!(r#"slot="3",algorithm="{}""#, escape_label(hostile)),
+            "staleness",
+            2.0,
+        );
+        let text = dump.finish();
+        // The physical series line must stay a single line...
+        let series_lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(series_lines.len(), 1);
+        // ...and parsing must recover the original value exactly.
+        let parsed = parse_series(&text);
+        assert_eq!(parsed.len(), 1);
+        let (name, labels, value) = &parsed[0];
+        assert_eq!(name, "wsn_query_staleness_rounds");
+        assert_eq!(value, &2.0);
+        assert_eq!(labels[0], ("slot".to_string(), "3".to_string()));
+        assert_eq!(labels[1].0, "algorithm");
+        assert_eq!(labels[1].1, hostile);
+    }
+
+    #[test]
+    fn per_query_label_sets_share_one_type_header() {
+        let mut dump = PromDump::new();
+        for slot in 0..4 {
+            dump.gauge(
+                "wsn_query_lane_joules",
+                &format!(r#"slot="{slot}""#),
+                "lane energy",
+                slot as f64,
+            );
+            dump.counter(
+                "wsn_query_answers_total",
+                &format!(r#"slot="{slot}""#),
+                "answers",
+                slot,
+            );
+        }
+        let text = dump.finish();
+        assert_eq!(
+            text.matches("# TYPE wsn_query_lane_joules gauge").count(),
+            1
+        );
+        assert_eq!(
+            text.matches("# TYPE wsn_query_answers_total counter")
+                .count(),
+            1
+        );
+        assert_eq!(text.matches("# HELP wsn_query_lane_joules").count(), 1);
+        assert_eq!(parse_series(&text).len(), 8, "all eight samples kept");
+    }
+
+    #[test]
+    fn escape_label_handles_the_three_specials() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label(r"a\b"), r"a\\b");
+        assert_eq!(escape_label("a\nb"), r"a\nb");
     }
 
     #[test]

@@ -13,6 +13,16 @@
 //!   exactly zero), so the 1-bit-to-gigabit range fits 32 buckets;
 //! * **mergeable** — bucket-wise addition aggregates nodes into networks
 //!   and runs into experiments without losing the shape.
+//!
+//! **Bucket-edge convention.** Bucket 0 holds *exactly* the value zero.
+//! Bucket `i ≥ 1` holds the values whose highest set bit is `i - 1`, i.e.
+//! the closed range `[2^(i-1), 2^i - 1]` — so boundaries land on powers
+//! of two and a value `2^k` opens bucket `k + 1`, never closes bucket
+//! `k`. The last bucket (index 31) is open-ended: it absorbs every value
+//! `≥ 2^30`, all the way to `u64::MAX`, and reports `u64::MAX` as its
+//! inclusive upper bound. The `sum` and `count` accumulators saturate
+//! instead of wrapping, so even adversarial streams of `u64::MAX`
+//! samples can bucket-index, record and merge without overflow.
 
 /// One log-bucketed histogram over `u64` samples.
 ///
@@ -63,16 +73,18 @@ impl LogHistogram {
         }
     }
 
-    /// Records one sample. Never allocates.
+    /// Records one sample. Never allocates; `sum` saturates at
+    /// `u64::MAX` rather than wrapping (see the module header).
     pub fn record(&mut self, value: u64) {
         self.counts[LogHistogram::bucket_of(value)] += 1;
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
         self.max = self.max.max(value);
     }
 
     /// Records the same sample `times` times. All four counters are plain
-    /// integer accumulators, so this is exactly equivalent to calling
+    /// integer accumulators (with the same saturating `sum` as
+    /// [`record`](Self::record)), so this is exactly equivalent to calling
     /// [`record`](Self::record) `times` times — engines may coalesce runs
     /// of identical samples without changing any observable state.
     pub fn record_n(&mut self, value: u64, times: u64) {
@@ -81,7 +93,7 @@ impl LogHistogram {
         }
         self.counts[LogHistogram::bucket_of(value)] += times;
         self.count += times;
-        self.sum += value * times;
+        self.sum = self.sum.saturating_add(value.saturating_mul(times));
         self.max = self.max.max(value);
     }
 
@@ -136,13 +148,14 @@ impl LogHistogram {
         Some(LogHistogram::bucket_range(LogHistogram::BUCKETS - 1).1)
     }
 
-    /// Bucket-wise accumulation of `other` into `self`.
+    /// Bucket-wise accumulation of `other` into `self` (`sum` saturates,
+    /// matching [`record`](Self::record)).
     pub fn merge(&mut self, other: &LogHistogram) {
         for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a += b;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
     }
 }
@@ -329,6 +342,49 @@ mod tests {
                 assert_eq!(LogHistogram::bucket_of(hi), i, "hi of bucket {i}");
             }
         }
+    }
+
+    #[test]
+    fn boundary_samples_pin_the_edge_buckets() {
+        // Zero: its own bucket, closed on both sides.
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_range(0), (0, 0));
+        // One: the first log bucket, [1, 1].
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_range(1), (1, 1));
+        // u64::MAX: the open-ended top bucket — no panic, no wrap.
+        let top = LogHistogram::BUCKETS - 1;
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), top);
+        assert_eq!(LogHistogram::bucket_range(top), (1 << (top - 1), u64::MAX));
+        let mut h = LogHistogram::default();
+        for v in [0, 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(top), 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates instead of wrapping");
+        assert_eq!(h.quantile_bound(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn repeated_max_samples_saturate_without_panicking() {
+        let mut h = LogHistogram::default();
+        h.record(u64::MAX);
+        h.record(u64::MAX); // would overflow a wrapping sum in debug builds
+        h.record(7);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), u64::MAX);
+        let mut bulk = LogHistogram::default();
+        bulk.record_n(u64::MAX, 3);
+        assert_eq!(bulk.sum(), u64::MAX, "record_n saturates identically");
+        assert_eq!(bulk.count(), 3);
+        // Merging two saturated histograms still saturates.
+        let mut a = h;
+        a.merge(&bulk);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 6);
     }
 
     #[test]

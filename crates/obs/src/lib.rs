@@ -17,7 +17,11 @@
 //!   wire format, and a replaying differ ([`capture::diff`]) that reports
 //!   the first divergent (round, node, frame) between two captures;
 //! * [`export`] — Chrome-trace/Perfetto JSON for spans and a
-//!   Prometheus-style text dump for metrics and histograms.
+//!   Prometheus-style text dump for metrics and histograms;
+//! * [`monitor`] — the service-level monitoring plane: per-query live
+//!   metrics rows, deterministic round-boundary watchdogs raising typed
+//!   [`HealthEvent`]s, and a fixed-capacity flight recorder whose JSONL
+//!   post-mortem captures the rounds leading up to the first event.
 //!
 //! The crate is deliberately a leaf: **zero dependencies**, not even on
 //! `wsn-net`. The network engine depends on *it* and feeds it plain
@@ -27,9 +31,14 @@
 pub mod capture;
 pub mod export;
 pub mod hist;
+pub mod monitor;
 pub mod span;
 
 pub use capture::{diff, CaptureDiff, Divergence, PacketRecord};
-pub use export::{chrome_trace, PromDump};
+pub use export::{chrome_trace, escape_label, PromDump};
 pub use hist::{HistKind, HistogramSet, LogHistogram, NodeHistograms};
+pub use monitor::{
+    FlightRecorder, HealthEvent, HealthKind, Monitor, MonitorConfig, QueryRow, RoundFrame,
+    SlotSample,
+};
 pub use span::{Recorder, SpanEvent, SpanKind, SpanStart};

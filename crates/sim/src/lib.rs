@@ -37,7 +37,9 @@ pub use config::{AlgorithmKind, DatasetSpec, SimulationConfig};
 pub use metrics::{AggregatedMetrics, RunMetrics};
 pub use runner::{run_experiment, run_experiment_threads, run_once};
 pub use scenario::{DataSource, Scenario};
-pub use service::{serve, serve_capture, QueryReport, ServeEvent, ServeQuery, ServeReport};
+pub use service::{
+    serve, serve_capture, serve_monitored, QueryReport, ServeEvent, ServeQuery, ServeReport,
+};
 
 /// A sensor measurement.
 pub type Value = wsn_net::Value;

@@ -28,6 +28,7 @@ use cqp_core::service::{QuerySpec, Service};
 use cqp_core::ContinuousQuantile;
 use wsn_data::Rng;
 use wsn_net::loss::LossModel;
+use wsn_net::obs::{Monitor, MonitorConfig};
 use wsn_net::{
     lane_breakdowns, EnergyAuditor, FailureModel, Network, NodeId, Phase, PhaseBreakdown,
 };
@@ -265,6 +266,33 @@ pub fn serve_capture(
     shared: bool,
     run_index: u32,
 ) -> (ServeReport, Network) {
+    let (report, _, net) = serve_monitored(cfg, initial, events, shared, run_index, None);
+    (report, net)
+}
+
+/// [`serve_capture`] with the monitoring plane attached: when
+/// `monitor_cfg` is given, a [`Monitor`] rides along the run — queries
+/// register on admit, every served answer and every lane's cumulative
+/// charges feed the registry, and watchdogs evaluate at each round
+/// boundary.
+///
+/// The monitor is strictly read-only with respect to the engine: it is
+/// fed values the runner already computed for its own reports (lane-book
+/// deltas, rank errors, plan-cache counters), never consulted for any
+/// decision, and never touches the [`Network`]. A monitored run therefore
+/// produces the *byte-identical* [`ServeReport`], audit log and digest of
+/// an unmonitored one — pinned by `crates/sim/tests/serve.rs` — and,
+/// because everything it observes comes from the sequentially-replayed
+/// accounting, its health-event stream is itself bit-identical at any
+/// `wave_workers` count.
+pub fn serve_monitored(
+    cfg: &SimulationConfig,
+    initial: &[ServeQuery],
+    events: &[ServeEvent],
+    shared: bool,
+    run_index: u32,
+    monitor_cfg: Option<&MonitorConfig>,
+) -> (ServeReport, Option<Monitor>, Network) {
     let mut rng = Rng::seed_from_u64(
         cfg.seed
             ^ (run_index as u64)
@@ -293,6 +321,7 @@ pub fn serve_capture(
     let mut instances: Vec<Instance> = Vec::new();
     let mut slots: Vec<Option<SlotState>> = Vec::new();
     let mut reports: Vec<QueryReport> = Vec::new();
+    let mut monitor: Option<Monitor> = monitor_cfg.map(|c| Monitor::new(*c));
 
     let admit = |round: u32,
                  q: ServeQuery,
@@ -300,6 +329,7 @@ pub fn serve_capture(
                  instances: &mut Vec<Instance>,
                  slots: &mut Vec<Option<SlotState>>,
                  reports: &mut Vec<QueryReport>,
+                 monitor: &mut Option<Monitor>,
                  net: &Network| {
         let spec = spec_of(&q, round);
         let slot = svc.admit(spec);
@@ -324,6 +354,16 @@ pub fn serve_capture(
             report_index: reports.len(),
             baseline: baseline_of(&net.lane_book().get(slot as u32)),
         });
+        if let Some(m) = monitor.as_mut() {
+            m.register(
+                slot as u32,
+                round,
+                q.algorithm.name(),
+                q.phi_milli,
+                q.epoch,
+                tolerance,
+            );
+        }
         reports.push(QueryReport {
             slot: slot as u32,
             query: q,
@@ -345,6 +385,7 @@ pub fn serve_capture(
             &mut instances,
             &mut slots,
             &mut reports,
+            &mut monitor,
             &net,
         );
     }
@@ -367,6 +408,7 @@ pub fn serve_capture(
                         &mut instances,
                         &mut slots,
                         &mut reports,
+                        &mut monitor,
                         &net,
                     );
                 }
@@ -375,6 +417,9 @@ pub fn serve_capture(
                     if let Some(state) = slots.get_mut(slot as usize).and_then(Option::take) {
                         let now = net.lane_book().get(slot);
                         reports[state.report_index].charges = delta_of(&now, &state.baseline);
+                    }
+                    if let Some(m) = monitor.as_mut() {
+                        m.retire(slot);
                     }
                     if let Some(spec) = spec {
                         // Drop the instance only when no active slot
@@ -436,9 +481,31 @@ pub fn serve_capture(
                 }
                 report.rank_error_sum += err;
                 report.max_rank_error = report.max_rank_error.max(err);
+                if let Some(m) = monitor.as_mut() {
+                    m.observe_answer(slot as u32, t, err, slot == group.leader);
+                }
             }
         }
         net.finish_round();
+
+        // Round boundary: feed the monitor each active lane's cumulative
+        // charges since admission (the same delta the final report uses)
+        // and let the watchdogs evaluate. Pure reads — the engine never
+        // sees the monitor.
+        if let Some(m) = monitor.as_mut() {
+            for (slot, entry) in slots.iter().enumerate() {
+                if let Some(state) = entry {
+                    let delta = delta_of(&net.lane_book().get(slot as u32), &state.baseline);
+                    m.observe_lane(
+                        slot as u32,
+                        delta.total_joules(),
+                        delta.bits().iter().sum(),
+                        delta.bits()[Phase::Refinement.index()],
+                    );
+                }
+            }
+            m.end_round(t, svc.cache().hits, svc.cache().misses);
+        }
     }
 
     // Close out still-active queries' lane deltas.
@@ -491,7 +558,7 @@ pub fn serve_capture(
         audit_discrepancies,
         lanes,
     };
-    (report, net)
+    (report, monitor, net)
 }
 
 #[cfg(test)]
@@ -628,6 +695,86 @@ mod tests {
         );
         // The survivor served every round.
         assert_eq!(report.queries[0].answers.len(), 10);
+    }
+
+    #[test]
+    fn an_attached_monitor_never_perturbs_the_report() {
+        let cfg = cfg();
+        let queries = [
+            q(AlgorithmKind::Tag, 500, 1),
+            q(AlgorithmKind::Iq, 250, 2),
+            q(AlgorithmKind::Iq, 250, 2),
+        ];
+        let (plain, _) = serve_capture(&cfg, &queries, &[], true, 0);
+        let strict = MonitorConfig {
+            budget_joules: Some(1e-12),
+            stale_limit: 1,
+            dead_lane_limit: 1,
+            cache_window: 1,
+            cache_hit_floor_milli: 1000,
+            recorder_capacity: 4,
+        };
+        let (monitored, monitor, _) = serve_monitored(&cfg, &queries, &[], true, 0, Some(&strict));
+        assert_eq!(plain, monitored, "monitoring must be invisible");
+        let m = monitor.expect("monitor attached");
+        assert!(m.is_unhealthy(), "strict thresholds must trip watchdogs");
+    }
+
+    #[test]
+    fn a_tiny_budget_overruns_on_a_deterministic_round_and_slot() {
+        let cfg = cfg();
+        let queries = [q(AlgorithmKind::Tag, 500, 1), q(AlgorithmKind::Tag, 500, 1)];
+        let mc = MonitorConfig {
+            budget_joules: Some(1e-9),
+            stale_limit: 0,
+            dead_lane_limit: 0,
+            cache_window: 0,
+            ..MonitorConfig::default()
+        };
+        let (_, monitor, _) = serve_monitored(&cfg, &queries, &[], false, 0, Some(&mc));
+        let m = monitor.expect("monitor attached");
+        let overruns: Vec<_> = m
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, wsn_net::obs::HealthKind::BudgetOverrun { .. }))
+            .collect();
+        // The leader's lane carries all the traffic: it overruns in its
+        // first round; the follower's lane stays at zero forever.
+        assert_eq!(overruns.len(), 1);
+        assert_eq!(overruns[0].slot, Some(0));
+        assert_eq!(overruns[0].round, 0);
+        assert!(m.row(1).unwrap().joules == 0.0, "follower lane is free");
+    }
+
+    #[test]
+    fn monitor_rows_track_registry_lifecycle() {
+        let cfg = cfg();
+        let initial = [q(AlgorithmKind::Tag, 500, 1)];
+        let events = [
+            ServeEvent::Admit {
+                round: 3,
+                query: q(AlgorithmKind::Iq, 250, 1),
+            },
+            ServeEvent::Retire { round: 7, slot: 1 },
+        ];
+        let mc = MonitorConfig::default();
+        let (report, monitor, _) = serve_monitored(&cfg, &initial, &events, false, 0, Some(&mc));
+        let m = monitor.expect("monitor attached");
+        assert_eq!(m.rows().count(), 2);
+        let transient = m.row(1).unwrap();
+        assert_eq!(transient.admitted, 3);
+        assert!(!transient.active, "retired");
+        assert_eq!(transient.answers, 4, "due rounds 3..=6");
+        let survivor = m.row(0).unwrap();
+        assert!(survivor.active);
+        assert_eq!(survivor.answers, 10);
+        assert_eq!(survivor.staleness, 0);
+        assert_eq!(
+            survivor.joules,
+            report.queries[0].charges.total_joules(),
+            "registry mirrors the report's lane delta"
+        );
+        assert_eq!(m.recorder().len(), 10, "one frame per round");
     }
 
     #[test]

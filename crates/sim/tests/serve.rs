@@ -6,9 +6,11 @@
 //! framing (under shared framing the transient's piggybacked frames
 //! legitimately change the survivors' marginal accounting).
 
-use wsn_sim::parity::serve_digest;
+use wsn_net::obs::{HealthKind, MonitorConfig};
+use wsn_sim::parity::{serve_digest, serve_report_digest};
 use wsn_sim::{
-    serve, AlgorithmKind, DataSource, Scenario, ServeEvent, ServeQuery, SimulationConfig,
+    serve, serve_monitored, AlgorithmKind, DataSource, Scenario, ServeEvent, ServeQuery,
+    SimulationConfig,
 };
 
 fn scenario() -> Scenario {
@@ -67,6 +69,63 @@ fn serve_is_byte_identical_at_any_wave_worker_count() {
                 "shared={shared}: digest diverged at {workers} wave workers"
             );
         }
+    }
+}
+
+/// Monitoring "fully enabled": every watchdog armed, tight recorder.
+fn full_monitoring() -> MonitorConfig {
+    MonitorConfig {
+        stale_limit: 8,
+        dead_lane_limit: 4,
+        cache_window: 4,
+        cache_hit_floor_milli: 100,
+        budget_joules: Some(1e-6),
+        recorder_capacity: 8,
+    }
+}
+
+#[test]
+fn monitoring_and_flight_recorder_never_perturb_the_digest() {
+    let workload = scenario().workload();
+    let events = transient_events();
+    let mc = full_monitoring();
+    for workers in [1usize, 8] {
+        let plain = serve_digest(&cfg(workers), &workload, &events, true);
+        let (report, monitor, net) =
+            serve_monitored(&cfg(workers), &workload, &events, true, 0, Some(&mc));
+        assert_eq!(
+            plain,
+            serve_report_digest(&report, &net),
+            "monitoring changed the digest at {workers} wave workers"
+        );
+        let m = monitor.expect("monitor attached");
+        assert!(!m.recorder().is_empty(), "flight recorder was recording");
+    }
+}
+
+#[test]
+fn health_events_land_on_the_same_rounds_and_slots_at_any_worker_count() {
+    let workload = scenario().workload();
+    let events = transient_events();
+    let mc = full_monitoring();
+    let run = |workers: usize| {
+        let (_, monitor, _) =
+            serve_monitored(&cfg(workers), &workload, &events, false, 0, Some(&mc));
+        monitor.expect("monitor attached").events().to_vec()
+    };
+    let golden = run(1);
+    assert!(
+        golden
+            .iter()
+            .any(|e| matches!(e.kind, HealthKind::BudgetOverrun { .. })),
+        "the 1 µJ budget must overrun"
+    );
+    for workers in [2usize, 8] {
+        assert_eq!(
+            golden,
+            run(workers),
+            "health events diverged at {workers} wave workers"
+        );
     }
 }
 

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Bench regression gate: re-run the harness benches into a scratch results
+# file and diff the fresh medians against the checked-in baseline with
+# `simulate bench-diff`.
+#
+#   scripts/bench_regress.sh [BASELINE.json] [--tolerance X] [--bench TARGET]
+#
+# BASELINE defaults to BENCH_baseline.json at the workspace root. The
+# tolerance band defaults to 0.5 (a cell may be up to 50% slower than its
+# baseline median before the gate trips) and can also be set through the
+# BENCH_TOLERANCE environment variable; --bench restricts the run to one
+# bench target (repeatable). Refresh the baseline after an intentional
+# perf change with (absolute path: cargo runs bench binaries with the
+# *package* directory as CWD):
+#
+#   cargo bench -p wsn-bench -- --out "$PWD/BENCH_baseline.json"
+#
+# Exit 0 clean, 1 on any regression, 2 on bad input.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_baseline.json"
+tolerance="${BENCH_TOLERANCE:-0.5}"
+bench_args=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tolerance) tolerance="$2"; shift ;;
+    --bench) bench_args+=(--bench "$2"); shift ;;
+    *) baseline="$1" ;;
+  esac
+  shift
+done
+
+if [ ! -f "$baseline" ]; then
+  echo "bench_regress: baseline $baseline not found" >&2
+  exit 2
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+current="$tmp/BENCH_current.json"
+
+echo "bench_regress: timing benches into $current (baseline $baseline)"
+cargo bench -q -p wsn-bench ${bench_args[@]+"${bench_args[@]}"} -- --out "$current"
+cargo run -q --release -p wsn-bench --bin simulate -- \
+  bench-diff "$baseline" "$current" --tolerance "$tolerance"

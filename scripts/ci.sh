@@ -59,6 +59,39 @@ echo "    audit must reconcile, digests byte-identical at 1 vs 4 wave threads)"
 cmp "$tmp/serve1.txt" "$tmp/serve4.txt"
 grep -q 'discrepancies=0$' "$tmp/serve1.txt"
 
+echo "==> monitor smoke (80-node/48-round/16-query monitored serve: zero"
+echo "    perturbation of the digest at 1/2/8 wave threads, a 1 mJ budget"
+echo "    raises BudgetOverrun deterministically with exit 1, and the"
+echo "    flight-recorder JSONL parses)"
+./target/release/simulate serve --queries 16 --nodes 80 --rounds 48 --seed 7 \
+    --shared --digest --wave-threads 1 > "$tmp/mon-off.txt"
+for w in 1 2 8; do
+    ./target/release/simulate serve --queries 16 --nodes 80 --rounds 48 --seed 7 \
+        --shared --digest --monitor --budget-mj 1 --wave-threads "$w" \
+        > "$tmp/mon-on$w.txt"
+    cmp "$tmp/mon-off.txt" "$tmp/mon-on$w.txt"
+done
+for w in 1 2 8; do
+    if ./target/release/simulate serve --queries 16 --nodes 80 --rounds 48 \
+        --seed 7 --shared --budget-mj 1 --wave-threads "$w" \
+        --health-json "$tmp/health$w.jsonl" > "$tmp/mon-run$w.txt"; then
+        echo "monitor smoke: expected exit 1 from the 1 mJ budget overrun" >&2
+        exit 1
+    fi
+    grep -q 'kind=budget_overrun' "$tmp/mon-run$w.txt"
+done
+cmp "$tmp/health1.jsonl" "$tmp/health2.jsonl"
+cmp "$tmp/health1.jsonl" "$tmp/health8.jsonl"
+grep -q '"type":"health".*"kind":"budget_overrun"' "$tmp/health1.jsonl"
+
+echo "==> bench regression gate (opt-in: set CI_BENCH_REGRESS=1; re-times"
+echo "    the harness benches and diffs medians against BENCH_baseline.json)"
+if [ "${CI_BENCH_REGRESS:-0}" = "1" ]; then
+    ./scripts/bench_regress.sh
+else
+    echo "    skipped (CI_BENCH_REGRESS unset)"
+fi
+
 echo "==> scale smoke (10k-node HBC throughput under a wall-clock budget)"
 # The internal budget catches throughput regressions (~0.6 s on the
 # 1-core reference box; 60 s is ~100x headroom for slow CI hardware);
