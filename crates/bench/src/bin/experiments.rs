@@ -18,7 +18,7 @@ use wsn_sim::report::{
 fn print_usage() {
     eprintln!(
         "usage: experiments [--quick] [--threads N] \
-                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|reliability|adaptive|phi|lcllcmp|exactcmp|sketch|sampling|serve|ablation]"
+                [--figure fig4|fig6|fig7|fig8|fig9|fig10|loss|reliability|adaptive|phi|lcllcmp|exactcmp|sketch|dynamics|sampling|serve|ablation]"
     );
 }
 
@@ -80,6 +80,7 @@ fn main() {
             "lcllcmp".into(),
             "exactcmp".into(),
             "sketch".into(),
+            "dynamics".into(),
             "sampling".into(),
             "serve".into(),
             "ablation".into(),

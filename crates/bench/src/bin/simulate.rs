@@ -42,6 +42,10 @@ struct Args {
     retries: u32,
     recovery: u32,
     node_failures: Option<f64>,
+    mobility: bool,
+    churn: bool,
+    drift: bool,
+    duty: bool,
     audit: bool,
     seed: u64,
     csv: Option<String>,
@@ -72,6 +76,10 @@ impl Default for Args {
             retries: 0,
             recovery: 0,
             node_failures: None,
+            mobility: false,
+            churn: false,
+            drift: false,
+            duty: false,
             audit: false,
             seed: 0xC0FFEE,
             csv: None,
@@ -196,6 +204,10 @@ fn parse_args() -> Result<Args, String> {
                     "--node-failures",
                 )?)
             }
+            "--mobility" => args.mobility = true,
+            "--churn" => args.churn = true,
+            "--drift" => args.drift = true,
+            "--duty" => args.duty = true,
             "--audit" => args.audit = true,
             "--seed" => {
                 args.seed = value(&argv, &mut i, "--seed")?
@@ -240,6 +252,7 @@ fn print_usage() {
                 [--dataset synthetic|pressure|walk|regime] [--period T] [--noise PSI]
                 [--skip S] [--range optimistic|pessimistic]
                 [--loss P] [--retries R] [--recovery PASSES] [--node-failures P]
+                [--mobility] [--churn] [--drift] [--duty]
                 [--audit] [--seed S] [--csv FILE] [--json FILE] [--threads N]
                 [--wave-threads W]
                 [--events FILE] [--capture FILE] [--metrics-out FILE]
@@ -260,6 +273,16 @@ fn print_usage() {
 prints the per-phase energy breakdown; any ledger discrepancy makes the
 process exit with status 1. --json additionally writes the aggregated
 metrics (including per-phase energy/bits and audit counters) to FILE.
+
+Dynamic worlds (DESIGN.md §3.3k), each flag at a fixed documented
+operating point: --mobility moves every sensor on a waypoint walk by
+0.25 radio ranges each 4-round epoch (the sink stays put); --churn
+toggles each sensor alive/dead with probability 1% per round (joins
+re-place the node); --drift random-walks the link-loss probability with
+amplitude 0.1 around the --loss base (inert without --loss); --duty
+charges a 10% idle-listen duty cycle to every alive sensor's ledger each
+round. Mobility and churn rebuild the routing tree (charged to the
+`rebuild` phase and replayed bit-exactly under --audit).
 
 Telemetry exporters (one traced run, like --csv): --events writes a
 Chrome-trace/Perfetto JSON span timeline, --capture writes a JSONL
@@ -647,6 +670,15 @@ fn build_config(args: &Args) -> Result<SimulationConfig, String> {
         }
         other => return Err(format!("unknown dataset {other}")),
     };
+    let dynamics = (args.mobility || args.churn || args.drift || args.duty).then_some(
+        wsn_sim::DynamicsConfig {
+            mobility_step: if args.mobility { 0.25 * args.rho } else { 0.0 },
+            churn: if args.churn { 0.01 } else { 0.0 },
+            drift: if args.drift { 0.1 } else { 0.0 },
+            duty_milli: if args.duty { 100 } else { 0 },
+            epoch: wsn_sim::Scenario::MOBILITY_EPOCH,
+        },
+    );
     Ok(SimulationConfig {
         sensor_count: args.nodes,
         radio_range: args.rho,
@@ -657,6 +689,7 @@ fn build_config(args: &Args) -> Result<SimulationConfig, String> {
         loss: args.loss,
         reliability: wsn_net::ReliabilityConfig::recovering(args.retries, args.recovery),
         node_failure: args.node_failures,
+        dynamics,
         audit: args.audit,
         dataset,
         wave_workers: args.wave_threads,
@@ -949,6 +982,10 @@ fn run_serve(argv: &[String]) -> ! {
         eps_milli: 100,
         capacity: 0,
         queries,
+        mobility_milli: 0,
+        churn_milli: 0,
+        drift_milli: 0,
+        duty_milli: 0,
         source: DataSource::Sinusoid {
             period: 16,
             noise_permille: 100,
@@ -1028,12 +1065,14 @@ fn run_serve(argv: &[String]) -> ! {
         );
     }
     if audit_table {
-        println!("lane breakdown (bits by phase: init/validation/refinement/recovery/other):");
+        println!(
+            "lane breakdown (bits by phase: init/validation/refinement/recovery/other/rebuild):"
+        );
         for (lane, b) in report.lanes.iter().enumerate() {
             let bits = b.bits();
             println!(
-                "  lane {lane}: {} {} {} {} {}",
-                bits[0], bits[1], bits[2], bits[3], bits[4]
+                "  lane {lane}: {} {} {} {} {} {}",
+                bits[0], bits[1], bits[2], bits[3], bits[4], bits[5]
             );
         }
     }

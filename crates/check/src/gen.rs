@@ -97,8 +97,23 @@ pub fn scenario(master_seed: u64, index: u64) -> Scenario {
         1
     };
 
+    // The legacy draw sequence ends with the master seed: binding it
+    // *before* the dynamics classes keeps every historical scenario (and
+    // the pinned corpus) byte-identical — new draws only extend the tail
+    // of the stream.
+    let seed = rng.next_u64();
+
+    // Dynamic-world classes (DESIGN.md §3.3k), mostly static so the
+    // paper's operating point keeps its weight: waypoint mobility (radio
+    // ranges per epoch, in thousandths), churn, link drift amplitude and
+    // the duty-cycle listen fraction.
+    let mobility_milli = [0, 0, 250, 1000][rng.below(4) as usize];
+    let churn_milli = [0, 0, 0, 10, 50, 200][rng.below(6) as usize];
+    let drift_milli = [0, 0, 0, 100, 400, 1000][rng.below(6) as usize];
+    let duty_milli = [0, 0, 0, 100, 1000][rng.below(5) as usize];
+
     Scenario {
-        seed: rng.next_u64(),
+        seed,
         nodes,
         range_milli,
         rounds,
@@ -111,6 +126,10 @@ pub fn scenario(master_seed: u64, index: u64) -> Scenario {
         eps_milli,
         capacity,
         queries,
+        mobility_milli,
+        churn_milli,
+        drift_milli,
+        duty_milli,
         source,
     }
 }
@@ -143,6 +162,10 @@ mod tests {
             assert!(s.failure_milli <= 50, "{s:?}");
             assert!(s.eps_milli <= 1000, "{s:?}");
             assert!(s.capacity == 0 || (2..=32).contains(&s.capacity), "{s:?}");
+            assert!(matches!(s.mobility_milli, 0 | 250 | 1000), "{s:?}");
+            assert!(matches!(s.churn_milli, 0 | 10 | 50 | 200), "{s:?}");
+            assert!(matches!(s.drift_milli, 0 | 100 | 400 | 1000), "{s:?}");
+            assert!(matches!(s.duty_milli, 0 | 100 | 1000), "{s:?}");
         }
     }
 
@@ -181,5 +204,24 @@ mod tests {
                 "no {name} scenario in 512 draws"
             );
         }
+        // Every dynamic-world class is reachable — and so is the fully
+        // static world the paper assumes.
+        assert!(scenarios.iter().any(|s| !s.is_dynamic_world()), "static");
+        assert!(
+            scenarios.iter().any(|s| s.mobility_milli == 1000),
+            "fast mobility"
+        );
+        assert!(scenarios.iter().any(|s| s.churn_milli > 0), "churn");
+        assert!(scenarios.iter().any(|s| s.drift_milli > 0), "drift");
+        assert!(
+            scenarios.iter().any(|s| s.duty_milli == 1000),
+            "always-on duty"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.mobility_milli > 0 && s.churn_milli > 0),
+            "mobility and churn together"
+        );
     }
 }

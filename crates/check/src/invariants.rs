@@ -572,6 +572,10 @@ mod tests {
             eps_milli: 100,
             capacity: 0,
             queries: 1,
+            mobility_milli: 0,
+            churn_milli: 0,
+            drift_milli: 0,
+            duty_milli: 0,
             source: DataSource::Sinusoid {
                 period: 16,
                 noise_permille: 100,
@@ -632,6 +636,43 @@ mod tests {
         };
         let report = check(&s);
         assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn a_duty_cycled_world_keeps_the_exactness_bar() {
+        // Duty-cycled listening spends idle joules but never changes an
+        // answer, so the world stays reliable and the full exactness bar
+        // (plus the audit replay over the new Idle events) applies.
+        let s = Scenario {
+            duty_milli: 250,
+            runs: 1,
+            ..base()
+        };
+        assert!(s.is_dynamic_world() && s.is_reliable_world());
+        let report = check(&s);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.tally.exactness, 8);
+        assert_eq!(report.tally.audit, 8);
+    }
+
+    #[test]
+    fn a_mobile_churning_world_audits_and_reconciles() {
+        // Mobility + churn force routing rebuilds mid-run; exactness is
+        // waived (orphaning is possible) but the audit replay, telemetry
+        // reconciliation, and panic-freedom must all survive the rebuilds.
+        let s = Scenario {
+            mobility_milli: 250,
+            churn_milli: 50,
+            duty_milli: 100,
+            runs: 2,
+            ..base()
+        };
+        assert!(s.is_dynamic_world() && !s.is_reliable_world());
+        let report = check(&s);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.tally.exactness, 0, "mobile worlds skip exactness");
+        assert_eq!(report.tally.audit, 8);
+        assert_eq!(report.tally.parity, 1, "thread parity holds under rebuilds");
     }
 
     #[test]

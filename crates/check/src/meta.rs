@@ -84,6 +84,10 @@ mod tests {
             eps_milli: 100,
             capacity: 0,
             queries: 1,
+            mobility_milli: 0,
+            churn_milli: 0,
+            drift_milli: 0,
+            duty_milli: 0,
             source: DataSource::Sinusoid {
                 period: 16,
                 noise_permille: 200,

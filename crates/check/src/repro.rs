@@ -34,6 +34,7 @@ pub fn to_line(s: &Scenario) -> String {
         "{{\"seed\":{},\"nodes\":{},\"range_milli\":{},\"rounds\":{},\"runs\":{},\
          \"phi_milli\":{},\"loss_milli\":{},\"retries\":{},\"recovery\":{},\
          \"failure_milli\":{},\"eps_milli\":{},\"capacity\":{},\"queries\":{},\
+         \"mobility_milli\":{},\"churn_milli\":{},\"drift_milli\":{},\"duty_milli\":{},\
          \"source\":\"{}\",\"p1\":{},\"p2\":{},\"p3\":{}}}",
         s.seed,
         s.nodes,
@@ -48,6 +49,10 @@ pub fn to_line(s: &Scenario) -> String {
         s.eps_milli,
         s.capacity,
         s.queries,
+        s.mobility_milli,
+        s.churn_milli,
+        s.drift_milli,
+        s.duty_milli,
         s.source.name(),
         p1,
         p2,
@@ -144,6 +149,10 @@ pub fn parse_line(line: &str) -> Result<Scenario, String> {
         eps_milli: uint_or(line, "eps_milli", 100)?,
         capacity: uint_or(line, "capacity", 0)?,
         queries: uint_or(line, "queries", 1)?,
+        mobility_milli: uint_or(line, "mobility_milli", 0)?,
+        churn_milli: uint_or(line, "churn_milli", 0)?,
+        drift_milli: uint_or(line, "drift_milli", 0)?,
+        duty_milli: uint_or(line, "duty_milli", 0)?,
         source,
     })
 }
@@ -178,6 +187,10 @@ mod tests {
             eps_milli: 1000,
             capacity: 32,
             queries: 16,
+            mobility_milli: 1000,
+            churn_milli: 200,
+            drift_milli: 1000,
+            duty_milli: 1000,
             source: DataSource::Regime {
                 range_size: 2048,
                 phase_len: 3,
@@ -199,6 +212,12 @@ mod tests {
         assert_eq!(s.eps_milli, 100);
         assert_eq!(s.capacity, 0);
         assert_eq!(s.queries, 1);
+        // Pre-dynamics lines default to the fully static world.
+        assert_eq!(s.mobility_milli, 0);
+        assert_eq!(s.churn_milli, 0);
+        assert_eq!(s.drift_milli, 0);
+        assert_eq!(s.duty_milli, 0);
+        assert!(!s.is_dynamic_world());
         // A present-but-malformed value is still rejected.
         let bad = old.replace("\"failure_milli\":0", "\"failure_milli\":0,\"eps_milli\":x");
         assert!(parse_line(&bad).is_err());

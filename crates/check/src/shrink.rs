@@ -58,6 +58,30 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
             ..*s
         });
     }
+    if s.mobility_milli > 0 {
+        out.push(Scenario {
+            mobility_milli: 0,
+            ..*s
+        });
+    }
+    if s.churn_milli > 0 {
+        out.push(Scenario {
+            churn_milli: 0,
+            ..*s
+        });
+    }
+    if s.drift_milli > 0 {
+        out.push(Scenario {
+            drift_milli: 0,
+            ..*s
+        });
+    }
+    if s.duty_milli > 0 {
+        out.push(Scenario {
+            duty_milli: 0,
+            ..*s
+        });
+    }
     if s.retries > 0 {
         out.push(Scenario { retries: 0, ..*s });
     }
@@ -133,6 +157,10 @@ mod tests {
             eps_milli: 750,
             capacity: 17,
             queries: 13,
+            mobility_milli: 250,
+            churn_milli: 50,
+            drift_milli: 400,
+            duty_milli: 100,
             source: DataSource::Pressure {
                 skip: 3,
                 pessimistic: true,
@@ -159,6 +187,12 @@ mod tests {
         assert_eq!(min.range_milli, 4000);
         assert_eq!(min.source, SIMPLEST_SOURCE);
         assert_eq!(min.seed, 99, "the seed is never shrunk");
+        // Every dynamic process lands on its static floor.
+        assert_eq!(min.mobility_milli, 0);
+        assert_eq!(min.churn_milli, 0);
+        assert_eq!(min.drift_milli, 0);
+        assert_eq!(min.duty_milli, 0);
+        assert!(!min.is_dynamic_world());
     }
 
     #[test]
@@ -166,7 +200,19 @@ mod tests {
         let min = shrink(big(), |_| true);
         assert_eq!(min.nodes, 1);
         assert_eq!(min.rounds, 1);
+        assert!(!min.is_dynamic_world(), "the global floor is static");
         assert!(candidates(&min).is_empty(), "floor has no moves left");
+    }
+
+    #[test]
+    fn dynamics_dependent_failures_keep_their_process() {
+        // A failure that needs churn keeps churn but floors the rest.
+        let min = shrink(big(), |s| s.churn_milli > 0);
+        assert_eq!(min.churn_milli, 50, "churn is what the failure needs");
+        assert_eq!(min.mobility_milli, 0);
+        assert_eq!(min.drift_milli, 0);
+        assert_eq!(min.duty_milli, 0);
+        assert_eq!(min.nodes, 1);
     }
 
     #[test]

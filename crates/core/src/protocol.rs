@@ -67,6 +67,16 @@ pub trait ContinuousQuantile {
         let _ = n;
         0
     }
+
+    /// Notifies the protocol that the routing tree was rebuilt by the
+    /// dynamics layer (mobility epoch, churn, drift) before the next
+    /// round. The default is a no-op: the paper's protocols keep only
+    /// value state at the sink and per-node filters keyed by node id, both
+    /// of which survive a re-parented tree — the next validation round
+    /// re-collects over the new topology. Protocols that cache
+    /// tree-structural state (subtree sizes, per-slot buffers sized to a
+    /// wave order) must override this and invalidate it.
+    fn topology_changed(&mut self) {}
 }
 
 /// The measurement of sensor `id` in a round's value slice.

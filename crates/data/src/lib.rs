@@ -45,7 +45,7 @@ pub use pressure::{PressureConfig, PressureDataset, RangeSetting};
 pub use rng::Rng;
 pub use som::SelfOrganizingMap;
 pub use synthetic::{SyntheticConfig, SyntheticDataset};
-pub use walks::{RandomWalkDataset, RegimeDataset};
+pub use walks::{RandomWalkDataset, RegimeDataset, WaypointWalk};
 
 /// A sensor measurement (integer universe, see `wsn_net::Value`).
 pub type Value = i64;

@@ -10,6 +10,7 @@
 
 use crate::rng::Rng;
 use crate::{Dataset, Value};
+use wsn_net::Point;
 
 /// Per-node bounded random walks.
 #[derive(Debug, Clone)]
@@ -71,6 +72,94 @@ impl Dataset for RandomWalkDataset {
             self.last_round = Some(t);
         }
         out.copy_from_slice(&self.state);
+    }
+}
+
+/// Spatial waypoint mobility: each point walks toward a private random
+/// waypoint inside the deployment rectangle, drawing a fresh waypoint on
+/// arrival — the classic random-waypoint model, made deterministic by the
+/// owned [`Rng`] stream. The dynamics layer advances the walk once per
+/// mobility epoch and re-derives the disk graph from [`positions`].
+///
+/// [`positions`]: WaypointWalk::positions
+#[derive(Debug, Clone)]
+pub struct WaypointWalk {
+    pos: Vec<Point>,
+    target: Vec<Point>,
+    width: f64,
+    height: f64,
+    /// Euclidean meters traveled per advance.
+    step: f64,
+    rng: Rng,
+}
+
+impl WaypointWalk {
+    /// Creates a walk over `start` positions inside the
+    /// `[0, width] × [0, height]` rectangle, moving `step` meters per
+    /// [`WaypointWalk::advance`]. Initial waypoints are drawn immediately
+    /// (one x/y pair per point, in index order).
+    ///
+    /// # Panics
+    /// Panics on an empty start set, a non-positive area or a negative
+    /// step (`step == 0` is a legal frozen walk).
+    pub fn new(start: Vec<Point>, width: f64, height: f64, step: f64, rng: &mut Rng) -> Self {
+        assert!(!start.is_empty(), "need at least one mobile point");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "deployment area must be positive"
+        );
+        assert!(step >= 0.0, "step must be non-negative");
+        let mut rng = rng.fork();
+        let target = (0..start.len())
+            .map(|_| Point::new(rng.range_f64(0.0, width), rng.range_f64(0.0, height)))
+            .collect();
+        WaypointWalk {
+            pos: start,
+            target,
+            width,
+            height,
+            step,
+            rng,
+        }
+    }
+
+    /// Current positions, in index order.
+    pub fn positions(&self) -> &[Point] {
+        &self.pos
+    }
+
+    /// Draws a fresh uniform position for point `i` (deterministic join
+    /// placement: churned-in nodes re-enter the field somewhere new, from
+    /// the same stream that drives the waypoints).
+    pub fn replace(&mut self, i: usize) {
+        let p = Point::new(
+            self.rng.range_f64(0.0, self.width),
+            self.rng.range_f64(0.0, self.height),
+        );
+        self.pos[i] = p;
+        self.target[i] = Point::new(
+            self.rng.range_f64(0.0, self.width),
+            self.rng.range_f64(0.0, self.height),
+        );
+    }
+
+    /// Moves every point `step` meters toward its waypoint (or onto it,
+    /// if closer than `step`), redrawing the waypoint on arrival.
+    pub fn advance(&mut self) {
+        for i in 0..self.pos.len() {
+            let (p, t) = (self.pos[i], self.target[i]);
+            let d = p.dist(&t);
+            if d <= self.step {
+                self.pos[i] = t;
+                self.target[i] = Point::new(
+                    self.rng.range_f64(0.0, self.width),
+                    self.rng.range_f64(0.0, self.height),
+                );
+            } else if self.step > 0.0 {
+                let f = self.step / d;
+                self.pos[i] = Point::new(p.x + (t.x - p.x) * f, p.y + (t.y - p.y) * f);
+            }
+        }
     }
 }
 
@@ -174,6 +263,65 @@ mod tests {
         ds.sample_round(4, &mut a);
         ds.sample_round(4, &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn waypoint_walk_stays_in_the_rectangle_and_bounds_speed() {
+        let mut rng = Rng::seed_from_u64(9);
+        let start: Vec<Point> = (0..20)
+            .map(|_| Point::new(rng.range_f64(0.0, 200.0), rng.range_f64(0.0, 150.0)))
+            .collect();
+        let mut walk = WaypointWalk::new(start.clone(), 200.0, 150.0, 7.5, &mut rng);
+        let mut prev = start;
+        for _ in 0..200 {
+            walk.advance();
+            for (i, (&p, &c)) in prev.iter().zip(walk.positions()).enumerate() {
+                assert!((0.0..=200.0).contains(&c.x), "node {i} x {}", c.x);
+                assert!((0.0..=150.0).contains(&c.y), "node {i} y {}", c.y);
+                assert!(p.dist(&c) <= 7.5 + 1e-9, "node {i} moved too far");
+            }
+            prev = walk.positions().to_vec();
+        }
+    }
+
+    #[test]
+    fn waypoint_walk_is_deterministic_for_seed() {
+        let make = || {
+            let mut rng = Rng::seed_from_u64(17);
+            let start = vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0)];
+            WaypointWalk::new(start, 100.0, 100.0, 2.0, &mut rng)
+        };
+        let (mut a, mut b) = (make(), make());
+        for _ in 0..100 {
+            a.advance();
+            b.advance();
+            for (pa, pb) in a.positions().iter().zip(b.positions()) {
+                assert_eq!(pa.x.to_bits(), pb.x.to_bits());
+                assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_step_walk_is_frozen() {
+        let mut rng = Rng::seed_from_u64(3);
+        let start = vec![Point::new(5.0, 5.0)];
+        let mut walk = WaypointWalk::new(start, 10.0, 10.0, 0.0, &mut rng);
+        for _ in 0..10 {
+            walk.advance();
+        }
+        assert_eq!(walk.positions()[0].x, 5.0);
+        assert_eq!(walk.positions()[0].y, 5.0);
+    }
+
+    #[test]
+    fn replace_redraws_inside_the_rectangle() {
+        let mut rng = Rng::seed_from_u64(4);
+        let start = vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        let mut walk = WaypointWalk::new(start, 50.0, 50.0, 1.0, &mut rng);
+        walk.replace(1);
+        let p = walk.positions()[1];
+        assert!((0.0..=50.0).contains(&p.x) && (0.0..=50.0).contains(&p.y));
     }
 
     #[test]

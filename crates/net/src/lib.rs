@@ -66,6 +66,7 @@ pub use audit::{
 pub use bitset::NodeBits;
 pub use energy::{EnergyLedger, RadioModel};
 pub use geometry::Point;
+pub use loss::{LossDrift, LossModel};
 pub use message::{MessageSizes, PayloadSize};
 pub use network::{Aggregate, Network, TrafficStats};
 pub use reliability::{FailureModel, ReliabilityConfig, ReliabilityStats, WaveReport};

@@ -37,6 +37,17 @@ impl LossModel {
         self.p
     }
 
+    /// Repoints the loss probability without disturbing the draw stream:
+    /// the link-drift schedule retunes `p` between rounds while every
+    /// in-round fate keeps consuming the same deterministic sequence.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.p = p;
+    }
+
     /// Samples the fate of one message: `true` means *lost*.
     pub fn lose(&mut self) -> bool {
         if self.p <= 0.0 {
@@ -46,6 +57,61 @@ impl LossModel {
             return true;
         }
         self.stream.next_f64() < self.p
+    }
+}
+
+/// Time-varying link quality: a bounded random walk over the loss
+/// probability, advanced once per round by the dynamics layer. The walk
+/// stays inside `[max(0, base − amplitude), min(1, base + amplitude)]`, so
+/// a drift pinned at amplitude 0 degenerates to the static [`LossModel`]
+/// and the boundary cases `p = 0.0` / `p = 1.0` are reachable (and
+/// clamped, never exceeded).
+///
+/// The schedule owns its own [`SplitMix64`] stream, separate from the loss
+/// model's fate stream — retuning `p` never perturbs fate draws.
+#[derive(Debug, Clone)]
+pub struct LossDrift {
+    p: f64,
+    lo: f64,
+    hi: f64,
+    step: f64,
+    stream: SplitMix64,
+}
+
+impl LossDrift {
+    /// A drift schedule walking around `base` with the given `amplitude`,
+    /// moving up to `amplitude / 4` per advance.
+    ///
+    /// # Panics
+    /// Panics unless `base` and `amplitude` lie in `[0, 1]`.
+    pub fn new(base: f64, amplitude: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&base), "drift base out of range");
+        assert!(
+            (0.0..=1.0).contains(&amplitude),
+            "drift amplitude out of range"
+        );
+        LossDrift {
+            p: base,
+            lo: (base - amplitude).max(0.0),
+            hi: (base + amplitude).min(1.0),
+            step: amplitude / 4.0,
+            stream: SplitMix64::new(seed),
+        }
+    }
+
+    /// The current loss probability of the schedule.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// Advances the walk one round and returns the new loss probability,
+    /// always within the documented band.
+    pub fn advance(&mut self) -> f64 {
+        if self.step > 0.0 {
+            let delta = (self.stream.next_f64() * 2.0 - 1.0) * self.step;
+            self.p = (self.p + delta).clamp(self.lo, self.hi);
+        }
+        self.p
     }
 }
 
@@ -86,5 +152,56 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_invalid_probability() {
         let _ = LossModel::new(1.5, 0);
+    }
+
+    #[test]
+    fn set_probability_keeps_the_fate_stream() {
+        let mut a = LossModel::new(0.5, 7);
+        let mut b = LossModel::new(0.5, 7);
+        for _ in 0..10 {
+            assert_eq!(a.lose(), b.lose());
+        }
+        a.set_probability(0.5); // same p, stream untouched
+        for _ in 0..10 {
+            assert_eq!(a.lose(), b.lose());
+        }
+    }
+
+    #[test]
+    fn drift_stays_inside_its_band() {
+        // Exactly representable base/amplitude so the band edges are
+        // exact: [0.375 − 0.25, 0.375 + 0.25] = [0.125, 0.625].
+        let mut d = LossDrift::new(0.375, 0.25, 99);
+        for _ in 0..10_000 {
+            let p = d.advance();
+            assert!((0.125..=0.625).contains(&p), "p {p} left the band");
+        }
+    }
+
+    #[test]
+    fn drift_clamps_at_the_probability_boundaries() {
+        let mut lo = LossDrift::new(0.0, 1.0, 5);
+        let mut hi = LossDrift::new(1.0, 1.0, 5);
+        for _ in 0..1000 {
+            assert!((0.0..=1.0).contains(&lo.advance()));
+            assert!((0.0..=1.0).contains(&hi.advance()));
+        }
+    }
+
+    #[test]
+    fn zero_amplitude_drift_is_static() {
+        let mut d = LossDrift::new(0.25, 0.0, 1);
+        for _ in 0..100 {
+            assert_eq!(d.advance(), 0.25);
+        }
+    }
+
+    #[test]
+    fn drift_is_deterministic_for_seed() {
+        let mut a = LossDrift::new(0.4, 0.3, 11);
+        let mut b = LossDrift::new(0.4, 0.3, 11);
+        for _ in 0..100 {
+            assert_eq!(a.advance().to_bits(), b.advance().to_bits());
+        }
     }
 }

@@ -169,6 +169,10 @@ pub struct Network {
     wave: WaveReport,
     failures: Option<FailureModel>,
     alive: Vec<bool>,
+    /// Duty-cycle listen fraction in per-mille (see
+    /// [`Network::set_duty_cycle`]); `0` = always-off idle radio, the
+    /// pre-dynamics behavior.
+    duty_milli: u32,
     /// The protocol phase currently charged for traffic (see
     /// [`Network::set_phase`]).
     phase: Phase,
@@ -505,6 +509,7 @@ impl Network {
             wave: WaveReport::default(),
             failures: None,
             alive: vec![true; n],
+            duty_milli: 0,
             phase: Phase::default(),
             phases: PhaseBreakdown::default(),
             lane: 0,
@@ -780,34 +785,153 @@ impl Network {
         if newly > 0 {
             self.rel_stats.failed_nodes += newly as u64;
             let (tree, orphans) = RoutingTree::spanning_alive(&self.topo, &self.alive);
-            // Histograms live in wave-slot order, and the repaired tree has
-            // a new wave order: re-permute the storage so every node keeps
-            // its own history under the new slot map.
-            let n = self.len();
-            // Flush the hot cache first: its cells are keyed by the *old*
-            // wave slots, which the permutation below is about to re-map.
-            for (i, cell) in self.hist_hot.iter_mut().enumerate() {
-                if cell.repeat != 0 {
-                    self.hists.record_n(
-                        i / HistKind::COUNT,
-                        HistKind::ALL[i % HistKind::COUNT],
-                        cell.value,
-                        cell.repeat,
-                    );
-                    *cell = HistDelta::default();
-                }
-            }
-            let old = std::mem::replace(&mut self.hist_slot, hist_slots(&tree, n));
-            let mut id_of_slot = vec![0u32; n];
-            for (id, &s) in self.hist_slot.iter().enumerate() {
-                id_of_slot[s as usize] = id as u32;
-            }
-            self.hists.reindex(|s| old[id_of_slot[s] as usize] as usize);
-            self.tree = tree;
-            self.rel_stats.orphaned_nodes = orphans.len() as u64;
+            self.install_tree(tree, orphans.len());
             self.rel_stats.repairs += 1;
         }
         newly
+    }
+
+    /// Installs a freshly built routing tree, re-permuting the
+    /// wave-slot-ordered histogram storage so every node keeps its own
+    /// history under the new slot map, and updating the orphan count.
+    /// Shared by failure-driven repairs ([`Network::fail_round`]) and
+    /// dynamics-driven rebuilds ([`Network::dynamics_rebuild`]); charges
+    /// nothing.
+    fn install_tree(&mut self, tree: RoutingTree, orphans: usize) {
+        let n = self.len();
+        // Flush the hot cache first: its cells are keyed by the *old*
+        // wave slots, which the permutation below is about to re-map.
+        for (i, cell) in self.hist_hot.iter_mut().enumerate() {
+            if cell.repeat != 0 {
+                self.hists.record_n(
+                    i / HistKind::COUNT,
+                    HistKind::ALL[i % HistKind::COUNT],
+                    cell.value,
+                    cell.repeat,
+                );
+                *cell = HistDelta::default();
+            }
+        }
+        let old = std::mem::replace(&mut self.hist_slot, hist_slots(&tree, n));
+        let mut id_of_slot = vec![0u32; n];
+        for (id, &s) in self.hist_slot.iter().enumerate() {
+            id_of_slot[s as usize] = id as u32;
+        }
+        self.hists.reindex(|s| old[id_of_slot[s] as usize] as usize);
+        self.tree = tree;
+        self.rel_stats.orphaned_nodes = orphans as u64;
+    }
+
+    /// Flips the liveness of one sensor without rebuilding anything — the
+    /// churn process toggles bits first, then forces one
+    /// [`Network::dynamics_rebuild`] covering every change. Joins
+    /// (re-)enable a node that the crash-stop process or an earlier churn
+    /// departure had removed; the node universe itself never changes size.
+    ///
+    /// # Panics
+    /// Panics on the root: the sink neither departs nor joins.
+    pub fn set_node_alive(&mut self, id: NodeId, alive: bool) {
+        assert!(!id.is_root(), "the sink cannot churn");
+        self.alive[id.index()] = alive;
+    }
+
+    /// Rebuilds the routing tree after a dynamics event: optionally
+    /// installs a re-derived disk graph (mobility moved the nodes), spans
+    /// the surviving nodes over it ([`RoutingTree::spanning_alive`]), and
+    /// charges a *beacon wave* under [`Phase::Rebuild`] — every non-root
+    /// tree node confirms its (possibly new) parent link with one
+    /// counter-sized control message, in wave order. Beacons are control
+    /// traffic on a freshly negotiated link, so they bypass the loss model
+    /// (the fate stream is untouched); they do count as ordinary data
+    /// messages in traffic stats, histograms and the audit log, which is
+    /// what lets the auditor replay rebuild joules bit-exactly.
+    ///
+    /// Returns the number of orphaned (alive but disconnected) sensors.
+    ///
+    /// # Panics
+    /// Panics if `topo` disagrees with the node universe size.
+    pub fn dynamics_rebuild(&mut self, topo: Option<Topology>) -> usize {
+        if let Some(t) = topo {
+            assert_eq!(
+                t.len(),
+                self.len(),
+                "dynamics cannot resize the node universe"
+            );
+            self.topo = t;
+        }
+        let (tree, orphans) = RoutingTree::spanning_alive(&self.topo, &self.alive);
+        let orphan_count = orphans.len();
+        self.install_tree(tree, orphan_count);
+        self.rel_stats.rebuilds += 1;
+
+        // Beacon wave over the new tree, lossless by construction.
+        let saved_loss = self.loss.take();
+        let beacon_bits = self.sizes.counter_bits;
+        for s in 0..self.tree.tree_size() {
+            let u = self.tree.bottom_up()[s];
+            let Some(parent) = self.tree.parent(u) else {
+                continue; // the root reports to no one
+            };
+            send_over_link(
+                &self.topo,
+                &self.model,
+                &self.sizes,
+                &mut self.ledger,
+                &mut self.stats,
+                &mut self.rel_stats,
+                &mut self.loss,
+                Phase::Rebuild,
+                &mut self.phases,
+                self.lane,
+                &mut self.lanes,
+                &mut self.audit,
+                &mut self.hists,
+                &mut self.hist_hot,
+                &mut self.recorder,
+                0,
+                u,
+                s,
+                parent,
+                beacon_bits,
+                0,
+            );
+        }
+        self.loss = saved_loss;
+        orphan_count
+    }
+
+    /// Sets the duty-cycle listen fraction in per-mille of a round
+    /// (`0..=1000`). A duty-cycled radio stays awake listening for that
+    /// fraction of every round even when nothing is addressed to it;
+    /// [`Network::end_round`] charges each live sensor the rx-priced cost
+    /// of a `duty_milli`-bit listen window and witnesses it with a
+    /// [`TxKind::Idle`] audit event. `0` (the default) charges nothing and
+    /// emits nothing — byte-identical to the pre-dynamics engine. `1000`
+    /// is an always-on receiver.
+    ///
+    /// # Panics
+    /// Panics when `duty_milli > 1000`.
+    pub fn set_duty_cycle(&mut self, duty_milli: u32) {
+        assert!(duty_milli <= 1000, "duty cycle is per-mille");
+        self.duty_milli = duty_milli;
+    }
+
+    /// The duty-cycle listen fraction in per-mille.
+    pub fn duty_cycle(&self) -> u32 {
+        self.duty_milli
+    }
+
+    /// Retunes the installed loss model's probability in place (the drift
+    /// schedule's per-round update). The fate stream keeps its position,
+    /// so drift-free and drift-pinned runs draw identical sequences. A
+    /// no-op when no loss model is installed.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0` (with a loss model installed).
+    pub fn set_loss_probability(&mut self, p: f64) {
+        if let Some(loss) = self.loss.as_mut() {
+            loss.set_probability(p);
+        }
     }
 
     /// Number of nodes including the root.
@@ -866,6 +990,27 @@ impl Network {
         let round = self.audit.round();
         if self.share.enabled {
             self.share.reset();
+        }
+        if self.duty_milli > 0 {
+            // Idle listening: each live sensor pays the rx-priced cost of
+            // keeping its radio awake for `duty_milli`‰ of the round, in
+            // ascending node-id order (a deterministic charge order the
+            // auditor replays). Nothing is on the air: traffic stats and
+            // histograms are untouched; the audit log witnesses every
+            // charge as a `TxKind::Idle` event with `src == dst`.
+            let bits = self.duty_milli as u64;
+            let rx = self.model.rx_energy(bits);
+            for i in 1..self.alive.len() {
+                if !self.alive[i] {
+                    continue;
+                }
+                let id = NodeId(i as u32);
+                self.ledger.charge(id, rx);
+                self.phases.charge(Phase::Other, 0, 0, rx);
+                self.lanes.charge(self.lane, Phase::Other, 0, 0, rx);
+                self.audit
+                    .record(Phase::Other, TxKind::Idle, id, id, 0, bits, 0.0, rx);
+            }
         }
         self.ledger.end_round();
         self.audit.end_round(
@@ -2087,6 +2232,172 @@ mod tests {
             .events()
             .iter()
             .any(|e| e.phase == Phase::Recovery));
+    }
+
+    #[test]
+    fn dynamics_rebuild_charges_beacons_and_replays_bit_exactly() {
+        let mut net = line_network(5);
+        net.set_audit(true);
+        net.set_phase(Phase::Validation);
+        net.convergecast(one_value);
+        net.end_round();
+
+        let before = net.phases().get(Phase::Rebuild).joules;
+        assert_eq!(before, 0.0, "no rebuild charged yet");
+        let orphans = net.dynamics_rebuild(None);
+        assert_eq!(orphans, 0);
+        assert_eq!(net.reliability_stats().rebuilds, 1);
+        let rebuilt = net.phases().get(Phase::Rebuild);
+        assert!(rebuilt.joules > 0.0, "beacon wave must cost energy");
+        assert_eq!(rebuilt.messages, 4, "one beacon per non-root node");
+
+        net.convergecast(one_value);
+        net.end_round();
+        let report = EnergyAuditor::verify(&net);
+        assert!(report.is_clean(), "{:?}", report.discrepancies);
+        assert!(report.events > 0);
+    }
+
+    #[test]
+    fn rebuild_beacons_bypass_the_loss_model_and_its_fate_stream() {
+        // Beacons negotiate fresh links, so they must neither be lost nor
+        // consume fate draws: a run with a rebuild sandwiched between two
+        // lossy rounds sees the same post-rebuild fates as one without.
+        let mut a = line_network(4);
+        a.set_loss(Some(LossModel::new(0.5, 77)));
+        a.set_phase(Phase::Validation);
+        let mut b = a.clone();
+        a.convergecast(one_value);
+        b.convergecast(one_value);
+        a.end_round();
+        b.end_round();
+        a.dynamics_rebuild(None); // same topology: an identical tree
+        a.convergecast(one_value);
+        b.convergecast(one_value);
+        // Beacons are always delivered (3 of them here); the *data* fates
+        // after the rebuild must match the rebuild-free run exactly.
+        assert_eq!(
+            a.reliability_stats().delivered,
+            b.reliability_stats().delivered + 3
+        );
+        assert_eq!(
+            a.phases().get(Phase::Validation),
+            b.phases().get(Phase::Validation),
+            "data traffic is bit-identical with and without the rebuild"
+        );
+        assert_eq!(a.reliability_stats().rebuilds, 1);
+        assert_eq!(b.reliability_stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn rebuild_reindexes_per_node_histograms() {
+        // Regression: per-node histograms live in wave-slot order, and a
+        // dynamics rebuild re-derives that order. Each node must keep its
+        // *own* history across the rebuild, not inherit whichever node now
+        // occupies its old slot.
+        let mut net = line_network(5);
+        net.set_phase(Phase::Validation);
+        net.convergecast(one_value); // depths 1, 2, 3, 4 down the chain
+        net.end_round();
+
+        // Node 4 walks next to the sink; everyone else stays put. New
+        // depths: 1→1, 2→2, 3→3, 4→1.
+        let mut positions: Vec<Point> = (0..5).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        positions[4] = Point::new(0.0, 10.0);
+        net.dynamics_rebuild(Some(Topology::build(positions, 12.0)));
+        net.convergecast(one_value);
+        net.end_round();
+
+        let hists = net.histograms();
+        let depth = |id: usize| *hists.node(id).get(HistKind::HopDepth);
+        assert_eq!(depth(4).max(), 4, "node 4 keeps its old depth-4 sample");
+        assert_eq!(depth(4).sum(), 4 + 1);
+        assert_eq!(depth(1).max(), 1, "node 1 was always depth 1");
+        assert_eq!(depth(1).sum(), 1 + 1);
+        assert_eq!(depth(3).sum(), 3 + 3);
+        for id in 1..5 {
+            assert_eq!(depth(id).count(), 2, "two samples per node");
+        }
+    }
+
+    #[test]
+    fn duty_cycled_idle_listening_audits_cleanly() {
+        let mut net = line_network(4);
+        net.set_audit(true);
+        net.set_duty_cycle(250);
+        net.set_phase(Phase::Validation);
+        let idle_leaf = net.ledger().consumed(NodeId(3));
+        for _ in 0..3 {
+            net.convergecast(|id| (id == NodeId(1)).then(|| one_value(id)).flatten());
+            net.end_round();
+        }
+        // Node 3 never transmitted or received, yet its radio listened.
+        assert!(net.ledger().consumed(NodeId(3)) > idle_leaf);
+        let idles = net
+            .audit_log()
+            .events()
+            .iter()
+            .filter(|e| e.kind == TxKind::Idle)
+            .count();
+        assert_eq!(idles, 3 * 3, "one idle event per alive sensor per round");
+        let report = EnergyAuditor::verify(&net);
+        assert!(report.is_clean(), "{:?}", report.discrepancies);
+    }
+
+    #[test]
+    fn zero_duty_cycle_matches_the_static_engine_bit_for_bit() {
+        let mut plain = line_network(4);
+        plain.set_phase(Phase::Validation);
+        let mut duty = plain.clone();
+        duty.set_duty_cycle(0);
+        for _ in 0..5 {
+            plain.convergecast(one_value);
+            duty.convergecast(one_value);
+            plain.end_round();
+            duty.end_round();
+        }
+        for id in 0..4 {
+            assert_eq!(
+                plain.ledger().consumed(NodeId(id)),
+                duty.ledger().consumed(NodeId(id))
+            );
+        }
+        assert_eq!(plain.phases(), duty.phases());
+    }
+
+    #[test]
+    #[should_panic(expected = "the sink cannot churn")]
+    fn the_sink_never_churns() {
+        let mut net = line_network(3);
+        net.set_node_alive(NodeId(0), false);
+    }
+
+    #[test]
+    fn all_but_sink_crash_then_rejoin() {
+        // Boundary: every sensor departs (the tree collapses to the root),
+        // then everyone rejoins — the engine must survive both rebuilds
+        // and the audit must reconcile across them.
+        let mut net = line_network(4);
+        net.set_audit(true);
+        net.set_phase(Phase::Validation);
+        for id in 1..4 {
+            net.set_node_alive(NodeId(id), false);
+        }
+        let orphans = net.dynamics_rebuild(None);
+        assert_eq!(orphans, 0, "dead nodes are not orphans");
+        assert!(net.convergecast(one_value).is_none(), "no sensors left");
+        net.end_round();
+
+        for id in 1..4 {
+            net.set_node_alive(NodeId(id), true);
+        }
+        net.dynamics_rebuild(None);
+        let agg = net.convergecast(one_value).expect("everyone is back");
+        assert_eq!(agg.sum, 1 + 2 + 3);
+        net.end_round();
+        assert_eq!(net.reliability_stats().rebuilds, 2);
+        let report = EnergyAuditor::verify(&net);
+        assert!(report.is_clean(), "{:?}", report.discrepancies);
     }
 
     #[test]

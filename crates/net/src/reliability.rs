@@ -87,6 +87,10 @@ pub struct ReliabilityStats {
     pub orphaned_nodes: u64,
     /// Routing-tree repairs performed after failures.
     pub repairs: u64,
+    /// Routing-tree rebuilds forced by the dynamics layer (mobility
+    /// epochs, churn, drift-driven topology change) — failure-driven
+    /// repairs count under [`ReliabilityStats::repairs`] instead.
+    pub rebuilds: u64,
 }
 
 impl ReliabilityStats {

@@ -8,28 +8,40 @@
 //! allocate nothing.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use wsn_net::{
     Aggregate, MessageSizes, Network, NodeBits, Point, RadioModel, RoutingTree, Topology,
 };
 
 /// Wraps the system allocator and counts allocation events (allocs and
-/// grows; frees are irrelevant to the steady-state claim).
+/// grows; frees are irrelevant to the steady-state claim) **per thread**:
+/// the gate must see only the wave engine running on this test's thread,
+/// not unrelated lazy initialization on harness threads (libtest's main
+/// thread initializes its channel context whenever it first *blocks* on
+/// the result receiver — which races the measured window).
 struct CountingAlloc;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with`: a thread allocating during its own TLS teardown must
+    // not panic inside the allocator.
+    let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.alloc(layout)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        bump();
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -38,7 +50,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCS.load(Ordering::Relaxed)
+    ALLOCS.with(|c| c.get())
 }
 
 /// A Copy payload: per-subtree contribution count.

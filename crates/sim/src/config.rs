@@ -170,6 +170,50 @@ pub enum DatasetSpec {
     },
 }
 
+/// Dynamic-world knobs: mobility, churn, link drift and duty-cycled
+/// radios (see `crate::dynamics` and DESIGN.md §3.3k). All zeros — the
+/// [`Default`] — is the static world; the runner then draws nothing from
+/// the dynamics stream, so a `Some(DynamicsConfig::default())` run is
+/// bit-identical to a `None` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynamicsConfig {
+    /// Euclidean meters each sensor moves per mobility epoch (waypoint
+    /// walk; `0.0` = static placement). The sink never moves.
+    pub mobility_step: f64,
+    /// Per-round probability that a sensor churns (toggles between
+    /// departed and joined). `0.0` disables churn.
+    pub churn: f64,
+    /// Link-drift amplitude: the loss probability random-walks within
+    /// `base ± drift` (clamped to `[0, 1]`). `0.0` pins the configured
+    /// loss rate. Only meaningful with a loss model installed.
+    pub drift: f64,
+    /// Duty-cycle listen fraction in per-mille (`0..=1000`): idle-listen
+    /// joules charged per live sensor per round. `0` = no idle radio.
+    pub duty_milli: u32,
+    /// Rounds per mobility epoch (positions advance and links re-derive
+    /// every `epoch` rounds). Clamped to at least 1.
+    pub epoch: u32,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig {
+            mobility_step: 0.0,
+            churn: 0.0,
+            drift: 0.0,
+            duty_milli: 0,
+            epoch: 1,
+        }
+    }
+}
+
+impl DynamicsConfig {
+    /// True iff every knob is at its static-world zero.
+    pub fn is_static(&self) -> bool {
+        self.mobility_step == 0.0 && self.churn == 0.0 && self.drift == 0.0 && self.duty_milli == 0
+    }
+}
+
 /// Full configuration of one experiment cell.
 #[derive(Debug, Clone)]
 pub struct SimulationConfig {
@@ -218,6 +262,10 @@ pub struct SimulationConfig {
     /// sequential wave order, so results are bit-identical at any value.
     /// `1` (the default) runs waves on the caller's thread.
     pub wave_workers: usize,
+    /// Dynamic-world processes (mobility, churn, drift, duty cycle).
+    /// `None` — and `Some` with every knob at zero — is the static world
+    /// of the paper, bit-identical to releases without this field.
+    pub dynamics: Option<DynamicsConfig>,
     /// Dataset.
     pub dataset: DatasetSpec,
 }
@@ -241,6 +289,7 @@ impl Default for SimulationConfig {
             audit: false,
             telemetry: false,
             wave_workers: 1,
+            dynamics: None,
             dataset: DatasetSpec::Synthetic(SyntheticConfig::default()),
         }
     }

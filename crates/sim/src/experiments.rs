@@ -535,6 +535,84 @@ pub fn sketch(quick: bool) -> Sweep {
     }
 }
 
+/// Extension sweep: dynamic worlds (DESIGN.md §3.3k) — waypoint mobility,
+/// churn, link drift and duty-cycled radios against the static baseline.
+/// Every dynamic cell forces routing-tree rebuilds whose beacon traffic is
+/// charged under [`wsn_net::Phase::Rebuild`]; the indicators show what
+/// each dynamic process costs the hotspot and the lifetime.
+pub fn dynamics(quick: bool) -> Sweep {
+    use crate::config::DynamicsConfig;
+    let b = base(quick);
+    // A quarter radio range per 4-round epoch: links change, the world
+    // stays connected often enough to be interesting.
+    let step = b.radio_range * 0.25;
+    let moving = DynamicsConfig {
+        mobility_step: step,
+        epoch: 4,
+        ..DynamicsConfig::default()
+    };
+    let with = |d: DynamicsConfig| SimulationConfig {
+        dynamics: Some(d),
+        ..b.clone()
+    };
+    let cells = vec![
+        Cell {
+            label: "static".into(),
+            config: b.clone(),
+        },
+        Cell {
+            label: "mobility".into(),
+            config: with(moving),
+        },
+        Cell {
+            label: "churn 1%".into(),
+            config: with(DynamicsConfig {
+                churn: 0.01,
+                ..DynamicsConfig::default()
+            }),
+        },
+        Cell {
+            label: "mob+churn".into(),
+            config: with(DynamicsConfig {
+                churn: 0.01,
+                ..moving
+            }),
+        },
+        Cell {
+            label: "+drift".into(),
+            config: SimulationConfig {
+                loss: Some(0.1),
+                dynamics: Some(DynamicsConfig {
+                    churn: 0.01,
+                    drift: 0.1,
+                    ..moving
+                }),
+                ..b.clone()
+            },
+        },
+        Cell {
+            label: "+duty 10%".into(),
+            config: with(DynamicsConfig {
+                churn: 0.01,
+                duty_milli: 100,
+                ..moving
+            }),
+        },
+    ];
+    Sweep {
+        id: "dynamics",
+        title: "Ext. — Dynamic worlds (mobility, churn, drift, duty cycle)",
+        cells,
+        algorithms: vec![
+            AlgorithmKind::Pos,
+            AlgorithmKind::Hbc,
+            AlgorithmKind::Iq,
+            AlgorithmKind::LcllH,
+        ],
+        skip: vec![],
+    }
+}
+
 /// One ablation row: a label and its aggregated metrics.
 pub type AblationRow = (String, AggregatedMetrics);
 
@@ -759,6 +837,10 @@ pub fn serve_tradeoff(quick: bool) -> Vec<ServeRow> {
         eps_milli: 100,
         capacity: 0,
         queries: 16,
+        mobility_milli: 0,
+        churn_milli: 0,
+        drift_milli: 0,
+        duty_milli: 0,
         source: DataSource::Sinusoid {
             period: 16,
             noise_permille: 100,
@@ -814,6 +896,7 @@ pub fn all_sweeps(quick: bool) -> Vec<Sweep> {
         lcllcmp(quick),
         exactcmp(quick),
         sketch(quick),
+        dynamics(quick),
     ]
 }
 
@@ -832,6 +915,7 @@ pub fn by_id(id: &str, quick: bool) -> Option<Sweep> {
         "lcllcmp" => Some(lcllcmp(quick)),
         "exactcmp" => Some(exactcmp(quick)),
         "sketch" => Some(sketch(quick)),
+        "dynamics" => Some(dynamics(quick)),
         _ => None,
     }
 }
@@ -925,7 +1009,8 @@ mod tests {
                 "phi",
                 "lcllcmp",
                 "exactcmp",
-                "sketch"
+                "sketch",
+                "dynamics"
             ]
         );
         for id in ids {

@@ -10,6 +10,7 @@
 //! over rounds and simulation runs.
 //!
 //! * [`config`] — simulation parameters (Table 2 defaults),
+//! * [`dynamics`] — mobility, churn, link drift and duty-cycled radios,
 //! * [`runner`] — a single run and multi-run aggregation,
 //! * [`metrics`] — the measured indicators,
 //! * [`experiments`] — the pre-configured sweeps behind every figure,
@@ -22,6 +23,7 @@
 //! * [`report`] — plain-text table rendering.
 
 pub mod config;
+pub mod dynamics;
 pub mod experiments;
 pub mod metrics;
 pub mod multi;
@@ -33,7 +35,7 @@ pub mod scenario;
 pub mod service;
 pub mod trace;
 
-pub use config::{AlgorithmKind, DatasetSpec, SimulationConfig};
+pub use config::{AlgorithmKind, DatasetSpec, DynamicsConfig, SimulationConfig};
 pub use metrics::{AggregatedMetrics, RunMetrics};
 pub use runner::{run_experiment, run_experiment_threads, run_once};
 pub use scenario::{DataSource, Scenario};

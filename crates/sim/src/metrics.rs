@@ -44,8 +44,12 @@ pub struct RunMetrics {
     pub peak_round_energy: f64,
     /// Sensors killed by the crash-stop failure process (0 without one).
     pub failed_nodes: u32,
+    /// Routing-tree rebuilds forced by the dynamics layer (mobility
+    /// epochs, churn); failure-driven repairs are not counted here.
+    pub rebuilds: u32,
     /// Total energy charged per protocol phase (J), indexed by
-    /// [`Phase::index`] (init, validation, refinement, recovery, other).
+    /// [`Phase::index`] (init, validation, refinement, recovery, other,
+    /// rebuild).
     pub phase_joules: [f64; Phase::COUNT],
     /// Total bits on air per protocol phase, indexed like `phase_joules`.
     pub phase_bits: [u64; Phase::COUNT],
@@ -80,6 +84,7 @@ impl Default for RunMetrics {
             retransmissions_per_round: 0.0,
             peak_round_energy: 0.0,
             failed_nodes: 0,
+            rebuilds: 0,
             phase_joules: [0.0; Phase::COUNT],
             phase_bits: [0; Phase::COUNT],
             audit_events: 0,
@@ -160,6 +165,8 @@ pub struct AggregatedMetrics {
     pub peak_round_energy: f64,
     /// Mean sensors killed per run.
     pub failed_nodes: f64,
+    /// Mean dynamics-driven routing-tree rebuilds per run.
+    pub rebuilds: f64,
     /// Mean per-run energy per protocol phase (J), indexed by
     /// [`Phase::index`].
     pub phase_joules: [f64; Phase::COUNT],
@@ -184,7 +191,21 @@ impl AggregatedMetrics {
         let n = runs.len() as f64;
         let mean = |f: &dyn Fn(&RunMetrics) -> f64| runs.iter().map(f).sum::<f64>() / n;
         let std = |f: &dyn Fn(&RunMetrics) -> f64, m: f64| {
-            (runs.iter().map(|r| (f(r) - m).powi(2)).sum::<f64>() / n).sqrt()
+            // An immortal run (nothing ever spends energy — e.g. the only
+            // sensor churns out in round 0) estimates an infinite lifetime;
+            // `inf − inf` would poison the std with a NaN that breaks
+            // aggregate equality (NaN ≠ NaN). A value equal to its
+            // (infinite) mean deviates by zero; a finite value against an
+            // infinite mean genuinely spreads infinitely.
+            let dev = |r: &RunMetrics| {
+                let d = f(r) - m;
+                if d.is_nan() {
+                    0.0
+                } else {
+                    d.powi(2)
+                }
+            };
+            (runs.iter().map(dev).sum::<f64>() / n).sqrt()
         };
         let energy = mean(&|r: &RunMetrics| r.max_node_energy_per_round);
         let lifetime = mean(&|r: &RunMetrics| r.lifetime_rounds);
@@ -206,6 +227,7 @@ impl AggregatedMetrics {
             retransmissions_per_round: mean(&|r: &RunMetrics| r.retransmissions_per_round),
             peak_round_energy: mean(&|r: &RunMetrics| r.peak_round_energy),
             failed_nodes: mean(&|r: &RunMetrics| r.failed_nodes as f64),
+            rebuilds: mean(&|r: &RunMetrics| r.rebuilds as f64),
             phase_joules: std::array::from_fn(|p| mean(&|r: &RunMetrics| r.phase_joules[p])),
             phase_bits: std::array::from_fn(|p| mean(&|r: &RunMetrics| r.phase_bits[p] as f64)),
             audit_events: runs.iter().map(|r| r.audit_events).sum(),
@@ -245,6 +267,31 @@ mod tests {
         assert_eq!(agg.max_node_energy_std, 1.0);
         assert_eq!(agg.lifetime_rounds, 200.0);
         assert_eq!(agg.exactness, 0.75);
+    }
+
+    #[test]
+    fn immortal_runs_keep_the_lifetime_std_finite() {
+        // Two immortal runs (infinite lifetime estimate): they agree, so
+        // the spread is zero — and crucially not NaN, which would make the
+        // aggregate unequal to itself and trip the thread-parity oracle.
+        let agg = AggregatedMetrics::from_runs(&[
+            run(1.0, f64::INFINITY, 10, 10),
+            run(0.0, f64::INFINITY, 10, 10),
+        ]);
+        assert_eq!(agg.lifetime_rounds, f64::INFINITY);
+        assert_eq!(agg.lifetime_std, 0.0);
+        assert_eq!(agg, agg.clone(), "aggregate must equal itself");
+    }
+
+    #[test]
+    fn mixed_mortality_spreads_infinitely_but_never_nan() {
+        let agg = AggregatedMetrics::from_runs(&[
+            run(1.0, 100.0, 10, 10),
+            run(1.0, f64::INFINITY, 10, 10),
+        ]);
+        assert_eq!(agg.lifetime_rounds, f64::INFINITY);
+        assert_eq!(agg.lifetime_std, f64::INFINITY);
+        assert!(!agg.lifetime_std.is_nan());
     }
 
     #[test]

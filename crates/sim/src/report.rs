@@ -308,8 +308,8 @@ mod tests {
     #[test]
     fn phase_breakdown_renders_all_phases_and_audit_line() {
         let mut run = RunMetrics {
-            phase_joules: [0.25, 0.5, 0.25, 0.0, 0.0],
-            phase_bits: [2500, 5000, 2500, 0, 0],
+            phase_joules: [0.25, 0.5, 0.25, 0.0, 0.0, 0.0],
+            phase_bits: [2500, 5000, 2500, 0, 0, 0],
             audit_events: 42,
             audit_discrepancies: 0,
             ..RunMetrics::default()
@@ -344,8 +344,8 @@ mod tests {
     #[test]
     fn render_phase_breakdown_golden_output() {
         let run = RunMetrics {
-            phase_joules: [0.25, 0.5, 0.25, 0.0, 0.0],
-            phase_bits: [2500, 5000, 2500, 0, 0],
+            phase_joules: [0.25, 0.5, 0.25, 0.0, 0.0, 0.0],
+            phase_bits: [2500, 5000, 2500, 0, 0, 0],
             audit_events: 42,
             audit_discrepancies: 0,
             ..RunMetrics::default()
@@ -359,6 +359,7 @@ mod tests {
              refinement               250      25.00            2500\n\
              recovery                   0          0               0\n\
              other                      0          0               0\n\
+             rebuild                    0          0               0\n\
              audit: 42 events replayed, 0 discrepancies\n";
         assert_eq!(t, expected);
     }

@@ -108,6 +108,22 @@ pub struct Scenario {
     /// classic single-query world; the multi-query workload is derived
     /// deterministically by [`Scenario::workload`]).
     pub queries: u32,
+    /// Waypoint-mobility speed in thousandths of the radio range per
+    /// mobility epoch (0 = static placement, 1000 = a full radio range
+    /// per epoch). Scenarios use a fixed epoch of
+    /// [`Scenario::MOBILITY_EPOCH`] rounds.
+    pub mobility_milli: u32,
+    /// Per-round churn probability in thousandths (sensors toggle between
+    /// departed and joined; 0 = fixed population).
+    pub churn_milli: u32,
+    /// Link-drift amplitude in thousandths: the loss probability
+    /// random-walks within `loss ± drift`. Without link loss
+    /// (`loss_milli == 0`) there is no loss process to drive and drift is
+    /// inert by definition.
+    pub drift_milli: u32,
+    /// Duty-cycle listen fraction in per-mille: idle-listen joules charged
+    /// to every live sensor each round (0 = no idle radio).
+    pub duty_milli: u32,
     /// The measurement process.
     pub source: DataSource,
 }
@@ -149,12 +165,31 @@ impl Scenario {
         range.min(AREA * std::f64::consts::SQRT_2)
     }
 
-    /// True iff the scenario guarantees delivery of every message: no link
-    /// loss and no node failures. Only then must every protocol answer
-    /// exactly (the paper's operating assumption); lossy scenarios check
-    /// the accounting/termination invariants instead.
+    /// Rounds per mobility epoch in scenario-driven worlds: positions
+    /// advance and the disk graph re-derives every 4 rounds.
+    pub const MOBILITY_EPOCH: u32 = 4;
+
+    /// True iff the scenario guarantees that every sensor's measurement
+    /// reaches the sink every round: no link loss, no node failures, no
+    /// churn and no mobility. Only then must every protocol answer exactly
+    /// (the paper's operating assumption). Churn and mobility can orphan
+    /// or remove contributors mid-stream, so those worlds check the
+    /// accounting/termination invariants instead; drift is inert without
+    /// loss, and a duty-cycled radio only spends idle joules — neither
+    /// weakens exactness.
     pub fn is_reliable_world(&self) -> bool {
-        self.loss_milli == 0 && self.failure_milli == 0
+        self.loss_milli == 0
+            && self.failure_milli == 0
+            && self.churn_milli == 0
+            && self.mobility_milli == 0
+    }
+
+    /// True iff any dynamic-world process is active.
+    pub fn is_dynamic_world(&self) -> bool {
+        self.mobility_milli > 0
+            || self.churn_milli > 0
+            || self.drift_milli > 0
+            || self.duty_milli > 0
     }
 
     /// Expands the scenario into a full [`SimulationConfig`]. The audit
@@ -216,6 +251,18 @@ impl Scenario {
             } else {
                 Some((self.failure_milli.min(1000)) as f64 / 1000.0)
             },
+            dynamics: if !self.is_dynamic_world() {
+                None
+            } else {
+                Some(crate::config::DynamicsConfig {
+                    mobility_step: self.mobility_milli.min(1000) as f64 / 1000.0
+                        * self.radio_range(),
+                    churn: self.churn_milli.min(1000) as f64 / 1000.0,
+                    drift: self.drift_milli.min(1000) as f64 / 1000.0,
+                    duty_milli: self.duty_milli.min(1000),
+                    epoch: Self::MOBILITY_EPOCH,
+                })
+            },
             audit: true,
             ..SimulationConfig::default()
         }
@@ -251,6 +298,10 @@ mod tests {
             eps_milli: 100,
             capacity: 0,
             queries: 1,
+            mobility_milli: 0,
+            churn_milli: 0,
+            drift_milli: 0,
+            duty_milli: 0,
             source: DataSource::Sinusoid {
                 period: 32,
                 noise_permille: 100,
@@ -358,6 +409,48 @@ mod tests {
             .phi(),
             1.0
         );
+    }
+
+    #[test]
+    fn dynamics_expand_from_milli_knobs() {
+        let s = Scenario {
+            mobility_milli: 250,
+            churn_milli: 10,
+            drift_milli: 400,
+            duty_milli: 100,
+            loss_milli: 200,
+            ..base()
+        };
+        assert!(s.is_dynamic_world());
+        assert!(!s.is_reliable_world());
+        let d = s.to_config().dynamics.expect("dynamic world");
+        assert!((d.mobility_step - 0.25 * s.radio_range()).abs() < 1e-12);
+        assert_eq!(d.churn, 0.01);
+        assert_eq!(d.drift, 0.4);
+        assert_eq!(d.duty_milli, 100);
+        assert_eq!(d.epoch, Scenario::MOBILITY_EPOCH);
+        // The static scenario expands to no dynamics at all.
+        assert!(!base().is_dynamic_world());
+        assert!(base().to_config().dynamics.is_none());
+        // Drift without loss is inert, and duty only spends idle joules:
+        // neither demotes the world from the exactness bar.
+        assert!(Scenario {
+            drift_milli: 500,
+            duty_milli: 300,
+            ..base()
+        }
+        .is_reliable_world());
+        // Churn and mobility do demote it.
+        assert!(!Scenario {
+            churn_milli: 5,
+            ..base()
+        }
+        .is_reliable_world());
+        assert!(!Scenario {
+            mobility_milli: 100,
+            ..base()
+        }
+        .is_reliable_world());
     }
 
     #[test]

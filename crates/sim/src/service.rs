@@ -221,16 +221,8 @@ fn baseline_of(b: &PhaseBreakdown) -> PhaseCounters_Baseline {
 fn delta_of(now: &PhaseBreakdown, base: &PhaseCounters_Baseline) -> PhaseBreakdown {
     let mut out = PhaseBreakdown::default();
     let (msgs, bits, joules) = (now.messages(), now.bits(), now.joules());
-    for (i, phase) in [
-        Phase::Init,
-        Phase::Validation,
-        Phase::Refinement,
-        Phase::Recovery,
-        Phase::Other,
-    ]
-    .into_iter()
-    .enumerate()
-    {
+    for phase in Phase::ALL {
+        let i = phase.index();
         out.charge(
             phase,
             msgs[i] - base.messages[i],
@@ -314,6 +306,13 @@ pub fn serve_monitored(
     if let Some(pf) = cfg.node_failure {
         net.set_failures(Some(FailureModel::new(pf, rng.next_u64())));
     }
+    // Forked after the gated legacy draws, exactly like the solo runner,
+    // so a single-query serve of a dynamic world replays its solo run.
+    let mut dynamics = crate::dynamics::init(cfg.dynamics.as_ref(), cfg.loss, &mut net, &mut rng);
+    let moving_population = cfg
+        .dynamics
+        .as_ref()
+        .is_some_and(|d| d.churn > 0.0 || d.mobility_step > 0.0);
     net.set_shared_frames(shared);
     net.set_round_hold(true);
 
@@ -434,8 +433,18 @@ pub fn serve_monitored(
         }
 
         net.fail_round();
+        if let Some(d) = dynamics.as_mut() {
+            if d.apply(t, &mut net) {
+                for inst in instances.iter_mut() {
+                    inst.alg.topology_changed();
+                }
+            }
+        }
         dataset.sample_round(t, &mut values);
-        let plan = svc.plan(t, net.reliability_stats().repairs);
+        // Any tree change — failure repair or dynamics rebuild — must
+        // invalidate cached traffic plans.
+        let rel = net.reliability_stats();
+        let plan = svc.plan(t, rel.repairs + rel.rebuilds);
 
         for inst in instances.iter_mut() {
             inst.answer = None;
@@ -471,6 +480,21 @@ pub fn serve_monitored(
                     } else {
                         let k = (state.query.phi() * m as f64).ceil() as u64;
                         rank_error(&reachable, answer, k.clamp(1, m))
+                    }
+                } else if moving_population {
+                    // Reachable-set oracle with the protocol's own floor
+                    // rank convention (see the solo runner).
+                    reachable.clear();
+                    reachable.extend(
+                        (1..=n)
+                            .filter(|&i| net.is_reachable(NodeId(i as u32)))
+                            .map(|i| values[i - 1]),
+                    );
+                    if reachable.is_empty() {
+                        0
+                    } else {
+                        let k = cqp_core::rank::rank_of_phi(state.query.phi(), reachable.len());
+                        rank_error(&reachable, answer, k)
                     }
                 } else {
                     let query = QueryConfig::phi(state.query.phi(), n, range_min, range_max);

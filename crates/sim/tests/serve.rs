@@ -28,6 +28,10 @@ fn scenario() -> Scenario {
         eps_milli: 100,
         capacity: 0,
         queries: 5,
+        mobility_milli: 0,
+        churn_milli: 0,
+        drift_milli: 0,
+        duty_milli: 0,
         source: DataSource::Sinusoid {
             period: 16,
             noise_permille: 100,

@@ -48,6 +48,22 @@ echo "    accounting checks, must be clean)"
 ./target/release/simulate fuzz --scenarios 100 --seed 42 \
     --corpus tests/fuzz_corpus.txt
 
+echo "==> dynamic-world smoke (200 fresh scenarios drawn over the mobility/"
+echo "    churn/drift/duty classes plus a mobile churning duty-cycled audit"
+echo "    run: must reconcile bit-exactly and replay byte-identically at"
+echo "    1 vs 4 wave threads)"
+./target/release/simulate fuzz --scenarios 200 --seed 555
+./target/release/simulate --algorithm IQ --nodes 60 --rounds 20 --runs 2 \
+    --mobility --churn --duty --seed 17 --audit
+./target/release/simulate --algorithm IQ --nodes 60 --rounds 20 --runs 2 \
+    --mobility --churn --drift --duty --loss 0.2 --retries 2 --seed 17 \
+    --wave-threads 1 --capture "$tmp/dyn1.jsonl"
+./target/release/simulate --algorithm IQ --nodes 60 --rounds 20 --runs 2 \
+    --mobility --churn --drift --duty --loss 0.2 --retries 2 --seed 17 \
+    --wave-threads 4 --capture "$tmp/dyn4.jsonl"
+./target/release/simulate diff "$tmp/dyn1.jsonl" "$tmp/dyn4.jsonl" \
+    | grep -q '^identical'
+
 echo "==> serve smoke (16-query continuous service + mid-run admit/retire:"
 echo "    audit must reconcile, digests byte-identical at 1 vs 4 wave threads)"
 ./target/release/simulate serve --queries 16 --rounds 12 --seed 99 \
